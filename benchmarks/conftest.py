@@ -1,0 +1,44 @@
+"""Benchmark-suite plumbing.
+
+Figure benches run each experiment driver exactly once (they are
+deterministic simulations, not noisy timings) via ``benchmark.pedantic``
+and write the paper-style tables to ``results/`` so EXPERIMENTS.md can
+be regenerated from a bench run.  Ablation micro-benches use normal
+pytest-benchmark timing.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for benchmark inputs."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    """Directory where reproduced figure tables are written."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return os.path.abspath(RESULTS_DIR)
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """Write a named text artifact into the results directory."""
+
+    def _save(name: str, text: str) -> str:
+        path = os.path.join(results_dir, name)
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+        return path
+
+    return _save

@@ -1,0 +1,52 @@
+"""A1: Hilbert-order vs Z-order vs array-order (Reissmann et al. cite).
+
+The paper cites the finding that Hilbert curves buy slightly better
+locality than Z-order but pay for it in index-computation cost.  In our
+simulator the index cost doesn't appear in the trace (only the cost
+model's per-access charge), so this ablation isolates the pure
+*locality* question: does Hilbert reduce memory-system traffic below
+Z-order for the against-the-grain bilateral configuration?
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import BilateralCell, default_ivybridge, run_bilateral_cell
+from repro.instrument import scaled_relative_difference
+
+SHAPE = (32, 32, 32)
+
+
+def _run():
+    cell = BilateralCell(platform=default_ivybridge(64), shape=SHAPE,
+                         n_threads=8, stencil="r3", pencil="pz",
+                         stencil_order="zyx", pencils_per_thread=2)
+    out = {}
+    for layout in ("array", "morton", "hilbert", "tiled"):
+        res = run_bilateral_cell(cell.with_layout(layout))
+        out[layout] = {
+            "runtime": res.runtime_seconds,
+            "l3_tca": res.counters["PAPI_L3_TCA"],
+        }
+    return out
+
+
+def test_ablation_hilbert_locality(benchmark, save_result):
+    out = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = ["A1 | Layout comparison, bilateral r3 pz zyx, 8 threads, IvyBridge",
+             "",
+             f"{'layout':>10} {'runtime (s)':>14} {'PAPI_L3_TCA':>14} "
+             f"{'d_s vs morton (runtime)':>24}"]
+    for name, vals in out.items():
+        ds = scaled_relative_difference(vals["runtime"],
+                                        out["morton"]["runtime"])
+        lines.append(f"{name:>10} {vals['runtime']:>14.6f} "
+                     f"{vals['l3_tca']:>14.0f} {ds:>24.3f}")
+    save_result("ablation_hilbert.txt", "\n".join(lines))
+
+    # both SFCs beat array order on traffic for this configuration
+    assert out["morton"]["l3_tca"] < out["array"]["l3_tca"]
+    assert out["hilbert"]["l3_tca"] < out["array"]["l3_tca"]
+    # and Hilbert's locality is at least in Z-order's neighborhood
+    assert out["hilbert"]["l3_tca"] < 2.0 * out["morton"]["l3_tca"]

@@ -1,0 +1,90 @@
+"""A3: index-computation cost parity (paper Section III-C).
+
+The paper's design puts array-order and Z-order indexing "on more or
+less equal footing": both are table lookups plus adds/ORs.  This bench
+actually *times* the vectorized index computation of every engine on
+this host, verifying the parity claim that underpins attributing the
+measured differences to memory layout rather than index arithmetic.
+Unlike the figure benches, these are real wall-clock micro-benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ArrayOrderLayout, HilbertLayout, MortonLayout, TiledLayout
+
+SHAPE = (64, 64, 64)
+N = 100_000
+
+
+@pytest.fixture(scope="module")
+def coords():
+    rng = np.random.default_rng(0)
+    return (rng.integers(0, 64, size=N),
+            rng.integers(0, 64, size=N),
+            rng.integers(0, 64, size=N))
+
+
+def test_index_cost_array_order(benchmark, coords):
+    layout = ArrayOrderLayout(SHAPE)
+    i, j, k = coords
+    benchmark(layout.index_array, i, j, k)
+
+
+def test_index_cost_morton_tables(benchmark, coords):
+    layout = MortonLayout(SHAPE, engine="tables")
+    i, j, k = coords
+    benchmark(layout.index_array, i, j, k)
+
+
+def test_index_cost_morton_magic(benchmark, coords):
+    layout = MortonLayout(SHAPE, engine="magic")
+    i, j, k = coords
+    benchmark(layout.index_array, i, j, k)
+
+
+def test_index_cost_tiled(benchmark, coords):
+    layout = TiledLayout(SHAPE, brick=4)
+    i, j, k = coords
+    benchmark(layout.index_array, i, j, k)
+
+
+def test_index_cost_hilbert(benchmark, coords):
+    layout = HilbertLayout(SHAPE)
+    i, j, k = coords
+    benchmark(layout.index_array, i, j, k)
+
+
+def test_parity_claim(benchmark, coords, save_result):
+    """Table-based Morton indexing costs within a small factor of
+    array-order (the paper's parity), while Hilbert costs much more
+    (the Reissmann et al. observation the paper cites)."""
+    import timeit
+
+    i, j, k = coords
+    layouts = {
+        "array": ArrayOrderLayout(SHAPE),
+        "morton-tables": MortonLayout(SHAPE, engine="tables"),
+        "morton-magic": MortonLayout(SHAPE, engine="magic"),
+        "tiled": TiledLayout(SHAPE, brick=4),
+        "hilbert": HilbertLayout(SHAPE),
+    }
+
+    def _measure():
+        return {
+            name: min(timeit.repeat(
+                lambda la=la: la.index_array(i, j, k), number=5, repeat=3)) / 5
+            for name, la in layouts.items()
+        }
+
+    times = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    lines = ["A3 | Vectorized index-computation cost (seconds per 100k indices)",
+             ""]
+    for name, t in sorted(times.items(), key=lambda kv: kv[1]):
+        lines.append(f"{name:>15}: {t * 1e3:8.3f} ms   "
+                     f"({t / times['array']:.2f}x array-order)")
+    save_result("ablation_index_cost.txt", "\n".join(lines))
+    assert times["morton-tables"] < 8 * times["array"]
+    assert times["hilbert"] > times["morton-tables"]

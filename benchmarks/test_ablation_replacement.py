@@ -1,0 +1,66 @@
+"""A13: is the layout conclusion robust to the replacement policy?
+
+The paper notes that "cache replacement strategies are often unknown"
+(Section II-A) — a reason auto-tuned blocking is brittle.  Our simulator
+defaults to true LRU, which real hardware only approximates.  This
+ablation re-runs the key bilateral cell with LRU, tree-PLRU, FIFO, and
+random replacement in the private levels: the Z-order advantage must
+not be an artifact of any one policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.experiments import BilateralCell, default_ivybridge, run_bilateral_cell
+from repro.instrument import scaled_relative_difference
+from repro.memsim import with_replacement
+
+SHAPE = (64, 64, 64)
+POLICIES = ("lru", "plru", "fifo", "random")
+
+
+def _run():
+    base_platform = default_ivybridge(64)
+    out = {}
+    for policy in POLICIES:
+        platform = (base_platform if policy == "lru"
+                    else with_replacement(base_platform, policy))
+        cell = BilateralCell(platform=platform, shape=SHAPE, n_threads=8,
+                             stencil="r3", pencil="pz", stencil_order="zyx",
+                             pencils_per_thread=2)
+        a = run_bilateral_cell(cell.with_layout("array"))
+        z = run_bilateral_cell(cell.with_layout("morton"))
+        out[policy] = {
+            "rt_ds": scaled_relative_difference(
+                a.runtime_seconds, z.runtime_seconds),
+            "ctr_ds": scaled_relative_difference(
+                a.counters["PAPI_L3_TCA"], z.counters["PAPI_L3_TCA"]),
+        }
+    return out
+
+
+def test_ablation_replacement(benchmark, save_result):
+    out = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = ["A13 | Replacement-policy sensitivity "
+             "(bilateral r3 pz zyx, 8 threads, IvyBridge)",
+             "",
+             f"{'policy':>8} {'runtime d_s':>12} {'L3_TCA d_s':>12}"]
+    for policy, vals in out.items():
+        lines.append(f"{policy:>8} {vals['rt_ds']:>12.2f} "
+                     f"{vals['ctr_ds']:>12.2f}")
+    save_result("ablation_replacement.txt", "\n".join(lines))
+
+    # the Z-order win is policy-independent (magnitudes vary — random
+    # replacement hurts both layouts and compresses the ratio — but the
+    # sign and the >2x runtime margin survive every policy)
+    for policy in POLICIES:
+        assert out[policy]["rt_ds"] > 1.0, policy
+        assert out[policy]["ctr_ds"] > 1.0, policy
+    # tree-PLRU (what real L1/L2s implement) tracks true LRU closely,
+    # validating the default model choice
+    assert out["plru"]["rt_ds"] == pytest.approx(out["lru"]["rt_ds"],
+                                                 rel=0.10)

@@ -1,0 +1,62 @@
+"""A11: reconstruction filter sensitivity (nearest vs trilinear).
+
+Trilinear reconstruction reads 8 cell corners per sample instead of 1.
+Measured outcome: the 8-corner cluster is itself a unit of spatial
+locality — its x-pairs always share a line in array order — so trilinear
+*dampens* layout sensitivity in both directions (viewpoint 0 moves from
+-0.18 toward neutral, viewpoint 2 from ~0.9 to ~0.6).  The Z-order win
+at misaligned viewpoints survives, just attenuated: reconstruction
+filters with built-in locality partially substitute for a locality-
+aware layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.experiments import VolrendCell, default_ivybridge, run_volrend_cell
+from repro.instrument import scaled_relative_difference
+
+SHAPE = (64, 64, 64)
+
+
+def _run():
+    base = VolrendCell(platform=default_ivybridge(64), shape=SHAPE,
+                       n_threads=8, image_size=256, ray_step=2)
+    out = {}
+    for sampler in ("nearest", "trilinear"):
+        for viewpoint in (0, 2):
+            cell = replace(base, sampler=sampler, viewpoint=viewpoint)
+            a = run_volrend_cell(cell.with_layout("array"))
+            z = run_volrend_cell(cell.with_layout("morton"))
+            out[(sampler, viewpoint)] = {
+                "rt_ds": scaled_relative_difference(
+                    a.runtime_seconds, z.runtime_seconds),
+                "ctr_ds": scaled_relative_difference(
+                    a.counters["PAPI_L3_TCA"], z.counters["PAPI_L3_TCA"]),
+            }
+    return out
+
+
+def test_ablation_sampler(benchmark, save_result):
+    out = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = ["A11 | Reconstruction filter x viewpoint (volrend, 8 threads)",
+             "",
+             f"{'sampler':>11} {'viewpoint':>10} {'runtime d_s':>12} "
+             f"{'L3_TCA d_s':>12}"]
+    for (sampler, viewpoint), vals in out.items():
+        lines.append(f"{sampler:>11} {viewpoint:>10} {vals['rt_ds']:>12.2f} "
+                     f"{vals['ctr_ds']:>12.2f}")
+    save_result("ablation_sampler.txt", "\n".join(lines))
+
+    # the Z-order win at the misaligned viewpoint survives trilinear...
+    assert out[("trilinear", 2)]["rt_ds"] > 0.2
+    assert out[("trilinear", 2)]["ctr_ds"] > 0.5
+    # ...but is attenuated: the clustered corner reads add locality of
+    # their own, softening layout sensitivity in BOTH directions
+    assert (out[("trilinear", 2)]["rt_ds"]
+            <= out[("nearest", 2)]["rt_ds"] + 0.05)
+    assert (abs(out[("trilinear", 0)]["rt_ds"])
+            <= abs(out[("nearest", 0)]["rt_ds"]) + 0.05)

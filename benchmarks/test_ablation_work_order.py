@@ -1,0 +1,70 @@
+"""A8: curve-ordered work assignment (extension of the Bader citation).
+
+The paper cites Bader's cache-friendly SFC *traversal* of matrix
+elements; the same idea applies one level up, to work assignment: if the
+round-robin hands out pencils in Morton order of their (j, k) position
+instead of scanline order, might consecutive threads' footprints
+overlap better?  Measured answer: **no** — scan order already gives the
+thread gang one contiguous slab whose array-layout lines are shared
+wall-to-wall, while curve order trades that for a blockier region that
+uses each cache line less efficiently.  The honest conclusion this
+ablation records: work-assignment order is second-order; the *data
+layout* is what moves the needle (Z-order's worst assignment still beats
+array order's best by >2x here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.experiments import BilateralCell, default_ivybridge, run_bilateral_cell
+
+SHAPE = (64, 64, 64)
+
+
+def _run():
+    base = BilateralCell(platform=default_ivybridge(64), shape=SHAPE,
+                         n_threads=12, stencil="r3", pencil="pz",
+                         stencil_order="zyx", pencils_per_thread=4)
+    out = {}
+    for layout in ("array", "morton"):
+        for order in ("scan", "morton", "hilbert"):
+            cell = replace(base, layout=layout, pencil_order=order)
+            res = run_bilateral_cell(cell)
+            out[(layout, order)] = {
+                "runtime": res.runtime_seconds,
+                "l3_tca": res.counters["PAPI_L3_TCA"],
+            }
+    return out
+
+
+def test_ablation_work_order(benchmark, save_result):
+    out = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = ["A8 | Work-assignment order x data layout "
+             "(bilateral r3 pz zyx, 12 threads)",
+             "",
+             f"{'data layout':>12} {'pencil order':>13} {'runtime (ms)':>13} "
+             f"{'PAPI_L3_TCA':>12}"]
+    for (layout, order), vals in out.items():
+        lines.append(f"{layout:>12} {order:>13} "
+                     f"{vals['runtime'] * 1e3:>13.3f} "
+                     f"{vals['l3_tca']:>12.0f}")
+    save_result("ablation_work_order.txt", "\n".join(lines))
+
+    # data layout dominates: the best array-order combination still loses
+    # to the worst Z-order one, by a wide margin
+    worst_morton = max(v["runtime"] for (la, _), v in out.items()
+                       if la == "morton")
+    best_array = min(v["runtime"] for (la, _), v in out.items()
+                     if la == "array")
+    assert worst_morton < best_array / 2
+    # the negative result itself: scan assignment is at least as good as
+    # either curve order under both layouts (adjacent threads already
+    # share a contiguous slab)
+    for layout in ("array", "morton"):
+        assert (out[(layout, "scan")]["l3_tca"]
+                <= out[(layout, "morton")]["l3_tca"] * 1.05)
+        assert (out[(layout, "scan")]["l3_tca"]
+                <= out[(layout, "hilbert")]["l3_tca"] * 1.05)

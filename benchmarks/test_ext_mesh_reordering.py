@@ -1,0 +1,64 @@
+"""E11 (extension): the paper's conclusion claim, measured on a real mesh.
+
+"While [the SFC approach] is readily applicable to structured data, it
+is unlikely as readily applicable to unstructured data."  We test the
+nuance: on a Delaunay mesh, SFC *vertex reordering* recovers most of the
+structured-world benefit (Morton/Hilbert orderings cut smoothing-sweep
+L3 traffic ~10× vs the mesher's order) — but unlike the structured
+case, it is not "nearly transparent to the application": it is an
+explicit renumbering pass over points and cells, and its quality rides
+on geometric quantization.  Both halves of the paper's sentence hold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import default_ivybridge
+from repro.mesh import ORDERINGS, laplacian_smooth, random_delaunay, reorder
+from repro.memsim import SimulationEngine, ThreadWork, TraceChunk
+
+N_VERTICES = 3000
+
+
+def _run():
+    mesh = random_delaunay(N_VERTICES, seed=1)
+    spec = default_ivybridge(64)
+    out = {}
+    for strategy in sorted(ORDERINGS):
+        m2 = reorder(mesh, strategy, seed=7)
+        chunk = TraceChunk.from_offsets(
+            m2.sweep_element_offsets(), itemsize=8, line_bytes=64,
+            n_ops=m2.sweep_read_ids().size)
+        engine = SimulationEngine(spec)
+        res = engine.run([ThreadWork(0, 0, chunk)])
+        out[strategy] = {
+            "l3_tca": res.counters["PAPI_L3_TCA"],
+            "runtime_us": res.runtime_seconds * 1e6,
+        }
+    return out
+
+
+def test_ext_mesh_reordering(benchmark, save_result):
+    out = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = [f"E11 | Mesh smoothing sweep ({N_VERTICES}-vertex Delaunay), "
+             "one core, scaled IvyBridge",
+             "",
+             f"{'ordering':>10} {'PAPI_L3_TCA':>12} {'runtime (us)':>13}"]
+    for strategy, vals in sorted(out.items(),
+                                 key=lambda kv: kv[1]["l3_tca"]):
+        lines.append(f"{strategy:>10} {vals['l3_tca']:>12.0f} "
+                     f"{vals['runtime_us']:>13.1f}")
+    save_result("ext_mesh_reordering.txt", "\n".join(lines))
+
+    # the mesher's order is no better than random...
+    assert out["identity"]["l3_tca"] > 0.8 * out["random"]["l3_tca"]
+    # ...SFC reordering slashes the traffic...
+    assert out["morton"]["l3_tca"] < 0.25 * out["identity"]["l3_tca"]
+    assert out["hilbert"]["l3_tca"] < 0.25 * out["identity"]["l3_tca"]
+    # ...with Hilbert at least matching Morton (its locality edge), and
+    # the geometry-free BFS ordering in between
+    assert out["hilbert"]["l3_tca"] <= out["morton"]["l3_tca"] * 1.05
+    assert (out["morton"]["l3_tca"]
+            < out["bfs"]["l3_tca"]
+            < out["identity"]["l3_tca"])

@@ -1,0 +1,60 @@
+"""E9 (extension): where does the layout start to matter?
+
+The paper measures one volume size (512³); the simulator lets us sweep
+the volume across the cache-fit regimes.  When the whole volume fits in
+a low cache level, both layouts hit everywhere and d_s ≈ 0 — layout is
+free but useless.  The Z-order advantage switches on when the traversal
+working set (the stencil's plane span) outgrows the private caches, and
+keeps growing with the volume:cache ratio.  This locates the crossover
+the paper's single point sits far beyond.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import BilateralCell, default_ivybridge, run_bilateral_cell
+from repro.instrument import scaled_relative_difference
+
+SIZES = (8, 16, 32, 64)
+
+
+def _run():
+    platform = default_ivybridge(64)
+    out = {}
+    for size in SIZES:
+        shape = (size, size, size)
+        cell = BilateralCell(platform=platform, shape=shape, n_threads=8,
+                             stencil="r3", pencil="pz", stencil_order="zyx",
+                             pencils_per_thread=2)
+        a = run_bilateral_cell(cell.with_layout("array"))
+        z = run_bilateral_cell(cell.with_layout("morton"))
+        out[size] = {
+            "rt_ds": scaled_relative_difference(
+                a.runtime_seconds, z.runtime_seconds),
+            "ctr_ds": scaled_relative_difference(
+                a.counters["PAPI_L3_TCA"], z.counters["PAPI_L3_TCA"]),
+            "volume_kb": size ** 3 * 4 / 1024,
+        }
+    return out
+
+
+def test_ext_size_sweep(benchmark, save_result):
+    out = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = ["E9 | d_s vs volume size (bilateral r3 pz zyx, 8 threads, "
+             "scaled IvyBridge: L1 1K / L2 4K / L3 480K)",
+             "",
+             f"{'size':>6} {'volume':>9} {'runtime d_s':>12} "
+             f"{'L3_TCA d_s':>12}"]
+    for size, vals in out.items():
+        lines.append(f"{size:>4}^3 {vals['volume_kb']:>7.0f}KB "
+                     f"{vals['rt_ds']:>12.2f} {vals['ctr_ds']:>12.2f}")
+    save_result("ext_size_sweep.txt", "\n".join(lines))
+
+    # tiny volumes: both layouts live in cache, the gap is modest
+    assert abs(out[8]["rt_ds"]) < 1.0
+    # the advantage grows monotonically from the smallest to the largest
+    # volume as the plane working set crosses L1, then L2
+    assert out[64]["rt_ds"] > out[16]["rt_ds"] > 0
+    assert out[64]["rt_ds"] > 2 * abs(out[8]["rt_ds"])
+    assert out[64]["ctr_ds"] > out[8]["ctr_ds"]

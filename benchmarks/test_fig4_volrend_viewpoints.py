@@ -1,0 +1,39 @@
+"""E4 / Figure 4: Volrend absolute runtime & PAPI_L3_TCA vs viewpoint.
+
+Regenerates Figure 4's two line plots (as a table): for one Ivy Bridge
+configuration, the absolute simulated runtime and PAPI_L3_TCA of the
+array-order and Z-order codes at each of the 8 orbit viewpoints.  The
+paper's picture: array-order is fastest at viewpoints 0 and 4 and
+degrades in between; Z-order is flat and its counter is uniformly lower.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import figure4, render_series_figure
+
+
+def _run():
+    return figure4(shape=(64, 64, 64), scale=64, n_threads=12,
+                   image_size=256, ray_step=2)
+
+
+def test_fig4_volrend_viewpoints(benchmark, save_result):
+    fig = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_result("fig4_volrend_viewpoints.txt", render_series_figure(fig))
+
+    rt_a = fig.runtime_a
+    rt_z = fig.runtime_z
+    # array-order's best viewpoints are the x-aligned ones (0 and 4)
+    assert {int(np.argsort(rt_a)[0]), int(np.argsort(rt_a)[1])} <= {0, 4, 1, 5, 3, 7}
+    assert rt_a[[0, 4]].mean() < rt_a[[2, 6]].mean()
+    # Z-order runtime is much flatter over the orbit than array-order
+    swing = lambda xs: (xs.max() - xs.min()) / xs.min()
+    assert swing(rt_z) < swing(rt_a)
+    # Z-order's counter is flat over the orbit while array-order's swings,
+    # and is clearly lower at the misaligned viewpoints (at the aligned
+    # ones our scaled model lets array-order edge ahead on the counter —
+    # see EXPERIMENTS.md E4 for the deviation note)
+    assert swing(fig.counter_z) < swing(fig.counter_a)
+    assert np.all(fig.counter_z[[2, 6]] < fig.counter_a[[2, 6]])

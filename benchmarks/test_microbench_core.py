@@ -1,0 +1,94 @@
+"""Micro-benchmarks of the core hot paths (real wall-clock timings).
+
+Unlike the figure benches (deterministic simulations run once), these
+measure actual throughput of the vectorized codecs and trace plumbing on
+the host — the numbers a user adopting the library for real workloads
+cares about.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Grid,
+    MortonLayout,
+    hilbert_encode,
+    morton_decode_3d,
+    morton_encode_3d,
+)
+from repro.memsim import Cache, CacheConfig, collapse_consecutive, offsets_to_lines
+
+N = 200_000
+
+
+@pytest.fixture(scope="module")
+def coords():
+    rng = np.random.default_rng(0)
+    return tuple(rng.integers(0, 1 << 20, size=N, dtype=np.uint64)
+                 for _ in range(3))
+
+
+@pytest.fixture(scope="module")
+def codes(coords):
+    return morton_encode_3d(*coords)
+
+
+def test_morton_encode_throughput(benchmark, coords):
+    out = benchmark(morton_encode_3d, *coords)
+    assert out.shape == (N,)
+
+
+def test_morton_decode_throughput(benchmark, codes):
+    i, j, k = benchmark(morton_decode_3d, codes)
+    assert i.shape == (N,)
+
+
+def test_hilbert_encode_throughput(benchmark, coords):
+    small = tuple(c[:20_000].astype(np.int64) & 0xFFFF for c in coords)
+    out = benchmark(hilbert_encode, small, 16)
+    assert out.shape == (20_000,)
+
+
+def test_grid_gather_throughput(benchmark, rng):
+    shape = (64, 64, 64)
+    grid = Grid.from_dense(rng.random(shape).astype(np.float32),
+                           MortonLayout(shape))
+    i = rng.integers(0, 64, size=N)
+    j = rng.integers(0, 64, size=N)
+    k = rng.integers(0, 64, size=N)
+    vals = benchmark(grid.gather, i, j, k)
+    assert vals.shape == (N,)
+
+
+def test_trace_collapse_throughput(benchmark, rng):
+    offsets = np.sort(rng.integers(0, 1 << 16, size=N))
+    lines = offsets_to_lines(offsets, 4, 64)
+    collapsed, removed = benchmark(collapse_consecutive, lines)
+    assert collapsed.size + removed == N
+
+
+def test_lru_cache_sim_throughput(benchmark, rng):
+    lines = (np.cumsum(rng.integers(0, 3, size=N)) % 4096).astype(np.int64)
+    cfg = CacheConfig("L2", 256 * 1024, line_bytes=64, ways=8)
+
+    def run():
+        cache = Cache(cfg)
+        return cache.access_lines(lines)
+
+    missed = benchmark(run)
+    assert 0 < missed.size < N
+
+
+def test_direct_mapped_vectorized_throughput(benchmark, rng):
+    lines = (np.cumsum(rng.integers(0, 3, size=N)) % 4096).astype(np.int64)
+    cfg = CacheConfig("DM", 64 * 1024, line_bytes=64, ways=1,
+                      replacement="direct")
+
+    def run():
+        cache = Cache(cfg)
+        return cache.access_lines(lines)
+
+    missed = benchmark(run)
+    assert 0 < missed.size < N

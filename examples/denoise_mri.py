@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Scenario 1 — MRI denoising with the 3-D bilateral filter.
+
+The paper's first workload filters a 512³ MRI head scan; here we denoise
+a (smaller) synthetic head phantom and show why the *bilateral* filter —
+not a plain Gaussian — is the tool: it removes noise while keeping
+tissue boundaries sharp.  Both filters run through the layout-
+transparent Grid API, and we report PSNR against the clean phantom plus
+the memory-system cost of each layout for the heavy stencil.
+
+Run:  python examples/denoise_mri.py [--size 48] [--radius 2]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.core import Grid, MortonLayout
+from repro.data import mri_phantom
+from repro.experiments import BilateralCell, default_ivybridge, run_bilateral_cell
+from repro.instrument import scaled_relative_difference
+from repro.kernels import (
+    BilateralFilter3D,
+    BilateralSpec,
+    GaussianConvolution3D,
+    GaussianSpec,
+)
+
+
+def psnr(reference: np.ndarray, image: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB (peak = 1.0 for our volumes)."""
+    mse = float(np.mean((reference.astype(np.float64) - image) ** 2))
+    return float("inf") if mse == 0 else -10.0 * np.log10(mse)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=48,
+                        help="volume edge length (default 48)")
+    parser.add_argument("--radius", type=int, default=2,
+                        help="stencil radius (default 2 -> 5^3 taps)")
+    parser.add_argument("--noise", type=float, default=0.08,
+                        help="noise sigma added to the phantom")
+    args = parser.parse_args()
+    shape = (args.size, args.size, args.size)
+
+    clean = mri_phantom(shape, noise=0.0)
+    noisy = mri_phantom(shape, noise=args.noise)
+    print(f"phantom {shape}, noise sigma {args.noise}: "
+          f"noisy PSNR = {psnr(clean, noisy):.2f} dB")
+
+    grid = Grid.from_dense(noisy, MortonLayout(shape))
+
+    bilateral = BilateralFilter3D(BilateralSpec(
+        radius=args.radius, sigma_spatial=1.5, sigma_range=0.15))
+    gaussian = GaussianConvolution3D(GaussianSpec(
+        radius=args.radius, sigma=1.5))
+
+    out_b = bilateral.apply(grid).to_dense()
+    out_g = gaussian.apply(grid).to_dense()
+    print(f"bilateral filter : PSNR = {psnr(clean, out_b):.2f} dB "
+          f"(edge-preserving)")
+    print(f"plain Gaussian   : PSNR = {psnr(clean, out_g):.2f} dB "
+          f"(blurs boundaries)")
+
+    # edge sharpness probe: gradient magnitude at tissue boundaries
+    def edge_energy(vol):
+        gx, gy, gz = np.gradient(vol.astype(np.float64))
+        return float(np.sqrt(gx**2 + gy**2 + gz**2).mean())
+
+    print(f"mean gradient energy: clean={edge_energy(clean):.4f} "
+          f"bilateral={edge_energy(out_b):.4f} "
+          f"gaussian={edge_energy(out_g):.4f}")
+
+    # memory-system cost of the production-size stencil on each layout
+    print("\nsimulated memory-system cost (Ivy Bridge model, 8 threads, "
+          "r5 stencil, depth pencils, zyx order):")
+    cell = BilateralCell(platform=default_ivybridge(64), shape=shape,
+                         n_threads=8, stencil="r5", pencil="pz",
+                         stencil_order="zyx", pencils_per_thread=2)
+    res_a = run_bilateral_cell(cell.with_layout("array"))
+    res_z = run_bilateral_cell(cell.with_layout("morton"))
+    ds = scaled_relative_difference(res_a.runtime_seconds,
+                                    res_z.runtime_seconds)
+    print(f"  array-order {res_a.runtime_seconds * 1e3:9.2f} ms | "
+          f"Z-order {res_z.runtime_seconds * 1e3:9.2f} ms | "
+          f"d_s = {ds:+.2f}")
+
+
+if __name__ == "__main__":
+    main()

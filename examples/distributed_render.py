@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Scenario 5 — scale out: distributed sort-last rendering.
+
+The paper's renderer is the shared-memory half of a hybrid MPI+pthreads
+system (its reference [18]).  This example runs the distributed half in
+simulation: decompose a volume over ranks (slab vs Morton-curve
+partitions), render each rank's ray segments, composite them sort-last,
+and verify the distributed image matches a single-node render.  Along
+the way it prices the two classic compositing schedules and shows the
+DeFord-cite result — curve partitions exchange less stencil halo.
+
+Run:  python examples/distributed_render.py [--ranks 8] [--size 32]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.core import ArrayOrderLayout, Grid
+from repro.data import combustion_field
+from repro.distributed import (
+    BlockDecomposition,
+    CommModel,
+    DistributedRenderer,
+    binary_swap_schedule,
+    direct_send_schedule,
+    schedule_time,
+)
+from repro.kernels import RaycastRenderer, RenderSpec, orbit_camera, warm_ramp
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--ranks", type=int, default=8)
+    parser.add_argument("--size", type=int, default=32)
+    parser.add_argument("--image", type=int, default=64)
+    args = parser.parse_args()
+    shape = (args.size, args.size, args.size)
+    block = max(4, args.size // 8)
+
+    dense = combustion_field(shape, seed=11)
+    grid = Grid.from_dense(dense, ArrayOrderLayout(shape))
+    cam = orbit_camera(shape, 1, width=args.image, height=args.image)
+    spec = RenderSpec(step=0.8)
+
+    # single-node reference
+    single = RaycastRenderer(grid, warm_ramp(), spec).render_image(cam)
+
+    print(f"{args.ranks} ranks over a {shape} volume ({block}^3 blocks)\n")
+    for order in ("scan", "morton"):
+        decomp = BlockDecomposition(shape, block, args.ranks, order=order)
+        renderer = DistributedRenderer(grid, decomp, warm_ramp(), spec)
+        result = renderer.render(cam)
+        img = result.image.reshape(args.image, args.image, 4)
+        err = np.abs(img - single).max()
+        halo = decomp.total_halo_bytes(radius=1)
+        print(f"{order:>8} partition: max |distributed - single| = {err:.2e}, "
+              f"load balance = {result.load_balance:.2f}, "
+              f"stencil halo = {halo / 1024:.1f} KiB/sweep")
+
+    model = CommModel(latency_s=2e-6, bandwidth_Bps=6e9)
+    image_bytes = args.image * args.image * 4 * 4
+    ds = schedule_time(direct_send_schedule(args.ranks, image_bytes), model)
+    try:
+        bs = schedule_time(binary_swap_schedule(args.ranks, image_bytes), model)
+        print(f"\ncompositing {args.image}^2 RGBA over {args.ranks} ranks: "
+              f"direct-send {ds * 1e6:.1f} us vs binary-swap {bs * 1e6:.1f} us")
+    except ValueError:
+        print(f"\ncompositing via direct-send: {ds * 1e6:.1f} us "
+              f"(binary swap needs a power-of-two rank count)")
+
+
+if __name__ == "__main__":
+    main()

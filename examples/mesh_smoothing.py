@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Scenario 6 — unstructured data: reorder a mesh, then smooth it.
+
+The paper's conclusion flags unstructured data as the hard case for SFC
+layouts.  This example shows the practical recipe: renumber a Delaunay
+mesh's vertices along a space-filling curve (one preprocessing pass),
+then run feature-preserving smoothing (the paper's Jones-et-al. cite) —
+identical numerical results, a fraction of the memory traffic.
+
+Run:  python examples/mesh_smoothing.py [--vertices 3000]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.experiments import default_ivybridge
+from repro.mesh import (
+    ORDERINGS,
+    bilateral_smooth,
+    laplacian_smooth,
+    ordering_permutation,
+    random_delaunay,
+    reorder,
+)
+from repro.memsim import SimulationEngine, ThreadWork, TraceChunk
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--vertices", type=int, default=3000)
+    args = parser.parse_args()
+
+    mesh = random_delaunay(args.vertices, seed=1)
+    print(f"{mesh}  (mean valence "
+          f"{mesh.valences().mean():.1f})")
+
+    # numerics are storage-order invariant — verify before optimizing
+    perm = ordering_permutation(mesh, "hilbert")
+    smooth_orig = bilateral_smooth(mesh, sigma=0.1)
+    smooth_reord = bilateral_smooth(mesh.permute(perm), sigma=0.1)
+    assert np.allclose(smooth_orig[perm], smooth_reord)
+    print("smoothing result independent of vertex order: OK")
+
+    noise_before = np.linalg.norm(
+        mesh.points - laplacian_smooth(mesh, sweeps=3), axis=1).mean()
+    print(f"mean vertex displacement after 3 Laplacian sweeps: "
+          f"{noise_before:.4f} (the smoother is doing real work)\n")
+
+    print("memory cost of ONE smoothing sweep by vertex ordering "
+          "(scaled Ivy Bridge):")
+    spec = default_ivybridge(64)
+    print(f"{'ordering':>10} {'L3 accesses':>12} {'runtime (us)':>13}")
+    rows = []
+    for strategy in sorted(ORDERINGS):
+        m2 = reorder(mesh, strategy, seed=7)
+        chunk = TraceChunk.from_offsets(
+            m2.sweep_element_offsets(), itemsize=8, line_bytes=64,
+            n_ops=m2.sweep_read_ids().size)
+        res = SimulationEngine(spec).run([ThreadWork(0, 0, chunk)])
+        rows.append((strategy, res.counters["PAPI_L3_TCA"],
+                     res.runtime_seconds * 1e6))
+    for strategy, l3, rt in sorted(rows, key=lambda r: r[1]):
+        print(f"{strategy:>10} {l3:>12.0f} {rt:>13.1f}")
+    best = min(rows, key=lambda r: r[1])
+    base = next(r for r in rows if r[0] == "identity")
+    print(f"\n{best[0]} reordering cuts L3 traffic "
+          f"{base[1] / best[1]:.1f}x vs the mesher's order — one "
+          f"renumbering pass, same answers.")
+
+
+if __name__ == "__main__":
+    main()

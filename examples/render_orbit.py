@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Scenario 2 — orbiting a combustion field with the raycaster.
+
+The paper's second workload volume-renders a combustion-simulation
+field from 8 orbit viewpoints.  This example renders actual images
+(written as PPM files you can open in any viewer), then reproduces the
+Figure-4 story inline: array-order runtime oscillates with the
+viewpoint while Z-order stays flat.
+
+Run:  python examples/render_orbit.py [--size 48] [--image 128]
+      [--outdir orbit_frames]
+"""
+
+import argparse
+import os
+
+import numpy as np
+
+from repro.core import Grid, make_layout
+from repro.data import combustion_field
+from repro.experiments import VolrendCell, default_ivybridge, run_volrend_cell
+from repro.kernels import RaycastRenderer, RenderSpec, orbit_camera, warm_ramp
+
+
+def write_ppm(path: str, rgba: np.ndarray) -> None:
+    """Write an (H, W, 4) float RGBA image as a binary PPM (over black)."""
+    rgb = np.clip(rgba[..., :3], 0.0, 1.0)
+    data = (rgb * 255).astype(np.uint8)
+    with open(path, "wb") as fh:
+        fh.write(f"P6\n{rgba.shape[1]} {rgba.shape[0]}\n255\n".encode())
+        fh.write(data.tobytes())
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=48)
+    parser.add_argument("--image", type=int, default=128)
+    parser.add_argument("--outdir", default="orbit_frames")
+    args = parser.parse_args()
+    shape = (args.size, args.size, args.size)
+
+    dense = combustion_field(shape, seed=7)
+    grid = Grid.from_dense(dense, make_layout("morton", shape))
+    renderer = RaycastRenderer(grid, warm_ramp(), RenderSpec(
+        step=0.5, sampler="trilinear", early_termination=0.98))
+
+    os.makedirs(args.outdir, exist_ok=True)
+    for viewpoint in range(8):
+        cam = orbit_camera(shape, viewpoint, width=args.image,
+                           height=args.image)
+        img = renderer.render_image(cam)
+        path = os.path.join(args.outdir, f"viewpoint_{viewpoint}.ppm")
+        write_ppm(path, img)
+        print(f"viewpoint {viewpoint}: wrote {path} "
+              f"(mean alpha {img[..., 3].mean():.3f})")
+
+    # the Figure-4 story on the simulated Ivy Bridge
+    print("\nsimulated runtime per viewpoint (12 threads, Ivy Bridge model):")
+    print(f"{'viewpoint':>10} {'array (ms)':>12} {'morton (ms)':>12}")
+    base = VolrendCell(platform=default_ivybridge(64), shape=(64, 64, 64),
+                       n_threads=12, image_size=256, ray_step=2)
+    rts_a, rts_z = [], []
+    for viewpoint in range(8):
+        cell = base.with_viewpoint(viewpoint)
+        rt_a = run_volrend_cell(cell.with_layout("array")).runtime_seconds
+        rt_z = run_volrend_cell(cell.with_layout("morton")).runtime_seconds
+        rts_a.append(rt_a)
+        rts_z.append(rt_z)
+        print(f"{viewpoint:>10} {rt_a * 1e3:>12.2f} {rt_z * 1e3:>12.2f}")
+    swing = lambda xs: (max(xs) - min(xs)) / min(xs)
+    print(f"\nruntime swing over the orbit: array {swing(rts_a) * 100:.0f}%  "
+          f"vs  Z-order {swing(rts_z) * 100:.0f}%  — the Z-order layout is "
+          f"insensitive to viewing direction.")
+
+
+if __name__ == "__main__":
+    main()

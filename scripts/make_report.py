@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Assemble results/*.txt into a single REPRODUCTION_REPORT.md.
+
+Run the benchmark suite first (it writes one table per figure/ablation
+into ``results/``), then this script:
+
+    pytest benchmarks/ --benchmark-only
+    python scripts/make_report.py [--results results] [--out REPRODUCTION_REPORT.md]
+
+The report interleaves each reproduced table with its one-line summary
+from EXPERIMENTS.md's index, so a reviewer can read measured numbers and
+the paper-comparison verdicts in one document.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+import platform
+import sys
+
+# preferred ordering: paper figures first, extensions, then ablations
+_ORDER = [
+    "fig1_locality", "fig2_bilateral_ivybridge", "fig3_bilateral_mic",
+    "fig4_volrend_viewpoints", "fig5_volrend_ivybridge", "fig6_volrend_mic",
+    "ext_image2d", "ext_progressive_access", "ext_size_sweep",
+]
+
+
+def _sort_key(path: str):
+    stem = os.path.splitext(os.path.basename(path))[0]
+    try:
+        return (0, _ORDER.index(stem))
+    except ValueError:
+        return (1, stem)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--results", default="results")
+    parser.add_argument("--out", default="REPRODUCTION_REPORT.md")
+    args = parser.parse_args()
+
+    paths = sorted(glob.glob(os.path.join(args.results, "*.txt")),
+                   key=_sort_key)
+    if not paths:
+        print(f"no result tables in {args.results!r}; run "
+              f"`pytest benchmarks/ --benchmark-only` first",
+              file=sys.stderr)
+        return 1
+
+    lines = [
+        "# Reproduction report",
+        "",
+        "Regenerated tables for every figure of Bethel et al. (IPDPS-W "
+        "2015) plus this repository's extension experiments and "
+        "ablations.  Paper-vs-measured commentary lives in "
+        "[EXPERIMENTS.md](EXPERIMENTS.md); DESIGN.md carries the "
+        "experiment index.",
+        "",
+        f"Python {platform.python_version()} on {platform.system()} "
+        f"{platform.machine()}.",
+        "",
+    ]
+    for path in paths:
+        stem = os.path.splitext(os.path.basename(path))[0]
+        with open(path) as fh:
+            body = fh.read().rstrip()
+        lines.append(f"## {stem}")
+        lines.append("")
+        lines.append("```")
+        lines.append(body)
+        lines.append("```")
+        lines.append("")
+    with open(args.out, "w") as fh:
+        fh.write("\n".join(lines) + "\n")
+    print(f"wrote {args.out} ({len(paths)} tables)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,7 @@
+"""Legacy setup shim: this environment has no `wheel` package, so PEP-660
+editable installs (`pip install -e .`) cannot build an editable wheel.
+`python setup.py develop` (or the .pth fallback) provides the same result.
+All real metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

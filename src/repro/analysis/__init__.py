@@ -1,0 +1,25 @@
+"""Analysis extensions: why the Z-order layout wins.
+
+Reuse-distance histograms (cache behaviour at every capacity at once),
+stride spectra (alignment of a stream with the layout), and Denning
+working-set curves (how much cache a stream wants).
+"""
+
+from .conflicts import SetPressure, effective_capacity_fraction, set_pressure
+from .reuse import INFINITE_DISTANCE, miss_ratio_curve, reuse_distance_histogram
+from .strides import StrideSpectrum, compare_spectra, stride_spectrum
+from .workingset import footprint, working_set_curve
+
+__all__ = [
+    "INFINITE_DISTANCE",
+    "SetPressure",
+    "StrideSpectrum",
+    "compare_spectra",
+    "effective_capacity_fraction",
+    "set_pressure",
+    "footprint",
+    "miss_ratio_curve",
+    "reuse_distance_histogram",
+    "stride_spectrum",
+    "working_set_curve",
+]

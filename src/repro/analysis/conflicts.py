@@ -1,0 +1,82 @@
+"""Set-pressure analysis: why strided streams conflict-miss.
+
+A set-associative cache only delivers its nominal capacity if a stream
+spreads across its sets.  Strided access — precisely what array order
+produces for against-the-grain traversals — maps many distinct lines
+onto few sets, so the *effective* capacity collapses to
+``used_sets × ways``.  These metrics quantify that collapse for any
+stream/geometry pair, explaining the oversized counter differences in
+E3/E6 (see EXPERIMENTS.md "Threats to validity").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..memsim.cache import CacheConfig
+
+__all__ = ["SetPressure", "set_pressure", "effective_capacity_fraction"]
+
+
+@dataclass(frozen=True)
+class SetPressure:
+    """Distribution of a stream's distinct lines over a cache's sets.
+
+    Attributes
+    ----------
+    n_sets : int
+        Sets in the cache geometry.
+    used_sets : int
+        Sets touched by at least one distinct line of the stream.
+    distinct_lines : int
+        The stream's line footprint.
+    max_lines_per_set, mean_lines_per_used_set : float
+        Pressure statistics; a stream is conflict-prone when
+        ``max_lines_per_set`` far exceeds the associativity.
+    overflow_fraction : float
+        Fraction of distinct lines beyond each set's ``ways`` capacity —
+        the lines guaranteed to fight for residency even with perfect
+        replacement.
+    """
+
+    n_sets: int
+    used_sets: int
+    distinct_lines: int
+    max_lines_per_set: int
+    mean_lines_per_used_set: float
+    overflow_fraction: float
+
+
+def set_pressure(lines: np.ndarray, config: CacheConfig) -> SetPressure:
+    """Compute :class:`SetPressure` of a line-id stream under ``config``."""
+    lines = np.unique(np.asarray(lines, dtype=np.int64))
+    if lines.size == 0:
+        return SetPressure(config.n_sets, 0, 0, 0, 0.0, 0.0)
+    sets = lines & (config.n_sets - 1)
+    counts = np.bincount(sets, minlength=config.n_sets)
+    used = counts > 0
+    overflow = np.maximum(counts - config.ways, 0).sum()
+    return SetPressure(
+        n_sets=config.n_sets,
+        used_sets=int(used.sum()),
+        distinct_lines=int(lines.size),
+        max_lines_per_set=int(counts.max()),
+        mean_lines_per_used_set=float(counts[used].mean()),
+        overflow_fraction=float(overflow / lines.size),
+    )
+
+
+def effective_capacity_fraction(lines: np.ndarray,
+                                config: CacheConfig) -> float:
+    """Fraction of nominal capacity the stream can actually use.
+
+    ``used_sets × ways / n_lines`` — 1.0 for a stream spread over every
+    set, approaching ``1/n_sets`` for a pathologically strided one.
+    """
+    pressure = set_pressure(lines, config)
+    if pressure.distinct_lines == 0:
+        return 1.0
+    return pressure.used_sets * config.ways / config.n_lines

@@ -1,0 +1,133 @@
+"""Exact LRU reuse-distance (stack-distance) analysis.
+
+The reuse distance of an access is the number of *distinct* lines
+touched since the previous access to the same line; under a fully
+associative LRU cache of capacity C lines, an access hits iff its reuse
+distance is < C.  The histogram therefore characterizes a stream's
+cache behaviour for *every* capacity at once — the cleanest way to see
+why a Z-order stream outperforms an array-order stream for neighborhood
+workloads.
+
+Two implementations: a quadratic reference (``method="stack"``) and a
+Bennett–Kruskal binary-indexed-tree version (``method="bit"``,
+O(n log n)) for real traces.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "reuse_distance_histogram",
+    "miss_ratio_curve",
+    "INFINITE_DISTANCE",
+]
+
+#: Histogram key for cold (first-touch) accesses.
+INFINITE_DISTANCE = -1
+
+
+def _reuse_stack(lines: Sequence[int]) -> Counter:
+    """Reference O(n·d) stack simulation."""
+    stack: list = []
+    hist: Counter = Counter()
+    for ln in lines:
+        try:
+            depth = stack.index(ln)
+        except ValueError:
+            hist[INFINITE_DISTANCE] += 1
+            stack.insert(0, ln)
+        else:
+            hist[depth] += 1
+            del stack[depth]
+            stack.insert(0, ln)
+    return hist
+
+
+class _BIT:
+    """Binary indexed tree over positions, counting marked entries."""
+
+    def __init__(self, n: int):
+        self.n = n
+        self.tree = [0] * (n + 1)
+
+    def add(self, i: int, delta: int) -> None:
+        i += 1
+        while i <= self.n:
+            self.tree[i] += delta
+            i += i & (-i)
+
+    def prefix(self, i: int) -> int:
+        """Sum of marks at positions 0..i inclusive."""
+        i += 1
+        s = 0
+        while i > 0:
+            s += self.tree[i]
+            i -= i & (-i)
+        return s
+
+
+def _reuse_bit(lines: Sequence[int]) -> Counter:
+    """Bennett–Kruskal: mark each line's latest position in a BIT.
+
+    At access t to line x last seen at position p, the reuse distance is
+    the number of marked positions strictly between p and t — each mark
+    is the latest occurrence of some distinct line.
+    """
+    hist: Counter = Counter()
+    last: Dict[int, int] = {}
+    bit = _BIT(len(lines))
+    for t, ln in enumerate(lines):
+        p = last.get(ln)
+        if p is None:
+            hist[INFINITE_DISTANCE] += 1
+        else:
+            distance = bit.prefix(t - 1) - bit.prefix(p)
+            hist[distance] += 1
+            bit.add(p, -1)
+        bit.add(t, 1)
+        last[ln] = t
+    return hist
+
+
+def reuse_distance_histogram(lines: Iterable[int],
+                             method: str = "bit") -> Dict[int, int]:
+    """Histogram {reuse distance: count}; cold misses keyed by −1.
+
+    ``method`` is ``"bit"`` (O(n log n), default) or ``"stack"`` (the
+    quadratic reference used to validate it).
+    """
+    seq = [int(x) for x in np.asarray(list(lines)).ravel()]
+    if method == "stack":
+        hist = _reuse_stack(seq)
+    elif method == "bit":
+        hist = _reuse_bit(seq)
+    else:
+        raise ValueError(f"unknown method {method!r}")
+    return dict(hist)
+
+
+def miss_ratio_curve(hist: Dict[int, int],
+                     capacities: Sequence[int]) -> np.ndarray:
+    """Fully-associative-LRU miss ratio at each capacity (in lines).
+
+    An access with reuse distance d misses a cache of capacity c iff
+    d >= c (cold accesses always miss).
+    """
+    total = sum(hist.values())
+    if total == 0:
+        return np.zeros(len(capacities))
+    distances = np.array(
+        [d for d in hist if d != INFINITE_DISTANCE], dtype=np.int64
+    )
+    counts = np.array(
+        [hist[d] for d in hist if d != INFINITE_DISTANCE], dtype=np.int64
+    )
+    cold = hist.get(INFINITE_DISTANCE, 0)
+    out = np.empty(len(capacities), dtype=np.float64)
+    for n, c in enumerate(capacities):
+        out[n] = (counts[distances >= c].sum() + cold) / total
+    return out

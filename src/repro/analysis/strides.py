@@ -1,0 +1,86 @@
+"""Stride spectra of kernel access streams under each layout.
+
+The paper reasons about alignment in terms of ray slopes vs the
+fastest-varying memory axis; the stride spectrum makes the same
+argument quantitative for any stream: what fraction of consecutive
+loads step by ±1 element, by ±one row, by ±one plane, by something
+Z-order-small?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.locality import stride_histogram
+
+__all__ = ["StrideSpectrum", "stride_spectrum", "compare_spectra"]
+
+
+@dataclass(frozen=True)
+class StrideSpectrum:
+    """Bucketed view of a stream's consecutive-access strides.
+
+    Buckets (in elements): ``same`` (0), ``unit`` (|Δ| = 1), ``line``
+    (fits a cache line, |Δ| < line_elems), ``near`` (|Δ| < near_elems),
+    ``far`` (the rest); fractions sum to 1.
+    """
+
+    same: float
+    unit: float
+    line: float
+    near: float
+    far: float
+    n_strides: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """Bucket fractions keyed by bucket name."""
+        return {
+            "same": self.same,
+            "unit": self.unit,
+            "line": self.line,
+            "near": self.near,
+            "far": self.far,
+        }
+
+
+def stride_spectrum(offsets: np.ndarray, line_elems: int = 16,
+                    near_elems: int = 1024) -> StrideSpectrum:
+    """Bucket the stride histogram of an element-offset stream."""
+    hist = stride_histogram(offsets)
+    total = sum(hist.values())
+    if total == 0:
+        return StrideSpectrum(0.0, 0.0, 0.0, 0.0, 0.0, 0)
+    buckets = {"same": 0, "unit": 0, "line": 0, "near": 0, "far": 0}
+    for delta, count in hist.items():
+        mag = abs(delta)
+        if mag == 0:
+            buckets["same"] += count
+        elif mag == 1:
+            buckets["unit"] += count
+        elif mag < line_elems:
+            buckets["line"] += count
+        elif mag < near_elems:
+            buckets["near"] += count
+        else:
+            buckets["far"] += count
+    return StrideSpectrum(
+        same=buckets["same"] / total,
+        unit=buckets["unit"] / total,
+        line=buckets["line"] / total,
+        near=buckets["near"] / total,
+        far=buckets["far"] / total,
+        n_strides=total,
+    )
+
+
+def compare_spectra(named_offsets: Dict[str, np.ndarray],
+                    line_elems: int = 16,
+                    near_elems: int = 1024) -> Dict[str, StrideSpectrum]:
+    """Spectra for several named streams (e.g. one per layout)."""
+    return {
+        name: stride_spectrum(offs, line_elems, near_elems)
+        for name, offs in named_offsets.items()
+    }

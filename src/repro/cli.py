@@ -1,0 +1,378 @@
+"""Command-line interface: reproduce figures and probe configurations.
+
+Usage (also via ``python -m repro``):
+
+    repro info                         # platforms, layouts, counters
+    repro figure 2                     # regenerate a paper figure
+    repro figure all -o results/
+    repro bilateral --stencil r3 --pencil pz --order zyx --threads 8
+    repro volrend --viewpoint 2 --threads 12 --platform mic
+    repro render --viewpoint 3 --out frame.ppm
+    repro analyze --kernel bilateral --layout morton
+
+Figure subcommands accept ``--shape`` / ``--scale`` to trade fidelity
+for speed; cell subcommands run one array-vs-Z comparison and print the
+counters and the paper's d_s.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from . import __version__
+from .core.registry import layout_names
+from .experiments import (
+    BilateralCell,
+    VolrendCell,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    render_ds_figure,
+    render_series_figure,
+    run_bilateral_cell,
+    run_volrend_cell,
+)
+from .instrument import scaled_relative_difference
+from .memsim.platforms import PLATFORMS, get_platform
+
+__all__ = ["main", "build_parser"]
+
+_FIGURES = {
+    "2": (figure2, render_ds_figure, "fig2_bilateral_ivybridge.txt"),
+    "3": (figure3, render_ds_figure, "fig3_bilateral_mic.txt"),
+    "4": (figure4, render_series_figure, "fig4_volrend_viewpoints.txt"),
+    "5": (figure5, render_ds_figure, "fig5_volrend_ivybridge.txt"),
+    "6": (figure6, render_ds_figure, "fig6_volrend_mic.txt"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argparse tree (exposed for tests and docs tooling)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SFC memory-layout study reproduction "
+                    "(Bethel et al., IPDPS-W 2015)",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list platforms, layouts and counters")
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
+    p_fig.add_argument("which", choices=[*_FIGURES, "all"])
+    p_fig.add_argument("--shape", type=int, default=64,
+                       help="volume edge length (default 64)")
+    p_fig.add_argument("--scale", type=int, default=64,
+                       help="platform cache scale divisor (default 64)")
+    p_fig.add_argument("-o", "--out", default=None,
+                       help="directory to write the table (default: print only)")
+
+    p_bil = sub.add_parser("bilateral",
+                           help="one bilateral cell, array vs Z-order")
+    p_bil.add_argument("--platform", choices=sorted(PLATFORMS),
+                       default="ivybridge")
+    p_bil.add_argument("--scale", type=int, default=64)
+    p_bil.add_argument("--shape", type=int, default=64)
+    p_bil.add_argument("--stencil", default="r3",
+                       help="r1/r3/r5 or an integer radius")
+    p_bil.add_argument("--pencil", choices=["px", "py", "pz"], default="pz")
+    p_bil.add_argument("--order", choices=["xyz", "zyx"], default="zyx")
+    p_bil.add_argument("--threads", type=int, default=8)
+    p_bil.add_argument("--layouts", nargs=2, default=["array", "morton"],
+                       metavar=("A", "Z"),
+                       help="the two layouts to compare (default array morton)")
+
+    p_vol = sub.add_parser("volrend",
+                           help="one volume-rendering cell, array vs Z-order")
+    p_vol.add_argument("--platform", choices=sorted(PLATFORMS),
+                       default="ivybridge")
+    p_vol.add_argument("--scale", type=int, default=64)
+    p_vol.add_argument("--shape", type=int, default=64)
+    p_vol.add_argument("--viewpoint", type=int, default=2)
+    p_vol.add_argument("--threads", type=int, default=8)
+    p_vol.add_argument("--image", type=int, default=256)
+    p_vol.add_argument("--layouts", nargs=2, default=["array", "morton"],
+                       metavar=("A", "Z"))
+
+    p_ren = sub.add_parser("render", help="render a PPM image of a volume")
+    p_ren.add_argument("--shape", type=int, default=48)
+    p_ren.add_argument("--viewpoint", type=int, default=2)
+    p_ren.add_argument("--image", type=int, default=128)
+    p_ren.add_argument("--dataset", choices=["combustion", "mri"],
+                       default="combustion")
+    p_ren.add_argument("--layout", choices=layout_names(), default="morton")
+    p_ren.add_argument("--out", default="render.ppm")
+
+    p_ana = sub.add_parser("analyze",
+                           help="locality report for a kernel stream")
+    p_ana.add_argument("--kernel", choices=["bilateral", "volrend"],
+                       default="bilateral")
+    p_ana.add_argument("--layout", choices=layout_names(), default="morton")
+    p_ana.add_argument("--shape", type=int, default=32)
+
+    p_tune = sub.add_parser("tune",
+                            help="auto-tune a blocking/tiling parameter "
+                                 "against the simulator")
+    p_tune.add_argument("what", choices=["brick", "tile"])
+    p_tune.add_argument("--shape", type=int, default=32)
+    p_tune.add_argument("--threads", type=int, default=4)
+    p_tune.add_argument("--method", choices=["exhaustive", "hill"],
+                        default="exhaustive")
+
+    p_mesh = sub.add_parser("mesh",
+                            help="unstructured-mesh ordering study")
+    p_mesh.add_argument("--vertices", type=int, default=2000)
+    p_mesh.add_argument("--seed", type=int, default=1)
+    return parser
+
+
+def _cmd_info() -> int:
+    print(f"repro {__version__}\n")
+    print("layouts:", ", ".join(layout_names()))
+    print("\nplatforms:")
+    for name, spec in sorted(PLATFORMS.items()):
+        levels = ", ".join(
+            f"{lv.cache.name} {lv.cache.capacity_bytes // 1024}K/"
+            f"{lv.cache.ways}w/{lv.scope}" for lv in spec.levels
+        )
+        print(f"  {name:<10} {spec.n_cores} cores x {spec.smt} SMT @ "
+              f"{spec.freq_ghz} GHz | {levels}")
+        print(f"  {'':<10} counters: {', '.join(sorted(spec.counters))}")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    which = list(_FIGURES) if args.which == "all" else [args.which]
+    shape = (args.shape, args.shape, args.shape)
+    for fig_id in which:
+        driver, renderer, fname = _FIGURES[fig_id]
+        print(f"running figure {fig_id} at {shape}, scale {args.scale} ...",
+              file=sys.stderr)
+        fig = driver(shape=shape, scale=args.scale)
+        text = renderer(fig)
+        print(text)
+        if args.out:
+            os.makedirs(args.out, exist_ok=True)
+            path = os.path.join(args.out, fname)
+            with open(path, "w") as fh:
+                fh.write(text + "\n")
+            print(f"[saved to {path}]", file=sys.stderr)
+    return 0
+
+
+def _print_comparison(res_a, res_z, layouts) -> None:
+    a_name, z_name = layouts
+    print(f"{'metric':<28} {a_name:>14} {z_name:>14} {'d_s':>8}")
+    ds = scaled_relative_difference(res_a.runtime_seconds,
+                                    res_z.runtime_seconds)
+    print(f"{'runtime (ms)':<28} {res_a.runtime_seconds * 1e3:>14.3f} "
+          f"{res_z.runtime_seconds * 1e3:>14.3f} {ds:>8.2f}")
+    for name in sorted(res_a.counters):
+        a, z = res_a.counters[name], res_z.counters[name]
+        ds = scaled_relative_difference(a, z) if z else float("nan")
+        print(f"{name:<28} {a:>14.0f} {z:>14.0f} {ds:>8.2f}")
+    print("\n(positive d_s: the second layout measured less — it wins)")
+
+
+def _cmd_bilateral(args) -> int:
+    shape = (args.shape, args.shape, args.shape)
+    platform = get_platform(args.platform, scale=args.scale)
+    mic = args.platform == "mic"
+    cell = BilateralCell(
+        platform=platform, shape=shape, n_threads=args.threads,
+        stencil=args.stencil, pencil=args.pencil, stencil_order=args.order,
+        affinity="balanced" if mic else "compact",
+        usable_cores=59 if mic else None,
+        sample_cores=8 if mic else None,
+        pencils_per_thread=2,
+    )
+    res_a = run_bilateral_cell(cell.with_layout(args.layouts[0]))
+    res_z = run_bilateral_cell(cell.with_layout(args.layouts[1]))
+    print(f"bilateral {args.stencil} {args.pencil} {args.order}, "
+          f"{args.threads} threads, {platform.name}\n")
+    _print_comparison(res_a, res_z, args.layouts)
+    return 0
+
+
+def _cmd_volrend(args) -> int:
+    shape = (args.shape, args.shape, args.shape)
+    platform = get_platform(args.platform, scale=args.scale)
+    mic = args.platform == "mic"
+    cell = VolrendCell(
+        platform=platform, shape=shape, n_threads=args.threads,
+        viewpoint=args.viewpoint, image_size=args.image,
+        affinity="balanced" if mic else "compact",
+        usable_cores=59 if mic else None,
+        sample_cores=8 if mic else None,
+        ray_step=2,
+    )
+    res_a = run_volrend_cell(cell.with_layout(args.layouts[0]))
+    res_z = run_volrend_cell(cell.with_layout(args.layouts[1]))
+    print(f"volrend viewpoint {args.viewpoint}, {args.threads} threads, "
+          f"{platform.name}\n")
+    _print_comparison(res_a, res_z, args.layouts)
+    return 0
+
+
+def _cmd_render(args) -> int:
+    from .core.grid import Grid
+    from .core.registry import make_layout
+    from .data.synthetic import combustion_field, mri_phantom
+    from .kernels.camera import orbit_camera
+    from .kernels.transfer import grayscale_ramp, warm_ramp
+    from .kernels.volrend import RaycastRenderer, RenderSpec
+
+    shape = (args.shape, args.shape, args.shape)
+    if args.dataset == "combustion":
+        dense, tf = combustion_field(shape, seed=7), warm_ramp()
+    else:
+        dense, tf = mri_phantom(shape), grayscale_ramp()
+    grid = Grid.from_dense(dense, make_layout(args.layout, shape))
+    cam = orbit_camera(shape, args.viewpoint, width=args.image,
+                       height=args.image)
+    img = RaycastRenderer(grid, tf, RenderSpec(
+        step=0.5, sampler="trilinear",
+        early_termination=0.98)).render_image(cam)
+    rgb = (np.clip(img[..., :3], 0, 1) * 255).astype(np.uint8)
+    with open(args.out, "wb") as fh:
+        fh.write(f"P6\n{img.shape[1]} {img.shape[0]}\n255\n".encode())
+        fh.write(rgb.tobytes())
+    print(f"wrote {args.out} ({args.image}x{args.image}, viewpoint "
+          f"{args.viewpoint}, {args.layout} layout)")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from .analysis import (
+        miss_ratio_curve,
+        reuse_distance_histogram,
+        stride_spectrum,
+        working_set_curve,
+    )
+    from .core.grid import Grid
+    from .core.registry import make_layout
+    from .data.synthetic import mri_phantom
+    from .kernels.bilateral import BilateralFilter3D, BilateralSpec
+    from .kernels.camera import orbit_camera
+    from .kernels.transfer import grayscale_ramp
+    from .kernels.volrend import RaycastRenderer, RenderSpec
+    from .memsim.address import AddressSpace
+    from .parallel.pencil import Pencil
+    from .parallel.tiles import Tile
+
+    shape = (args.shape, args.shape, args.shape)
+    dense = mri_phantom(shape, noise=0.0)
+    grid = Grid.from_dense(dense, make_layout(args.layout, shape))
+    space = AddressSpace(64)
+    if args.kernel == "bilateral":
+        filt = BilateralFilter3D(BilateralSpec(radius=2, stencil_order="zyx"))
+        trace = filt.pencil_trace(
+            grid, Pencil(axis=2, fixed=(shape[0] // 2, shape[1] // 2)), space)
+    else:
+        cam = orbit_camera(shape, 2, width=128, height=128)
+        renderer = RaycastRenderer(grid, grayscale_ramp(), RenderSpec())
+        trace = renderer.render_tile(cam, Tile(48, 48, 32, 32), space=space,
+                                     want_values=False).trace
+    lines = trace.lines - space.base_of(grid) // 64
+    print(f"{args.kernel} stream under {args.layout} layout at {shape}: "
+          f"{trace.n_accesses} accesses, {np.unique(lines).size} lines\n")
+    spec = stride_spectrum(lines, line_elems=2, near_elems=64)
+    print("stride spectrum:", {k: round(v, 3) for k, v in spec.as_dict().items()})
+    hist = reuse_distance_histogram(lines.tolist())
+    capacities = [16, 64, 256, 1024]
+    mrc = miss_ratio_curve(hist, capacities)
+    print("miss-ratio curve:",
+          {c: round(float(m), 3) for c, m in zip(capacities, mrc)})
+    ws = working_set_curve(lines, [64, 256, 1024])
+    print("working set:", {k: round(v, 1) for k, v in ws.items()})
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from .tuning import tune_brick, tune_tile_size
+
+    shape = (args.shape, args.shape, args.shape)
+    platform = get_platform("ivybridge", scale=64)
+    if args.what == "brick":
+        cell = BilateralCell(platform=platform, shape=shape,
+                             n_threads=args.threads, stencil="r3",
+                             pencil="pz", stencil_order="zyx",
+                             pencils_per_thread=2)
+        result = tune_brick(cell, method=args.method)
+        param = "brick"
+    else:
+        cell = VolrendCell(platform=platform, shape=shape,
+                           n_threads=args.threads, image_size=256,
+                           viewpoint=2, ray_step=2)
+        result = tune_tile_size(cell, method=args.method)
+        param = "tile"
+    print(f"tuning {param} ({args.method}): "
+          f"{result.evaluations} evaluations")
+    seen = set()
+    for params, cost in result.history:
+        key = params[param]
+        if key in seen:
+            continue
+        seen.add(key)
+        label = "inf" if cost == float("inf") else f"{cost * 1e3:9.3f} ms"
+        print(f"  {param} = {key:>4}: {label}")
+    print(f"best: {param} = {result.best_params[param]} "
+          f"({result.best_cost * 1e3:.3f} ms)")
+    return 0
+
+
+def _cmd_mesh(args) -> int:
+    from .experiments import default_ivybridge
+    from .mesh import ORDERINGS, random_delaunay, reorder
+    from .memsim import SimulationEngine, ThreadWork, TraceChunk
+
+    mesh = random_delaunay(args.vertices, seed=args.seed)
+    print(f"{mesh}\n")
+    spec = default_ivybridge(64)
+    print(f"{'ordering':>10} {'PAPI_L3_TCA':>12} {'runtime (us)':>13}")
+    rows = []
+    for strategy in sorted(ORDERINGS):
+        m2 = reorder(mesh, strategy, seed=7)
+        chunk = TraceChunk.from_offsets(
+            m2.sweep_element_offsets(), itemsize=8,
+            line_bytes=spec.line_bytes, n_ops=m2.sweep_read_ids().size)
+        res = SimulationEngine(spec).run([ThreadWork(0, 0, chunk)])
+        rows.append((strategy, res.counters["PAPI_L3_TCA"],
+                     res.runtime_seconds * 1e6))
+    for strategy, l3, rt in sorted(rows, key=lambda r: r[1]):
+        print(f"{strategy:>10} {l3:>12.0f} {rt:>13.1f}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "bilateral":
+        return _cmd_bilateral(args)
+    if args.command == "volrend":
+        return _cmd_volrend(args)
+    if args.command == "render":
+        return _cmd_render(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+    if args.command == "tune":
+        return _cmd_tune(args)
+    if args.command == "mesh":
+        return _cmd_mesh(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,104 @@
+"""The paper's primary contribution: a layout library for structured data.
+
+Public surface of :mod:`repro.core`:
+
+* :class:`~repro.core.layout.Layout` — the ``get_index(i, j, k)``
+  abstraction of the paper's Section III-C;
+* :class:`~repro.core.array_order.ArrayOrderLayout` — row-major with the
+  paper's yoffset/zoffset tables;
+* :class:`~repro.core.morton.MortonLayout` — Z-order via per-axis
+  dilation tables (Pascucci & Frank), magic-bits, or per-bit engines;
+* :class:`~repro.core.hilbert.HilbertLayout` — Hilbert-order (ablation);
+* :class:`~repro.core.tiled.TiledLayout` — 3-D blocking baseline;
+* :class:`~repro.core.grid.Grid` — a volume stored behind any layout;
+* locality metrics and the power-of-two padding rules.
+"""
+
+from .array_order import ArrayOrderLayout, ColumnMajorLayout, RowMajorLayout2D
+from .bits import (
+    compact1by1,
+    compact1by2,
+    dilated_add,
+    dilated_decrement_2d,
+    dilated_decrement_3d,
+    dilated_increment_2d,
+    dilated_increment_3d,
+    is_power_of_two,
+    next_power_of_two,
+    part1by1,
+    part1by2,
+)
+from .grid import Grid
+from .grid2d import Grid2D
+from .hilbert import HilbertLayout, HilbertLayout2D, hilbert_decode, hilbert_encode
+from .hzorder import HZLayout, hz_from_morton, morton_from_hz
+from .layout import Layout, Layout2D
+from .locality import (
+    NeighborStats,
+    all_axis_neighbor_stats,
+    neighbor_distance_stats,
+    same_line_fraction,
+    stream_line_span,
+    stride_histogram,
+)
+from .morton import (
+    MortonLayout,
+    MortonLayout2D,
+    morton_decode_2d,
+    morton_decode_3d,
+    morton_encode_2d,
+    morton_encode_3d,
+    morton_step_3d,
+)
+from .padding import PaddingReport, padded_shape, padding_report
+from .registry import LAYOUTS, layout_names, make_layout, register_layout
+from .tiled import TiledLayout
+
+__all__ = [
+    "ArrayOrderLayout",
+    "ColumnMajorLayout",
+    "RowMajorLayout2D",
+    "Grid",
+    "Grid2D",
+    "HZLayout",
+    "HilbertLayout",
+    "HilbertLayout2D",
+    "Layout",
+    "Layout2D",
+    "MortonLayout",
+    "MortonLayout2D",
+    "NeighborStats",
+    "PaddingReport",
+    "TiledLayout",
+    "LAYOUTS",
+    "all_axis_neighbor_stats",
+    "compact1by1",
+    "compact1by2",
+    "dilated_add",
+    "dilated_decrement_2d",
+    "dilated_decrement_3d",
+    "dilated_increment_2d",
+    "dilated_increment_3d",
+    "hilbert_decode",
+    "hilbert_encode",
+    "hz_from_morton",
+    "is_power_of_two",
+    "layout_names",
+    "make_layout",
+    "morton_decode_2d",
+    "morton_decode_3d",
+    "morton_encode_2d",
+    "morton_encode_3d",
+    "morton_from_hz",
+    "morton_step_3d",
+    "neighbor_distance_stats",
+    "next_power_of_two",
+    "padded_shape",
+    "padding_report",
+    "part1by1",
+    "part1by2",
+    "register_layout",
+    "same_line_fraction",
+    "stream_line_span",
+    "stride_histogram",
+]

@@ -1,0 +1,133 @@
+"""Grid: a 3-D scalar field stored behind an arbitrary :class:`Layout`.
+
+This is the application-facing half of the paper's Section III-C
+machinery: kernels hold a ``Grid`` and call ``get``/``gather`` with
+``(i, j, k)`` coordinates, never touching the linear buffer directly, so
+swapping array-order for Z-order is a one-argument change.
+
+The buffer is a flat numpy array of ``layout.buffer_size`` elements
+(padding included); ``gather``/``scatter`` are vectorized and are the
+hot path used by the kernels' value computations, while the same
+``layout.index_array`` output doubles as the address stream handed to
+the memory-hierarchy simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from .array_order import ArrayOrderLayout
+from .layout import Layout
+
+__all__ = ["Grid"]
+
+
+class Grid:
+    """A scalar volume with layout-mediated element access.
+
+    Parameters
+    ----------
+    layout : Layout
+        The coordinate → offset bijection; also fixes the logical shape.
+    dtype : numpy dtype, default float32
+        Element type (the paper's datasets are 4-byte floats).
+    fill : scalar, default 0
+        Initial value for the buffer (padding stays at ``fill``).
+    """
+
+    def __init__(self, layout: Layout, dtype=np.float32, fill=0):
+        self.layout = layout
+        self.dtype = np.dtype(dtype)
+        self.buffer = np.full(layout.buffer_size, fill, dtype=self.dtype)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def zeros(cls, layout: Layout, dtype=np.float32) -> "Grid":
+        """A zero-initialized grid behind ``layout``."""
+        return cls(layout, dtype=dtype, fill=0)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, layout: Layout) -> "Grid":
+        """Pack a dense ``(nx, ny, nz)`` array (indexed ``dense[i, j, k]``)."""
+        dense = np.asarray(dense)
+        if dense.shape != layout.shape:
+            raise ValueError(
+                f"dense shape {dense.shape} != layout shape {layout.shape}"
+            )
+        grid = cls(layout, dtype=dense.dtype)
+        i, j, k = np.meshgrid(
+            np.arange(layout.shape[0]),
+            np.arange(layout.shape[1]),
+            np.arange(layout.shape[2]),
+            indexing="ij",
+        )
+        offs = layout.index_array(i.ravel(), j.ravel(), k.ravel())
+        grid.buffer[offs] = dense.ravel()
+        return grid
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def shape(self):
+        """Logical grid extent ``(nx, ny, nz)``."""
+        return self.layout.shape
+
+    @property
+    def itemsize(self) -> int:
+        """Bytes per element."""
+        return self.dtype.itemsize
+
+    @property
+    def nbytes(self) -> int:
+        """Total buffer footprint in bytes, padding included."""
+        return self.buffer.nbytes
+
+    # -- element access -------------------------------------------------------
+
+    def get(self, i: int, j: int, k: int):
+        """Bounds-checked scalar read (the paper's access idiom)."""
+        return self.buffer[self.layout.get_index(i, j, k)]
+
+    def set(self, i: int, j: int, k: int, value) -> None:
+        """Bounds-checked scalar write."""
+        self.buffer[self.layout.get_index(i, j, k)] = value
+
+    def gather(self, i, j, k) -> np.ndarray:
+        """Vectorized read of many points; returns values array."""
+        return self.buffer[self.layout.index_array(i, j, k)]
+
+    def scatter(self, i, j, k, values) -> None:
+        """Vectorized write of many points."""
+        self.buffer[self.layout.index_array(i, j, k)] = values
+
+    def offsets(self, i, j, k) -> np.ndarray:
+        """Buffer offsets for coordinates — the simulator's address feed."""
+        return self.layout.index_array(i, j, k)
+
+    # -- conversions ----------------------------------------------------------
+
+    def to_dense(self) -> np.ndarray:
+        """Unpack to a dense ``(nx, ny, nz)`` array."""
+        nx, ny, nz = self.layout.shape
+        i, j, k = np.meshgrid(
+            np.arange(nx), np.arange(ny), np.arange(nz), indexing="ij"
+        )
+        offs = self.layout.index_array(i.ravel(), j.ravel(), k.ravel())
+        return self.buffer[offs].reshape(nx, ny, nz)
+
+    def relayout(self, new_layout: Layout) -> "Grid":
+        """Repack the same logical data behind a different layout."""
+        if new_layout.shape != self.layout.shape:
+            raise ValueError(
+                f"new layout shape {new_layout.shape} != {self.layout.shape}"
+            )
+        return Grid.from_dense(self.to_dense(), new_layout)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Grid(shape={self.shape}, layout={self.layout.name}, "
+            f"dtype={self.dtype}, nbytes={self.nbytes})"
+        )

@@ -1,0 +1,113 @@
+"""Grid2D: a 2-D scalar image stored behind a :class:`Layout2D`.
+
+The 2-D analogue of :class:`~repro.core.grid.Grid`, used by the original
+Tomasi & Manduchi bilateral filter (the paper's reference [11] operates
+on 2-D images) and by image-space experiments.  The paper's Figure 1
+reasons about layouts in 2-D; this class makes those experiments
+runnable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layout import Layout2D
+
+__all__ = ["Grid2D"]
+
+
+class Grid2D:
+    """A scalar image with layout-mediated element access.
+
+    Parameters
+    ----------
+    layout : Layout2D
+        The coordinate → offset bijection; also fixes the logical shape
+        ``(nx, ny)`` with x the fastest axis in row-major order.
+    dtype : numpy dtype, default float32
+        Element type.
+    fill : scalar, default 0
+        Initial buffer value (padding stays at ``fill``).
+    """
+
+    def __init__(self, layout: Layout2D, dtype=np.float32, fill=0):
+        self.layout = layout
+        self.dtype = np.dtype(dtype)
+        self.buffer = np.full(layout.buffer_size, fill, dtype=self.dtype)
+
+    @classmethod
+    def zeros(cls, layout: Layout2D, dtype=np.float32) -> "Grid2D":
+        """A zero-initialized image behind ``layout``."""
+        return cls(layout, dtype=dtype, fill=0)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, layout: Layout2D) -> "Grid2D":
+        """Pack a dense ``(nx, ny)`` array (indexed ``dense[i, j]``)."""
+        dense = np.asarray(dense)
+        if dense.shape != layout.shape:
+            raise ValueError(
+                f"dense shape {dense.shape} != layout shape {layout.shape}"
+            )
+        grid = cls(layout, dtype=dense.dtype)
+        i, j = np.meshgrid(
+            np.arange(layout.shape[0]), np.arange(layout.shape[1]),
+            indexing="ij",
+        )
+        grid.buffer[layout.index_array(i.ravel(), j.ravel())] = dense.ravel()
+        return grid
+
+    @property
+    def shape(self):
+        """Logical image extent ``(nx, ny)``."""
+        return self.layout.shape
+
+    @property
+    def itemsize(self) -> int:
+        """Bytes per element."""
+        return self.dtype.itemsize
+
+    @property
+    def nbytes(self) -> int:
+        """Total buffer footprint in bytes, padding included."""
+        return self.buffer.nbytes
+
+    def get(self, i: int, j: int):
+        """Bounds-checked scalar read."""
+        return self.buffer[self.layout.get_index(i, j)]
+
+    def set(self, i: int, j: int, value) -> None:
+        """Bounds-checked scalar write."""
+        self.buffer[self.layout.get_index(i, j)] = value
+
+    def gather(self, i, j) -> np.ndarray:
+        """Vectorized read of many points."""
+        return self.buffer[self.layout.index_array(i, j)]
+
+    def scatter(self, i, j, values) -> None:
+        """Vectorized write of many points."""
+        self.buffer[self.layout.index_array(i, j)] = values
+
+    def offsets(self, i, j) -> np.ndarray:
+        """Buffer offsets for coordinates (the simulator's address feed)."""
+        return self.layout.index_array(i, j)
+
+    def to_dense(self) -> np.ndarray:
+        """Unpack to a dense ``(nx, ny)`` array."""
+        nx, ny = self.layout.shape
+        i, j = np.meshgrid(np.arange(nx), np.arange(ny), indexing="ij")
+        offs = self.layout.index_array(i.ravel(), j.ravel())
+        return self.buffer[offs].reshape(nx, ny)
+
+    def relayout(self, new_layout: Layout2D) -> "Grid2D":
+        """Repack the same logical image behind a different layout."""
+        if new_layout.shape != self.layout.shape:
+            raise ValueError(
+                f"new layout shape {new_layout.shape} != {self.layout.shape}"
+            )
+        return Grid2D.from_dense(self.to_dense(), new_layout)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Grid2D(shape={self.shape}, layout={self.layout.name}, "
+            f"dtype={self.dtype})"
+        )

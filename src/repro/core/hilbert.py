@@ -1,0 +1,190 @@
+"""Hilbert-curve layouts (the paper's cited SFC alternative).
+
+The paper (via Reissmann et al., 2014) notes that Hilbert-order layouts
+have slightly better locality than Z-order but a substantially more
+expensive index computation, which can erase the locality gains.  We
+implement Hilbert encode/decode with Skilling's transpose algorithm
+("Programming the Hilbert curve", AIP Conf. Proc. 707, 2004), which
+works in any dimension with O(bits × dims) bit operations, both scalar
+and fully vectorized over numpy arrays, so ablation A1 can measure
+exactly that locality-vs-index-cost trade.
+
+Hilbert codes require a power-of-two **cube** domain; the layouts pad
+accordingly (a harsher version of the paper's power-of-two limitation).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .bits import ilog2, next_power_of_two
+from .layout import Layout, Layout2D
+
+__all__ = [
+    "hilbert_encode",
+    "hilbert_decode",
+    "HilbertLayout",
+    "HilbertLayout2D",
+]
+
+
+def _axes_to_transpose(X: list, order: int, dims: int) -> list:
+    """Skilling's AxesToTranspose on a list of numpy int64 arrays (in place)."""
+    M = 1 << (order - 1)
+    # Inverse undo excess work
+    Q = M
+    while Q > 1:
+        P = Q - 1
+        for i in range(dims):
+            hi = (X[i] & Q) != 0
+            # where hi: X[0] ^= P ; else swap the P-bits of X[0] and X[i]
+            t = np.where(hi, 0, (X[0] ^ X[i]) & P)
+            X[0] = np.where(hi, X[0] ^ P, X[0] ^ t)
+            X[i] = X[i] ^ t
+        Q >>= 1
+    # Gray encode
+    for i in range(1, dims):
+        X[i] = X[i] ^ X[i - 1]
+    t = np.zeros_like(X[0])
+    Q = M
+    while Q > 1:
+        t = np.where((X[dims - 1] & Q) != 0, t ^ (Q - 1), t)
+        Q >>= 1
+    for i in range(dims):
+        X[i] = X[i] ^ t
+    return X
+
+
+def _transpose_to_axes(X: list, order: int, dims: int) -> list:
+    """Skilling's TransposeToAxes on a list of numpy int64 arrays (in place)."""
+    N = 2 << (order - 1)
+    # Gray decode by H ^ (H/2)
+    t = X[dims - 1] >> 1
+    for i in range(dims - 1, 0, -1):
+        X[i] = X[i] ^ X[i - 1]
+    X[0] = X[0] ^ t
+    # Undo excess work
+    Q = 2
+    while Q != N:
+        P = Q - 1
+        for i in range(dims - 1, -1, -1):
+            hi = (X[i] & Q) != 0
+            t = np.where(hi, 0, (X[0] ^ X[i]) & P)
+            X[0] = np.where(hi, X[0] ^ P, X[0] ^ t)
+            X[i] = X[i] ^ t
+        Q <<= 1
+    return X
+
+
+def _pack_transpose(X: list, order: int, dims: int) -> np.ndarray:
+    """Interleave the transposed representation into a single Hilbert index.
+
+    Bit ``q`` of axis ``i`` lands at index bit ``q*dims + (dims-1-i)``.
+    """
+    H = np.zeros_like(X[0])
+    for q in range(order):
+        for i in range(dims):
+            H |= ((X[i] >> q) & 1) << (q * dims + (dims - 1 - i))
+    return H
+
+
+def _unpack_transpose(H: np.ndarray, order: int, dims: int) -> list:
+    """Inverse of :func:`_pack_transpose`."""
+    X = [np.zeros_like(H) for _ in range(dims)]
+    for q in range(order):
+        for i in range(dims):
+            X[i] |= ((H >> (q * dims + (dims - 1 - i))) & 1) << q
+    return X
+
+
+def hilbert_encode(coords, order: int) -> np.ndarray:
+    """Hilbert index of point(s) ``coords`` on a ``2**order`` cube.
+
+    Parameters
+    ----------
+    coords : sequence of int or of numpy arrays
+        One entry per dimension (2 or 3 supported by the layouts; any
+        ``dims >= 2`` works here).  Values must lie in ``[0, 2**order)``.
+    order : int
+        Bits per axis.
+
+    Returns
+    -------
+    numpy int64 array (0-d for scalar input) of Hilbert indices in
+    ``[0, 2**(order*dims))``.
+    """
+    dims = len(coords)
+    if order <= 0:
+        raise ValueError(f"order must be positive, got {order}")
+    X = [np.asarray(c, dtype=np.int64).copy() for c in coords]
+    X = _axes_to_transpose(X, order, dims)
+    return _pack_transpose(X, order, dims)
+
+
+def hilbert_decode(index, order: int, dims: int) -> tuple:
+    """Inverse of :func:`hilbert_encode` → tuple of coordinate arrays."""
+    H = np.asarray(index, dtype=np.int64)
+    X = _unpack_transpose(H, order, dims)
+    X = _transpose_to_axes(X, order, dims)
+    return tuple(X)
+
+
+class HilbertLayout(Layout):
+    """3-D Hilbert-order layout over a power-of-two cube buffer."""
+
+    name = "hilbert"
+
+    def __init__(self, shape: Sequence[int]):
+        super().__init__(shape)
+        side = next_power_of_two(max(self.shape))
+        # hilbert_encode needs order >= 1 even for a degenerate 1-point grid
+        self.order = max(1, ilog2(side))
+        self.side = 1 << self.order
+
+    @property
+    def buffer_size(self) -> int:
+        return self.side ** 3
+
+    def index(self, i: int, j: int, k: int) -> int:
+        return int(hilbert_encode((i, j, k), self.order))
+
+    def index_array(self, i, j, k) -> np.ndarray:
+        return hilbert_encode((i, j, k), self.order)
+
+    def inverse(self, offset: int) -> Tuple[int, int, int]:
+        i, j, k = hilbert_decode(offset, self.order, 3)
+        return int(i), int(j), int(k)
+
+    def inverse_array(self, offsets) -> tuple:
+        return hilbert_decode(offsets, self.order, 3)
+
+
+class HilbertLayout2D(Layout2D):
+    """2-D Hilbert-order layout over a power-of-two square buffer."""
+
+    name = "hilbert2d"
+
+    def __init__(self, shape: Sequence[int]):
+        super().__init__(shape)
+        side = next_power_of_two(max(self.shape))
+        self.order = max(1, ilog2(side))
+        self.side = 1 << self.order
+
+    @property
+    def buffer_size(self) -> int:
+        return self.side ** 2
+
+    def index(self, i: int, j: int) -> int:
+        return int(hilbert_encode((i, j), self.order))
+
+    def index_array(self, i, j) -> np.ndarray:
+        return hilbert_encode((i, j), self.order)
+
+    def inverse(self, offset: int) -> Tuple[int, int]:
+        i, j = hilbert_decode(offset, self.order, 2)
+        return int(i), int(j)
+
+    def inverse_array(self, offsets) -> tuple:
+        return hilbert_decode(offsets, self.order, 2)

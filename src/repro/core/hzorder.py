@@ -1,0 +1,139 @@
+"""Hierarchical Z-order (HZ-order) — Pascucci & Frank's streaming layout.
+
+The paper's reference [7] doesn't use plain Z-order: its "global static
+indexing" stores samples in *hierarchical* Z-order, where the code of a
+sample is derived from its Morton code ``m`` by
+
+    hz(0) = 0
+    hz(m) = 2^(n - tz(m) - 1) + (m >> (tz(m) + 1))      for m > 0
+
+with ``n`` the Morton code width and ``tz`` the count of trailing zero
+bits.  The effect: all samples of the coarse subsampling lattice with
+step ``2^s`` (along every axis) occupy the contiguous *prefix*
+``[0, 8^(order-s))`` of the buffer.  That is what makes progressive /
+level-of-detail access I/O-friendly — reading a coarser version of the
+volume touches a contiguous byte range instead of a strided gather —
+and it is the property extension experiment E8 measures against array
+order and plain Z-order.
+
+Within one resolution level, spatial locality matches plain Z-order
+(the level's samples appear in Morton order of their coordinates).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .bits import ilog2, next_power_of_two
+from .layout import Layout
+from .morton import morton_decode_3d, morton_encode_3d
+
+__all__ = ["HZLayout", "hz_from_morton", "morton_from_hz"]
+
+
+def _trailing_zeros(m: np.ndarray) -> np.ndarray:
+    """Trailing-zero count of positive uint64 values (vectorized)."""
+    low = m & (~m + np.uint64(1))  # lowest set bit (two's complement)
+    # exact for powers of two up to 2^63
+    return np.log2(low.astype(np.float64)).astype(np.uint64)
+
+
+def hz_from_morton(m, n_bits: int):
+    """Map Morton code(s) to HZ index (scalars or numpy arrays)."""
+    scalar = np.isscalar(m) or getattr(m, "ndim", 1) == 0
+    m_arr = np.atleast_1d(np.asarray(m, dtype=np.uint64))
+    if m_arr.size and int(m_arr.max()) >= (1 << n_bits):
+        raise ValueError(f"morton code exceeds {n_bits} bits")
+    out = np.zeros_like(m_arr)
+    nz = m_arr != 0
+    if nz.any():
+        tz = _trailing_zeros(m_arr[nz])
+        level_base = np.uint64(1) << (np.uint64(n_bits - 1) - tz)
+        out[nz] = level_base + (m_arr[nz] >> (tz + np.uint64(1)))
+    return int(out[0]) if scalar else out
+
+
+def morton_from_hz(hz, n_bits: int):
+    """Inverse of :func:`hz_from_morton`."""
+    scalar = np.isscalar(hz) or getattr(hz, "ndim", 1) == 0
+    hz_arr = np.atleast_1d(np.asarray(hz, dtype=np.uint64))
+    if hz_arr.size and int(hz_arr.max()) >= (1 << n_bits):
+        raise ValueError(f"hz index exceeds {n_bits} bits")
+    out = np.zeros_like(hz_arr)
+    nz = hz_arr != 0
+    if nz.any():
+        level = np.log2(hz_arr[nz].astype(np.float64)).astype(np.uint64)
+        tz = np.uint64(n_bits - 1) - level
+        rem = hz_arr[nz] - (np.uint64(1) << level)
+        out[nz] = (rem << (tz + np.uint64(1))) | (np.uint64(1) << tz)
+    return int(out[0]) if scalar else out
+
+
+class HZLayout(Layout):
+    """3-D hierarchical Z-order layout over a power-of-two cube buffer.
+
+    Parameters
+    ----------
+    shape : (nx, ny, nz)
+        Logical extent; padded up to a power-of-two cube (HZ indexing,
+        like Hilbert, needs equal bit counts per axis).
+    """
+
+    name = "hzorder"
+
+    def __init__(self, shape: Sequence[int]):
+        super().__init__(shape)
+        side = next_power_of_two(max(self.shape))
+        self.order = max(1, ilog2(side))
+        self.side = 1 << self.order
+        self.n_bits = 3 * self.order
+
+    @property
+    def buffer_size(self) -> int:
+        return self.side ** 3
+
+    def index(self, i: int, j: int, k: int) -> int:
+        return hz_from_morton(int(morton_encode_3d(i, j, k)), self.n_bits)
+
+    def index_array(self, i, j, k) -> np.ndarray:
+        m = morton_encode_3d(
+            np.asarray(i, dtype=np.uint64),
+            np.asarray(j, dtype=np.uint64),
+            np.asarray(k, dtype=np.uint64),
+        )
+        return hz_from_morton(m, self.n_bits).astype(np.int64)
+
+    def inverse(self, offset: int) -> Tuple[int, int, int]:
+        m = morton_from_hz(int(offset), self.n_bits)
+        i, j, k = morton_decode_3d(m)
+        return int(i), int(j), int(k)
+
+    def inverse_array(self, offsets) -> tuple:
+        m = morton_from_hz(np.asarray(offsets, dtype=np.uint64), self.n_bits)
+        i, j, k = morton_decode_3d(m)
+        return i.astype(np.int64), j.astype(np.int64), k.astype(np.int64)
+
+    # -- the HZ-specific property ------------------------------------------------
+
+    def lod_prefix_size(self, step: int) -> int:
+        """Buffer entries holding the full ``step``-subsampled lattice.
+
+        ``step`` must be a power of two ≤ side.  Every sample with all
+        three coordinates divisible by ``step`` lives at an offset
+        below the returned value — a contiguous prefix.
+        """
+        s = ilog2(step)
+        if not 0 <= s <= self.order:
+            raise ValueError(
+                f"step must be a power of two in [1, {self.side}], got {step}")
+        return 8 ** (self.order - s) if s < self.order else 1
+
+    def level_of(self, offset: int) -> int:
+        """Resolution level of a buffer offset: 0 (coarsest root) up to
+        ``3 * order`` (the finest samples)."""
+        offset = int(offset)
+        if not 0 <= offset < self.buffer_size:
+            raise IndexError(f"offset {offset} out of range")
+        return 0 if offset == 0 else offset.bit_length()

@@ -1,0 +1,137 @@
+"""Spatial-locality metrics for layouts and access streams.
+
+Quantifies the property the paper's whole argument rests on (Section
+II-B): under array order, points adjacent in index space can be very
+far apart in the buffer (``A[i, j]`` and ``A[i, j+1]`` are ``4K`` bytes
+apart for a 1024-wide float array), while under a space-filling curve
+any index-space neighbour is *likely* nearby.  These metrics feed the
+Figure-1 reproduction (E1) and the analysis extensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .layout import Layout
+
+__all__ = [
+    "NeighborStats",
+    "neighbor_distance_stats",
+    "all_axis_neighbor_stats",
+    "stride_histogram",
+    "same_line_fraction",
+    "stream_line_span",
+]
+
+_AXIS_OFFSETS = {0: (1, 0, 0), 1: (0, 1, 0), 2: (0, 0, 1)}
+
+
+@dataclass(frozen=True)
+class NeighborStats:
+    """Distribution summary of |Δoffset| for +1 steps along one axis.
+
+    Attributes
+    ----------
+    axis : int
+        0 (x), 1 (y), or 2 (z).
+    mean, median, maximum : float
+        Summary statistics of the absolute offset jump (in elements).
+    frac_within_line : float
+        Fraction of steps that stay inside one cache line (for the
+        ``line_elems`` granularity passed at computation time).
+    """
+
+    axis: int
+    mean: float
+    median: float
+    maximum: float
+    frac_within_line: float
+
+
+def _sample_points(shape: Tuple[int, int, int], max_points: int,
+                   rng: Optional[np.random.Generator]) -> tuple:
+    """All grid points, or a uniform sample when the grid is large."""
+    nx, ny, nz = shape
+    total = nx * ny * nz
+    if total <= max_points:
+        i, j, k = np.meshgrid(
+            np.arange(nx), np.arange(ny), np.arange(nz), indexing="ij"
+        )
+        return i.ravel(), j.ravel(), k.ravel()
+    rng = rng or np.random.default_rng(0)
+    i = rng.integers(0, nx, size=max_points)
+    j = rng.integers(0, ny, size=max_points)
+    k = rng.integers(0, nz, size=max_points)
+    return i, j, k
+
+
+def neighbor_distance_stats(layout: Layout, axis: int, *, line_elems: int = 16,
+                            max_points: int = 1 << 18,
+                            rng: Optional[np.random.Generator] = None
+                            ) -> NeighborStats:
+    """Offset-jump statistics for a +1 step along ``axis``.
+
+    ``line_elems`` is the cache-line capacity in elements (16 for 4-byte
+    floats on 64-byte lines); a step "stays within a line" when both
+    endpoints fall on the same aligned line.
+    """
+    if axis not in _AXIS_OFFSETS:
+        raise ValueError(f"axis must be 0, 1, or 2, got {axis}")
+    di, dj, dk = _AXIS_OFFSETS[axis]
+    i, j, k = _sample_points(layout.shape, max_points, rng)
+    # keep only points whose +1 neighbour is in bounds
+    limit = layout.shape[axis] - 1
+    coord = (i, j, k)[axis]
+    mask = coord < limit
+    i, j, k = i[mask], j[mask], k[mask]
+    a = layout.index_array(i, j, k)
+    b = layout.index_array(i + di, j + dj, k + dk)
+    jump = np.abs(b - a)
+    same_line = (a // line_elems) == (b // line_elems)
+    return NeighborStats(
+        axis=axis,
+        mean=float(jump.mean()),
+        median=float(np.median(jump)),
+        maximum=float(jump.max()),
+        frac_within_line=float(same_line.mean()),
+    )
+
+
+def all_axis_neighbor_stats(layout: Layout, **kw) -> Dict[int, NeighborStats]:
+    """:func:`neighbor_distance_stats` for all three axes."""
+    return {axis: neighbor_distance_stats(layout, axis, **kw) for axis in range(3)}
+
+
+def stride_histogram(offsets: np.ndarray, *, clip: int = 1 << 20
+                     ) -> Dict[int, int]:
+    """Histogram of consecutive offset deltas in an access stream.
+
+    Deltas beyond ±``clip`` are pooled into the ``clip`` / ``-clip``
+    buckets so a handful of huge jumps can't blow up the dict.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    if offsets.size < 2:
+        return {}
+    deltas = np.clip(np.diff(offsets), -clip, clip)
+    values, counts = np.unique(deltas, return_counts=True)
+    return {int(v): int(c) for v, c in zip(values, counts)}
+
+
+def same_line_fraction(offsets: np.ndarray, line_elems: int) -> float:
+    """Fraction of consecutive stream accesses that share a cache line."""
+    offsets = np.asarray(offsets, dtype=np.int64)
+    if offsets.size < 2:
+        return 1.0
+    lines = offsets // line_elems
+    return float((np.diff(lines) == 0).mean())
+
+
+def stream_line_span(offsets: np.ndarray, line_elems: int) -> int:
+    """Number of distinct cache lines touched by a stream (its footprint)."""
+    offsets = np.asarray(offsets, dtype=np.int64)
+    if offsets.size == 0:
+        return 0
+    return int(np.unique(offsets // line_elems).size)

@@ -1,0 +1,328 @@
+"""Z-order (Morton-order) space-filling-curve layouts.
+
+This is the paper's alternative layout (Section II-B / III-C).  The
+linear offset of grid point ``(i, j, k)`` is formed by interleaving the
+bits of the three coordinates; points that are close in index space land
+close in the buffer regardless of direction, which is the locality
+property the whole study rests on.
+
+Three interchangeable index engines are provided, mirroring the paper's
+concern that index-computation cost be comparable between layouts:
+
+``tables`` (default)
+    The Pascucci & Frank scheme the paper uses: at construction, build
+    one table per axis whose ``i``-th entry holds the pre-dilated,
+    pre-shifted bit pattern for coordinate value ``i``; an index is then
+    three table lookups and two bitwise ORs.
+``magic``
+    Branch-free magic-number dilation (:mod:`repro.core.bits`), no
+    tables.  Identical results; used to benchmark indexing-cost parity
+    (ablation A3).
+``loop``
+    A per-bit reference implementation, used by tests.
+
+Shapes need not be cubes nor powers of two.  Non-power-of-two extents
+are padded up per axis (the paper's stated limitation — the *buffer*
+must be a power of two per axis), and anisotropic power-of-two shapes
+use a *truncated* interleave: axes drop out of the rotation once their
+bits are exhausted, so the code stays dense in
+``[0, padded_nx * padded_ny * padded_nz)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from . import bits
+from .bits import next_power_of_two
+from .layout import Layout, Layout2D
+from .padding import padded_shape
+
+__all__ = [
+    "MortonLayout",
+    "MortonLayout2D",
+    "morton_encode_3d",
+    "morton_decode_3d",
+    "morton_encode_2d",
+    "morton_decode_2d",
+    "morton_step_3d",
+    "interleave_placement",
+]
+
+
+def morton_encode_3d(i, j, k):
+    """Interleave three coordinates into a cube Morton code (magic bits).
+
+    Scalar ints or numpy arrays.  Coordinates must each fit in 21 bits.
+    """
+    if isinstance(i, np.ndarray) or isinstance(j, np.ndarray) or isinstance(k, np.ndarray):
+        i = np.asarray(i)
+        j = np.asarray(j)
+        k = np.asarray(k)
+        return (
+            bits.part1by2(i)
+            | (bits.part1by2(j) << np.uint64(1))
+            | (bits.part1by2(k) << np.uint64(2))
+        )
+    return bits.part1by2(i) | (bits.part1by2(j) << 1) | (bits.part1by2(k) << 2)
+
+
+def morton_decode_3d(code):
+    """Inverse of :func:`morton_encode_3d` → ``(i, j, k)``."""
+    if isinstance(code, np.ndarray):
+        code = code.astype(np.uint64, copy=False)
+        return (
+            bits.compact1by2(code),
+            bits.compact1by2(code >> np.uint64(1)),
+            bits.compact1by2(code >> np.uint64(2)),
+        )
+    code = int(code)
+    return (
+        bits.compact1by2(code),
+        bits.compact1by2(code >> 1),
+        bits.compact1by2(code >> 2),
+    )
+
+
+def morton_encode_2d(i, j):
+    """Interleave two coordinates into a square Morton code (magic bits)."""
+    if isinstance(i, np.ndarray) or isinstance(j, np.ndarray):
+        i = np.asarray(i)
+        j = np.asarray(j)
+        return bits.part1by1(i) | (bits.part1by1(j) << np.uint64(1))
+    return bits.part1by1(i) | (bits.part1by1(j) << 1)
+
+
+def morton_decode_2d(code):
+    """Inverse of :func:`morton_encode_2d` → ``(i, j)``."""
+    if isinstance(code, np.ndarray):
+        code = code.astype(np.uint64, copy=False)
+        return bits.compact1by1(code), bits.compact1by1(code >> np.uint64(1))
+    code = int(code)
+    return bits.compact1by1(code), bits.compact1by1(code >> 1)
+
+
+def morton_step_3d(code: int, axis: int, delta: int = 1) -> int:
+    """Step a cube Morton code to a grid neighbour without decoding.
+
+    Uses dilated-integer arithmetic (Raman & Wise): the axis's bits are
+    isolated, incremented/decremented with carry rippling across the
+    hole bits, and recombined — O(1) instead of decode/±1/encode.  No
+    bounds checking: stepping past the domain edge wraps in the 21-bit
+    coordinate space, exactly like the raw coordinate arithmetic would.
+
+    Parameters
+    ----------
+    code : int
+        A cube Morton code (as produced by :func:`morton_encode_3d`).
+    axis : int
+        0 (x), 1 (y), or 2 (z).
+    delta : int
+        ±1 (single-step; compose for larger moves).
+    """
+    if axis not in (0, 1, 2):
+        raise ValueError(f"axis must be 0, 1 or 2, got {axis}")
+    if delta not in (-1, 1):
+        raise ValueError(f"delta must be +1 or -1, got {delta}")
+    code = int(code)
+    axis_mask = 0x1249249249249249 << axis
+    part = (code & axis_mask) >> axis
+    if delta == 1:
+        part = bits.dilated_increment_3d(part)
+    else:
+        part = bits.dilated_decrement_3d(part)
+    return (code & ~axis_mask) | ((part << axis) & axis_mask)
+
+
+def interleave_placement(bit_counts: Sequence[int]) -> List[Tuple[int, int, int]]:
+    """Bit placement for a truncated interleave of axes with given bit counts.
+
+    Returns a list of ``(axis, src_bit, dst_bit)`` triples: bit ``src_bit``
+    of axis ``axis`` lands at position ``dst_bit`` of the code.  Axes are
+    visited round-robin from the least-significant bit; an axis leaves the
+    rotation when its bits are exhausted, so the resulting code is dense
+    (a bijection onto ``[0, 2**sum(bit_counts))``).
+    """
+    placement: List[Tuple[int, int, int]] = []
+    dst = 0
+    level = 0
+    remaining = list(bit_counts)
+    while any(level < r for r in remaining):
+        for axis, r in enumerate(remaining):
+            if level < r:
+                placement.append((axis, level, dst))
+                dst += 1
+        level += 1
+    return placement
+
+
+class _TruncatedCodec:
+    """Shared encode/decode machinery for truncated Morton interleaves.
+
+    Builds per-axis dilation tables (the paper's scheme) and the bit
+    placement map used for decoding and for the non-table engines.
+    """
+
+    def __init__(self, padded: Sequence[int]):
+        self.padded = tuple(int(p) for p in padded)
+        self.bit_counts = [bits.ilog2(p) if p > 1 else 0 for p in self.padded]
+        self.placement = interleave_placement(self.bit_counts)
+        self.total_bits = sum(self.bit_counts)
+        # Per-axis tables: table[axis][coord] = OR of coord's bits moved to
+        # their destination positions.  Built once, O(sum(n_axis)) memory.
+        self.tables: List[np.ndarray] = []
+        for axis, n in enumerate(self.padded):
+            table = np.zeros(n, dtype=np.int64)
+            coords = np.arange(n, dtype=np.int64)
+            for ax, src, dst in self.placement:
+                if ax == axis:
+                    table |= ((coords >> src) & 1) << dst
+            self.tables.append(table)
+
+    # -- engines -------------------------------------------------------------
+
+    def encode_tables(self, coords: Sequence) -> np.ndarray:
+        """Table-lookup encode: one lookup per axis, OR-combined."""
+        out = self.tables[0][np.asarray(coords[0], dtype=np.int64)]
+        for axis in range(1, len(self.tables)):
+            out = out | self.tables[axis][np.asarray(coords[axis], dtype=np.int64)]
+        return out
+
+    def encode_tables_scalar(self, coords: Sequence[int]) -> int:
+        """Scalar table-lookup encode (the paper's 3 lookups + 2 ORs)."""
+        out = 0
+        for axis, c in enumerate(coords):
+            out |= int(self.tables[axis][c])
+        return out
+
+    def encode_loop_scalar(self, coords: Sequence[int]) -> int:
+        """Per-bit reference encode."""
+        out = 0
+        for axis, src, dst in self.placement:
+            out |= ((int(coords[axis]) >> src) & 1) << dst
+        return out
+
+    def decode_scalar(self, code: int) -> Tuple[int, ...]:
+        """Per-bit scalar decode."""
+        code = int(code)
+        out = [0] * len(self.padded)
+        for axis, src, dst in self.placement:
+            out[axis] |= ((code >> dst) & 1) << src
+        return tuple(out)
+
+    def decode_array(self, codes: np.ndarray) -> Tuple[np.ndarray, ...]:
+        """Vectorized per-bit decode (O(total_bits) array ops)."""
+        codes = np.asarray(codes, dtype=np.int64)
+        out = [np.zeros_like(codes) for _ in self.padded]
+        for axis, src, dst in self.placement:
+            out[axis] |= ((codes >> dst) & 1) << src
+        return tuple(out)
+
+    def is_cube(self) -> bool:
+        """True when all axes have equal bit counts (plain interleave)."""
+        return len(set(self.bit_counts)) == 1
+
+
+class MortonLayout(Layout):
+    """3-D Z-order layout over a (padded) power-of-two buffer.
+
+    Parameters
+    ----------
+    shape : (nx, ny, nz)
+        Logical grid extent; padded up per axis to powers of two.
+    engine : {"tables", "magic", "loop"}
+        Index-computation strategy (see module docstring).  ``magic``
+        requires the padded shape to be a cube; other shapes silently
+        use the table path for correctness, as libmorton-style truncated
+        codes have no closed-form magic encoding.
+    padding : {"per_axis", "cube"}
+        Buffer padding discipline (see :mod:`repro.core.padding`).
+    """
+
+    name = "morton"
+
+    def __init__(self, shape: Sequence[int], engine: str = "tables",
+                 padding: str = "per_axis"):
+        super().__init__(shape)
+        if engine not in ("tables", "magic", "loop"):
+            raise ValueError(f"unknown engine {engine!r}")
+        self.engine = engine
+        self.padded = padded_shape(self.shape, padding)
+        self._codec = _TruncatedCodec(self.padded)
+        self._buffer_size = 1
+        for p in self.padded:
+            self._buffer_size *= p
+        self._cube_magic_ok = self._codec.is_cube()
+
+    @property
+    def buffer_size(self) -> int:
+        return self._buffer_size
+
+    def index(self, i: int, j: int, k: int) -> int:
+        if self.engine == "tables":
+            return self._codec.encode_tables_scalar((i, j, k))
+        if self.engine == "magic" and self._cube_magic_ok:
+            return int(morton_encode_3d(int(i), int(j), int(k)))
+        return self._codec.encode_loop_scalar((i, j, k))
+
+    def index_array(self, i, j, k) -> np.ndarray:
+        if self.engine == "magic" and self._cube_magic_ok:
+            out = morton_encode_3d(
+                np.asarray(i, dtype=np.uint64),
+                np.asarray(j, dtype=np.uint64),
+                np.asarray(k, dtype=np.uint64),
+            )
+            return out.astype(np.int64)
+        return self._codec.encode_tables((i, j, k))
+
+    def inverse(self, offset: int) -> Tuple[int, int, int]:
+        i, j, k = self._codec.decode_scalar(offset)
+        return i, j, k
+
+    def inverse_array(self, offsets) -> tuple:
+        if self._cube_magic_ok:
+            i, j, k = morton_decode_3d(np.asarray(offsets, dtype=np.uint64))
+            return (
+                i.astype(np.int64),
+                j.astype(np.int64),
+                k.astype(np.int64),
+            )
+        return self._codec.decode_array(offsets)
+
+    def iter_curve(self):
+        nx, ny, nz = self.shape
+        for code in range(self.buffer_size):
+            i, j, k = self.inverse(code)
+            if i < nx and j < ny and k < nz:
+                yield i, j, k
+
+
+class MortonLayout2D(Layout2D):
+    """2-D Z-order layout (for image-space use and Figure-1 illustrations)."""
+
+    name = "morton2d"
+
+    def __init__(self, shape: Sequence[int], padding: str = "per_axis"):
+        super().__init__(shape)
+        self.padded = padded_shape(self.shape, padding)
+        self._codec = _TruncatedCodec(self.padded)
+        self._buffer_size = self.padded[0] * self.padded[1]
+
+    @property
+    def buffer_size(self) -> int:
+        return self._buffer_size
+
+    def index(self, i: int, j: int) -> int:
+        return self._codec.encode_tables_scalar((i, j))
+
+    def index_array(self, i, j) -> np.ndarray:
+        return self._codec.encode_tables((i, j))
+
+    def inverse(self, offset: int) -> Tuple[int, int]:
+        i, j = self._codec.decode_scalar(offset)
+        return i, j
+
+    def inverse_array(self, offsets) -> tuple:
+        return self._codec.decode_array(offsets)

@@ -1,0 +1,90 @@
+"""Power-of-two padding rules for recursive-subdivision layouts.
+
+The paper's conclusion notes the key limitation of SFC layouts: they are
+built on recursive bisection of the domain, so the *buffer* must extend
+to a power of two along each axis (and, for the plain bit-interleaving
+Morton code, to a common power of two cube) even when the logical data
+is smaller.  This module centralizes that rule and quantifies its cost,
+which ablation A5 benchmarks.
+
+Two padding disciplines are provided:
+
+* ``cube`` — pad all axes to the *same* power of two (what a naive
+  bit-interleaved Morton code requires);
+* ``per_axis`` — pad each axis to its own power of two and cap each
+  coordinate's contribution to the interleave at its own bit count
+  (libmorton-style "truncated" codes).  This wastes far less memory for
+  anisotropic shapes and is what our :class:`~repro.core.morton.MortonLayout`
+  uses by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from .bits import next_power_of_two
+
+__all__ = ["PaddingReport", "padded_shape", "padding_report"]
+
+
+@dataclass(frozen=True)
+class PaddingReport:
+    """Memory cost of padding a logical shape for an SFC layout.
+
+    Attributes
+    ----------
+    logical_shape : tuple of int
+        The requested grid extent.
+    padded_shape : tuple of int
+        The buffer extent after padding.
+    logical_points, padded_points : int
+        Element counts before/after.
+    overhead : float
+        ``padded_points / logical_points - 1`` — fraction of wasted buffer.
+    """
+
+    logical_shape: Tuple[int, ...]
+    padded_shape: Tuple[int, ...]
+    logical_points: int
+    padded_points: int
+    overhead: float
+
+
+def padded_shape(shape: Sequence[int], mode: str = "per_axis") -> Tuple[int, ...]:
+    """Return the power-of-two buffer shape for a logical ``shape``.
+
+    Parameters
+    ----------
+    shape : sequence of int
+        Logical extents.
+    mode : {"per_axis", "cube"}
+        ``per_axis`` rounds each axis up independently; ``cube`` rounds all
+        axes up to the largest axis's power of two.
+    """
+    dims = [next_power_of_two(s) for s in shape]
+    if mode == "per_axis":
+        return tuple(dims)
+    if mode == "cube":
+        side = max(dims)
+        return tuple(side for _ in dims)
+    raise ValueError(f"unknown padding mode {mode!r}")
+
+
+def padding_report(shape: Sequence[int], mode: str = "per_axis") -> PaddingReport:
+    """Compute a :class:`PaddingReport` for ``shape`` under ``mode``."""
+    shape = tuple(int(s) for s in shape)
+    padded = padded_shape(shape, mode)
+    logical = 1
+    for s in shape:
+        logical *= s
+    total = 1
+    for s in padded:
+        total *= s
+    return PaddingReport(
+        logical_shape=shape,
+        padded_shape=padded,
+        logical_points=logical,
+        padded_points=total,
+        overhead=total / logical - 1.0,
+    )

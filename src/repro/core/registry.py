@@ -1,0 +1,52 @@
+"""Name → layout factory registry.
+
+Experiment configs refer to layouts by short name (``"array"``,
+``"morton"``, …); the registry turns those names into constructed
+layouts so sweep definitions stay declarative.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+from .array_order import ArrayOrderLayout, ColumnMajorLayout
+from .hilbert import HilbertLayout
+from .hzorder import HZLayout
+from .layout import Layout
+from .morton import MortonLayout
+from .tiled import TiledLayout
+
+__all__ = ["LAYOUTS", "make_layout", "register_layout", "layout_names"]
+
+LAYOUTS: Dict[str, Callable[..., Layout]] = {
+    "array": ArrayOrderLayout,
+    "column": ColumnMajorLayout,
+    "morton": MortonLayout,
+    "hilbert": HilbertLayout,
+    "hzorder": HZLayout,
+    "tiled": TiledLayout,
+}
+
+
+def register_layout(name: str, factory: Callable[..., Layout],
+                    *, overwrite: bool = False) -> None:
+    """Register a custom layout factory under ``name``."""
+    if name in LAYOUTS and not overwrite:
+        raise ValueError(f"layout {name!r} already registered")
+    LAYOUTS[name] = factory
+
+
+def make_layout(name: str, shape: Sequence[int], **kwargs) -> Layout:
+    """Construct the layout registered as ``name`` for ``shape``."""
+    try:
+        factory = LAYOUTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown layout {name!r}; known: {sorted(LAYOUTS)}"
+        ) from None
+    return factory(shape, **kwargs)
+
+
+def layout_names() -> list:
+    """Sorted list of registered layout names."""
+    return sorted(LAYOUTS)

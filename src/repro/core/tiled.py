@@ -1,0 +1,119 @@
+"""3-D blocked (tiled) layout — the classic cache-blocking baseline.
+
+The paper positions SFC layouts against blocking/tiling strategies
+(Section II-A) and cites Pascucci & Frank's comparison of array-order,
+Z-order, and "3D blocking" layouts.  This module implements that third
+contender: the volume is cut into ``bx × by × bz`` bricks; bricks are
+stored contiguously in row-major brick order, and voxels inside a brick
+are stored row-major as well.  Index cost is a handful of divides (or
+shifts/masks when the brick edge is a power of two, which is the default
+and the fast path).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .bits import ilog2, is_power_of_two
+from .layout import Layout
+
+__all__ = ["TiledLayout"]
+
+
+class TiledLayout(Layout):
+    """Brick-of-voxels layout with row-major bricks and intra-brick order.
+
+    Parameters
+    ----------
+    shape : (nx, ny, nz)
+        Logical grid extent.
+    brick : int or (bx, by, bz)
+        Brick edge length(s).  Power-of-two edges take a shift/mask fast
+        path; any positive edge is accepted.  Partial bricks at the high
+        ends are padded, so ``buffer_size`` covers whole bricks.
+    """
+
+    name = "tiled"
+
+    def __init__(self, shape: Sequence[int], brick=4):
+        super().__init__(shape)
+        if isinstance(brick, int):
+            brick = (brick, brick, brick)
+        self.brick = tuple(int(b) for b in brick)
+        if len(self.brick) != 3 or any(b <= 0 for b in self.brick):
+            raise ValueError(f"brick must be 3 positive ints, got {brick!r}")
+        bx, by, bz = self.brick
+        nx, ny, nz = self.shape
+        # Number of bricks along each axis (ceil division).
+        self.nbricks = (-(-nx // bx), -(-ny // by), -(-nz // bz))
+        self._brick_volume = bx * by * bz
+        self._pow2 = all(is_power_of_two(b) for b in self.brick)
+        if self._pow2:
+            self._shifts = tuple(ilog2(b) for b in self.brick)
+            self._masks = tuple(b - 1 for b in self.brick)
+
+    @property
+    def buffer_size(self) -> int:
+        gx, gy, gz = self.nbricks
+        return gx * gy * gz * self._brick_volume
+
+    def index(self, i: int, j: int, k: int) -> int:
+        bx, by, bz = self.brick
+        gx, gy, _ = self.nbricks
+        if self._pow2:
+            sx, sy, sz = self._shifts
+            mx, my, mz = self._masks
+            Bi, bi = i >> sx, i & mx
+            Bj, bj = j >> sy, j & my
+            Bk, bk = k >> sz, k & mz
+        else:
+            Bi, bi = divmod(int(i), bx)
+            Bj, bj = divmod(int(j), by)
+            Bk, bk = divmod(int(k), bz)
+        brick_id = Bi + gx * (Bj + gy * Bk)
+        intra = bi + bx * (bj + by * bk)
+        return brick_id * self._brick_volume + intra
+
+    def index_array(self, i, j, k) -> np.ndarray:
+        i = np.asarray(i, dtype=np.int64)
+        j = np.asarray(j, dtype=np.int64)
+        k = np.asarray(k, dtype=np.int64)
+        bx, by, bz = self.brick
+        gx, gy, _ = self.nbricks
+        if self._pow2:
+            sx, sy, sz = self._shifts
+            mx, my, mz = self._masks
+            Bi, bi = i >> sx, i & mx
+            Bj, bj = j >> sy, j & my
+            Bk, bk = k >> sz, k & mz
+        else:
+            Bi, bi = np.divmod(i, bx)
+            Bj, bj = np.divmod(j, by)
+            Bk, bk = np.divmod(k, bz)
+        brick_id = Bi + gx * (Bj + gy * Bk)
+        intra = bi + bx * (bj + by * bk)
+        return brick_id * self._brick_volume + intra
+
+    def inverse(self, offset: int) -> Tuple[int, int, int]:
+        bx, by, _ = self.brick
+        gx, gy, _ = self.nbricks
+        offset = int(offset)
+        brick_id, intra = divmod(offset, self._brick_volume)
+        Bk, rem = divmod(brick_id, gx * gy)
+        Bj, Bi = divmod(rem, gx)
+        bk, rem = divmod(intra, bx * by)
+        bj, bi = divmod(rem, bx)
+        return Bi * bx + bi, Bj * by + bj, Bk * self.brick[2] + bk
+
+    def inverse_array(self, offsets) -> tuple:
+        bx, by, bz = self.brick
+        gx, gy, _ = self.nbricks
+        offsets = np.asarray(offsets, dtype=np.int64)
+        brick_id, intra = np.divmod(offsets, self._brick_volume)
+        Bk, rem = np.divmod(brick_id, gx * gy)
+        Bj, Bi = np.divmod(rem, gx)
+        bk, rem = np.divmod(intra, bx * by)
+        bj, bi = np.divmod(rem, bx)
+        return Bi * bx + bi, Bj * by + bj, Bk * bz + bk

@@ -1,0 +1,22 @@
+"""Dataset substitutes (synthetic MRI phantom, turbulence field) and I/O."""
+
+from .io import read_npy, read_raw, write_npy, write_raw
+from .synthetic import (
+    SHEPP_LOGAN_3D,
+    checkerboard,
+    combustion_field,
+    linear_ramp,
+    mri_phantom,
+)
+
+__all__ = [
+    "SHEPP_LOGAN_3D",
+    "checkerboard",
+    "combustion_field",
+    "linear_ramp",
+    "mri_phantom",
+    "read_npy",
+    "read_raw",
+    "write_npy",
+    "write_raw",
+]

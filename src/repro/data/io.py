@@ -1,0 +1,52 @@
+"""Volume I/O: raw bricks (the format HPC viz tools exchange) and .npy.
+
+Raw files are bare little-endian element streams with the x index
+fastest (the array-order convention); shape and dtype travel out of
+band, as with the paper's datasets.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["write_raw", "read_raw", "write_npy", "read_npy"]
+
+
+def write_raw(path: str, dense: np.ndarray) -> None:
+    """Write a dense ``(nx, ny, nz)`` volume as raw x-fastest bytes."""
+    dense = np.asarray(dense)
+    if dense.ndim != 3:
+        raise ValueError(f"expected a 3-D volume, got shape {dense.shape}")
+    # dense[i, j, k] with i fastest on disk == C-order of the (k, j, i) view
+    dense.transpose(2, 1, 0).astype(dense.dtype.newbyteorder("<")).tofile(path)
+
+
+def read_raw(path: str, shape: Sequence[int], dtype=np.float32) -> np.ndarray:
+    """Read a raw x-fastest volume into dense ``(nx, ny, nz)`` form."""
+    nx, ny, nz = (int(s) for s in shape)
+    dt = np.dtype(dtype).newbyteorder("<")
+    expected = nx * ny * nz * dt.itemsize
+    actual = os.path.getsize(path)
+    if actual != expected:
+        raise ValueError(
+            f"{path}: size {actual} B does not match shape {(nx, ny, nz)} "
+            f"x {dt} = {expected} B"
+        )
+    flat = np.fromfile(path, dtype=dt)
+    return flat.reshape(nz, ny, nx).transpose(2, 1, 0).astype(dtype)
+
+
+def write_npy(path: str, dense: np.ndarray) -> None:
+    """Write a dense volume as .npy (shape/dtype self-describing)."""
+    np.save(path, np.asarray(dense))
+
+
+def read_npy(path: str) -> np.ndarray:
+    """Read a .npy volume."""
+    vol = np.load(path)
+    if vol.ndim != 3:
+        raise ValueError(f"{path}: expected a 3-D volume, got shape {vol.shape}")
+    return vol

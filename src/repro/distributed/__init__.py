@@ -1,0 +1,44 @@
+"""Distributed-memory extension: the MPI half of the paper's hybrid renderer.
+
+Block decomposition of the volume over ranks (scan/Morton/Hilbert
+orders), halo-exchange accounting for stencil sweeps (the DeFord &
+Kalyanaraman cite), sort-last image compositing (direct-send and
+binary-swap) with an alpha–beta communication model, and a
+:class:`DistributedRenderer` whose output matches the single-node
+raycaster.
+"""
+
+from .compositing import (
+    binary_swap_composite,
+    binary_swap_schedule,
+    composite_by_depth,
+    composite_ordered,
+    direct_send_schedule,
+    over,
+)
+from .decomposition import PARTITION_ORDERS, Block, BlockDecomposition
+from .netmodel import CommModel, Message, round_time, schedule_time
+from .renderer import DistributedRenderer, DistributedRenderResult, RankPartial
+from .stencil import StencilSweepCost, scaling_study, simulate_stencil_sweeps
+
+__all__ = [
+    "Block",
+    "BlockDecomposition",
+    "CommModel",
+    "DistributedRenderResult",
+    "DistributedRenderer",
+    "Message",
+    "PARTITION_ORDERS",
+    "RankPartial",
+    "StencilSweepCost",
+    "binary_swap_composite",
+    "binary_swap_schedule",
+    "composite_by_depth",
+    "composite_ordered",
+    "direct_send_schedule",
+    "over",
+    "round_time",
+    "scaling_study",
+    "schedule_time",
+    "simulate_stencil_sweeps",
+]

@@ -1,0 +1,77 @@
+"""Interconnect cost model for the distributed extension.
+
+The classic alpha–beta (latency–bandwidth) model: a message of ``n``
+bytes costs ``alpha + n / bandwidth`` seconds.  Compositing schedules
+are expressed as rounds of concurrent messages; a round costs its
+slowest message, and a schedule costs the sum of its rounds — the
+standard way binary-swap vs direct-send trade-offs are analyzed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = ["CommModel", "Message", "round_time", "schedule_time"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One point-to-point transfer: source rank, destination rank, bytes."""
+
+    src: int
+    dst: int
+    nbytes: int
+
+    def __post_init__(self):
+        if self.nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {self.nbytes}")
+        if self.src == self.dst:
+            raise ValueError("src and dst must differ")
+
+
+@dataclass(frozen=True)
+class CommModel:
+    """Alpha–beta interconnect parameters.
+
+    Attributes
+    ----------
+    latency_s : float
+        Per-message startup cost (alpha).
+    bandwidth_Bps : float
+        Point-to-point bandwidth in bytes/second (1/beta).
+    """
+
+    latency_s: float = 2e-6
+    bandwidth_Bps: float = 6e9
+
+    def __post_init__(self):
+        if self.latency_s < 0:
+            raise ValueError("latency must be >= 0")
+        if self.bandwidth_Bps <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    def message_time(self, nbytes: int) -> float:
+        """Alpha + bytes/bandwidth."""
+        return self.latency_s + nbytes / self.bandwidth_Bps
+
+
+def round_time(messages: Sequence[Message], model: CommModel) -> float:
+    """Cost of one round of concurrent messages.
+
+    Each rank sends and receives concurrently across distinct partners;
+    the round finishes when the busiest *endpoint* does, so the cost is
+    the max over ranks of the serialized traffic at that endpoint.
+    """
+    if not messages:
+        return 0.0
+    per_endpoint: dict = {}
+    for m in messages:
+        per_endpoint[m.src] = per_endpoint.get(m.src, 0.0) + model.message_time(m.nbytes)
+        per_endpoint[m.dst] = per_endpoint.get(m.dst, 0.0) + model.message_time(m.nbytes)
+    return max(per_endpoint.values())
+
+
+def schedule_time(rounds: Sequence[Sequence[Message]], model: CommModel) -> float:
+    """Total cost of a multi-round schedule (rounds are barriers)."""
+    return sum(round_time(r, model) for r in rounds)

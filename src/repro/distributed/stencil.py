@@ -1,0 +1,105 @@
+"""Distributed stencil sweeps: bulk-synchronous compute + halo exchange.
+
+Models the standard distributed-memory stencil loop the paper's
+ecosystem runs at scale: each sweep, every rank updates its voxels
+(compute phase) and then exchanges ghost layers with its neighbours
+(communication phase, priced by the alpha–beta model).  The partition
+*order* knob (scan slabs vs SFC) feeds straight into the DeFord-style
+question: how much communication does a curve-ordered partition save,
+and what does that do to parallel efficiency?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .decomposition import BlockDecomposition
+from .netmodel import CommModel, Message, round_time
+
+__all__ = ["StencilSweepCost", "simulate_stencil_sweeps", "scaling_study"]
+
+
+@dataclass(frozen=True)
+class StencilSweepCost:
+    """Per-configuration timing of a bulk-synchronous stencil run.
+
+    Attributes
+    ----------
+    compute_seconds : float
+        Slowest rank's update time per sweep × sweeps.
+    comm_seconds : float
+        Halo-exchange time per sweep × sweeps (one message per
+        neighbouring rank pair per sweep, all pairs concurrent).
+    total_seconds : float
+        Compute + communication (bulk-synchronous: phases don't overlap).
+    max_rank_voxels : int
+        The critical rank's load.
+    halo_bytes_total : int
+        Ghost bytes moved per sweep, summed over ranks.
+    """
+
+    compute_seconds: float
+    comm_seconds: float
+    total_seconds: float
+    max_rank_voxels: int
+    halo_bytes_total: int
+
+    def efficiency_vs(self, single: "StencilSweepCost", n_ranks: int) -> float:
+        """Parallel efficiency ``T1 / (P * TP)``."""
+        return single.total_seconds / (n_ranks * self.total_seconds)
+
+
+def simulate_stencil_sweeps(
+    decomp: BlockDecomposition,
+    radius: int = 1,
+    sweeps: int = 1,
+    itemsize: int = 4,
+    comm: Optional[CommModel] = None,
+    cycles_per_voxel: float = 20.0,
+    freq_ghz: float = 2.4,
+) -> StencilSweepCost:
+    """Price ``sweeps`` bulk-synchronous stencil iterations on ``decomp``.
+
+    ``cycles_per_voxel`` is the per-update compute weight (a radius-1
+    7-point update costs ~10–30 cycles depending on the kernel); the
+    communication phase sends each (receiver, sender) halo as one
+    message per sweep.
+    """
+    if sweeps < 1:
+        raise ValueError(f"sweeps must be >= 1, got {sweeps}")
+    comm = comm or CommModel()
+    max_voxels = max(decomp.voxels_of_rank(r) for r in range(decomp.n_ranks))
+    compute_per_sweep = max_voxels * cycles_per_voxel / (freq_ghz * 1e9)
+    matrix = decomp.halo_matrix(radius, itemsize) if decomp.n_ranks > 1 else {}
+    messages = [Message(src=sender, dst=receiver, nbytes=nbytes)
+                for (receiver, sender), nbytes in matrix.items()]
+    comm_per_sweep = round_time(messages, comm)
+    return StencilSweepCost(
+        compute_seconds=compute_per_sweep * sweeps,
+        comm_seconds=comm_per_sweep * sweeps,
+        total_seconds=(compute_per_sweep + comm_per_sweep) * sweeps,
+        max_rank_voxels=max_voxels,
+        halo_bytes_total=sum(matrix.values()),
+    )
+
+
+def scaling_study(
+    shape: Sequence[int],
+    block,
+    rank_counts: Sequence[int],
+    orders: Sequence[str] = ("scan", "morton"),
+    radius: int = 1,
+    comm: Optional[CommModel] = None,
+    **cost_kw,
+) -> Dict[tuple, StencilSweepCost]:
+    """Strong-scaling sweep: cost for every (order, rank count) pair."""
+    out: Dict[tuple, StencilSweepCost] = {}
+    for order in orders:
+        for n_ranks in rank_counts:
+            decomp = BlockDecomposition(shape, block, n_ranks, order=order)
+            out[(order, n_ranks)] = simulate_stencil_sweeps(
+                decomp, radius=radius, comm=comm, **cost_kw)
+    return out

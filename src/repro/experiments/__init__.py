@@ -1,0 +1,44 @@
+"""Per-figure experiment harnesses (see DESIGN.md experiment index)."""
+
+from .bilateral_study import bilateral_ds_figure, figure2, figure3
+from .config import (
+    IVYBRIDGE_CONCURRENCIES,
+    MIC_CONCURRENCIES,
+    PAPER_BILATERAL_ROWS,
+    BilateralCell,
+    VolrendCell,
+    default_ivybridge,
+    default_mic,
+)
+from .harness import CellResult, clear_caches, run_bilateral_cell, run_volrend_cell
+from .report import DsFigure, SeriesFigure, render_ds_figure, render_series_figure
+from .sweep import compare_layouts, rows_to_csv, sweep_cells
+from .volrend_study import figure4, figure5, figure6, volrend_ds_figure
+
+__all__ = [
+    "IVYBRIDGE_CONCURRENCIES",
+    "MIC_CONCURRENCIES",
+    "PAPER_BILATERAL_ROWS",
+    "BilateralCell",
+    "CellResult",
+    "DsFigure",
+    "SeriesFigure",
+    "VolrendCell",
+    "bilateral_ds_figure",
+    "clear_caches",
+    "compare_layouts",
+    "default_ivybridge",
+    "default_mic",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "render_ds_figure",
+    "render_series_figure",
+    "rows_to_csv",
+    "run_bilateral_cell",
+    "sweep_cells",
+    "run_volrend_cell",
+    "volrend_ds_figure",
+]

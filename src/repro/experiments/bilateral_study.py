@@ -1,0 +1,123 @@
+"""Figure 2 and Figure 3 drivers: the bilateral-filter layout study.
+
+Figure 2 (Ivy Bridge): rows are (stencil size, pencil, iteration order)
+combinations {r1, r3, r5} × {px xyz, pz zyx}; columns are thread counts
+{2, 4, 6, 8, 10, 12, 18, 24}; cells are d_s for runtime and for
+PAPI_L3_TCA, Z-order vs array-order.
+
+Figure 3 (MIC): the same rows over thread counts {59, 118, 177, 236}
+with L2_DATA_READ_MISS_MEM_FILL as the counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..instrument.metrics import scaled_relative_difference
+from ..memsim.hierarchy import PlatformSpec
+from .config import (
+    IVYBRIDGE_CONCURRENCIES,
+    MIC_CONCURRENCIES,
+    PAPER_BILATERAL_ROWS,
+    BilateralCell,
+    default_ivybridge,
+    default_mic,
+)
+from .harness import run_bilateral_cell
+from .report import DsFigure
+
+__all__ = ["figure2", "figure3", "bilateral_ds_figure"]
+
+
+def bilateral_ds_figure(
+    platform: PlatformSpec,
+    counter_name: str,
+    concurrencies: Sequence[int],
+    rows: Sequence[Tuple[str, str, str]] = PAPER_BILATERAL_ROWS,
+    title: str = "Bilateral 3D: scaled relative difference, Z- vs A-order",
+    base_cell: Optional[BilateralCell] = None,
+    layouts: Tuple[str, str] = ("array", "morton"),
+) -> DsFigure:
+    """Run a full bilateral d_s matrix for any platform/counter pair.
+
+    ``layouts`` is the (a, z) pair of Eq. 4 — swap in "hilbert" or
+    "tiled" for the ablations.
+    """
+    base = base_cell or BilateralCell(platform=platform)
+    base = replace(base, platform=platform)
+    row_labels = [f"{st} {pe} {so}" for st, pe, so in rows]
+    runtime_ds = np.zeros((len(rows), len(concurrencies)))
+    counter_ds = np.zeros_like(runtime_ds)
+    raw = {}
+    a_name, z_name = layouts
+    for r, (stencil, pencil, order) in enumerate(rows):
+        for c, n_threads in enumerate(concurrencies):
+            cell = replace(base, stencil=stencil, pencil=pencil,
+                           stencil_order=order, n_threads=n_threads)
+            res_a = run_bilateral_cell(cell.with_layout(a_name))
+            res_z = run_bilateral_cell(cell.with_layout(z_name))
+            runtime_ds[r, c] = scaled_relative_difference(
+                res_a.runtime_seconds, res_z.runtime_seconds)
+            counter_ds[r, c] = scaled_relative_difference(
+                res_a.counters[counter_name], res_z.counters[counter_name])
+            raw[(row_labels[r], n_threads)] = {"a": res_a, "z": res_z}
+    return DsFigure(
+        title=title,
+        counter_name=counter_name,
+        row_labels=row_labels,
+        col_labels=list(concurrencies),
+        runtime_ds=runtime_ds,
+        counter_ds=counter_ds,
+        raw=raw,
+    )
+
+
+def figure2(shape: Tuple[int, int, int] = (64, 64, 64),
+            scale: int = 64,
+            concurrencies: Sequence[int] = IVYBRIDGE_CONCURRENCIES,
+            rows: Sequence[Tuple[str, str, str]] = PAPER_BILATERAL_ROWS,
+            pencils_per_thread: int = 2) -> DsFigure:
+    """Reproduce Figure 2: Bilateral 3D on Ivy Bridge, runtime + L3 TCA."""
+    platform = default_ivybridge(scale)
+    base = BilateralCell(
+        platform=platform,
+        shape=shape,
+        affinity="compact",
+        pencils_per_thread=pencils_per_thread,
+    )
+    return bilateral_ds_figure(
+        platform, "PAPI_L3_TCA", concurrencies, rows,
+        title=f"Fig 2 | Bilat3d, {shape[0]}^3, IvyBridge: Z- vs A-order",
+        base_cell=base,
+    )
+
+
+def figure3(shape: Tuple[int, int, int] = (64, 64, 64),
+            scale: int = 64,
+            concurrencies: Sequence[int] = MIC_CONCURRENCIES,
+            rows: Sequence[Tuple[str, str, str]] = PAPER_BILATERAL_ROWS,
+            pencils_per_thread: int = 2,
+            sample_cores: int = 8) -> DsFigure:
+    """Reproduce Figure 3: Bilateral 3D on MIC, runtime + L2 read miss.
+
+    Threads spread 1–4 per core over 59 usable cores (the paper reserves
+    one core for the OS); only ``sample_cores`` cores are simulated —
+    exact for this platform since no cache spans cores.
+    """
+    platform = default_mic(scale)
+    base = BilateralCell(
+        platform=platform,
+        shape=shape,
+        affinity="balanced",
+        usable_cores=59,
+        pencils_per_thread=pencils_per_thread,
+        sample_cores=sample_cores,
+    )
+    return bilateral_ds_figure(
+        platform, "L2_DATA_READ_MISS_MEM_FILL", concurrencies, rows,
+        title=f"Fig 3 | Bilat3d, {shape[0]}^3, MIC: Z- vs A-order",
+        base_cell=base,
+    )

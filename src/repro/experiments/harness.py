@@ -1,0 +1,262 @@
+"""Cell runners: execute one measurement cell end to end.
+
+A cell run is: build (or fetch cached) dataset and grid → decompose the
+work and assign it to threads the way the paper's code does → render the
+sampled work items to access streams → simulate on the platform's cache
+hierarchy → extrapolate the sampled counters/runtime to the full
+workload.  Both runners return a :class:`CellResult` carrying the
+simulated runtime and the platform counters, which the figure drivers
+pair up into the paper's d_s tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.grid import Grid
+from ..core.registry import make_layout
+from ..data.synthetic import combustion_field, linear_ramp, mri_phantom
+from ..kernels.bilateral import STENCIL_LABELS, BilateralFilter3D, BilateralSpec
+from ..kernels.acceleration import MinMaxBricks
+from ..kernels.camera import orbit_camera
+from ..kernels.transfer import grayscale_ramp, sparse_ramp, warm_ramp
+from ..kernels.volrend import RaycastRenderer, RenderSpec
+from ..memsim.address import AddressSpace
+from ..memsim.cost import CostModel
+from ..memsim.engine import SimResult, SimulationEngine
+from ..parallel.affinity import make_affinity
+from ..parallel.pencil import PENCIL_AXES, enumerate_pencils
+from ..parallel.scheduler import dynamic_worker_pool, static_round_robin
+from ..parallel.threads import build_thread_works
+from ..parallel.tiles import enumerate_tiles
+from .config import BilateralCell, VolrendCell
+
+__all__ = ["CellResult", "run_bilateral_cell", "run_volrend_cell", "clear_caches"]
+
+#: transfer-function presets selectable from VolrendCell.transfer
+_TRANSFERS = {
+    "warm": warm_ramp,
+    "grayscale": grayscale_ramp,
+    "sparse": sparse_ramp,
+}
+
+# Dataset/grid caches: figure sweeps reuse the same volume dozens of
+# times; regenerating the phantom or re-packing a Morton grid per cell
+# would dominate the harness.
+_DENSE_CACHE: Dict[tuple, np.ndarray] = {}
+_GRID_CACHE: Dict[tuple, Grid] = {}
+_MINMAX_CACHE: Dict[tuple, MinMaxBricks] = {}
+
+
+def clear_caches() -> None:
+    """Drop cached datasets, grids and skip structures."""
+    _DENSE_CACHE.clear()
+    _GRID_CACHE.clear()
+    _MINMAX_CACHE.clear()
+
+
+def _dense_for(dataset: str, shape: tuple, seed: int) -> np.ndarray:
+    key = (dataset, shape, seed)
+    if key not in _DENSE_CACHE:
+        if dataset == "mri":
+            _DENSE_CACHE[key] = mri_phantom(shape, noise=0.05, seed=seed)
+        elif dataset == "combustion":
+            _DENSE_CACHE[key] = combustion_field(shape, seed=seed)
+        elif dataset == "ramp":
+            _DENSE_CACHE[key] = linear_ramp(shape, axis=0)
+        else:
+            raise ValueError(f"unknown dataset {dataset!r}")
+    return _DENSE_CACHE[key]
+
+
+def _grid_for(dataset: str, shape: tuple, seed: int, layout_name: str) -> Grid:
+    key = (dataset, shape, seed, layout_name)
+    if key not in _GRID_CACHE:
+        dense = _dense_for(dataset, shape, seed)
+        _GRID_CACHE[key] = Grid.from_dense(dense, make_layout(layout_name, shape))
+    return _GRID_CACHE[key]
+
+
+@dataclass
+class CellResult:
+    """One cell's measurements.
+
+    Attributes
+    ----------
+    runtime_seconds : float
+        Cost-model runtime, extrapolated to the full workload.
+    counters : dict
+        Platform counters, extrapolated.
+    sim : SimResult
+        The raw (pre-extrapolation metadata included) engine result.
+    n_threads_simulated : int
+        Threads actually driven through the simulator.
+    """
+
+    runtime_seconds: float
+    counters: Dict[str, float]
+    sim: SimResult
+    n_threads_simulated: int
+
+
+def _select_simulated_threads(n_threads: int, affinity: List[int],
+                              sample_cores: Optional[int]) -> List[int]:
+    """Thread ids to simulate: all, or those pinned to the first N cores.
+
+    Core sampling is only exact when no cache level spans cores, so
+    callers enable it for the MIC (core-private L1+L2) and leave it off
+    for Ivy Bridge (socket-shared L3).
+    """
+    if sample_cores is None:
+        return list(range(n_threads))
+    chosen = [t for t in range(n_threads) if affinity[t] < sample_cores]
+    return chosen or [0]
+
+
+def run_bilateral_cell(cell: BilateralCell) -> CellResult:
+    """Run one Figure-2/3 cell: bilateral filter counters + runtime."""
+    shape = tuple(cell.shape)
+    radius = STENCIL_LABELS.get(cell.stencil)
+    if radius is None:
+        radius = int(cell.stencil)
+    grid = _grid_for(cell.dataset, shape, cell.seed, cell.layout)
+    spec = cell.platform
+    space = AddressSpace(spec.line_bytes)
+    filt = BilateralFilter3D(BilateralSpec(
+        radius=radius,
+        sigma_spatial=cell.sigma_spatial,
+        sigma_range=cell.sigma_range,
+        stencil_order=cell.stencil_order,
+    ))
+    axis = PENCIL_AXES[cell.pencil]
+    pencils = enumerate_pencils(shape, axis, order=cell.pencil_order)
+    if cell.n_threads > len(pencils):
+        raise ValueError(
+            f"{cell.n_threads} threads exceed {len(pencils)} pencils; "
+            f"use a larger volume"
+        )
+    assignment = static_round_robin(pencils, cell.n_threads)
+    affinity = make_affinity(cell.affinity, cell.n_threads, spec,
+                             usable_cores=cell.usable_cores)
+    simulated = set(_select_simulated_threads(
+        cell.n_threads, affinity, cell.sample_cores))
+
+    full_items = sum(len(v) for v in assignment.values())
+    sampled_assignment = {
+        t: items[:cell.pencils_per_thread]
+        for t, items in assignment.items()
+        if t in simulated
+    }
+    sampled_items = sum(len(v) for v in sampled_assignment.values())
+    factor = full_items / sampled_items if sampled_items else 1.0
+    # per-thread work extrapolation: each thread does items/T, we ran <= S
+    thread_factor = (full_items / cell.n_threads) / max(
+        1, max((len(v) for v in sampled_assignment.values()), default=1))
+
+    out_grid = None
+    if cell.trace_writes:
+        out_grid = Grid(make_layout(cell.layout, shape), dtype=np.float32)
+    works = build_thread_works(
+        sampled_assignment,
+        lambda p: filt.pencil_trace(grid, p, space, out_grid=out_grid),
+        affinity,
+    )
+    engine = SimulationEngine(spec, CostModel(cpi_compute=cell.cpi_compute),
+                              quantum=cell.quantum)
+    sim = engine.run(works).scaled(count_scale=factor, work_scale=thread_factor)
+    return CellResult(
+        runtime_seconds=sim.runtime_seconds,
+        counters=sim.counters,
+        sim=sim,
+        n_threads_simulated=len(sampled_assignment),
+    )
+
+
+def run_volrend_cell(cell: VolrendCell) -> CellResult:
+    """Run one Figure-4/5/6 cell: raycasting counters + runtime."""
+    shape = tuple(cell.shape)
+    grid = _grid_for(cell.dataset, shape, cell.seed, cell.layout)
+    spec = cell.platform
+    space = AddressSpace(spec.line_bytes)
+    camera = orbit_camera(
+        shape, cell.viewpoint, n_viewpoints=cell.n_viewpoints,
+        width=cell.image_size, height=cell.image_size,
+        projection=cell.projection,
+    )
+    try:
+        transfer = _TRANSFERS[cell.transfer]()
+    except KeyError:
+        raise ValueError(
+            f"unknown transfer {cell.transfer!r}; known: {sorted(_TRANSFERS)}"
+        ) from None
+    skip = None
+    if cell.skip_brick is not None:
+        key = (cell.dataset, shape, cell.seed, cell.layout, cell.skip_brick)
+        if key not in _MINMAX_CACHE:
+            _MINMAX_CACHE[key] = MinMaxBricks(grid, brick=cell.skip_brick)
+        skip = _MINMAX_CACHE[key]
+    renderer = RaycastRenderer(grid, transfer, RenderSpec(
+        step=cell.step, sampler=cell.sampler,
+        early_termination=cell.early_termination,
+    ), skip=skip)
+    tiles = enumerate_tiles(cell.image_size, cell.image_size, cell.tile_size)
+    if cell.n_threads > len(tiles):
+        raise ValueError(
+            f"{cell.n_threads} threads exceed {len(tiles)} tiles; "
+            f"use a larger image"
+        )
+    assignment = dynamic_worker_pool(tiles, cell.n_threads,
+                                     cost=lambda t: t.n_pixels)
+    affinity = make_affinity(cell.affinity, cell.n_threads, spec,
+                             usable_cores=cell.usable_cores)
+    simulated = set(_select_simulated_threads(
+        cell.n_threads, affinity, cell.sample_cores))
+
+    full_pixels = sum(t.n_pixels for items in assignment.values() for t in items)
+    # sample each thread's most central tiles: edge tiles can miss the
+    # volume entirely at this FOV, which would make a 1-tile sample
+    # unrepresentative of the thread's typical work
+    half = cell.image_size / 2.0
+
+    def _centrality(tile):
+        cx = tile.x0 + tile.w / 2.0 - half
+        cy = tile.y0 + tile.h / 2.0 - half
+        return cx * cx + cy * cy
+
+    sampled_assignment = {
+        t: sorted(items, key=_centrality)[:cell.tiles_per_thread]
+        for t, items in assignment.items()
+        if t in simulated
+    }
+    sampled_pixels = sum(
+        t.n_pixels for items in sampled_assignment.values() for t in items
+    ) / (cell.ray_step ** 2)
+    factor = full_pixels / sampled_pixels if sampled_pixels else 1.0
+    per_thread_full = full_pixels / cell.n_threads
+    per_thread_sampled = max(
+        (sum(t.n_pixels for t in items) / (cell.ray_step ** 2)
+         for items in sampled_assignment.values()),
+        default=1.0,
+    )
+    thread_factor = per_thread_full / per_thread_sampled
+
+    works = build_thread_works(
+        sampled_assignment,
+        lambda t: renderer.render_tile(
+            camera, t, space=space, want_values=cell.early_termination is not None,
+            ray_step=cell.ray_step,
+        ).trace,
+        affinity,
+    )
+    engine = SimulationEngine(spec, CostModel(cpi_compute=cell.cpi_compute),
+                              quantum=cell.quantum)
+    sim = engine.run(works).scaled(count_scale=factor, work_scale=thread_factor)
+    return CellResult(
+        runtime_seconds=sim.runtime_seconds,
+        counters=sim.counters,
+        sim=sim,
+        n_threads_simulated=len(sampled_assignment),
+    )

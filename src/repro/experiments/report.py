@@ -1,0 +1,98 @@
+"""Paper-style text rendering of figure results.
+
+The paper's Figures 2/3/5/6 are matrices of scaled relative differences
+(rows = test configuration, columns = concurrency) printed side by side
+for runtime and a memory counter; Figure 4 is two absolute series over
+viewpoints.  These renderers print the same rows and columns so a
+reproduction run can be eyeballed against the paper directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["DsFigure", "SeriesFigure", "render_ds_figure", "render_series_figure"]
+
+
+@dataclass
+class DsFigure:
+    """A Figure-2/3/5/6-shaped result: two d_s matrices over a grid.
+
+    ``runtime_ds`` and ``counter_ds`` have shape (rows, cols); entry
+    ``[r, c]`` is Eq. 4's ``(a - z) / z`` for row configuration ``r`` at
+    concurrency ``col_labels[c]``.
+    """
+
+    title: str
+    counter_name: str
+    row_labels: List[str]
+    col_labels: List[int]
+    runtime_ds: np.ndarray
+    counter_ds: np.ndarray
+    raw: Dict[Tuple[str, int], dict] = field(default_factory=dict)
+
+    def row(self, label: str) -> Tuple[np.ndarray, np.ndarray]:
+        """(runtime_ds, counter_ds) arrays for one row label."""
+        r = self.row_labels.index(label)
+        return self.runtime_ds[r], self.counter_ds[r]
+
+
+@dataclass
+class SeriesFigure:
+    """A Figure-4-shaped result: absolute a/z series over viewpoints."""
+
+    title: str
+    counter_name: str
+    x_label: str
+    x_values: List[int]
+    runtime_a: np.ndarray
+    runtime_z: np.ndarray
+    counter_a: np.ndarray
+    counter_z: np.ndarray
+
+
+def _fmt(value: float, width: int = 8) -> str:
+    if abs(value) >= 1000:
+        return f"{value:>{width}.0f}"
+    return f"{value:>{width}.2f}"
+
+
+def render_ds_figure(fig: DsFigure) -> str:
+    """Text table in the paper's layout: runtime block, counter block."""
+    label_w = max(len(lbl) for lbl in fig.row_labels) + 2
+    col_w = 8
+    lines = [fig.title, ""]
+    for block_name, matrix in (
+        ("Runtime", fig.runtime_ds),
+        (fig.counter_name, fig.counter_ds),
+    ):
+        lines.append(f"-- scaled relative difference d_s = (a - z)/z : {block_name} --")
+        header = " " * label_w + "".join(
+            f"{c:>{col_w}}" for c in fig.col_labels
+        )
+        lines.append(header)
+        for r, lbl in enumerate(fig.row_labels):
+            cells = "".join(_fmt(matrix[r, c], col_w)
+                            for c in range(len(fig.col_labels)))
+            lines.append(f"{lbl:<{label_w}}{cells}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def render_series_figure(fig: SeriesFigure) -> str:
+    """Text table of the Figure-4 absolute series."""
+    lines = [fig.title, ""]
+    header = (
+        f"{fig.x_label:>10} {'runtime_a':>12} {'runtime_z':>12} "
+        f"{fig.counter_name + '_a':>20} {fig.counter_name + '_z':>20}"
+    )
+    lines.append(header)
+    for n, x in enumerate(fig.x_values):
+        lines.append(
+            f"{x:>10} {fig.runtime_a[n]:>12.4e} {fig.runtime_z[n]:>12.4e} "
+            f"{fig.counter_a[n]:>20.3e} {fig.counter_z[n]:>20.3e}"
+        )
+    return "\n".join(lines)

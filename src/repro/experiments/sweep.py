@@ -1,0 +1,111 @@
+"""Generic cell sweeps: grid a cell's parameters, collect rows, export CSV.
+
+The figure drivers cover the paper's exact matrices; this module is the
+open-ended version for users: take any :class:`BilateralCell` or
+:class:`VolrendCell`, name the fields to vary, and get back flat result
+rows (optionally as layout-comparison rows carrying the paper's d_s) —
+ready for CSV export and whatever plotting tool sits downstream.
+"""
+
+from __future__ import annotations
+
+import csv
+import itertools
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..instrument.metrics import scaled_relative_difference
+from .config import BilateralCell, VolrendCell
+from .harness import CellResult, run_bilateral_cell, run_volrend_cell
+
+__all__ = ["sweep_cells", "compare_layouts", "rows_to_csv"]
+
+Cell = Union[BilateralCell, VolrendCell]
+
+
+def _runner_for(cell: Cell):
+    if isinstance(cell, BilateralCell):
+        return run_bilateral_cell
+    if isinstance(cell, VolrendCell):
+        return run_volrend_cell
+    raise TypeError(f"unsupported cell type {type(cell).__name__}")
+
+
+def _grid(axes: Dict[str, Sequence]) -> List[Dict[str, object]]:
+    if not axes:
+        return [{}]
+    names = list(axes)
+    return [dict(zip(names, combo))
+            for combo in itertools.product(*(axes[n] for n in names))]
+
+
+def sweep_cells(base: Cell, axes: Dict[str, Sequence],
+                counters: Optional[Sequence[str]] = None
+                ) -> List[Dict[str, object]]:
+    """Run the cell at every combination of ``axes`` values.
+
+    Returns one flat dict per combination: the axis values,
+    ``runtime_seconds``, and the requested ``counters`` (all platform
+    counters when None).
+    """
+    runner = _runner_for(base)
+    rows = []
+    for point in _grid(axes):
+        cell = replace(base, **point)
+        result: CellResult = runner(cell)
+        row: Dict[str, object] = dict(point)
+        row["layout"] = cell.layout
+        row["runtime_seconds"] = result.runtime_seconds
+        names = counters if counters is not None else sorted(result.counters)
+        for name in names:
+            row[name] = result.counters[name]
+        rows.append(row)
+    return rows
+
+
+def compare_layouts(base: Cell, axes: Dict[str, Sequence],
+                    layouts: Tuple[str, str] = ("array", "morton"),
+                    counters: Optional[Sequence[str]] = None
+                    ) -> List[Dict[str, object]]:
+    """Layout-pair sweep: each row carries both measurements and d_s.
+
+    Column naming: ``runtime_<layout>`` / ``<counter>_<layout>`` for the
+    raw values, ``ds_runtime`` / ``ds_<counter>`` for Eq. 4.
+    """
+    runner = _runner_for(base)
+    a_name, z_name = layouts
+    rows = []
+    for point in _grid(axes):
+        res = {name: runner(replace(base, layout=name, **point))
+               for name in layouts}
+        row: Dict[str, object] = dict(point)
+        row[f"runtime_{a_name}"] = res[a_name].runtime_seconds
+        row[f"runtime_{z_name}"] = res[z_name].runtime_seconds
+        row["ds_runtime"] = scaled_relative_difference(
+            res[a_name].runtime_seconds, res[z_name].runtime_seconds)
+        names = counters if counters is not None else sorted(
+            res[a_name].counters)
+        for name in names:
+            a_val = res[a_name].counters[name]
+            z_val = res[z_name].counters[name]
+            row[f"{name}_{a_name}"] = a_val
+            row[f"{name}_{z_name}"] = z_val
+            row[f"ds_{name}"] = (
+                scaled_relative_difference(a_val, z_val) if z_val else None)
+        rows.append(row)
+    return rows
+
+
+def rows_to_csv(rows: List[Dict[str, object]], path: str) -> None:
+    """Write sweep rows to a CSV file (columns = union of row keys)."""
+    if not rows:
+        raise ValueError("no rows to write")
+    fields: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in fields:
+                fields.append(key)
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fields)
+        writer.writeheader()
+        writer.writerows(rows)

@@ -1,0 +1,167 @@
+"""Figure 4, 5 and 6 drivers: the raycasting layout study.
+
+Figure 4 (Ivy Bridge, one configuration): absolute runtime and
+PAPI_L3_TCA for array- and Z-order over the 8 orbit viewpoints —
+array-order is fastest at viewpoints 0 and 4 (rays ∥ x) and degrades
+in between, while Z-order stays flat.
+
+Figure 5 (Ivy Bridge): d_s matrices, rows = viewpoints 0–7, columns =
+thread counts {2 … 24}.
+
+Figure 6 (MIC): the same over {59, 118, 177, 236} threads with
+L2_DATA_READ_MISS_MEM_FILL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..instrument.metrics import scaled_relative_difference
+from ..memsim.hierarchy import PlatformSpec
+from .config import (
+    IVYBRIDGE_CONCURRENCIES,
+    MIC_CONCURRENCIES,
+    VolrendCell,
+    default_ivybridge,
+    default_mic,
+)
+from .harness import run_volrend_cell
+from .report import DsFigure, SeriesFigure
+
+__all__ = ["figure4", "figure5", "figure6", "volrend_ds_figure"]
+
+
+def volrend_ds_figure(
+    platform: PlatformSpec,
+    counter_name: str,
+    concurrencies: Sequence[int],
+    viewpoints: Sequence[int] = tuple(range(8)),
+    title: str = "Volrend: scaled relative difference, Z- vs A-order",
+    base_cell: Optional[VolrendCell] = None,
+    layouts: Tuple[str, str] = ("array", "morton"),
+) -> DsFigure:
+    """Run a full volrend d_s matrix (rows = viewpoints)."""
+    base = base_cell or VolrendCell(platform=platform)
+    base = replace(base, platform=platform)
+    row_labels = [str(v) for v in viewpoints]
+    runtime_ds = np.zeros((len(viewpoints), len(concurrencies)))
+    counter_ds = np.zeros_like(runtime_ds)
+    raw = {}
+    a_name, z_name = layouts
+    for r, viewpoint in enumerate(viewpoints):
+        for c, n_threads in enumerate(concurrencies):
+            cell = replace(base, viewpoint=viewpoint, n_threads=n_threads)
+            res_a = run_volrend_cell(cell.with_layout(a_name))
+            res_z = run_volrend_cell(cell.with_layout(z_name))
+            runtime_ds[r, c] = scaled_relative_difference(
+                res_a.runtime_seconds, res_z.runtime_seconds)
+            counter_ds[r, c] = scaled_relative_difference(
+                res_a.counters[counter_name], res_z.counters[counter_name])
+            raw[(row_labels[r], n_threads)] = {"a": res_a, "z": res_z}
+    return DsFigure(
+        title=title,
+        counter_name=counter_name,
+        row_labels=row_labels,
+        col_labels=list(concurrencies),
+        runtime_ds=runtime_ds,
+        counter_ds=counter_ds,
+        raw=raw,
+    )
+
+
+def figure4(shape: Tuple[int, int, int] = (64, 64, 64),
+            scale: int = 64,
+            n_threads: int = 12,
+            image_size: int = 256,
+            viewpoints: Sequence[int] = tuple(range(8)),
+            tiles_per_thread: int = 1,
+            ray_step: int = 2) -> SeriesFigure:
+    """Reproduce Figure 4: absolute runtime & PAPI_L3_TCA vs viewpoint."""
+    platform = default_ivybridge(scale)
+    base = VolrendCell(
+        platform=platform,
+        shape=shape,
+        n_threads=n_threads,
+        image_size=image_size,
+        affinity="compact",
+        tiles_per_thread=tiles_per_thread,
+        ray_step=ray_step,
+    )
+    runtime_a, runtime_z, counter_a, counter_z = [], [], [], []
+    for viewpoint in viewpoints:
+        cell = base.with_viewpoint(viewpoint)
+        res_a = run_volrend_cell(cell.with_layout("array"))
+        res_z = run_volrend_cell(cell.with_layout("morton"))
+        runtime_a.append(res_a.runtime_seconds)
+        runtime_z.append(res_z.runtime_seconds)
+        counter_a.append(res_a.counters["PAPI_L3_TCA"])
+        counter_z.append(res_z.counters["PAPI_L3_TCA"])
+    return SeriesFigure(
+        title=(f"Fig 4 | Volrend, {shape[0]}^3, IvyBridge, "
+               f"{n_threads} threads: absolute runtime & PAPI_L3_TCA"),
+        counter_name="PAPI_L3_TCA",
+        x_label="viewpoint",
+        x_values=list(viewpoints),
+        runtime_a=np.array(runtime_a),
+        runtime_z=np.array(runtime_z),
+        counter_a=np.array(counter_a),
+        counter_z=np.array(counter_z),
+    )
+
+
+def figure5(shape: Tuple[int, int, int] = (64, 64, 64),
+            scale: int = 64,
+            concurrencies: Sequence[int] = IVYBRIDGE_CONCURRENCIES,
+            viewpoints: Sequence[int] = tuple(range(8)),
+            image_size: int = 256,
+            tiles_per_thread: int = 1,
+            ray_step: int = 2) -> DsFigure:
+    """Reproduce Figure 5: Volrend on Ivy Bridge, d_s matrices."""
+    platform = default_ivybridge(scale)
+    base = VolrendCell(
+        platform=platform,
+        shape=shape,
+        image_size=image_size,
+        affinity="compact",
+        tiles_per_thread=tiles_per_thread,
+        ray_step=ray_step,
+    )
+    return volrend_ds_figure(
+        platform, "PAPI_L3_TCA", concurrencies, viewpoints,
+        title=f"Fig 5 | Volrend, {shape[0]}^3, IvyBridge: Z- vs A-order",
+        base_cell=base,
+    )
+
+
+def figure6(shape: Tuple[int, int, int] = (64, 64, 64),
+            scale: int = 64,
+            concurrencies: Sequence[int] = MIC_CONCURRENCIES,
+            viewpoints: Sequence[int] = tuple(range(8)),
+            image_size: int = 512,
+            tiles_per_thread: int = 1,
+            ray_step: int = 4,
+            sample_cores: int = 8) -> DsFigure:
+    """Reproduce Figure 6: Volrend on MIC, d_s matrices.
+
+    The image is 512² so the tile pool (256 tiles) exceeds the largest
+    thread count (236), as a worker-pool renderer requires.
+    """
+    platform = default_mic(scale)
+    base = VolrendCell(
+        platform=platform,
+        shape=shape,
+        image_size=image_size,
+        affinity="balanced",
+        usable_cores=59,
+        tiles_per_thread=tiles_per_thread,
+        ray_step=ray_step,
+        sample_cores=sample_cores,
+    )
+    return volrend_ds_figure(
+        platform, "L2_DATA_READ_MISS_MEM_FILL", concurrencies, viewpoints,
+        title=f"Fig 6 | Volrend, {shape[0]}^3, MIC: Z- vs A-order",
+        base_cell=base,
+    )

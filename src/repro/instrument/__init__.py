@@ -1,0 +1,17 @@
+"""Measurement facade: PAPI-style event sets and the paper's d_s metric."""
+
+from .metrics import (
+    derived_metrics,
+    ds_dict,
+    scaled_relative_difference,
+    speedup_from_ds,
+)
+from .papi import EventSet
+
+__all__ = [
+    "EventSet",
+    "derived_metrics",
+    "ds_dict",
+    "scaled_relative_difference",
+    "speedup_from_ds",
+]

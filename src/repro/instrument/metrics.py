@@ -1,0 +1,82 @@
+"""The paper's reporting metric: scaled relative difference (Eq. 4).
+
+    d_s = (a - z) / z
+
+where ``a`` is the array-order measurement and ``z`` the Z-order one.
+``d_s > 0`` means array-order measured *more* (slower / more cache
+traffic), i.e. Z-order wins; ``d_s < 0`` means array-order wins.  It is
+"similar to, but not exactly the same as, a percentage": 0.1 ≈ 10 %
+difference, 1.0 ≈ 100 %, 10.0 ≈ 1000 %.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+import numpy as np
+
+__all__ = ["scaled_relative_difference", "ds_dict", "speedup_from_ds",
+           "derived_metrics"]
+
+
+def scaled_relative_difference(a, z):
+    """Eq. 4: ``(a - z) / z``.  Accepts scalars or numpy arrays.
+
+    ``z`` must be nonzero (it is the normalizing measurement).
+    """
+    a = np.asarray(a, dtype=np.float64)
+    z = np.asarray(z, dtype=np.float64)
+    if np.any(z == 0):
+        raise ZeroDivisionError("Z-order measurement is zero; d_s undefined")
+    out = (a - z) / z
+    return float(out) if out.ndim == 0 else out
+
+
+def ds_dict(a_values: Mapping[str, float],
+            z_values: Mapping[str, float]) -> Dict[str, float]:
+    """Per-metric d_s for two measurement dicts sharing keys."""
+    missing = set(a_values) ^ set(z_values)
+    if missing:
+        raise KeyError(f"measurement dicts disagree on keys: {sorted(missing)}")
+    return {
+        key: scaled_relative_difference(a_values[key], z_values[key])
+        for key in a_values
+    }
+
+
+def speedup_from_ds(ds: float) -> float:
+    """Convert a runtime d_s to the conventional speedup ``a / z = 1 + d_s``."""
+    return 1.0 + float(ds)
+
+
+def derived_metrics(result, line_bytes: int = 64) -> Dict[str, float]:
+    """Human-facing derived metrics from a :class:`SimResult`.
+
+    Returns a dict with:
+
+    * ``dram_bandwidth_GBps`` — memory-served lines × line size over the
+      modelled runtime;
+    * ``<level>_hit_rate`` — fraction of requests reaching each level
+      that it served (from the service totals, so it matches what the
+      cost model charged);
+    * ``mem_fraction`` — share of all requests served by DRAM.
+    """
+    out: Dict[str, float] = {}
+    served = dict(result.level_served)
+    mem = served.pop("MEM", 0.0)
+    total = sum(served.values()) + mem
+    if result.runtime_seconds > 0:
+        out["dram_bandwidth_GBps"] = (
+            mem * line_bytes / result.runtime_seconds / 1e9)
+    else:
+        out["dram_bandwidth_GBps"] = 0.0
+    remaining = total
+    # inner-to-outer ordering: level names sort lexicographically for
+    # the conventional L1/L2/L3 naming this library uses throughout
+    for name in sorted(served):
+        count = served[name]
+        reach = remaining
+        out[f"{name}_hit_rate"] = count / reach if reach else 1.0
+        remaining -= count
+    out["mem_fraction"] = mem / total if total else 0.0
+    return out

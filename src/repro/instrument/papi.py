@@ -1,0 +1,69 @@
+"""PAPI-like event-set facade over the simulated machine counters.
+
+Mirrors the PAPI usage pattern of the paper (Section IV-A: "we make use
+of PAPI to collect a variety of hardware performance counters"):
+create an event set naming the events of interest, ``start`` it before
+the kernel, ``stop`` it after, read the deltas.  Events resolve to the
+platform's counter wiring (``PAPI_L3_TCA`` on Ivy Bridge,
+``L2_DATA_READ_MISS_MEM_FILL`` on MIC, …).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..memsim.hierarchy import Machine
+
+__all__ = ["EventSet"]
+
+
+class EventSet:
+    """A named set of counters read as start/stop deltas.
+
+    Parameters
+    ----------
+    machine : Machine
+        The simulated machine whose counters back the events.
+    events : sequence of str
+        Counter names; must exist in the machine's platform wiring.
+    """
+
+    def __init__(self, machine: Machine, events: Sequence[str]):
+        self.machine = machine
+        self.events = list(events)
+        for name in self.events:
+            machine.counter(name)  # raises on unknown events, PAPI-style
+        self._start: Optional[Dict[str, int]] = None
+        self._last: Optional[Dict[str, int]] = None
+
+    @property
+    def running(self) -> bool:
+        """True between :meth:`start` and :meth:`stop`."""
+        return self._start is not None
+
+    def start(self) -> None:
+        """Snapshot current counter values as the baseline."""
+        if self.running:
+            raise RuntimeError("event set already started")
+        self._start = {name: self.machine.counter(name) for name in self.events}
+
+    def read(self) -> Dict[str, int]:
+        """Deltas since :meth:`start` without stopping."""
+        if not self.running:
+            raise RuntimeError("event set not started")
+        return {
+            name: self.machine.counter(name) - self._start[name]
+            for name in self.events
+        }
+
+    def stop(self) -> Dict[str, int]:
+        """Stop and return the deltas accumulated since :meth:`start`."""
+        values = self.read()
+        self._start = None
+        self._last = values
+        return values
+
+    @property
+    def last(self) -> Optional[Dict[str, int]]:
+        """Deltas from the most recent completed start/stop window."""
+        return self._last

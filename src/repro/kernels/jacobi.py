@@ -1,0 +1,154 @@
+"""7-point Jacobi stencil — the classic HPC stencil the paper's intro cites.
+
+The paper motivates its study with stencil computations at large (its
+Section II cites Datta et al.'s stencil auto-tuning work); the bilateral
+filter is a heavyweight member of that family.  This module adds the
+family's canonical lightweight member: the 7-point Jacobi relaxation
+
+    D(i,j,k) = (1-6w)·S(i,j,k) + w·(S(i±1,j,k)+S(i,j±1,k)+S(i,j,k±1))
+
+with Dirichlet (clamped) boundaries, iterated for a configurable number
+of sweeps.  Compared to the bilateral filter it has a far higher
+memory-to-compute ratio, so layout effects show up even more nakedly —
+extension experiment A10 checks that the paper's conclusion generalizes
+to it.
+
+The ping-pong sweep structure also introduces *temporal* reuse between
+sweeps (absent in the single-pass bilateral filter), exercising a cache
+behaviour dimension the paper's kernels do not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.grid import Grid
+from ..core.layout import Layout
+from ..memsim.address import AddressSpace
+from ..memsim.trace import TraceChunk, concat_chunks
+from ..parallel.pencil import Pencil, enumerate_pencils, pencil_coords
+
+__all__ = ["JacobiSpec", "Jacobi3D"]
+
+#: The 7-point star: center plus face neighbours, in the iteration
+#: order a straightforward loop nest produces (center, ±x, ±y, ±z).
+_STAR = np.array(
+    [[0, 0, 0], [-1, 0, 0], [1, 0, 0],
+     [0, -1, 0], [0, 1, 0], [0, 0, -1], [0, 0, 1]],
+    dtype=np.int64,
+)
+
+
+@dataclass(frozen=True)
+class JacobiSpec:
+    """Relaxation parameters.
+
+    Attributes
+    ----------
+    weight : float
+        Neighbour weight ``w``; stability requires ``0 < w <= 1/6``.
+    sweeps : int
+        Number of Jacobi iterations.
+    """
+
+    weight: float = 1.0 / 6.0
+    sweeps: int = 1
+
+    def __post_init__(self):
+        if not 0 < self.weight <= 1.0 / 6.0 + 1e-12:
+            raise ValueError(f"weight must be in (0, 1/6], got {self.weight}")
+        if self.sweeps < 1:
+            raise ValueError(f"sweeps must be >= 1, got {self.sweeps}")
+
+
+class Jacobi3D:
+    """7-point Jacobi relaxation with layout-transparent access."""
+
+    def __init__(self, spec: JacobiSpec):
+        self.spec = spec
+
+    # -- per-pencil machinery --------------------------------------------------
+
+    def _pencil_taps(self, shape, pencil: Pencil):
+        """Tap coordinates for one pencil: clamped at the boundary
+        (Dirichlet via clamp keeps every tap in bounds, so the stream is
+        uniform across voxels)."""
+        i0, j0, k0 = pencil_coords(pencil, shape)
+        ii = np.clip(i0[:, None] + _STAR[None, :, 0], 0, shape[0] - 1)
+        jj = np.clip(j0[:, None] + _STAR[None, :, 1], 0, shape[1] - 1)
+        kk = np.clip(k0[:, None] + _STAR[None, :, 2], 0, shape[2] - 1)
+        return ii, jj, kk
+
+    def pencil_values(self, grid: Grid, pencil: Pencil) -> np.ndarray:
+        """One sweep's output values along one pencil."""
+        ii, jj, kk = self._pencil_taps(grid.shape, pencil)
+        vals = grid.gather(ii, jj, kk).astype(np.float64)
+        w = self.spec.weight
+        return (1.0 - 6.0 * w) * vals[:, 0] + w * vals[:, 1:].sum(axis=1)
+
+    def pencil_trace(self, grid: Grid, pencil: Pencil,
+                     space: AddressSpace) -> TraceChunk:
+        """Access stream of one pencil for one sweep (7 loads/voxel)."""
+        ii, jj, kk = self._pencil_taps(grid.shape, pencil)
+        offs = grid.offsets(ii.ravel(), jj.ravel(), kk.ravel())
+        return TraceChunk.from_offsets(
+            offs, grid.itemsize, space.line_bytes,
+            base_bytes=space.register(grid), n_ops=offs.size)
+
+    def multi_sweep_trace(self, grid: Grid, pencil: Pencil,
+                          space: AddressSpace) -> TraceChunk:
+        """The pencil's stream repeated over all sweeps.
+
+        Between sweeps the roles of the two ping-pong buffers swap; the
+        read stream geometry is identical each sweep (we model both
+        buffers at distinct base addresses, alternating).
+        """
+        shadow = self._shadow_grid(grid, space)
+        chunks = []
+        for sweep in range(self.spec.sweeps):
+            source = grid if sweep % 2 == 0 else shadow
+            chunks.append(self.pencil_trace(source, pencil, space))
+        return concat_chunks(chunks)
+
+    def _shadow_grid(self, grid: Grid, space: AddressSpace) -> Grid:
+        """The ping-pong partner buffer (registered, never materialized
+        with data — only its addresses matter to the simulator)."""
+        key = (id(grid), "jacobi-shadow")
+        cache = getattr(space, "_jacobi_shadows", None)
+        if cache is None:
+            cache = {}
+            space._jacobi_shadows = cache
+        if key not in cache:
+            cache[key] = Grid(grid.layout, dtype=grid.dtype)
+        return cache[key]
+
+    # -- whole-volume paths -------------------------------------------------------
+
+    def apply(self, grid: Grid, out_layout: Optional[Layout] = None) -> Grid:
+        """Run all sweeps via the pencil value path (ping-pong buffered)."""
+        current = grid
+        for _ in range(self.spec.sweeps):
+            out = Grid(out_layout or current.layout, dtype=current.dtype)
+            if out.layout.shape != current.shape:
+                raise ValueError("output layout shape must match input shape")
+            for pencil in enumerate_pencils(current.shape, 0):
+                i, j, k = pencil_coords(pencil, current.shape)
+                out.scatter(i, j, k, self.pencil_values(current, pencil))
+            current = out
+        return current
+
+    def apply_dense(self, dense: np.ndarray) -> np.ndarray:
+        """Dense reference via clamped shifts (no layout involvement)."""
+        out = np.asarray(dense, dtype=np.float64)
+        w = self.spec.weight
+        for _ in range(self.spec.sweeps):
+            padded = np.pad(out, 1, mode="edge")
+            out = (1.0 - 6.0 * w) * out + w * (
+                padded[:-2, 1:-1, 1:-1] + padded[2:, 1:-1, 1:-1]
+                + padded[1:-1, :-2, 1:-1] + padded[1:-1, 2:, 1:-1]
+                + padded[1:-1, 1:-1, :-2] + padded[1:-1, 1:-1, 2:]
+            )
+        return out

@@ -1,0 +1,82 @@
+"""Volume reconstruction through the layout interface.
+
+Samplers take continuous positions (in voxel coordinates) and return
+both reconstructed values and the *element offsets they read*, so the
+renderer's value path and stream path stay in lockstep: every simulated
+load corresponds to a value actually used.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..core.grid import Grid
+
+__all__ = ["sample_nearest", "sample_trilinear"]
+
+
+def sample_nearest(grid: Grid, pts: np.ndarray
+                   ) -> Tuple[np.ndarray, np.ndarray]:
+    """Nearest-neighbour reconstruction at positions ``pts`` (n, 3).
+
+    Returns ``(values, offsets)`` where ``offsets`` has one element
+    offset per sample, in sample order.
+    """
+    pts = np.asarray(pts, dtype=np.float64)
+    nx, ny, nz = grid.shape
+    i = np.clip(np.rint(pts[:, 0]).astype(np.int64), 0, nx - 1)
+    j = np.clip(np.rint(pts[:, 1]).astype(np.int64), 0, ny - 1)
+    k = np.clip(np.rint(pts[:, 2]).astype(np.int64), 0, nz - 1)
+    offs = grid.offsets(i, j, k)
+    return grid.buffer[offs].astype(np.float64), offs
+
+
+def sample_trilinear(grid: Grid, pts: np.ndarray
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+    """Trilinear reconstruction at positions ``pts`` (n, 3).
+
+    Returns ``(values, offsets)`` where ``offsets`` has shape ``(n * 8,)``:
+    the 8 cell-corner reads per sample in c000, c100, c010, c110, c001,
+    c101, c011, c111 order (x fastest), flattened sample-major — the
+    load order of a straightforward inner loop.
+    """
+    pts = np.asarray(pts, dtype=np.float64)
+    nx, ny, nz = grid.shape
+    # cell base (clamped so the +1 corner stays in bounds)
+    base = np.floor(pts).astype(np.int64)
+    base[:, 0] = np.clip(base[:, 0], 0, max(nx - 2, 0))
+    base[:, 1] = np.clip(base[:, 1], 0, max(ny - 2, 0))
+    base[:, 2] = np.clip(base[:, 2], 0, max(nz - 2, 0))
+    frac = np.clip(pts - base, 0.0, 1.0)
+    fx, fy, fz = frac[:, 0], frac[:, 1], frac[:, 2]
+
+    n = pts.shape[0]
+    corner_offsets = np.array(
+        [[0, 0, 0], [1, 0, 0], [0, 1, 0], [1, 1, 0],
+         [0, 0, 1], [1, 0, 1], [0, 1, 1], [1, 1, 1]],
+        dtype=np.int64,
+    )
+    ii = base[:, 0:1] + corner_offsets[:, 0][None, :]
+    jj = base[:, 1:2] + corner_offsets[:, 1][None, :]
+    kk = base[:, 2:3] + corner_offsets[:, 2][None, :]
+    if nx == 1:
+        ii[:] = 0
+    if ny == 1:
+        jj[:] = 0
+    if nz == 1:
+        kk[:] = 0
+    offs = grid.offsets(ii.ravel(), jj.ravel(), kk.ravel())
+    vals = grid.buffer[offs].reshape(n, 8).astype(np.float64)
+
+    wx = np.stack([1 - fx, fx], axis=1)
+    wy = np.stack([1 - fy, fy], axis=1)
+    wz = np.stack([1 - fz, fz], axis=1)
+    # weight for corner (a, b, c) is wx[a] * wy[b] * wz[c]
+    w = (
+        wx[:, corner_offsets[:, 0]]
+        * wy[:, corner_offsets[:, 1]]
+        * wz[:, corner_offsets[:, 2]]
+    )
+    return (vals * w).sum(axis=1), offs

@@ -1,0 +1,79 @@
+"""Trace-driven memory-hierarchy simulator (the PAPI/hardware substitute).
+
+Feed it the line-address streams a kernel generates and it answers the
+questions the paper asked of PAPI: how many requests reached each cache
+level, and what did the memory system cost the program?
+
+Public surface:
+
+* :class:`~repro.memsim.cache.Cache` / :class:`CacheConfig` — one
+  set-associative cache (LRU/FIFO/PLRU/random/direct);
+* :class:`~repro.memsim.hierarchy.Machine` / :class:`PlatformSpec` —
+  multi-core hierarchies with per-core, per-socket, and global levels;
+* :data:`~repro.memsim.platforms.EDISON_IVYBRIDGE` and
+  :data:`~repro.memsim.platforms.BABBAGE_MIC` — the paper's platforms;
+* :class:`~repro.memsim.engine.SimulationEngine` — quantum-interleaved
+  multi-thread simulation returning counters + cost-model runtime;
+* :class:`~repro.memsim.address.AddressSpace`,
+  :class:`~repro.memsim.trace.TraceChunk` — trace plumbing.
+"""
+
+from .address import AddressSpace
+from .cache import Cache, CacheConfig, CacheStats, REPLACEMENT_POLICIES
+from .cost import CostModel
+from .energy import DEFAULT_ACCESS_ENERGY_NJ, EnergyModel, energy_of_result
+from .gpu import (
+    CoalescingStats,
+    bilateral_warp_stats,
+    volrend_warp_stats,
+    warp_transactions,
+)
+from .engine import SimResult, SimulationEngine, ThreadWork
+from .hierarchy import LevelSpec, Machine, PlatformSpec, ServiceCounts
+from .prefetch import PrefetchConfig, StreamPrefetcher
+from .platforms import (
+    BABBAGE_MIC,
+    EDISON_IVYBRIDGE,
+    PLATFORMS,
+    get_platform,
+    scaled_ivybridge,
+    scaled_mic,
+    with_replacement,
+)
+from .trace import TraceChunk, collapse_consecutive, concat_chunks, offsets_to_lines
+
+__all__ = [
+    "AddressSpace",
+    "BABBAGE_MIC",
+    "Cache",
+    "CacheConfig",
+    "CacheStats",
+    "CoalescingStats",
+    "bilateral_warp_stats",
+    "volrend_warp_stats",
+    "warp_transactions",
+    "CostModel",
+    "DEFAULT_ACCESS_ENERGY_NJ",
+    "EDISON_IVYBRIDGE",
+    "EnergyModel",
+    "energy_of_result",
+    "LevelSpec",
+    "Machine",
+    "PLATFORMS",
+    "PlatformSpec",
+    "PrefetchConfig",
+    "StreamPrefetcher",
+    "REPLACEMENT_POLICIES",
+    "ServiceCounts",
+    "SimResult",
+    "SimulationEngine",
+    "ThreadWork",
+    "TraceChunk",
+    "collapse_consecutive",
+    "concat_chunks",
+    "get_platform",
+    "offsets_to_lines",
+    "scaled_ivybridge",
+    "scaled_mic",
+    "with_replacement",
+]

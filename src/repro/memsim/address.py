@@ -1,0 +1,68 @@
+"""Address-space bookkeeping for simulated grids.
+
+Each :class:`~repro.core.grid.Grid` that participates in a simulation is
+registered here and receives a line-aligned byte base address, so that
+offsets from different grids never alias in the cache model (input
+volume vs. output volume, for instance).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..core.grid import Grid
+from .trace import offsets_to_lines
+
+__all__ = ["AddressSpace"]
+
+
+class AddressSpace:
+    """Allocates disjoint, line-aligned byte ranges to grids.
+
+    Parameters
+    ----------
+    line_bytes : int
+        Cache-line size; every allocation is aligned to it (and further
+        to 4 KB pages, matching what a real allocator would hand a large
+        volume).
+    """
+
+    PAGE = 4096
+
+    def __init__(self, line_bytes: int = 64):
+        self.line_bytes = int(line_bytes)
+        self._next = self.PAGE  # never hand out address 0
+        self._bases: Dict[int, int] = {}
+
+    def register(self, grid: Grid) -> int:
+        """Assign (or return the existing) base byte address for ``grid``."""
+        return self.register_object(grid, grid.layout.buffer_size * grid.itemsize)
+
+    def register_object(self, obj, nbytes: int) -> int:
+        """Assign a base address to any object owning ``nbytes`` of data.
+
+        Used for non-Grid structures the simulator should see at their
+        own addresses (acceleration structures, lookup tables, 2-D
+        grids).  Idempotent per object identity.
+        """
+        key = id(obj)
+        if key not in self._bases:
+            if nbytes < 0:
+                raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+            self._bases[key] = self._next
+            self._next += -(-int(nbytes) // self.PAGE) * self.PAGE + self.PAGE
+        return self._bases[key]
+
+    def base_of(self, grid: Grid) -> int:
+        """Base address of a registered grid."""
+        try:
+            return self._bases[id(grid)]
+        except KeyError:
+            raise KeyError("grid was never registered in this address space") from None
+
+    def lines_for(self, grid: Grid, offsets: np.ndarray) -> np.ndarray:
+        """Cache-line ids for element ``offsets`` of ``grid`` (auto-registers)."""
+        base = self.register(grid)
+        return offsets_to_lines(offsets, grid.itemsize, self.line_bytes, base)

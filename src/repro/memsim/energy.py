@@ -1,0 +1,96 @@
+"""Memory-system energy model (the Reissmann et al. dimension).
+
+The paper cites Reissmann, Meyer & Jahre's study of *energy* and
+locality effects of SFC layouts.  Energy is largely a re-weighting of
+the same service counts the runtime model uses — but with very different
+weights: a DRAM access costs two orders of magnitude more energy than an
+L1 hit, so layouts that keep traffic on-chip save disproportionate
+energy.  Default per-access energies follow the usual 45/32 nm
+literature ballpark (Han/Horowitz-style numbers, scaled to whole
+cache accesses rather than bytes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .hierarchy import PlatformSpec, ServiceCounts
+
+__all__ = ["EnergyModel", "DEFAULT_ACCESS_ENERGY_NJ"]
+
+#: Ball-park energy per access, in nanojoules, by level name.
+DEFAULT_ACCESS_ENERGY_NJ: Dict[str, float] = {
+    "L1": 0.05,
+    "L2": 0.25,
+    "L3": 1.0,
+    "MEM": 20.0,
+}
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Convert service counts to energy.
+
+    Attributes
+    ----------
+    access_energy_nj : dict
+        Per-access energy (nJ) by level name, plus the ``"MEM"`` key;
+        levels absent from the dict fall back to the ``"L3"`` entry (or
+        the largest cache entry present).
+    compute_energy_nj_per_op : float
+        Arithmetic energy per kernel op.
+    static_power_w : float
+        Leakage/background power, charged over the modelled runtime when
+        one is supplied to :meth:`total_joules`.
+    """
+
+    access_energy_nj: Dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_ACCESS_ENERGY_NJ))
+    compute_energy_nj_per_op: float = 0.01
+    static_power_w: float = 10.0
+
+    def _level_energy(self, name: str) -> float:
+        if name in self.access_energy_nj:
+            return self.access_energy_nj[name]
+        cache_only = {k: v for k, v in self.access_energy_nj.items()
+                      if k != "MEM"}
+        if not cache_only:
+            raise KeyError(f"no energy entry usable for level {name!r}")
+        return max(cache_only.values())
+
+    def access_joules(self, counts: ServiceCounts) -> float:
+        """Energy of the memory traffic in ``counts`` (joules)."""
+        nj = 0.0
+        for name, served in counts.per_level.items():
+            nj += served * self._level_energy(name)
+        nj += counts.mem * self.access_energy_nj.get("MEM", 20.0)
+        return nj * 1e-9
+
+    def compute_joules(self, n_ops: int) -> float:
+        """Arithmetic energy for ``n_ops`` kernel operations."""
+        return n_ops * self.compute_energy_nj_per_op * 1e-9
+
+    def total_joules(self, counts: ServiceCounts, n_ops: int,
+                     runtime_seconds: float = 0.0) -> float:
+        """Dynamic (access + compute) plus static energy over the runtime."""
+        return (self.access_joules(counts)
+                + self.compute_joules(n_ops)
+                + self.static_power_w * runtime_seconds)
+
+
+def energy_of_result(result, model: "EnergyModel" = None,
+                     n_ops: int = 0) -> float:
+    """Energy of a :class:`~repro.memsim.engine.SimResult` (joules).
+
+    Uses the result's (already extrapolated) per-level service totals
+    and its cost-model runtime for the static term.
+    """
+    model = model or EnergyModel()
+    counts = ServiceCounts(
+        per_level={k: int(v) for k, v in result.level_served.items()
+                   if k != "MEM"},
+        mem=int(result.level_served.get("MEM", 0)),
+    )
+    return model.total_joules(counts, n_ops,
+                              runtime_seconds=result.runtime_seconds)

@@ -1,0 +1,162 @@
+"""Platform presets: the paper's two test machines, plus scaled variants.
+
+``EDISON_IVYBRIDGE`` models a NERSC Edison compute node as described in
+Section IV-A: two 2.4 GHz 12-core Intel Ivy Bridge processors; per core
+64 KB L1 and 256 KB L2; one 30 MB L3 shared per processor.  The paper's
+headline counter there is ``PAPI_L3_TCA`` (total L3 cache accesses,
+i.e. requests L1/L2 could not satisfy).
+
+``BABBAGE_MIC`` models one Babbage MIC (Knights Corner 5110P-class)
+card: 60 cores (59 usable for the application, one reserved for the OS)
+at ~1.05 GHz, 4 hardware threads per core, per-core 32 KB L1 and 512 KB
+L2 (the LLC — there is no L3), GDDR5 memory.  The paper's counter there
+is ``L2_DATA_READ_MISS_MEM_FILL`` (L2 read misses filled from memory).
+
+Real-capacity presets are faithful to the hardware but demand 512³-class
+volumes to stress; :func:`scaled` variants divide every capacity by a
+factor so that proportionally smaller volumes cross the same cache-fit
+boundaries (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from .cache import CacheConfig
+from .hierarchy import LevelSpec, PlatformSpec
+
+__all__ = [
+    "EDISON_IVYBRIDGE",
+    "BABBAGE_MIC",
+    "scaled_ivybridge",
+    "scaled_mic",
+    "with_replacement",
+    "PLATFORMS",
+    "get_platform",
+]
+
+EDISON_IVYBRIDGE = PlatformSpec(
+    name="edison-ivybridge",
+    n_cores=24,
+    n_sockets=2,
+    smt=1,
+    freq_ghz=2.4,
+    levels=(
+        LevelSpec(
+            cache=CacheConfig("L1", 64 * 1024, line_bytes=64, ways=8),
+            scope="core",
+            latency_cycles=4.0,
+        ),
+        LevelSpec(
+            cache=CacheConfig("L2", 256 * 1024, line_bytes=64, ways=8),
+            scope="core",
+            latency_cycles=12.0,
+        ),
+        LevelSpec(
+            # 30 MB with 30 ways gives a power-of-two 16384 sets
+            cache=CacheConfig("L3", 30 * 1024 * 1024, line_bytes=64, ways=30),
+            scope="socket",
+            latency_cycles=36.0,
+        ),
+    ),
+    mem_latency_cycles=230.0,
+    mem_parallelism=4.0,
+    counters={
+        "PAPI_L1_TCA": ("L1", "accesses"),
+        "PAPI_L1_TCM": ("L1", "misses"),
+        "PAPI_L2_TCA": ("L2", "accesses"),
+        "PAPI_L2_TCM": ("L2", "misses"),
+        "PAPI_L3_TCA": ("L3", "accesses"),
+        "PAPI_L3_TCM": ("L3", "misses"),
+        "PAPI_TLB_DM": ("TLB", "misses"),
+    },
+    # Ivy Bridge 64-entry 4-way data TLB over 4 KB pages
+    tlb=CacheConfig("TLB", 64 * 4096, line_bytes=4096, ways=4),
+    tlb_miss_cycles=30.0,
+)
+
+BABBAGE_MIC = PlatformSpec(
+    name="babbage-mic",
+    n_cores=60,
+    n_sockets=1,
+    smt=4,
+    freq_ghz=1.053,
+    levels=(
+        LevelSpec(
+            cache=CacheConfig("L1", 32 * 1024, line_bytes=64, ways=8),
+            scope="core",
+            latency_cycles=3.0,
+        ),
+        LevelSpec(
+            cache=CacheConfig("L2", 512 * 1024, line_bytes=64, ways=8),
+            scope="core",
+            latency_cycles=24.0,
+        ),
+    ),
+    mem_latency_cycles=350.0,
+    # in-order cores sustain less memory-level parallelism than Ivy Bridge
+    mem_parallelism=2.0,
+    counters={
+        "L1_DATA_READ": ("L1", "accesses"),
+        "L1_DATA_READ_MISS": ("L1", "misses"),
+        "L2_DATA_READ": ("L2", "accesses"),
+        # no L3: every L2 read miss is filled from GDDR5
+        "L2_DATA_READ_MISS_MEM_FILL": ("L2", "misses"),
+        "DATA_PAGE_WALK": ("TLB", "misses"),
+    },
+    # KNC 64-entry 4-way micro-dTLB over 4 KB pages
+    tlb=CacheConfig("TLB", 64 * 4096, line_bytes=4096, ways=4),
+    tlb_miss_cycles=100.0,
+)
+
+
+def scaled_ivybridge(factor: int = 64) -> PlatformSpec:
+    """Ivy Bridge preset with capacities divided by ``factor``.
+
+    ``factor=64`` pairs with 64³ volumes the way the real machine pairs
+    with 512³ (the per-plane working set scales with N², and 512²/64² =
+    64).
+    """
+    return EDISON_IVYBRIDGE.scaled(factor, suffix=f"-scaled{factor}")
+
+
+def scaled_mic(factor: int = 64) -> PlatformSpec:
+    """MIC preset with capacities divided by ``factor``."""
+    return BABBAGE_MIC.scaled(factor, suffix=f"-scaled{factor}")
+
+
+def with_replacement(spec: PlatformSpec, policy: str,
+                     levels: tuple = ("L1", "L2")) -> PlatformSpec:
+    """A platform variant with a different replacement policy.
+
+    Only the named levels are changed (the Ivy Bridge L3's 30-way
+    geometry cannot host tree-PLRU, which needs power-of-two ways), so
+    the default leaves the LLC on LRU.  Used by the replacement-policy
+    sensitivity ablation (A13).
+    """
+    from dataclasses import replace as _replace
+
+    new_levels = []
+    for level in spec.levels:
+        if level.cache.name in levels:
+            new_levels.append(_replace(
+                level, cache=_replace(level.cache, replacement=policy)))
+        else:
+            new_levels.append(level)
+    return _replace(spec, name=f"{spec.name}-{policy}",
+                    levels=tuple(new_levels))
+
+
+PLATFORMS = {
+    "ivybridge": EDISON_IVYBRIDGE,
+    "mic": BABBAGE_MIC,
+}
+
+
+def get_platform(name: str, scale: int = 1) -> PlatformSpec:
+    """Look up a platform preset by short name, optionally scaled."""
+    try:
+        spec = PLATFORMS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown platform {name!r}; known: {sorted(PLATFORMS)}"
+        ) from None
+    return spec if scale == 1 else spec.scaled(scale, suffix=f"-scaled{scale}")

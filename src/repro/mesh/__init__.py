@@ -1,0 +1,26 @@
+"""Unstructured-mesh extension: testing the paper's conclusion claim.
+
+The conclusion says SFC layouts are "unlikely as readily applicable to
+unstructured data".  This subpackage makes the claim measurable: a
+tetrahedral-mesh substrate (scipy Delaunay), vertex reordering
+strategies (identity / random / Morton / Hilbert / BFS), the Jones-cite
+smoothing kernels, and the same trace-to-simulator path the structured
+kernels use — so E11 can compare orderings on real cache models.
+"""
+
+from .generate import perturbed_grid_delaunay, random_delaunay
+from .mesh import TetraMesh
+from .reorder import ORDERINGS, ordering_permutation, reorder
+from .smooth import bilateral_smooth, laplacian_smooth, taubin_smooth
+
+__all__ = [
+    "ORDERINGS",
+    "TetraMesh",
+    "bilateral_smooth",
+    "laplacian_smooth",
+    "ordering_permutation",
+    "perturbed_grid_delaunay",
+    "random_delaunay",
+    "reorder",
+    "taubin_smooth",
+]

@@ -1,0 +1,51 @@
+"""Mesh generation: Delaunay tetrahedralizations of synthetic point sets.
+
+Real unstructured meshes arrive in whatever order the mesher emitted —
+typically with poor locality.  We generate meshes two ways:
+
+* :func:`random_delaunay` — uniform random points in the unit cube,
+  tetrahedralized with scipy's Delaunay; vertex order is the random
+  generation order (the pessimistic, realistic case);
+* :func:`perturbed_grid_delaunay` — a jittered lattice, which yields a
+  more regular mesh whose natural order is scanline-ish.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import Delaunay
+
+from .mesh import TetraMesh
+
+__all__ = ["random_delaunay", "perturbed_grid_delaunay"]
+
+
+def random_delaunay(n_points: int, seed: int = 0) -> TetraMesh:
+    """Delaunay mesh of ``n_points`` uniform random points in [0, 1]³."""
+    if n_points < 5:
+        raise ValueError(f"need at least 5 points, got {n_points}")
+    rng = np.random.default_rng(seed)
+    points = rng.random((n_points, 3))
+    tri = Delaunay(points)
+    return TetraMesh(points, tri.simplices)
+
+
+def perturbed_grid_delaunay(side: int, jitter: float = 0.25,
+                            seed: int = 0) -> TetraMesh:
+    """Delaunay mesh of a ``side³`` lattice with ``jitter``-scaled noise.
+
+    Lattice spacing is ``1/side``; jitter is a fraction of the spacing
+    (≤ 0.49 keeps points distinct).  Vertex order is the lattice scan
+    order (x fastest).
+    """
+    if side < 2:
+        raise ValueError(f"side must be >= 2, got {side}")
+    if not 0 <= jitter < 0.5:
+        raise ValueError(f"jitter must be in [0, 0.5), got {jitter}")
+    rng = np.random.default_rng(seed)
+    axis = (np.arange(side) + 0.5) / side
+    z, y, x = np.meshgrid(axis, axis, axis, indexing="ij")
+    points = np.stack([x.ravel(), y.ravel(), z.ravel()], axis=1)
+    points += rng.uniform(-jitter, jitter, points.shape) / side
+    tri = Delaunay(points)
+    return TetraMesh(points, tri.simplices)

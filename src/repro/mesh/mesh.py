@@ -1,0 +1,131 @@
+"""Unstructured tetrahedral meshes with CSR vertex adjacency.
+
+The paper's conclusion argues SFC layouts are "unlikely as readily
+applicable to unstructured data"; its reference [13] (Jones et al.) is
+feature-preserving *mesh* smoothing.  This subpackage builds the
+substrate to test both: a tetrahedral mesh type whose vertex storage
+order is an explicit, permutable choice — for structured grids the
+layout is an indexing formula, but for meshes it is a *reordering* pass,
+which is exactly the practical difference the conclusion points at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["TetraMesh"]
+
+
+class TetraMesh:
+    """A tetrahedral mesh: vertex coordinates + cells + CSR adjacency.
+
+    Parameters
+    ----------
+    points : (n, 3) float array
+        Vertex coordinates, in *storage order* — the order a smoothing
+        sweep walks and the order coordinates sit in memory.
+    cells : (m, 4) int array
+        Tetrahedra as vertex indices.
+    """
+
+    def __init__(self, points: np.ndarray, cells: np.ndarray):
+        self.points = np.asarray(points, dtype=np.float64)
+        self.cells = np.asarray(cells, dtype=np.int64)
+        if self.points.ndim != 2 or self.points.shape[1] != 3:
+            raise ValueError("points must be (n, 3)")
+        if self.cells.ndim != 2 or self.cells.shape[1] != 4:
+            raise ValueError("cells must be (m, 4)")
+        if self.cells.size and (self.cells.min() < 0
+                                or self.cells.max() >= len(self.points)):
+            raise ValueError("cell indices out of range")
+        self.indptr, self.indices = self._build_adjacency()
+
+    def _build_adjacency(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Vertex adjacency (CSR) from tetra edges, symmetric, deduped."""
+        n = len(self.points)
+        if self.cells.size == 0:
+            return np.zeros(n + 1, dtype=np.int64), np.empty(0, dtype=np.int64)
+        pairs = []
+        for a in range(4):
+            for b in range(a + 1, 4):
+                pairs.append(self.cells[:, [a, b]])
+        edges = np.concatenate(pairs)
+        edges = np.concatenate([edges, edges[:, ::-1]])
+        # dedupe (src, dst) pairs
+        key = edges[:, 0] * n + edges[:, 1]
+        _, unique_idx = np.unique(key, return_index=True)
+        edges = edges[unique_idx]
+        order = np.lexsort((edges[:, 1], edges[:, 0]))
+        edges = edges[order]
+        counts = np.bincount(edges[:, 0], minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return indptr, edges[:, 1].copy()
+
+    # -- queries ------------------------------------------------------------------
+
+    @property
+    def n_vertices(self) -> int:
+        """Vertex count."""
+        return len(self.points)
+
+    @property
+    def n_cells(self) -> int:
+        """Tetrahedron count."""
+        return len(self.cells)
+
+    @property
+    def n_edges(self) -> int:
+        """Undirected edge count."""
+        return self.indices.size // 2
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Adjacent vertex ids of vertex ``v``."""
+        return self.indices[self.indptr[v]:self.indptr[v + 1]]
+
+    def valences(self) -> np.ndarray:
+        """Per-vertex neighbour counts."""
+        return np.diff(self.indptr)
+
+    # -- reordering -----------------------------------------------------------------
+
+    def permute(self, perm: np.ndarray) -> "TetraMesh":
+        """Renumber vertices: new vertex ``i`` is old vertex ``perm[i]``.
+
+        ``perm`` must be a permutation of ``range(n_vertices)``; the
+        returned mesh represents the identical geometry with a different
+        storage order.
+        """
+        perm = np.asarray(perm, dtype=np.int64)
+        n = self.n_vertices
+        if perm.shape != (n,) or not np.array_equal(np.sort(perm),
+                                                    np.arange(n)):
+            raise ValueError("perm must be a permutation of the vertex ids")
+        inverse = np.empty(n, dtype=np.int64)
+        inverse[perm] = np.arange(n)
+        return TetraMesh(self.points[perm], inverse[self.cells])
+
+    # -- the smoothing sweep's memory stream ------------------------------------------
+
+    def sweep_read_ids(self) -> np.ndarray:
+        """Vertex ids read by one smoothing sweep, in access order.
+
+        The sweep walks vertices in storage order; for each it reads its
+        own coordinates, then each neighbour's — the gather loop of any
+        umbrella-operator smoother (Laplacian, Taubin, Jones-style
+        bilateral).
+        """
+        own = np.arange(self.n_vertices, dtype=np.int64)
+        return np.insert(self.indices, self.indptr[:-1], own)
+
+    def sweep_element_offsets(self) -> np.ndarray:
+        """Float-element offsets of the sweep (3 floats per vertex read)."""
+        ids = self.sweep_read_ids()
+        return (ids[:, None] * 3 + np.arange(3)[None, :]).ravel()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"TetraMesh(vertices={self.n_vertices}, "
+                f"cells={self.n_cells}, edges={self.n_edges})")

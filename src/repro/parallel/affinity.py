@@ -1,0 +1,75 @@
+"""Thread → core placement (the paper's affinity knob).
+
+The paper pins threads with the "compact" method on Ivy Bridge (up to 12
+threads stay on one processor) and runs 1–4 hardware threads per core on
+the MIC ({59, 118, 177, 236} threads over 59 usable cores).  Placement
+matters to the simulation because it decides which threads share an L1
+(SMT siblings), an L2 (MIC SMT), or an L3 (Ivy Bridge socket).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..memsim.hierarchy import PlatformSpec
+
+__all__ = ["compact_map", "scatter_map", "balanced_map", "make_affinity"]
+
+
+def _check(n_threads: int, n_cores: int, smt: int) -> None:
+    if n_threads <= 0:
+        raise ValueError(f"n_threads must be positive, got {n_threads}")
+    if n_threads > n_cores * smt:
+        raise ValueError(
+            f"{n_threads} threads exceed capacity {n_cores} cores x {smt} SMT"
+        )
+
+
+def compact_map(n_threads: int, spec: PlatformSpec,
+                usable_cores: Optional[int] = None) -> List[int]:
+    """KMP_AFFINITY=compact: fill every SMT slot of a core before moving on.
+
+    With smt == 1 (our Ivy Bridge model) this packs threads onto
+    consecutive cores, so ≤12 threads stay on socket 0 — exactly the
+    paper's setup.
+    """
+    cores = usable_cores if usable_cores is not None else spec.n_cores
+    _check(n_threads, cores, spec.smt)
+    return [t // spec.smt for t in range(n_threads)]
+
+
+def scatter_map(n_threads: int, spec: PlatformSpec,
+                usable_cores: Optional[int] = None) -> List[int]:
+    """KMP_AFFINITY=scatter: round-robin over cores, then fill SMT slots."""
+    cores = usable_cores if usable_cores is not None else spec.n_cores
+    _check(n_threads, cores, spec.smt)
+    return [t % cores for t in range(n_threads)]
+
+
+def balanced_map(n_threads: int, spec: PlatformSpec,
+                 usable_cores: Optional[int] = None) -> List[int]:
+    """Spread threads evenly: thread t on core ``t % cores``.
+
+    For the MIC's {59, 118, 177, 236} sweep this yields exactly 1, 2, 3,
+    4 threads per usable core, matching the paper's description.
+    """
+    return scatter_map(n_threads, spec, usable_cores)
+
+
+_MODES = {
+    "compact": compact_map,
+    "scatter": scatter_map,
+    "balanced": balanced_map,
+}
+
+
+def make_affinity(mode: str, n_threads: int, spec: PlatformSpec,
+                  usable_cores: Optional[int] = None) -> List[int]:
+    """Thread→core map for a named mode (``compact``/``scatter``/``balanced``)."""
+    try:
+        fn = _MODES[mode]
+    except KeyError:
+        raise ValueError(
+            f"unknown affinity mode {mode!r}; known: {sorted(_MODES)}"
+        ) from None
+    return fn(n_threads, spec, usable_cores)

@@ -1,0 +1,67 @@
+"""Work-assignment strategies (the paper's two schedulers).
+
+* The bilateral filter hands pencils to threads **round-robin**
+  (static): pencil ``i`` goes to thread ``i mod n_threads``.
+* The raycaster uses a **dynamic worker pool**: a thread grabs the next
+  tile from a shared queue when it finishes its current one.  We emulate
+  the pool deterministically with a greedy least-loaded assignment using
+  each item's known cost (its access count), which is exactly what a
+  work queue converges to when per-item costs are accurate.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, TypeVar
+
+__all__ = ["static_round_robin", "dynamic_worker_pool", "assignment_balance"]
+
+T = TypeVar("T")
+
+
+def static_round_robin(items: Sequence[T], n_threads: int) -> Dict[int, List[T]]:
+    """Round-robin static assignment: item ``i`` → thread ``i % n_threads``.
+
+    Every thread gets an entry (possibly empty) so downstream code can
+    rely on the dict having exactly ``n_threads`` keys.
+    """
+    if n_threads <= 0:
+        raise ValueError(f"n_threads must be positive, got {n_threads}")
+    out: Dict[int, List[T]] = {t: [] for t in range(n_threads)}
+    for idx, item in enumerate(items):
+        out[idx % n_threads].append(item)
+    return out
+
+
+def dynamic_worker_pool(items: Sequence[T], n_threads: int,
+                        cost: Callable[[T], float]) -> Dict[int, List[T]]:
+    """Emulated worker pool: queue order preserved, next item to idlest thread.
+
+    A min-heap of (accumulated cost, thread id) picks the thread that
+    would become free first; ties break toward lower thread ids, making
+    the emulation deterministic.
+    """
+    if n_threads <= 0:
+        raise ValueError(f"n_threads must be positive, got {n_threads}")
+    out: Dict[int, List[T]] = {t: [] for t in range(n_threads)}
+    heap = [(0.0, t) for t in range(n_threads)]
+    heapq.heapify(heap)
+    for item in items:
+        load, t = heapq.heappop(heap)
+        out[t].append(item)
+        heapq.heappush(heap, (load + float(cost(item)), t))
+    return out
+
+
+def assignment_balance(assignment: Dict[int, List[T]],
+                       cost: Callable[[T], float]) -> float:
+    """Load imbalance of an assignment: max thread load / mean load.
+
+    1.0 is perfect balance; empty assignments return 1.0.
+    """
+    loads = [sum(cost(i) for i in items) for items in assignment.values()]
+    if not loads or sum(loads) == 0:
+        return 1.0
+    mean = sum(loads) / len(loads)
+    return max(loads) / mean

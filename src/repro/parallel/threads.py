@@ -1,0 +1,48 @@
+"""Assembly of per-thread simulation inputs.
+
+Bridges the scheduler (which work item goes to which thread) and the
+engine (one :class:`~repro.memsim.engine.ThreadWork` per thread): work
+items are rendered to :class:`~repro.memsim.trace.TraceChunk` s by the
+kernel, concatenated per thread in execution order, and bound to cores
+via an affinity map.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, TypeVar
+
+from ..memsim.engine import ThreadWork
+from ..memsim.trace import TraceChunk, concat_chunks
+
+__all__ = ["build_thread_works"]
+
+T = TypeVar("T")
+
+
+def build_thread_works(
+    assignment: Dict[int, List[T]],
+    render: Callable[[T], TraceChunk],
+    affinity: Sequence[int],
+) -> List[ThreadWork]:
+    """Render each thread's items to one merged trace, bound to its core.
+
+    Parameters
+    ----------
+    assignment : dict
+        thread id → list of work items, from a scheduler.
+    render : callable
+        Work item → :class:`TraceChunk` (the kernel's stream generator).
+    affinity : sequence of int
+        thread id → core id; must cover every thread in ``assignment``.
+    """
+    works: List[ThreadWork] = []
+    for tid in sorted(assignment):
+        if tid >= len(affinity):
+            raise ValueError(
+                f"thread {tid} has no core in affinity map of length {len(affinity)}"
+            )
+        chunks = [render(item) for item in assignment[tid]]
+        works.append(
+            ThreadWork(thread_id=tid, core=affinity[tid], chunk=concat_chunks(chunks))
+        )
+    return works

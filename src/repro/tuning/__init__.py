@@ -1,0 +1,21 @@
+"""Auto-tuning extension: empirical parameter search against the simulator.
+
+The paper's Section II positions SFC layouts against tuned blocking;
+this package supplies the tuner (exhaustive / hill-climb searchers, plus
+brick- and tile-size tuners wired to the experiment harness) so that the
+"tuned blocking vs parameter-free Z-order" comparison in ablation A2 is
+fully reproducible.
+"""
+
+from .autotune import tiled_layout_name, tune_brick, tune_tile_size
+from .search import ParameterSpace, TuningResult, exhaustive_search, hill_climb
+
+__all__ = [
+    "ParameterSpace",
+    "TuningResult",
+    "exhaustive_search",
+    "hill_climb",
+    "tiled_layout_name",
+    "tune_brick",
+    "tune_tile_size",
+]

@@ -1,0 +1,87 @@
+"""Simulator-backed auto-tuning of blocking and tiling parameters.
+
+Ties the generic searcher to the experiment harness: the objective is
+the simulated runtime of a real cell, so tuning probes the machine model
+exactly the way empirical auto-tuners probe hardware.  Two tuners cover
+the paper's two tunable baselines:
+
+* :func:`tune_brick` — the cache-blocking factor of
+  :class:`~repro.core.tiled.TiledLayout` (the Lam/Datta problem the
+  paper's Section II recounts);
+* :func:`tune_tile_size` — the renderer's image-tile edge (Bethel &
+  Howison 2012 found 32² "consistently good"; the tuner lets you check
+  that on any modelled platform).
+
+Both return the full :class:`~repro.tuning.search.TuningResult`, so the
+cost landscape itself is inspectable — the point of ablation A2 is that
+this landscape is what Z-order lets you skip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from ..core.registry import LAYOUTS, register_layout
+from ..core.tiled import TiledLayout
+from ..experiments.config import BilateralCell, VolrendCell
+from ..experiments.harness import run_bilateral_cell, run_volrend_cell
+from .search import ParameterSpace, TuningResult, exhaustive_search, hill_climb
+
+__all__ = ["tune_brick", "tune_tile_size", "tiled_layout_name"]
+
+
+def tiled_layout_name(brick: int) -> str:
+    """Register (once) and return the layout name for a brick size."""
+    name = f"tiled-b{brick}"
+    if name not in LAYOUTS:
+        register_layout(
+            name, lambda shape, _b=brick: TiledLayout(shape, brick=_b))
+    return name
+
+
+def tune_brick(cell: BilateralCell,
+               bricks: Sequence[int] = (2, 4, 8, 16, 32),
+               method: str = "exhaustive") -> TuningResult:
+    """Find the brick edge minimizing the cell's simulated runtime.
+
+    ``cell.layout`` is ignored; each evaluation swaps in a
+    ``TiledLayout`` with the candidate brick.
+    """
+    space = ParameterSpace.from_dict({"brick": list(bricks)})
+
+    def objective(params) -> float:
+        layout = tiled_layout_name(int(params["brick"]))
+        return run_bilateral_cell(cell.with_layout(layout)).runtime_seconds
+
+    if method == "exhaustive":
+        return exhaustive_search(space, objective)
+    if method == "hill":
+        return hill_climb(space, objective)
+    raise ValueError(f"unknown method {method!r}")
+
+
+def tune_tile_size(cell: VolrendCell,
+                   tiles: Sequence[int] = (8, 16, 32, 64),
+                   method: str = "exhaustive") -> TuningResult:
+    """Find the image-tile edge minimizing the cell's simulated runtime.
+
+    Candidate tiles that leave fewer tiles than threads are skipped by
+    charging them an infinite cost (a worker pool cannot feed its
+    threads), matching how a real tuner would reject them.
+    """
+    space = ParameterSpace.from_dict({"tile": list(tiles)})
+
+    def objective(params) -> float:
+        tile = int(params["tile"])
+        n_tiles = (-(-cell.image_size // tile)) ** 2
+        if n_tiles < cell.n_threads:
+            return float("inf")
+        candidate = replace(cell, tile_size=tile)
+        return run_volrend_cell(candidate).runtime_seconds
+
+    if method == "exhaustive":
+        return exhaustive_search(space, objective)
+    if method == "hill":
+        return hill_climb(space, objective)
+    raise ValueError(f"unknown method {method!r}")

@@ -1,0 +1,176 @@
+"""Generic parameter search: exhaustive sweep and coordinate hill-climb.
+
+The paper's Section II frames auto-tuning as the practical answer to
+un-modelable cache hierarchies ("the idea of auto-tuning has emerged as
+a methodology for empirically determining the optimal blocking factor").
+This module provides the searcher; :mod:`repro.tuning.autotune` wires it
+to the simulator so blocking factors and tile sizes can be tuned against
+a machine model the same way ATLAS-style tuners probe real machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ParameterSpace", "TuningResult", "exhaustive_search", "hill_climb"]
+
+Params = Dict[str, object]
+
+
+@dataclass(frozen=True)
+class ParameterSpace:
+    """Cartesian grid of named, ordered parameter values.
+
+    Values per axis must be ordered (hill-climbing moves to index
+    neighbours, which is only meaningful on an ordered axis).
+    """
+
+    axes: Tuple[Tuple[str, Tuple[object, ...]], ...]
+
+    @classmethod
+    def from_dict(cls, axes: Dict[str, Sequence[object]]) -> "ParameterSpace":
+        """Build from ``{name: [values...]}`` (insertion order kept)."""
+        if not axes:
+            raise ValueError("parameter space needs at least one axis")
+        norm = []
+        for name, values in axes.items():
+            values = tuple(values)
+            if not values:
+                raise ValueError(f"axis {name!r} has no values")
+            norm.append((name, values))
+        return cls(axes=tuple(norm))
+
+    @property
+    def n_points(self) -> int:
+        """Total grid points."""
+        n = 1
+        for _, values in self.axes:
+            n *= len(values)
+        return n
+
+    def point(self, indices: Sequence[int]) -> Params:
+        """Parameter dict at grid ``indices``."""
+        return {name: values[i]
+                for (name, values), i in zip(self.axes, indices)}
+
+    def all_indices(self):
+        """Iterate every grid index tuple, first axis fastest."""
+        shape = [len(values) for _, values in self.axes]
+        idx = [0] * len(shape)
+        while True:
+            yield tuple(idx)
+            for d in range(len(shape)):
+                idx[d] += 1
+                if idx[d] < shape[d]:
+                    break
+                idx[d] = 0
+            else:
+                return
+
+    def neighbors(self, indices: Sequence[int]):
+        """Index tuples differing by ±1 in exactly one axis."""
+        for d, (_, values) in enumerate(self.axes):
+            for delta in (-1, 1):
+                cand = list(indices)
+                cand[d] += delta
+                if 0 <= cand[d] < len(values):
+                    yield tuple(cand)
+
+
+@dataclass
+class TuningResult:
+    """Outcome of a search.
+
+    Attributes
+    ----------
+    best_params, best_cost : the winner.
+    evaluations : int
+        Objective calls actually made (cache hits excluded).
+    history : list of (params, cost)
+        Every distinct point evaluated, in evaluation order.
+    """
+
+    best_params: Params
+    best_cost: float
+    evaluations: int
+    history: List[Tuple[Params, float]] = field(default_factory=list)
+
+
+def _evaluated(objective, space, cache):
+    def run(indices) -> float:
+        if indices not in cache:
+            cache[indices] = float(objective(space.point(indices)))
+        return cache[indices]
+    return run
+
+
+def exhaustive_search(space: ParameterSpace,
+                      objective: Callable[[Params], float]) -> TuningResult:
+    """Evaluate every grid point; return the global minimum."""
+    cache: dict = {}
+    run = _evaluated(objective, space, cache)
+    best_idx, best_cost = None, np.inf
+    history = []
+    for indices in space.all_indices():
+        cost = run(indices)
+        history.append((space.point(indices), cost))
+        if cost < best_cost:
+            best_idx, best_cost = indices, cost
+    return TuningResult(
+        best_params=space.point(best_idx),
+        best_cost=best_cost,
+        evaluations=len(cache),
+        history=history,
+    )
+
+
+def hill_climb(space: ParameterSpace,
+               objective: Callable[[Params], float],
+               start: Optional[Sequence[int]] = None,
+               restarts: int = 2,
+               seed: int = 0) -> TuningResult:
+    """Greedy coordinate descent with random restarts.
+
+    From each start, repeatedly move to the best strictly-improving
+    index neighbour until none exists.  Evaluations are memoized across
+    restarts, so the total objective calls stay well under exhaustive
+    for smooth landscapes.
+    """
+    if restarts < 1:
+        raise ValueError(f"restarts must be >= 1, got {restarts}")
+    rng = np.random.default_rng(seed)
+    shape = [len(values) for _, values in space.axes]
+    starts: List[Tuple[int, ...]] = []
+    if start is not None:
+        starts.append(tuple(start))
+    while len(starts) < restarts:
+        starts.append(tuple(int(rng.integers(0, n)) for n in shape))
+
+    cache: dict = {}
+    run = _evaluated(objective, space, cache)
+    history: List[Tuple[Params, float]] = []
+    best_idx, best_cost = None, np.inf
+    for s in starts:
+        current = s
+        current_cost = run(current)
+        history.append((space.point(current), current_cost))
+        improved = True
+        while improved:
+            improved = False
+            for cand in space.neighbors(current):
+                cost = run(cand)
+                history.append((space.point(cand), cost))
+                if cost < current_cost:
+                    current, current_cost = cand, cost
+                    improved = True
+        if current_cost < best_cost:
+            best_idx, best_cost = current, current_cost
+    return TuningResult(
+        best_params=space.point(best_idx),
+        best_cost=best_cost,
+        evaluations=len(cache),
+        history=history,
+    )

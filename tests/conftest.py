@@ -1,0 +1,35 @@
+"""Shared fixtures and hypothesis settings for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# One moderate profile for everything: enough examples to matter, fast
+# enough that the full suite stays snappy.
+settings.register_profile(
+    "repro",
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for test data."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_shape():
+    """An anisotropic, non-power-of-two shape that stresses padding."""
+    return (10, 7, 12)
+
+
+@pytest.fixture
+def cube_shape():
+    """A power-of-two cube (the SFC-friendly case)."""
+    return (8, 8, 8)

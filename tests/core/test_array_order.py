@@ -1,0 +1,119 @@
+"""Unit tests for array-order (row/column-major) layouts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import ArrayOrderLayout, ColumnMajorLayout, RowMajorLayout2D
+
+shape_st = st.tuples(
+    st.integers(1, 12), st.integers(1, 12), st.integers(1, 12)
+)
+
+
+class TestArrayOrderLayout:
+    def test_offset_tables_match_paper_definition(self):
+        layout = ArrayOrderLayout((512, 512, 512))
+        # yoffset[j] = j * xsize ; zoffset[k] = k * xsize * ysize
+        assert layout.yoffset[3] == 3 * 512
+        assert layout.zoffset[5] == 5 * 512 * 512
+        assert len(layout.yoffset) == 512
+        assert len(layout.zoffset) == 512
+
+    def test_index_formula(self):
+        layout = ArrayOrderLayout((5, 7, 3))
+        assert layout.index(1, 2, 1) == 1 + 2 * 5 + 1 * 35
+        assert layout.index(0, 0, 0) == 0
+        assert layout.index(4, 6, 2) == layout.n_points - 1
+
+    def test_x_neighbors_adjacent_y_neighbors_far(self):
+        # the paper's 1024x1024 example: A[i,j] vs A[i,j+1] are 4K bytes apart
+        layout = ArrayOrderLayout((1024, 1024, 1))
+        assert layout.index(1, 0, 0) - layout.index(0, 0, 0) == 1
+        delta = layout.index(0, 1, 0) - layout.index(0, 0, 0)
+        assert delta * 4 == 4096  # 4-byte floats -> 4K bytes
+
+    @given(shape_st)
+    def test_bijective(self, shape):
+        assert ArrayOrderLayout(shape).check_bijective()
+
+    @given(shape_st, st.data())
+    def test_inverse_roundtrip(self, shape, data):
+        layout = ArrayOrderLayout(shape)
+        i = data.draw(st.integers(0, shape[0] - 1))
+        j = data.draw(st.integers(0, shape[1] - 1))
+        k = data.draw(st.integers(0, shape[2] - 1))
+        assert layout.inverse(layout.index(i, j, k)) == (i, j, k)
+
+    def test_inverse_array(self, rng):
+        layout = ArrayOrderLayout((6, 5, 4))
+        offs = rng.permutation(layout.n_points)
+        i, j, k = layout.inverse_array(offs)
+        assert np.array_equal(layout.index_array(i, j, k), offs)
+
+    def test_no_padding(self):
+        layout = ArrayOrderLayout((5, 7, 3))
+        assert layout.buffer_size == 105
+        assert layout.padding_overhead == 0.0
+
+    def test_iter_curve_is_scan_order(self):
+        layout = ArrayOrderLayout((2, 2, 2))
+        assert list(layout.iter_curve()) == [
+            (0, 0, 0), (1, 0, 0), (0, 1, 0), (1, 1, 0),
+            (0, 0, 1), (1, 0, 1), (0, 1, 1), (1, 1, 1),
+        ]
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            ArrayOrderLayout((0, 4, 4))
+        with pytest.raises(ValueError):
+            ArrayOrderLayout((4, 4))
+
+
+class TestColumnMajorLayout:
+    def test_z_fastest(self):
+        layout = ColumnMajorLayout((4, 5, 6))
+        assert layout.index(0, 0, 1) - layout.index(0, 0, 0) == 1
+        assert layout.index(1, 0, 0) - layout.index(0, 0, 0) == 30
+
+    @given(shape_st)
+    def test_bijective(self, shape):
+        assert ColumnMajorLayout(shape).check_bijective()
+
+    def test_inverse_roundtrip(self, rng):
+        layout = ColumnMajorLayout((4, 3, 5))
+        offs = rng.permutation(layout.n_points)
+        i, j, k = layout.inverse_array(offs)
+        assert np.array_equal(layout.index_array(i, j, k), offs)
+        for off in range(0, 60, 7):
+            i0, j0, k0 = layout.inverse(off)
+            assert layout.index(i0, j0, k0) == off
+
+    def test_transpose_of_array_order(self):
+        a = ArrayOrderLayout((4, 5, 6))
+        c = ColumnMajorLayout((6, 5, 4))
+        assert a.index(1, 2, 3) == c.index(3, 2, 1)
+
+
+class TestRowMajorLayout2D:
+    def test_formula(self):
+        layout = RowMajorLayout2D((7, 5))
+        assert layout.index(3, 2) == 3 + 2 * 7
+
+    def test_bijective(self):
+        assert RowMajorLayout2D((9, 4)).check_bijective()
+
+    def test_inverse(self):
+        layout = RowMajorLayout2D((6, 4))
+        for off in range(24):
+            i, j = layout.inverse(off)
+            assert layout.index(i, j) == off
+
+    def test_bounds(self):
+        layout = RowMajorLayout2D((4, 4))
+        with pytest.raises(IndexError):
+            layout.get_index(4, 0)
+        assert layout.get_index(3, 3) == 15

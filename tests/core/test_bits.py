@@ -1,0 +1,178 @@
+"""Unit and property tests for dilated-integer bit arithmetic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import bits
+
+
+class TestPartCompactScalars:
+    def test_part1by1_known_values(self):
+        assert bits.part1by1(0) == 0
+        assert bits.part1by1(1) == 1
+        assert bits.part1by1(0b11) == 0b0101
+        assert bits.part1by1(0b111) == 0b010101
+        assert bits.part1by1(0b101) == 0b010001
+
+    def test_part1by2_known_values(self):
+        assert bits.part1by2(0) == 0
+        assert bits.part1by2(1) == 1
+        assert bits.part1by2(0b11) == 0b001001
+        assert bits.part1by2(0b111) == 0b001001001
+
+    def test_compact_inverts_part_2d_small(self):
+        for x in range(1024):
+            assert bits.compact1by1(bits.part1by1(x)) == x
+
+    def test_compact_inverts_part_3d_small(self):
+        for x in range(1024):
+            assert bits.compact1by2(bits.part1by2(x)) == x
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_magic_matches_loop_2d(self, x):
+        assert bits.part1by1(x) == bits.part1by1_loop(x)
+        assert bits.compact1by1(bits.part1by1(x)) == bits.compact1by1_loop(
+            bits.part1by1_loop(x))
+
+    @given(st.integers(min_value=0, max_value=2**21 - 1))
+    def test_magic_matches_loop_3d(self, x):
+        assert bits.part1by2(x) == bits.part1by2_loop(x)
+        assert bits.compact1by2(bits.part1by2(x)) == bits.compact1by2_loop(
+            bits.part1by2_loop(x))
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_roundtrip_2d(self, x):
+        assert bits.compact1by1(bits.part1by1(x)) == x
+
+    @given(st.integers(min_value=0, max_value=2**21 - 1))
+    def test_roundtrip_3d(self, x):
+        assert bits.compact1by2(bits.part1by2(x)) == x
+
+    def test_part_masks_high_bits(self):
+        # inputs beyond the bit budget are truncated, not corrupted
+        assert bits.part1by2(2**21) == 0
+        assert bits.part1by1(2**32) == 0
+
+
+class TestPartCompactArrays:
+    def test_array_matches_scalar_2d(self, rng):
+        xs = rng.integers(0, 2**32, size=500, dtype=np.uint64)
+        arr = bits.part1by1(xs)
+        for n in range(0, 500, 37):
+            assert int(arr[n]) == bits.part1by1(int(xs[n]))
+
+    def test_array_matches_scalar_3d(self, rng):
+        xs = rng.integers(0, 2**21, size=500, dtype=np.uint64)
+        arr = bits.part1by2(xs)
+        for n in range(0, 500, 37):
+            assert int(arr[n]) == bits.part1by2(int(xs[n]))
+
+    def test_array_roundtrip_3d(self, rng):
+        xs = rng.integers(0, 2**21, size=1000, dtype=np.uint64)
+        assert np.array_equal(bits.compact1by2(bits.part1by2(xs)), xs)
+
+    def test_array_roundtrip_2d(self, rng):
+        xs = rng.integers(0, 2**32, size=1000, dtype=np.uint64)
+        assert np.array_equal(bits.compact1by1(bits.part1by1(xs)), xs)
+
+
+class TestDilatedArithmetic:
+    @given(st.integers(min_value=0, max_value=2**21 - 2))
+    def test_increment_3d(self, x):
+        assert bits.dilated_increment_3d(bits.part1by2(x)) == bits.part1by2(x + 1)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 2))
+    def test_increment_2d(self, x):
+        assert bits.dilated_increment_2d(bits.part1by1(x)) == bits.part1by1(x + 1)
+
+    @given(st.integers(min_value=1, max_value=2**21 - 1))
+    def test_decrement_3d(self, x):
+        assert bits.dilated_decrement_3d(bits.part1by2(x)) == bits.part1by2(x - 1)
+
+    @given(st.integers(min_value=1, max_value=2**32 - 1))
+    def test_decrement_2d(self, x):
+        assert bits.dilated_decrement_2d(bits.part1by1(x)) == bits.part1by1(x - 1)
+
+    @given(
+        st.integers(min_value=0, max_value=2**20 - 1),
+        st.integers(min_value=0, max_value=2**20 - 1),
+    )
+    def test_add_3d(self, a, b):
+        got = bits.dilated_add(bits.part1by2(a), bits.part1by2(b), dims=3)
+        assert got == bits.part1by2(a + b)
+
+    @given(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_add_2d(self, a, b):
+        got = bits.dilated_add(bits.part1by1(a), bits.part1by1(b), dims=2)
+        assert got == bits.part1by1(a + b)
+
+    def test_add_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            bits.dilated_add(0, 0, dims=4)
+
+    def test_increment_array_3d(self, rng):
+        xs = rng.integers(0, 2**21 - 1, size=200, dtype=np.uint64)
+        dil = bits.part1by2(xs)
+        inc = bits.dilated_increment_3d(dil)
+        assert np.array_equal(inc, bits.part1by2(xs + np.uint64(1)))
+
+    def test_increment_array_2d(self, rng):
+        xs = rng.integers(0, 2**32 - 1, size=200, dtype=np.uint64)
+        inc = bits.dilated_increment_2d(bits.part1by1(xs))
+        assert np.array_equal(inc, bits.part1by1(xs + np.uint64(1)))
+
+    def test_decrement_array(self, rng):
+        xs = rng.integers(1, 2**21, size=200, dtype=np.uint64)
+        dec = bits.dilated_decrement_3d(bits.part1by2(xs))
+        assert np.array_equal(dec, bits.part1by2(xs - np.uint64(1)))
+        xs2 = rng.integers(1, 2**32, size=200, dtype=np.uint64)
+        dec2 = bits.dilated_decrement_2d(bits.part1by1(xs2))
+        assert np.array_equal(dec2, bits.part1by1(xs2 - np.uint64(1)))
+
+
+class TestIntegerHelpers:
+    def test_is_power_of_two(self):
+        assert bits.is_power_of_two(1)
+        assert bits.is_power_of_two(64)
+        assert not bits.is_power_of_two(0)
+        assert not bits.is_power_of_two(-4)
+        assert not bits.is_power_of_two(48)
+
+    def test_next_power_of_two(self):
+        assert bits.next_power_of_two(1) == 1
+        assert bits.next_power_of_two(2) == 2
+        assert bits.next_power_of_two(3) == 4
+        assert bits.next_power_of_two(512) == 512
+        assert bits.next_power_of_two(513) == 1024
+
+    def test_next_power_of_two_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            bits.next_power_of_two(0)
+
+    def test_ilog2(self):
+        assert bits.ilog2(1) == 0
+        assert bits.ilog2(1024) == 10
+
+    def test_ilog2_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            bits.ilog2(12)
+
+    @given(st.integers(min_value=1, max_value=2**40))
+    def test_next_power_of_two_properties(self, x):
+        p = bits.next_power_of_two(x)
+        assert bits.is_power_of_two(p)
+        assert p >= x
+        assert p < 2 * x or x == p
+
+    def test_bit_length(self):
+        assert bits.bit_length(0) == 0
+        assert bits.bit_length(1) == 1
+        assert bits.bit_length(255) == 8
+        assert bits.bit_length(256) == 9

@@ -1,0 +1,73 @@
+"""Tests for 2-D grids behind 2-D layouts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import Grid2D, HilbertLayout2D, MortonLayout2D, RowMajorLayout2D
+
+LAYOUTS_2D = {
+    "array2d": RowMajorLayout2D,
+    "morton2d": MortonLayout2D,
+    "hilbert2d": HilbertLayout2D,
+}
+
+shape_st = st.tuples(st.integers(1, 12), st.integers(1, 12))
+
+
+class TestGrid2D:
+    @given(st.sampled_from(sorted(LAYOUTS_2D)), shape_st)
+    def test_from_dense_to_dense_identity(self, name, shape):
+        rng = np.random.default_rng(11)
+        dense = rng.random(shape).astype(np.float32)
+        grid = Grid2D.from_dense(dense, LAYOUTS_2D[name](shape))
+        assert np.array_equal(grid.to_dense(), dense)
+
+    @given(st.sampled_from(sorted(LAYOUTS_2D)))
+    def test_relayout(self, name):
+        rng = np.random.default_rng(12)
+        shape = (9, 7)
+        dense = rng.random(shape).astype(np.float32)
+        grid = Grid2D.from_dense(dense, RowMajorLayout2D(shape))
+        moved = grid.relayout(LAYOUTS_2D[name](shape))
+        assert np.array_equal(moved.to_dense(), dense)
+
+    def test_relayout_shape_mismatch(self):
+        grid = Grid2D.zeros(RowMajorLayout2D((4, 4)))
+        with pytest.raises(ValueError):
+            grid.relayout(MortonLayout2D((8, 8)))
+
+    def test_from_dense_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Grid2D.from_dense(np.zeros((4, 4)), MortonLayout2D((4, 8)))
+
+    def test_get_set(self):
+        grid = Grid2D.zeros(MortonLayout2D((8, 8)))
+        grid.set(3, 5, 2.5)
+        assert grid.get(3, 5) == np.float32(2.5)
+        with pytest.raises(IndexError):
+            grid.get(8, 0)
+
+    def test_gather_scatter_offsets(self, rng):
+        layout = HilbertLayout2D((8, 8))
+        grid = Grid2D.zeros(layout)
+        i = rng.integers(0, 8, size=20)
+        j = rng.integers(0, 8, size=20)
+        vals = rng.random(20).astype(np.float32)
+        grid.scatter(i, j, vals)
+        assert np.array_equal(grid.offsets(i, j), layout.index_array(i, j))
+        seen = {}
+        for n in range(20):
+            seen[(i[n], j[n])] = vals[n]
+        got = grid.gather(i, j)
+        for n in range(20):
+            assert got[n] == seen[(i[n], j[n])]
+
+    def test_metadata(self):
+        grid = Grid2D.zeros(MortonLayout2D((5, 5)), dtype=np.float64)
+        assert grid.shape == (5, 5)
+        assert grid.itemsize == 8
+        assert grid.nbytes == 64 * 8  # padded to 8x8

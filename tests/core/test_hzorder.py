@@ -1,0 +1,129 @@
+"""Tests for the hierarchical Z-order layout (Pascucci & Frank)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    ArrayOrderLayout,
+    Grid,
+    HZLayout,
+    MortonLayout,
+    hz_from_morton,
+    morton_from_hz,
+)
+
+
+class TestHZCodec:
+    def test_root_maps_to_zero(self):
+        assert hz_from_morton(0, 9) == 0
+        assert morton_from_hz(0, 9) == 0
+
+    def test_known_values(self):
+        n = 6
+        # m = 0b100000 (tz=5): hz = 2^0 + 0 = ... n-tz-1 = 0 -> 1 + 0
+        assert hz_from_morton(0b100000, n) == 1
+        # m = 0b010000 (tz=4): base 2^1, m>>5 = 0 -> 2
+        assert hz_from_morton(0b010000, n) == 2
+        # m = 0b110000 (tz=4): base 2^1, m>>5 = 1 -> 3
+        assert hz_from_morton(0b110000, n) == 3
+        # odd codes (tz=0) fill the top half
+        assert hz_from_morton(0b000001, n) == 2 ** 5
+        assert hz_from_morton(0b111111, n) == 2 ** 6 - 1
+
+    @given(st.integers(0, 2 ** 12 - 1))
+    def test_roundtrip(self, m):
+        assert morton_from_hz(hz_from_morton(m, 12), 12) == m
+
+    def test_bijective_exhaustive(self):
+        n = 9
+        codes = np.arange(1 << n, dtype=np.uint64)
+        hz = hz_from_morton(codes, n)
+        assert np.unique(hz).size == 1 << n
+        back = morton_from_hz(hz, n)
+        assert np.array_equal(back, codes)
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            hz_from_morton(1 << 9, 9)
+        with pytest.raises(ValueError):
+            morton_from_hz(1 << 9, 9)
+
+    def test_vector_matches_scalar(self, rng):
+        ms = rng.integers(0, 1 << 12, size=200).astype(np.uint64)
+        vec = hz_from_morton(ms, 12)
+        for n in range(0, 200, 23):
+            assert int(vec[n]) == hz_from_morton(int(ms[n]), 12)
+
+
+class TestHZLayout:
+    @pytest.mark.parametrize("shape", [(8, 8, 8), (4, 4, 4), (5, 7, 3)])
+    def test_bijective(self, shape):
+        assert HZLayout(shape).check_bijective()
+
+    def test_inverse_roundtrip(self, rng):
+        layout = HZLayout((8, 8, 8))
+        i = rng.integers(0, 8, size=100)
+        j = rng.integers(0, 8, size=100)
+        k = rng.integers(0, 8, size=100)
+        offs = layout.index_array(i, j, k)
+        i2, j2, k2 = layout.inverse_array(offs)
+        assert np.array_equal(i, i2)
+        assert np.array_equal(j, j2)
+        assert np.array_equal(k, k2)
+        for n in range(0, 100, 13):
+            assert layout.inverse(int(offs[n])) == (i[n], j[n], k[n])
+
+    def test_grid_roundtrip(self, rng):
+        shape = (6, 5, 7)
+        dense = rng.random(shape).astype(np.float32)
+        grid = Grid.from_dense(dense, HZLayout(shape))
+        assert np.array_equal(grid.to_dense(), dense)
+
+    def test_lod_prefix_property(self):
+        """THE HZ property: the step-2^s subsampling lattice occupies a
+        contiguous prefix of the buffer."""
+        layout = HZLayout((16, 16, 16))
+        for step in (2, 4, 8, 16):
+            prefix = layout.lod_prefix_size(step)
+            coords = np.arange(0, 16, step)
+            i, j, k = np.meshgrid(coords, coords, coords, indexing="ij")
+            offs = layout.index_array(i.ravel(), j.ravel(), k.ravel())
+            assert offs.max() < prefix
+            assert offs.size == prefix  # the prefix holds exactly the lattice
+
+    def test_lod_prefix_sizes(self):
+        layout = HZLayout((16, 16, 16))  # order 4
+        assert layout.lod_prefix_size(1) == 16 ** 3
+        assert layout.lod_prefix_size(2) == 8 ** 3
+        assert layout.lod_prefix_size(16) == 1
+        with pytest.raises(ValueError):
+            layout.lod_prefix_size(3)
+        with pytest.raises(ValueError):
+            layout.lod_prefix_size(32)
+
+    def test_plain_morton_lacks_prefix_property(self):
+        """Contrast: plain Z-order scatters the coarse lattice."""
+        layout = MortonLayout((16, 16, 16))
+        coords = np.arange(0, 16, 4)
+        i, j, k = np.meshgrid(coords, coords, coords, indexing="ij")
+        offs = layout.index_array(i.ravel(), j.ravel(), k.ravel())
+        assert offs.max() > offs.size  # spread far beyond a prefix
+
+    def test_level_of(self):
+        layout = HZLayout((8, 8, 8))  # n_bits = 9
+        assert layout.level_of(0) == 0
+        assert layout.level_of(1) == 1
+        assert layout.level_of(2) == 2
+        assert layout.level_of(3) == 2
+        assert layout.level_of(layout.buffer_size - 1) == 9
+        with pytest.raises(IndexError):
+            layout.level_of(layout.buffer_size)
+
+    def test_registered(self):
+        from repro.core import make_layout
+
+        assert isinstance(make_layout("hzorder", (8, 8, 8)), HZLayout)

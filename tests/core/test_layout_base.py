@@ -1,0 +1,132 @@
+"""Tests for the Layout ABC plumbing, padding rules, and the registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ArrayOrderLayout,
+    LAYOUTS,
+    Layout,
+    MortonLayout,
+    layout_names,
+    make_layout,
+    padded_shape,
+    padding_report,
+    register_layout,
+)
+from repro.core.layout import as_index_arrays, validate_shape
+
+
+class _BrokenLayout(Layout):
+    """Deliberately non-injective layout for check_bijective tests."""
+
+    name = "broken"
+
+    @property
+    def buffer_size(self):
+        return self.n_points
+
+    def index(self, i, j, k):
+        return 0
+
+    def index_array(self, i, j, k):
+        return np.zeros(np.broadcast(i, j, k).shape, dtype=np.int64)
+
+    def inverse(self, offset):
+        return 0, 0, 0
+
+
+class TestValidateShape:
+    def test_normalizes_to_ints(self):
+        assert validate_shape([np.int64(4), 5.0, 6], 3) == (4, 5, 6)
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError):
+            validate_shape((4, 4), 3)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            validate_shape((4, 0, 4), 3)
+
+
+class TestLayoutBase:
+    def test_n_points(self):
+        assert ArrayOrderLayout((3, 4, 5)).n_points == 60
+
+    def test_padding_overhead_zero_for_array(self):
+        assert ArrayOrderLayout((3, 4, 5)).padding_overhead == 0.0
+
+    def test_padding_overhead_positive_for_padded_morton(self):
+        layout = MortonLayout((5, 5, 5))
+        assert layout.padding_overhead == pytest.approx(512 / 125 - 1)
+
+    def test_check_bijective_catches_broken_layout(self):
+        assert not _BrokenLayout((3, 3, 3)).check_bijective()
+
+    def test_generic_inverse_array(self):
+        layout = MortonLayout((4, 4, 4))
+        offs = layout.offsets_for_all()
+        # exercise the generic scalar-loop fallback on the base class
+        i, j, k = Layout.inverse_array(layout, offs[:16])
+        assert np.array_equal(layout.index_array(i, j, k), offs[:16])
+
+    def test_generic_iter_curve_sorted_by_offset(self):
+        layout = ArrayOrderLayout((2, 3, 2))
+        pts = list(Layout.iter_curve(layout))
+        offs = [layout.index(*p) for p in pts]
+        assert offs == sorted(offs)
+        assert len(pts) == 12
+
+    def test_as_index_arrays_broadcasts(self):
+        i, j = as_index_arrays(np.arange(3), 5)
+        assert i.shape == j.shape == (3,)
+        assert (j == 5).all()
+
+
+class TestPadding:
+    def test_per_axis(self):
+        assert padded_shape((5, 9, 16), "per_axis") == (8, 16, 16)
+
+    def test_cube(self):
+        assert padded_shape((5, 9, 16), "cube") == (16, 16, 16)
+
+    def test_report(self):
+        rep = padding_report((5, 5, 5))
+        assert rep.padded_shape == (8, 8, 8)
+        assert rep.logical_points == 125
+        assert rep.padded_points == 512
+        assert rep.overhead == pytest.approx(512 / 125 - 1)
+
+    def test_pow2_shape_has_no_overhead(self):
+        rep = padding_report((8, 16, 32))
+        assert rep.overhead == 0.0
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            padded_shape((4, 4, 4), "diagonal")
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert {"array", "morton", "hilbert", "tiled", "column"} <= set(layout_names())
+
+    def test_make_layout(self):
+        layout = make_layout("morton", (8, 8, 8), engine="magic")
+        assert isinstance(layout, MortonLayout)
+        assert layout.engine == "magic"
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown layout"):
+            make_layout("zigzag", (8, 8, 8))
+
+    def test_register_and_overwrite_guard(self):
+        register_layout("broken-test", _BrokenLayout)
+        try:
+            assert isinstance(make_layout("broken-test", (2, 2, 2)), _BrokenLayout)
+            with pytest.raises(ValueError, match="already registered"):
+                register_layout("broken-test", _BrokenLayout)
+            register_layout("broken-test", _BrokenLayout, overwrite=True)
+        finally:
+            LAYOUTS.pop("broken-test", None)

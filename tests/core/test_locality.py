@@ -1,0 +1,89 @@
+"""Tests for the locality metrics (the paper's Section II-B argument)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ArrayOrderLayout,
+    MortonLayout,
+    all_axis_neighbor_stats,
+    neighbor_distance_stats,
+    same_line_fraction,
+    stream_line_span,
+    stride_histogram,
+)
+
+
+class TestNeighborStats:
+    def test_array_order_exact_jumps(self):
+        layout = ArrayOrderLayout((16, 16, 16))
+        x = neighbor_distance_stats(layout, 0)
+        y = neighbor_distance_stats(layout, 1)
+        z = neighbor_distance_stats(layout, 2)
+        assert x.mean == 1.0 and x.maximum == 1.0
+        assert y.mean == 16.0
+        assert z.mean == 256.0
+        # with a 16-wide row exactly filling a line, every measurable +x
+        # step (i < 15) stays in its line; +z steps never do
+        assert x.frac_within_line == 1.0
+        assert z.frac_within_line == 0.0
+
+    def test_morton_balances_axes(self):
+        layout = MortonLayout((16, 16, 16))
+        stats = all_axis_neighbor_stats(layout)
+        means = [stats[a].mean for a in range(3)]
+        # no axis is catastrophically worse than another (within the 2/4x
+        # interleave factor), unlike array order's 1 vs 256
+        assert max(means) / min(means) < 8
+
+    def test_axis_validation(self):
+        with pytest.raises(ValueError):
+            neighbor_distance_stats(ArrayOrderLayout((4, 4, 4)), 3)
+
+    def test_sampling_path(self):
+        # force the random-sample branch with a tiny max_points
+        layout = ArrayOrderLayout((16, 16, 16))
+        stats = neighbor_distance_stats(layout, 0, max_points=100)
+        assert stats.mean == 1.0
+
+    def test_paper_4k_example(self):
+        """The paper's motivating numbers: A[i,j] vs A[i,j+1] 4 KB apart."""
+        layout = ArrayOrderLayout((1024, 1024, 1))
+        y = neighbor_distance_stats(layout, 1, max_points=4096)
+        assert y.mean * 4 == 4096.0
+
+
+class TestStreamMetrics:
+    def test_stride_histogram(self):
+        offsets = np.array([0, 1, 2, 4, 4, 0])
+        hist = stride_histogram(offsets)
+        assert hist == {1: 2, 2: 1, 0: 1, -4: 1}
+
+    def test_stride_histogram_clips(self):
+        offsets = np.array([0, 10 ** 9, 0])
+        hist = stride_histogram(offsets, clip=100)
+        assert hist == {100: 1, -100: 1}
+
+    def test_stride_histogram_short_stream(self):
+        assert stride_histogram(np.array([5])) == {}
+        assert stride_histogram(np.array([], dtype=np.int64)) == {}
+
+    def test_same_line_fraction(self):
+        offsets = np.array([0, 1, 15, 16, 17, 32])
+        # line_elems=16: pairs (0,1)T (1,15)T (15,16)F (16,17)T (17,32)F
+        assert same_line_fraction(offsets, 16) == pytest.approx(3 / 5)
+
+    def test_same_line_fraction_degenerate(self):
+        assert same_line_fraction(np.array([3]), 16) == 1.0
+
+    def test_stream_line_span(self):
+        offsets = np.array([0, 1, 15, 16, 47, 48])
+        assert stream_line_span(offsets, 16) == 4  # lines 0,1,2,3
+        assert stream_line_span(np.array([], dtype=np.int64), 16) == 0
+
+    def test_sequential_stream_minimal_span(self):
+        offsets = np.arange(160)
+        assert stream_line_span(offsets, 16) == 10
+        assert same_line_fraction(offsets, 16) == pytest.approx(150 / 159)

@@ -1,0 +1,265 @@
+"""Unit and property tests for the Morton (Z-order) layouts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    ArrayOrderLayout,
+    MortonLayout,
+    MortonLayout2D,
+    morton_decode_2d,
+    morton_decode_3d,
+    morton_encode_2d,
+    morton_encode_3d,
+)
+from repro.core.morton import interleave_placement
+
+coord3 = st.integers(min_value=0, max_value=2**21 - 1)
+coord2 = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestModuleFunctions:
+    def test_known_unit_vectors(self):
+        assert morton_encode_3d(1, 0, 0) == 1
+        assert morton_encode_3d(0, 1, 0) == 2
+        assert morton_encode_3d(0, 0, 1) == 4
+        assert morton_encode_3d(1, 1, 1) == 7
+        assert morton_encode_3d(2, 0, 0) == 8
+
+    def test_known_2d(self):
+        assert morton_encode_2d(1, 0) == 1
+        assert morton_encode_2d(0, 1) == 2
+        assert morton_encode_2d(3, 3) == 15
+        assert morton_encode_2d(2, 0) == 4
+
+    @given(coord3, coord3, coord3)
+    def test_roundtrip_3d(self, i, j, k):
+        i2, j2, k2 = morton_decode_3d(morton_encode_3d(i, j, k))
+        assert (i2, j2, k2) == (i, j, k)
+
+    @given(coord2, coord2)
+    def test_roundtrip_2d(self, i, j):
+        i2, j2 = morton_decode_2d(morton_encode_2d(i, j))
+        assert (i2, j2) == (i, j)
+
+    def test_array_roundtrip_3d(self, rng):
+        i = rng.integers(0, 2**21, size=1000, dtype=np.uint64)
+        j = rng.integers(0, 2**21, size=1000, dtype=np.uint64)
+        k = rng.integers(0, 2**21, size=1000, dtype=np.uint64)
+        codes = morton_encode_3d(i, j, k)
+        i2, j2, k2 = morton_decode_3d(codes)
+        assert np.array_equal(i, i2)
+        assert np.array_equal(j, j2)
+        assert np.array_equal(k, k2)
+
+    @given(coord3, coord3, coord3)
+    def test_monotone_in_each_axis(self, i, j, k):
+        # growing one coordinate can only grow the code
+        if i < 2**21 - 1:
+            assert morton_encode_3d(i + 1, j, k) > morton_encode_3d(i, j, k)
+        if j < 2**21 - 1:
+            assert morton_encode_3d(i, j + 1, k) > morton_encode_3d(i, j, k)
+
+
+class TestInterleavePlacement:
+    def test_cube_placement_is_round_robin(self):
+        placement = interleave_placement([2, 2, 2])
+        # x bit 0 → pos 0, y bit 0 → pos 1, z bit 0 → pos 2, x bit 1 → 3 ...
+        assert placement == [
+            (0, 0, 0), (1, 0, 1), (2, 0, 2),
+            (0, 1, 3), (1, 1, 4), (2, 1, 5),
+        ]
+
+    def test_truncated_axis_drops_out(self):
+        placement = interleave_placement([1, 2, 3])
+        dst = [p[2] for p in placement]
+        assert dst == list(range(6))  # dense destination bits
+        # axis 0 contributes exactly 1 bit, axis 2 exactly 3
+        per_axis = [sum(1 for a, _, _ in placement if a == ax) for ax in range(3)]
+        assert per_axis == [1, 2, 3]
+
+    def test_zero_bits_axis(self):
+        placement = interleave_placement([0, 2])
+        assert all(a == 1 for a, _, _ in placement)
+        assert len(placement) == 2
+
+
+class TestMortonLayout:
+    @pytest.mark.parametrize("shape", [
+        (8, 8, 8), (16, 4, 8), (1, 8, 2), (4, 4, 1), (2, 2, 2), (32, 32, 32),
+    ])
+    def test_bijective_pow2_shapes(self, shape):
+        layout = MortonLayout(shape)
+        assert layout.buffer_size == shape[0] * shape[1] * shape[2]
+        assert layout.check_bijective()
+
+    @pytest.mark.parametrize("shape", [(5, 7, 3), (10, 10, 10), (9, 16, 2)])
+    def test_bijective_padded_shapes(self, shape):
+        layout = MortonLayout(shape)
+        assert layout.buffer_size >= shape[0] * shape[1] * shape[2]
+        assert layout.check_bijective()
+
+    def test_cube_padding_mode(self):
+        layout = MortonLayout((16, 4, 8), padding="cube")
+        assert layout.padded == (16, 16, 16)
+        assert layout.buffer_size == 16 ** 3
+        assert layout.check_bijective()
+
+    def test_engines_agree(self):
+        shape = (8, 8, 8)
+        tables = MortonLayout(shape, engine="tables")
+        magic = MortonLayout(shape, engine="magic")
+        loop = MortonLayout(shape, engine="loop")
+        for i, j, k in [(0, 0, 0), (7, 7, 7), (3, 5, 1), (1, 0, 6)]:
+            assert tables.index(i, j, k) == magic.index(i, j, k)
+            assert tables.index(i, j, k) == loop.index(i, j, k)
+
+    def test_engines_agree_vectorized(self, rng):
+        shape = (16, 16, 16)
+        tables = MortonLayout(shape, engine="tables")
+        magic = MortonLayout(shape, engine="magic")
+        i = rng.integers(0, 16, size=300)
+        j = rng.integers(0, 16, size=300)
+        k = rng.integers(0, 16, size=300)
+        assert np.array_equal(tables.index_array(i, j, k),
+                              magic.index_array(i, j, k))
+
+    def test_magic_engine_anisotropic_falls_back(self):
+        # non-cube padded shape: magic must silently match tables
+        t = MortonLayout((16, 4, 8), engine="tables")
+        m = MortonLayout((16, 4, 8), engine="magic")
+        assert m.index(9, 3, 5) == t.index(9, 3, 5)
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            MortonLayout((8, 8, 8), engine="simd")
+
+    def test_index_matches_module_encode_on_cube(self, rng):
+        layout = MortonLayout((32, 32, 32))
+        i = rng.integers(0, 32, size=200)
+        j = rng.integers(0, 32, size=200)
+        k = rng.integers(0, 32, size=200)
+        assert np.array_equal(
+            layout.index_array(i, j, k),
+            morton_encode_3d(i.astype(np.uint64), j.astype(np.uint64),
+                             k.astype(np.uint64)).astype(np.int64),
+        )
+
+    def test_inverse_roundtrip(self, rng):
+        layout = MortonLayout((16, 8, 4))
+        i = rng.integers(0, 16, size=100)
+        j = rng.integers(0, 8, size=100)
+        k = rng.integers(0, 4, size=100)
+        offs = layout.index_array(i, j, k)
+        i2, j2, k2 = layout.inverse_array(offs)
+        assert np.array_equal(i, i2)
+        assert np.array_equal(j, j2)
+        assert np.array_equal(k, k2)
+        for n in range(0, 100, 17):
+            assert layout.inverse(int(offs[n])) == (i[n], j[n], k[n])
+
+    def test_get_index_bounds_check(self):
+        layout = MortonLayout((4, 4, 4))
+        with pytest.raises(IndexError):
+            layout.get_index(4, 0, 0)
+        with pytest.raises(IndexError):
+            layout.get_index(0, -1, 0)
+        assert layout.get_index(3, 3, 3) == 63
+
+    def test_iter_curve_visits_each_point_once(self):
+        layout = MortonLayout((3, 4, 2))
+        visited = list(layout.iter_curve())
+        assert len(visited) == 24
+        assert len(set(visited)) == 24
+        # visits are in increasing offset order
+        offs = [layout.index(*p) for p in visited]
+        assert offs == sorted(offs)
+
+    def test_locality_beats_array_order_for_z_steps(self):
+        from repro.core import neighbor_distance_stats
+
+        shape = (32, 32, 32)
+        m = neighbor_distance_stats(MortonLayout(shape), axis=2)
+        a = neighbor_distance_stats(ArrayOrderLayout(shape), axis=2)
+        assert m.mean < a.mean
+        assert m.frac_within_line > a.frac_within_line
+
+
+class TestMortonLayout2D:
+    @pytest.mark.parametrize("shape", [(8, 8), (16, 4), (5, 9), (1, 1)])
+    def test_bijective(self, shape):
+        layout = MortonLayout2D(shape)
+        assert layout.check_bijective()
+
+    def test_matches_module_encode(self, rng):
+        layout = MortonLayout2D((16, 16))
+        i = rng.integers(0, 16, size=100)
+        j = rng.integers(0, 16, size=100)
+        expect = morton_encode_2d(
+            i.astype(np.uint64), j.astype(np.uint64)).astype(np.int64)
+        assert np.array_equal(layout.index_array(i, j), expect)
+
+    def test_inverse(self):
+        layout = MortonLayout2D((8, 8))
+        for off in range(64):
+            i, j = layout.inverse(off)
+            assert layout.index(i, j) == off
+
+    def test_bounds_check(self):
+        layout = MortonLayout2D((4, 4))
+        with pytest.raises(IndexError):
+            layout.get_index(0, 4)
+
+
+class TestMortonStep:
+    from repro.core import morton_step_3d as _step
+
+    @given(
+        st.integers(0, 2**20 - 2),
+        st.integers(0, 2**20 - 2),
+        st.integers(0, 2**20 - 2),
+        st.integers(0, 2),
+    )
+    def test_increment_matches_reencode(self, i, j, k, axis):
+        from repro.core import morton_step_3d
+
+        code = int(morton_encode_3d(i, j, k))
+        coords = [i, j, k]
+        coords[axis] += 1
+        assert morton_step_3d(code, axis, +1) == int(
+            morton_encode_3d(*coords))
+
+    @given(
+        st.integers(1, 2**20 - 1),
+        st.integers(1, 2**20 - 1),
+        st.integers(1, 2**20 - 1),
+        st.integers(0, 2),
+    )
+    def test_decrement_matches_reencode(self, i, j, k, axis):
+        from repro.core import morton_step_3d
+
+        code = int(morton_encode_3d(i, j, k))
+        coords = [i, j, k]
+        coords[axis] -= 1
+        assert morton_step_3d(code, axis, -1) == int(
+            morton_encode_3d(*coords))
+
+    def test_step_roundtrip(self):
+        from repro.core import morton_step_3d
+
+        code = int(morton_encode_3d(100, 200, 300))
+        for axis in range(3):
+            assert morton_step_3d(morton_step_3d(code, axis, +1),
+                                  axis, -1) == code
+
+    def test_validation(self):
+        from repro.core import morton_step_3d
+
+        with pytest.raises(ValueError):
+            morton_step_3d(0, 3, 1)
+        with pytest.raises(ValueError):
+            morton_step_3d(0, 0, 2)

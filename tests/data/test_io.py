@@ -1,0 +1,57 @@
+"""Tests for raw/npy volume I/O."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import mri_phantom, read_npy, read_raw, write_npy, write_raw
+
+
+class TestRaw:
+    def test_roundtrip(self, tmp_path, rng):
+        vol = rng.random((5, 6, 7)).astype(np.float32)
+        path = str(tmp_path / "vol.raw")
+        write_raw(path, vol)
+        back = read_raw(path, (5, 6, 7))
+        assert np.array_equal(back, vol)
+
+    def test_x_fastest_on_disk(self, tmp_path):
+        vol = np.zeros((4, 2, 2), dtype=np.float32)
+        vol[:, 0, 0] = [1, 2, 3, 4]
+        path = str(tmp_path / "vol.raw")
+        write_raw(path, vol)
+        flat = np.fromfile(path, dtype="<f4")
+        assert list(flat[:4]) == [1, 2, 3, 4]
+
+    def test_size_mismatch(self, tmp_path, rng):
+        vol = rng.random((4, 4, 4)).astype(np.float32)
+        path = str(tmp_path / "vol.raw")
+        write_raw(path, vol)
+        with pytest.raises(ValueError, match="does not match"):
+            read_raw(path, (4, 4, 5))
+
+    def test_other_dtypes(self, tmp_path, rng):
+        vol = (rng.random((3, 3, 3)) * 1000).astype(np.int16)
+        path = str(tmp_path / "vol.raw")
+        write_raw(path, vol)
+        back = read_raw(path, (3, 3, 3), dtype=np.int16)
+        assert np.array_equal(back, vol)
+
+    def test_rejects_non_3d(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_raw(str(tmp_path / "x.raw"), np.zeros((4, 4)))
+
+
+class TestNpy:
+    def test_roundtrip(self, tmp_path):
+        vol = mri_phantom((6, 6, 6))
+        path = str(tmp_path / "vol.npy")
+        write_npy(path, vol)
+        assert np.array_equal(read_npy(path), vol)
+
+    def test_rejects_non_3d(self, tmp_path):
+        path = str(tmp_path / "bad.npy")
+        np.save(path, np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            read_npy(path)

@@ -1,0 +1,90 @@
+"""Tests for the synthetic dataset substitutes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import checkerboard, combustion_field, linear_ramp, mri_phantom
+
+
+class TestMriPhantom:
+    def test_shape_dtype_range(self):
+        vol = mri_phantom((16, 12, 10))
+        assert vol.shape == (16, 12, 10)
+        assert vol.dtype == np.float32
+        assert vol.min() == 0.0 and vol.max() == 1.0
+
+    def test_deterministic(self):
+        assert np.array_equal(mri_phantom((8, 8, 8), seed=3),
+                              mri_phantom((8, 8, 8), seed=3))
+
+    def test_noise_changes_field(self):
+        clean = mri_phantom((8, 8, 8), noise=0.0)
+        noisy = mri_phantom((8, 8, 8), noise=0.1)
+        assert not np.array_equal(clean, noisy)
+
+    def test_noiseless_is_piecewise_constant(self):
+        vol = mri_phantom((32, 32, 32), noise=0.0)
+        # few distinct tissue intensities (ellipsoid sums)
+        assert np.unique(vol).size < 20
+
+    def test_has_structure(self):
+        vol = mri_phantom((24, 24, 24), noise=0.0)
+        # the head occupies the middle; corners are background
+        assert vol[12, 12, 12] != vol[0, 0, 0]
+        assert vol.std() > 0.05
+
+
+class TestCombustionField:
+    def test_shape_range(self):
+        vol = combustion_field((16, 16, 16))
+        assert vol.shape == (16, 16, 16)
+        assert vol.min() == 0.0 and vol.max() == 1.0
+
+    def test_deterministic_per_seed(self):
+        assert np.array_equal(combustion_field((8, 8, 8), seed=1),
+                              combustion_field((8, 8, 8), seed=1))
+        assert not np.array_equal(combustion_field((8, 8, 8), seed=1),
+                                  combustion_field((8, 8, 8), seed=2))
+
+    def test_energy_concentrated_at_large_scales(self):
+        """A k^-5/3 field has most variance in low-frequency modes."""
+        vol = combustion_field((32, 32, 32), seed=0).astype(np.float64)
+        spec = np.abs(np.fft.rfftn(vol - vol.mean())) ** 2
+        kx = np.fft.fftfreq(32)[:, None, None] * 32
+        ky = np.fft.fftfreq(32)[None, :, None] * 32
+        kz = np.fft.rfftfreq(32)[None, None, :] * 32
+        kmag = np.sqrt(kx**2 + ky**2 + kz**2)
+        low = spec[(kmag > 0) & (kmag <= 4)].sum()
+        high = spec[kmag > 8].sum()
+        assert low > high
+
+    def test_anisotropic_shape(self):
+        vol = combustion_field((16, 8, 12))
+        assert vol.shape == (16, 8, 12)
+
+
+class TestSimpleFields:
+    def test_linear_ramp_axes(self):
+        for axis in range(3):
+            vol = linear_ramp((6, 7, 8), axis=axis)
+            sel = [0, 0, 0]
+            sel[axis] = -1
+            assert vol[tuple(sel)] == 1.0
+            assert vol[0, 0, 0] == 0.0
+            # constant along the other axes
+            other = [a for a in range(3) if a != axis][0]
+            sel2 = [0, 0, 0]
+            sel2[other] = 1
+            assert vol[tuple(sel2)] == vol[0, 0, 0]
+
+    def test_checkerboard(self):
+        vol = checkerboard((8, 8, 8), period=2)
+        assert set(np.unique(vol)) == {0.0, 1.0}
+        assert vol[0, 0, 0] != vol[2, 0, 0]
+        assert vol[0, 0, 0] == vol[0, 2, 2]
+
+    def test_checkerboard_validation(self):
+        with pytest.raises(ValueError):
+            checkerboard((4, 4, 4), period=0)

@@ -1,0 +1,154 @@
+"""Tests for the over operator and compositing schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.distributed import (
+    CommModel,
+    Message,
+    binary_swap_composite,
+    binary_swap_schedule,
+    composite_by_depth,
+    composite_ordered,
+    direct_send_schedule,
+    over,
+    round_time,
+    schedule_time,
+)
+
+rgba_st = st.lists(
+    st.tuples(st.floats(0, 1), st.floats(0, 1), st.floats(0, 1),
+              st.floats(0, 1)),
+    min_size=1, max_size=6,
+).map(lambda rows: np.array(
+    # premultiply: color <= alpha keeps the over algebra physical
+    [[r * a, g * a, b * a, a] for r, g, b, a in rows], dtype=np.float64))
+
+
+class TestOver:
+    def test_opaque_front_wins(self):
+        front = np.array([[0.2, 0.3, 0.4, 1.0]])
+        back = np.array([[0.9, 0.9, 0.9, 1.0]])
+        assert np.allclose(over(front, back), front)
+
+    def test_transparent_front_passes(self):
+        front = np.zeros((1, 4))
+        back = np.array([[0.5, 0.1, 0.2, 0.8]])
+        assert np.allclose(over(front, back), back)
+
+    @given(rgba_st)
+    def test_associative(self, stack):
+        if stack.shape[0] < 3:
+            return
+        a, b, c = stack[0], stack[1], stack[2]
+        left = over(over(a, b), c)
+        right = over(a, over(b, c))
+        assert np.allclose(left, right, atol=1e-12)
+
+    @given(rgba_st)
+    def test_alpha_monotone_and_bounded(self, stack):
+        out = stack[0]
+        prev = out[3]
+        for layer in stack[1:]:
+            out = over(out, layer)
+            assert out[3] >= prev - 1e-12
+            prev = out[3]
+        assert out[3] <= 1.0 + 1e-9
+
+
+class TestCompositeFunctions:
+    def test_ordered_requires_input(self):
+        with pytest.raises(ValueError):
+            composite_ordered([])
+
+    def test_by_depth_matches_ordered_when_sorted(self, rng):
+        partials = [rng.random((10, 4)) * 0.5 for _ in range(4)]
+        depths = [np.full(10, float(d)) for d in range(4)]
+        by_depth = composite_by_depth(partials, depths)
+        ordered = composite_ordered(partials)
+        assert np.allclose(by_depth, ordered)
+
+    def test_by_depth_reorders_per_pixel(self):
+        near = np.array([[0.0, 0.0, 0.0, 1.0], [0.5, 0.0, 0.0, 1.0]])
+        far = np.array([[0.5, 0.0, 0.0, 1.0], [0.0, 0.0, 0.0, 1.0]])
+        # pixel 0: `near` really is in front; pixel 1: roles swap
+        depths = [np.array([1.0, 9.0]), np.array([5.0, 2.0])]
+        out = composite_by_depth([near, far], depths)
+        assert np.allclose(out[0], near[0])
+        assert np.allclose(out[1], far[1])
+
+    def test_by_depth_validates(self):
+        with pytest.raises(ValueError):
+            composite_by_depth([np.zeros((2, 4))], [])
+
+    @given(st.integers(1, 3))
+    def test_binary_swap_matches_ordered(self, log_p):
+        p = 1 << log_p
+        rng = np.random.default_rng(p)
+        partials = [rng.random((16, 4)) * 0.4 for _ in range(p)]
+        swap = binary_swap_composite(partials)
+        ordered = composite_ordered(partials)
+        assert np.allclose(swap, ordered, atol=1e-12)
+
+    def test_binary_swap_rejects_non_pow2(self):
+        with pytest.raises(ValueError):
+            binary_swap_composite([np.zeros((4, 4))] * 3)
+
+
+class TestSchedules:
+    def test_direct_send_one_round(self):
+        rounds = direct_send_schedule(4, image_bytes=1000)
+        assert len(rounds) == 1
+        assert len(rounds[0]) == 3
+        assert all(m.dst == 0 and m.nbytes == 1000 for m in rounds[0])
+
+    def test_direct_send_single_rank(self):
+        assert direct_send_schedule(1, 1000) == []
+
+    def test_binary_swap_rounds_and_sizes(self):
+        rounds = binary_swap_schedule(8, image_bytes=1024)
+        assert len(rounds) == 3
+        assert all(len(r) == 8 for r in rounds)
+        assert {m.nbytes for m in rounds[0]} == {512}
+        assert {m.nbytes for m in rounds[1]} == {256}
+        assert {m.nbytes for m in rounds[2]} == {128}
+
+    def test_binary_swap_rejects_non_pow2(self):
+        with pytest.raises(ValueError):
+            binary_swap_schedule(6, 1024)
+
+    def test_binary_swap_beats_direct_send_at_scale(self):
+        """The classic result: direct-send's collector serializes P full
+        images; binary swap moves log P halves concurrently."""
+        model = CommModel(latency_s=1e-6, bandwidth_Bps=1e9)
+        image = 4 * 1024 * 1024
+        ds = schedule_time(direct_send_schedule(64, image), model)
+        bs = schedule_time(binary_swap_schedule(64, image), model)
+        assert bs < ds / 4
+
+    def test_round_time_is_busiest_endpoint(self):
+        model = CommModel(latency_s=0.0, bandwidth_Bps=100.0)
+        msgs = [Message(1, 0, 100), Message(2, 0, 100)]
+        # collector receives 200 bytes serialized -> 2 s
+        assert round_time(msgs, model) == pytest.approx(2.0)
+
+    def test_empty_round(self):
+        assert round_time([], CommModel()) == 0.0
+
+    def test_message_validation(self):
+        with pytest.raises(ValueError):
+            Message(0, 0, 10)
+        with pytest.raises(ValueError):
+            Message(0, 1, -1)
+
+    def test_comm_model_validation(self):
+        with pytest.raises(ValueError):
+            CommModel(latency_s=-1)
+        with pytest.raises(ValueError):
+            CommModel(bandwidth_Bps=0)
+        model = CommModel(latency_s=1e-6, bandwidth_Bps=1e9)
+        assert model.message_time(1e9) == pytest.approx(1.000001)

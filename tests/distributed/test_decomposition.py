@@ -1,0 +1,104 @@
+"""Tests for rank-level block decomposition and halo accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed import Block, BlockDecomposition, PARTITION_ORDERS
+
+
+class TestBlock:
+    def test_points(self):
+        b = Block(origin=(0, 0, 0), extent=(4, 4, 4))
+        assert b.n_points == 64
+
+    def test_surface_points(self):
+        b = Block(origin=(0, 0, 0), extent=(4, 4, 4))
+        assert b.surface_points(radius=1) == 6 ** 3 - 4 ** 3
+
+
+class TestBlockDecomposition:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="not divisible"):
+            BlockDecomposition((10, 8, 8), block=4, n_ranks=2)
+        with pytest.raises(ValueError, match="n_ranks"):
+            BlockDecomposition((8, 8, 8), block=4, n_ranks=0)
+        with pytest.raises(ValueError, match="exceed"):
+            BlockDecomposition((8, 8, 8), block=4, n_ranks=9)
+        with pytest.raises(ValueError, match="order"):
+            BlockDecomposition((8, 8, 8), block=4, n_ranks=2, order="random")
+
+    @pytest.mark.parametrize("order", PARTITION_ORDERS)
+    def test_every_block_owned_exactly_once(self, order):
+        d = BlockDecomposition((16, 16, 16), block=4, n_ranks=5, order=order)
+        owned = [b for r in range(5) for b in d.blocks_of_rank(r)]
+        assert len(owned) == 4 ** 3
+        assert len({b.origin for b in owned}) == 4 ** 3
+
+    @pytest.mark.parametrize("order", PARTITION_ORDERS)
+    def test_rank_of_voxel_consistent_with_blocks(self, order):
+        d = BlockDecomposition((8, 8, 8), block=4, n_ranks=4, order=order)
+        for rank in range(4):
+            for block in d.blocks_of_rank(rank):
+                ox, oy, oz = block.origin
+                assert d.rank_of_voxel(ox, oy, oz) == rank
+                assert d.rank_of_voxel(ox + 3, oy + 3, oz + 3) == rank
+
+    def test_scan_order_yields_slabs(self):
+        d = BlockDecomposition((16, 16, 16), block=4, n_ranks=4, order="scan")
+        rank_map = d.rank_map()
+        # each rank owns a contiguous z-slab of the block grid
+        for rank in range(4):
+            ks = np.unique(np.argwhere(rank_map == rank)[:, 2])
+            assert len(ks) == 1
+
+    def test_morton_order_yields_compact_octants(self):
+        d = BlockDecomposition((16, 16, 16), block=4, n_ranks=8,
+                               order="morton")
+        rank_map = d.rank_map()
+        # 8 ranks on a 4^3 block grid in Morton order = the 8 octants
+        assert rank_map[0, 0, 0] == rank_map[1, 1, 1]
+        assert rank_map[0, 0, 0] != rank_map[2, 0, 0]
+
+    def test_load_balance_even_division(self):
+        d = BlockDecomposition((16, 16, 16), block=4, n_ranks=8)
+        assert d.load_balance() == 1.0
+
+    def test_load_balance_remainder(self):
+        d = BlockDecomposition((16, 16, 16), block=4, n_ranks=5)
+        # 64 blocks over 5 ranks: 13..13..12 -> max/mean = 13/12.8
+        assert d.load_balance() == pytest.approx(13 / 12.8)
+
+    def test_halo_zero_for_single_rank(self):
+        d = BlockDecomposition((8, 8, 8), block=4, n_ranks=1)
+        assert d.total_halo_bytes(radius=1) == 0
+
+    def test_halo_slab_face_count(self):
+        # two z-slabs of a 8x8x8 volume: each rank receives one 8x8 face
+        d = BlockDecomposition((8, 8, 8), block=4, n_ranks=2, order="scan")
+        halo = d.halo_bytes(radius=1, itemsize=4)
+        assert halo[0] == 8 * 8 * 4
+        assert halo[1] == 8 * 8 * 4
+
+    def test_halo_grows_with_radius(self):
+        d = BlockDecomposition((16, 16, 16), block=4, n_ranks=4, order="scan")
+        assert (d.total_halo_bytes(radius=2)
+                > d.total_halo_bytes(radius=1))
+
+    def test_halo_radius_validation(self):
+        d = BlockDecomposition((8, 8, 8), block=4, n_ranks=2)
+        with pytest.raises(ValueError):
+            d.halo_bytes(radius=0)
+
+    def test_sfc_partitions_cut_halo_vs_scan(self):
+        """The DeFord & Kalyanaraman claim: curve-ordered partitions are
+        compact, so they exchange less ghost data than slab partitions
+        once slabs get thin."""
+        shape = (16, 16, 16)
+        ranks = 16  # scan slabs become 1-block-thick here
+        scan = BlockDecomposition(shape, 4, ranks, order="scan")
+        morton = BlockDecomposition(shape, 4, ranks, order="morton")
+        hilbert = BlockDecomposition(shape, 4, ranks, order="hilbert")
+        assert morton.total_halo_bytes(1) < scan.total_halo_bytes(1)
+        assert hilbert.total_halo_bytes(1) < scan.total_halo_bytes(1)

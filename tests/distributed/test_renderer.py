@@ -1,0 +1,123 @@
+"""Tests for the distributed sort-last renderer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ArrayOrderLayout, Grid, MortonLayout
+from repro.data import combustion_field, linear_ramp
+from repro.distributed import BlockDecomposition, CommModel, DistributedRenderer
+from repro.kernels import RaycastRenderer, RenderSpec, grayscale_ramp, orbit_camera
+
+SHAPE = (16, 16, 16)
+
+
+def _setup(order="scan", n_ranks=4, dataset="combustion", layout="array"):
+    dense = (combustion_field(SHAPE, seed=3) if dataset == "combustion"
+             else linear_ramp(SHAPE))
+    layout_obj = (ArrayOrderLayout(SHAPE) if layout == "array"
+                  else MortonLayout(SHAPE))
+    grid = Grid.from_dense(dense, layout_obj)
+    decomp = BlockDecomposition(SHAPE, block=4, n_ranks=n_ranks, order=order)
+    return grid, decomp
+
+
+class TestConstruction:
+    def test_shape_mismatch(self):
+        grid, _ = _setup()
+        decomp = BlockDecomposition((8, 8, 8), block=4, n_ranks=2)
+        with pytest.raises(ValueError):
+            DistributedRenderer(grid, decomp, grayscale_ramp())
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("viewpoint", [0, 2, 3])
+    def test_matches_single_node_render_slab(self, viewpoint):
+        """Distributed render over z-slabs == single-node render, to
+        floating-point tolerance, at several viewpoints."""
+        grid, decomp = _setup(order="scan", n_ranks=4)
+        cam = orbit_camera(SHAPE, viewpoint, width=24, height=24)
+        spec = RenderSpec(step=0.8)
+        single = RaycastRenderer(grid, grayscale_ramp(), spec).render_image(cam)
+        dist = DistributedRenderer(grid, decomp, grayscale_ramp(), spec)
+        result = dist.render(cam)
+        distributed = result.image.reshape(24, 24, 4)
+        assert np.allclose(distributed, single, atol=1e-9)
+
+    def test_matches_single_node_morton_partition(self):
+        """SFC partitions produce per-pixel interleaved segments; the
+        depth-sorted merge stays close to the single-node image."""
+        grid, decomp = _setup(order="morton", n_ranks=8)
+        cam = orbit_camera(SHAPE, 1, width=16, height=16)
+        spec = RenderSpec(step=0.8)
+        single = RaycastRenderer(grid, grayscale_ramp(), spec).render_image(cam)
+        dist = DistributedRenderer(grid, decomp, grayscale_ramp(), spec)
+        distributed = dist.render(cam).image.reshape(16, 16, 4)
+        # interleaved same-rank segments are merged as one, so allow a
+        # small tolerance rather than exact equality
+        assert np.abs(distributed - single).max() < 0.12
+        assert np.abs(distributed - single).mean() < 0.01
+
+    def test_layout_invariance(self):
+        cam = orbit_camera(SHAPE, 2, width=12, height=12)
+        images = []
+        for layout in ("array", "morton"):
+            grid, decomp = _setup(order="scan", n_ranks=4, layout=layout)
+            dist = DistributedRenderer(grid, decomp, grayscale_ramp())
+            images.append(dist.render(cam).image)
+        assert np.allclose(images[0], images[1], atol=1e-9)
+
+    def test_single_rank_equals_single_node(self):
+        grid, _ = _setup()
+        decomp = BlockDecomposition(SHAPE, block=16, n_ranks=1)
+        cam = orbit_camera(SHAPE, 5, width=16, height=16)
+        spec = RenderSpec(step=0.7)
+        single = RaycastRenderer(grid, grayscale_ramp(), spec).render_image(cam)
+        dist = DistributedRenderer(grid, decomp, grayscale_ramp(), spec)
+        distributed = dist.render(cam).image.reshape(16, 16, 4)
+        assert np.allclose(distributed, single, atol=1e-9)
+
+
+class TestLoadAndComm:
+    def test_sample_conservation(self):
+        grid, decomp = _setup(order="scan", n_ranks=4)
+        cam = orbit_camera(SHAPE, 2, width=16, height=16)
+        spec = RenderSpec(step=1.0)
+        dist = DistributedRenderer(grid, decomp, grayscale_ramp(), spec)
+        result = dist.render(cam)
+        single = RaycastRenderer(grid, grayscale_ramp(), spec)
+        px, py = np.meshgrid(np.arange(16), np.arange(16), indexing="xy")
+        ref = single.render_pixels(cam, px.ravel(), py.ravel())
+        assert sum(result.samples_per_rank) == ref.n_samples
+
+    def test_view_aligned_slabs_imbalanced_from_side(self):
+        """z-slabs seen along x: every rank intersects every ray equally;
+        seen along z they would not — check the balance metric reacts."""
+        grid, decomp = _setup(order="scan", n_ranks=4)
+        dist = DistributedRenderer(grid, decomp, grayscale_ramp())
+        cam0 = orbit_camera(SHAPE, 0, width=16, height=16)  # rays || x
+        balanced = dist.render(cam0).load_balance
+        assert balanced < 1.3
+
+    def test_compositing_cost_scales_with_image(self):
+        grid, decomp = _setup(order="scan", n_ranks=4)
+        dist = DistributedRenderer(grid, decomp, grayscale_ramp())
+        model = CommModel(latency_s=0, bandwidth_Bps=1e9)
+        small = dist.render(orbit_camera(SHAPE, 0, width=8, height=8),
+                            comm=model).compositing_seconds
+        large = dist.render(orbit_camera(SHAPE, 0, width=16, height=16),
+                            comm=model).compositing_seconds
+        assert large == pytest.approx(4 * small)
+
+    def test_empty_view_balance(self):
+        grid, decomp = _setup(order="scan", n_ranks=4)
+        dist = DistributedRenderer(grid, decomp, grayscale_ramp())
+        # a camera past the corner that misses everything: balance = 1.0
+        from repro.kernels import Camera
+
+        cam = Camera(eye=(100.0, 100.0, 100.0), center=(200.0, 200.0, 100.0),
+                     width=8, height=8)
+        result = dist.render(cam)
+        assert sum(result.samples_per_rank) == 0
+        assert result.load_balance == 1.0

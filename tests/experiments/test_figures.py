@@ -1,0 +1,94 @@
+"""Tests for figure drivers and report rendering (miniature configs)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    render_ds_figure,
+    render_series_figure,
+)
+
+SMALL = (16, 16, 16)
+
+
+@pytest.fixture(scope="module")
+def fig2_small():
+    return figure2(shape=SMALL, concurrencies=(2, 4),
+                   rows=(("r1", "px", "xyz"), ("r3", "pz", "zyx")),
+                   pencils_per_thread=1)
+
+
+class TestFigure2:
+    def test_structure(self, fig2_small):
+        fig = fig2_small
+        assert fig.row_labels == ["r1 px xyz", "r3 pz zyx"]
+        assert fig.col_labels == [2, 4]
+        assert fig.runtime_ds.shape == (2, 2)
+        assert fig.counter_name == "PAPI_L3_TCA"
+        assert ("r1 px xyz", 2) in fig.raw
+
+    def test_zyx_row_favors_zorder(self, fig2_small):
+        rt, ctr = fig2_small.row("r3 pz zyx")
+        assert np.all(rt > 0)
+        assert np.all(ctr > 0)
+
+    def test_row_lookup(self, fig2_small):
+        rt, ctr = fig2_small.row("r1 px xyz")
+        assert rt.shape == (2,)
+
+    def test_render(self, fig2_small):
+        text = render_ds_figure(fig2_small)
+        assert "r3 pz zyx" in text
+        assert "PAPI_L3_TCA" in text
+        assert "(a - z)/z" in text
+
+
+class TestFigure3:
+    def test_structure_and_mic_counter(self):
+        fig = figure3(shape=SMALL, concurrencies=(59,),
+                      rows=(("r1", "pz", "zyx"),),
+                      pencils_per_thread=1, sample_cores=2)
+        assert fig.counter_name == "L2_DATA_READ_MISS_MEM_FILL"
+        assert fig.runtime_ds.shape == (1, 1)
+        # against-the-grain config favors Z-order on MIC too
+        assert fig.runtime_ds[0, 0] > 0
+
+
+class TestFigure4:
+    def test_series_structure(self):
+        fig = figure4(shape=SMALL, n_threads=2, image_size=64,
+                      viewpoints=(0, 2), ray_step=4)
+        assert fig.x_values == [0, 2]
+        assert fig.runtime_a.shape == (2,)
+        text = render_series_figure(fig)
+        assert "viewpoint" in text
+        assert "runtime_a" in text
+
+    def test_aligned_viewpoint_is_arrays_best(self):
+        fig = figure4(shape=SMALL, n_threads=2, image_size=64,
+                      viewpoints=(0, 1, 2), ray_step=4)
+        # viewpoint 0 (rays || x) is array-order's fastest of the three
+        assert fig.runtime_a[0] == pytest.approx(fig.runtime_a.min())
+
+
+class TestFigures5And6:
+    def test_figure5_structure(self):
+        fig = figure5(shape=SMALL, concurrencies=(2,), viewpoints=(0, 2),
+                      image_size=64, ray_step=4)
+        assert fig.row_labels == ["0", "2"]
+        assert fig.counter_name == "PAPI_L3_TCA"
+        # misaligned viewpoint favors Z-order more than the aligned one
+        assert fig.runtime_ds[1, 0] > fig.runtime_ds[0, 0]
+
+    def test_figure6_structure(self):
+        fig = figure6(shape=SMALL, concurrencies=(59,), viewpoints=(2,),
+                      image_size=256, ray_step=8, sample_cores=2)
+        assert fig.counter_name == "L2_DATA_READ_MISS_MEM_FILL"
+        assert fig.runtime_ds.shape == (1, 1)

@@ -1,0 +1,79 @@
+"""Tests for paper-style report rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    DsFigure,
+    SeriesFigure,
+    render_ds_figure,
+    render_series_figure,
+)
+
+
+@pytest.fixture
+def ds_figure():
+    return DsFigure(
+        title="Test figure",
+        counter_name="PAPI_L3_TCA",
+        row_labels=["r1 px xyz", "r5 pz zyx"],
+        col_labels=[2, 24],
+        runtime_ds=np.array([[-0.04, -0.06], [2.21, 2.31]]),
+        counter_ds=np.array([[-0.87, -0.89], [131.43, 130.92]]),
+    )
+
+
+class TestDsFigure:
+    def test_row_lookup(self, ds_figure):
+        rt, ctr = ds_figure.row("r5 pz zyx")
+        assert rt[0] == pytest.approx(2.21)
+        assert ctr[1] == pytest.approx(130.92)
+
+    def test_row_lookup_unknown(self, ds_figure):
+        with pytest.raises(ValueError):
+            ds_figure.row("r9")
+
+    def test_render_layout(self, ds_figure):
+        text = render_ds_figure(ds_figure)
+        lines = text.splitlines()
+        assert lines[0] == "Test figure"
+        assert any("Runtime" in ln for ln in lines)
+        assert any("PAPI_L3_TCA" in ln for ln in lines)
+        # both concurrency columns appear in the header rows
+        header_lines = [ln for ln in lines if "2" in ln and "24" in ln]
+        assert header_lines
+        # the d_s cells render with two decimals; large values unpadded
+        assert "-0.04" in text
+        assert "131.43" in text or "131" in text
+
+    def test_render_big_numbers_compact(self):
+        fig = DsFigure(
+            title="big", counter_name="X", row_labels=["a"], col_labels=[1],
+            runtime_ds=np.array([[12345.0]]),
+            counter_ds=np.array([[0.5]]),
+        )
+        text = render_ds_figure(fig)
+        assert "12345" in text
+
+
+class TestSeriesFigure:
+    def test_render(self):
+        fig = SeriesFigure(
+            title="Fig 4-like",
+            counter_name="PAPI_L3_TCA",
+            x_label="viewpoint",
+            x_values=[0, 1],
+            runtime_a=np.array([1.9485e-3, 5.4591e-3]),
+            runtime_z=np.array([2.0913e-3, 3.1336e-3]),
+            counter_a=np.array([3.186e5, 1.942e6]),
+            counter_z=np.array([4.147e5, 6.440e5]),
+        )
+        text = render_series_figure(fig)
+        lines = text.splitlines()
+        assert lines[0] == "Fig 4-like"
+        assert "viewpoint" in text
+        assert "runtime_a" in text and "runtime_z" in text
+        assert "1.9485e-03" in text
+        assert "PAPI_L3_TCA_a" in text

@@ -1,0 +1,97 @@
+"""Tests for the generic cell-sweep utility."""
+
+from __future__ import annotations
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    BilateralCell,
+    VolrendCell,
+    compare_layouts,
+    default_ivybridge,
+    rows_to_csv,
+    sweep_cells,
+)
+
+SHAPE = (16, 16, 16)
+
+
+@pytest.fixture(scope="module")
+def base_cell():
+    return BilateralCell(platform=default_ivybridge(64), shape=SHAPE,
+                         n_threads=2, stencil="r1", pencils_per_thread=1)
+
+
+class TestSweepCells:
+    def test_grid_coverage(self, base_cell):
+        rows = sweep_cells(base_cell,
+                           {"n_threads": [2, 4], "stencil": ["r1", "r3"]},
+                           counters=["PAPI_L3_TCA"])
+        assert len(rows) == 4
+        combos = {(r["n_threads"], r["stencil"]) for r in rows}
+        assert combos == {(2, "r1"), (2, "r3"), (4, "r1"), (4, "r3")}
+        for row in rows:
+            assert row["runtime_seconds"] > 0
+            assert "PAPI_L3_TCA" in row
+            assert row["layout"] == "array"
+
+    def test_empty_axes_single_row(self, base_cell):
+        rows = sweep_cells(base_cell, {}, counters=[])
+        assert len(rows) == 1
+
+    def test_all_counters_by_default(self, base_cell):
+        rows = sweep_cells(base_cell, {}, counters=None)
+        assert "PAPI_L1_TCA" in rows[0]
+        assert "PAPI_TLB_DM" in rows[0]
+
+    def test_volrend_cells_supported(self):
+        cell = VolrendCell(platform=default_ivybridge(64), shape=SHAPE,
+                           n_threads=2, image_size=64, ray_step=4)
+        rows = sweep_cells(cell, {"viewpoint": [0, 2]},
+                           counters=["PAPI_L3_TCA"])
+        assert len(rows) == 2
+
+    def test_rejects_unknown_cell(self):
+        with pytest.raises(TypeError):
+            sweep_cells(object(), {})
+
+
+class TestCompareLayouts:
+    def test_ds_columns(self, base_cell):
+        rows = compare_layouts(base_cell, {"stencil": ["r1", "r3"]},
+                               counters=["PAPI_L3_TCA"])
+        assert len(rows) == 2
+        for row in rows:
+            assert "ds_runtime" in row
+            assert "ds_PAPI_L3_TCA" in row
+            assert row["runtime_array"] > 0
+            assert row["runtime_morton"] > 0
+            # Eq. 4 consistency
+            expect = (row["runtime_array"] - row["runtime_morton"]) \
+                / row["runtime_morton"]
+            assert row["ds_runtime"] == pytest.approx(expect)
+
+    def test_custom_layout_pair(self, base_cell):
+        rows = compare_layouts(base_cell, {}, layouts=("array", "hilbert"),
+                               counters=[])
+        assert "runtime_hilbert" in rows[0]
+
+
+class TestCsvExport:
+    def test_roundtrip(self, base_cell, tmp_path):
+        rows = sweep_cells(base_cell, {"n_threads": [2, 4]},
+                           counters=["PAPI_L3_TCA"])
+        path = str(tmp_path / "sweep.csv")
+        rows_to_csv(rows, path)
+        with open(path) as fh:
+            back = list(csv.DictReader(fh))
+        assert len(back) == 2
+        assert {"n_threads", "runtime_seconds", "PAPI_L3_TCA"} <= set(back[0])
+        assert float(back[0]["runtime_seconds"]) > 0
+
+    def test_rejects_empty(self, tmp_path):
+        with pytest.raises(ValueError):
+            rows_to_csv([], str(tmp_path / "x.csv"))

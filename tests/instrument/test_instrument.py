@@ -1,0 +1,161 @@
+"""Tests for the PAPI facade and the d_s metric."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.instrument import (
+    EventSet,
+    ds_dict,
+    scaled_relative_difference,
+    speedup_from_ds,
+)
+from repro.memsim import Machine, scaled_ivybridge
+
+
+@pytest.fixture
+def machine():
+    return Machine(scaled_ivybridge(64))
+
+
+class TestEventSet:
+    def test_lifecycle(self, machine):
+        es = EventSet(machine, ["PAPI_L3_TCA", "PAPI_L1_TCM"])
+        es.start()
+        machine.access(0, np.arange(1000, dtype=np.int64))
+        values = es.stop()
+        assert values["PAPI_L3_TCA"] > 0
+        assert values["PAPI_L1_TCM"] >= values["PAPI_L3_TCA"]
+        assert es.last == values
+        assert not es.running
+
+    def test_deltas_not_totals(self, machine):
+        machine.access(0, np.arange(500, dtype=np.int64))
+        es = EventSet(machine, ["PAPI_L3_TCA"])
+        es.start()
+        values = es.stop()
+        assert values["PAPI_L3_TCA"] == 0  # prior traffic excluded
+
+    def test_read_without_stop(self, machine):
+        es = EventSet(machine, ["PAPI_L2_TCA"])
+        es.start()
+        machine.access(0, np.arange(100, dtype=np.int64))
+        mid = es.read()
+        machine.access(0, np.arange(100, 200, dtype=np.int64))
+        final = es.stop()
+        assert final["PAPI_L2_TCA"] >= mid["PAPI_L2_TCA"]
+
+    def test_unknown_event_rejected_at_creation(self, machine):
+        with pytest.raises(KeyError):
+            EventSet(machine, ["PAPI_FP_OPS"])
+
+    def test_start_twice_raises(self, machine):
+        es = EventSet(machine, ["PAPI_L3_TCA"])
+        es.start()
+        with pytest.raises(RuntimeError):
+            es.start()
+
+    def test_stop_without_start_raises(self, machine):
+        es = EventSet(machine, ["PAPI_L3_TCA"])
+        with pytest.raises(RuntimeError):
+            es.stop()
+
+
+class TestScaledRelativeDifference:
+    def test_paper_examples(self):
+        """Eq. 4 and the paper's calibration: 0.1 ~ 10%, 1.0 ~ 100%,
+        10.0 ~ 1000% difference."""
+        assert scaled_relative_difference(1.1, 1.0) == pytest.approx(0.1)
+        assert scaled_relative_difference(2.0, 1.0) == pytest.approx(1.0)
+        assert scaled_relative_difference(11.0, 1.0) == pytest.approx(10.0)
+
+    def test_sign_convention(self):
+        # a < z  =>  negative  =>  array-order measured less (faster)
+        assert scaled_relative_difference(0.9, 1.0) < 0
+        assert scaled_relative_difference(1.5, 1.0) > 0
+        assert scaled_relative_difference(1.0, 1.0) == 0.0
+
+    @given(st.floats(0.01, 1e6), st.floats(0.01, 1e6))
+    def test_antisymmetry_identity(self, a, z):
+        ds = scaled_relative_difference(a, z)
+        assert a == pytest.approx(z * (1 + ds))
+
+    def test_zero_z_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            scaled_relative_difference(1.0, 0.0)
+
+    def test_array_input(self):
+        a = np.array([2.0, 1.0])
+        z = np.array([1.0, 2.0])
+        out = scaled_relative_difference(a, z)
+        assert np.allclose(out, [1.0, -0.5])
+
+    def test_ds_dict(self):
+        out = ds_dict({"rt": 2.0, "ctr": 30.0}, {"rt": 1.0, "ctr": 10.0})
+        assert out == {"rt": 1.0, "ctr": 2.0}
+
+    def test_ds_dict_key_mismatch(self):
+        with pytest.raises(KeyError):
+            ds_dict({"rt": 1.0}, {"ctr": 1.0})
+
+    def test_speedup(self):
+        assert speedup_from_ds(0.27) == pytest.approx(1.27)
+        assert speedup_from_ds(-0.04) == pytest.approx(0.96)
+
+
+class TestDerivedMetrics:
+    def test_hit_rates_and_bandwidth(self):
+        from repro.instrument import derived_metrics
+        from repro.memsim import SimulationEngine, ThreadWork, TraceChunk, \
+            scaled_ivybridge
+
+        engine = SimulationEngine(scaled_ivybridge(64))
+        lines = np.arange(10_000, dtype=np.int64)  # pure streaming
+        res = engine.run([ThreadWork(0, 0, TraceChunk(lines=lines))])
+        m = derived_metrics(res)
+        # streaming: everything misses every level
+        assert m["L1_hit_rate"] == pytest.approx(0.0)
+        assert m["mem_fraction"] == pytest.approx(1.0)
+        assert m["dram_bandwidth_GBps"] > 0
+
+    def test_resident_working_set(self):
+        from repro.instrument import derived_metrics
+        from repro.memsim import SimulationEngine, ThreadWork, TraceChunk, \
+            scaled_ivybridge
+
+        engine = SimulationEngine(scaled_ivybridge(64))
+        lines = np.tile(np.arange(8, dtype=np.int64), 1000)
+        res = engine.run([ThreadWork(0, 0, TraceChunk(lines=lines))])
+        m = derived_metrics(res)
+        assert m["L1_hit_rate"] > 0.99
+        assert m["mem_fraction"] < 0.01
+
+    def test_hit_rates_conserve(self):
+        from repro.instrument import derived_metrics
+        from repro.memsim import SimulationEngine, ThreadWork, TraceChunk, \
+            scaled_ivybridge
+
+        rng2 = np.random.default_rng(3)
+        engine = SimulationEngine(scaled_ivybridge(64))
+        lines = rng2.integers(0, 4000, size=20_000).astype(np.int64)
+        res = engine.run([ThreadWork(0, 0, TraceChunk(lines=lines))])
+        m = derived_metrics(res)
+        # reconstructed survival through the hierarchy ends at mem_fraction
+        surv = 1.0
+        for name in ("L1", "L2", "L3"):
+            surv *= 1.0 - m[f"{name}_hit_rate"]
+        assert surv == pytest.approx(m["mem_fraction"], abs=1e-12)
+
+    def test_zero_runtime(self):
+        from repro.instrument import derived_metrics
+        from repro.memsim.engine import SimResult
+
+        res = SimResult(counters={}, level_served={"L1": 0.0, "MEM": 0.0},
+                        runtime_seconds=0.0, per_thread_cycles={},
+                        n_accesses=0)
+        m = derived_metrics(res)
+        assert m["dram_bandwidth_GBps"] == 0.0
+        assert m["mem_fraction"] == 0.0

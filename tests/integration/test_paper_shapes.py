@@ -1,0 +1,169 @@
+"""Integration tests: the paper's qualitative results must reproduce.
+
+Each test encodes one of the claims listed in DESIGN.md §4 ("Expected
+shapes to hold"), run end-to-end on 32³ volumes against the scaled Ivy
+Bridge / MIC models.  These are the tests that would fail if the layout
+library, the kernels' access streams, the scheduler, or the cache model
+drifted from the paper's system.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    BilateralCell,
+    VolrendCell,
+    default_ivybridge,
+    default_mic,
+    run_bilateral_cell,
+    run_volrend_cell,
+)
+from repro.instrument import scaled_relative_difference
+
+SHAPE = (32, 32, 32)
+
+
+@pytest.fixture(scope="module")
+def ivb():
+    return default_ivybridge(64)
+
+
+@pytest.fixture(scope="module")
+def mic():
+    return default_mic(64)
+
+
+def _bilat_ds(ivb, stencil, pencil, order, n_threads=8, metric="PAPI_L3_TCA"):
+    cell = BilateralCell(platform=ivb, shape=SHAPE, n_threads=n_threads,
+                         stencil=stencil, pencil=pencil, stencil_order=order,
+                         pencils_per_thread=2)
+    a = run_bilateral_cell(cell.with_layout("array"))
+    z = run_bilateral_cell(cell.with_layout("morton"))
+    return (
+        scaled_relative_difference(a.runtime_seconds, z.runtime_seconds),
+        scaled_relative_difference(a.counters[metric], z.counters[metric]),
+    )
+
+
+def _volrend_ds(platform, viewpoint, metric, n_threads=8, **kw):
+    cell = VolrendCell(platform=platform, shape=SHAPE, n_threads=n_threads,
+                       viewpoint=viewpoint, image_size=128, ray_step=2, **kw)
+    a = run_volrend_cell(cell.with_layout("array"))
+    z = run_volrend_cell(cell.with_layout("morton"))
+    return (
+        scaled_relative_difference(a.runtime_seconds, z.runtime_seconds),
+        scaled_relative_difference(a.counters[metric], z.counters[metric]),
+    )
+
+
+class TestBilateralShapes:
+    """Figure 2/3 claims."""
+
+    def test_friendly_config_array_order_holds_its_own(self, ivb):
+        """r1 px xyz: the paper's only array-favorable bilateral row
+        (d_s runtime -0.02 .. -0.06); ours must be near-neutral or
+        array-favorable, far from the zyx blowups."""
+        ds_rt, _ = _bilat_ds(ivb, "r1", "px", "xyz")
+        assert ds_rt < 0.25
+
+    def test_against_grain_config_strongly_favors_zorder(self, ivb):
+        """r3/r5 pz zyx: paper reports d_s runtime ~1.0-2.3."""
+        ds_rt, ds_ctr = _bilat_ds(ivb, "r3", "pz", "zyx")
+        assert ds_rt > 0.5
+        assert ds_ctr > 0.5
+
+    def test_zorder_advantage_grows_with_stencil_size(self, ivb):
+        """Paper: r1 (1.3-1.6) < r5 (2.2-2.3) for pz zyx runtime d_s."""
+        ds_r1, _ = _bilat_ds(ivb, "r1", "pz", "zyx")
+        ds_r5, _ = _bilat_ds(ivb, "r5", "pz", "zyx")
+        assert ds_r5 > ds_r1
+
+    def test_counter_ds_exceeds_runtime_ds_for_large_stencils(self, ivb):
+        """Paper Fig 2 r5: runtime d_s ~2.3 but L3 TCA d_s ~130: cache
+        effects are magnified relative to runtime."""
+        ds_rt, ds_ctr = _bilat_ds(ivb, "r5", "pz", "zyx")
+        assert ds_ctr > ds_rt
+
+    def test_mic_against_grain_favors_zorder(self, mic):
+        cell = BilateralCell(platform=mic, shape=SHAPE, n_threads=59,
+                             stencil="r3", pencil="pz", stencil_order="zyx",
+                             affinity="balanced", usable_cores=59,
+                             pencils_per_thread=2, sample_cores=4)
+        a = run_bilateral_cell(cell.with_layout("array"))
+        z = run_bilateral_cell(cell.with_layout("morton"))
+        ds_rt = scaled_relative_difference(a.runtime_seconds, z.runtime_seconds)
+        assert ds_rt > 0.3
+
+
+class TestVolrendShapes:
+    """Figure 4/5/6 claims."""
+
+    def test_aligned_viewpoints_near_neutral(self, ivb):
+        """Viewpoints 0/4 (rays || x): paper runtime d_s -0.01 .. 0.05."""
+        for viewpoint in (0, 4):
+            ds_rt, _ = _volrend_ds(ivb, viewpoint, "PAPI_L3_TCA")
+            assert abs(ds_rt) < 0.25
+
+    def test_misaligned_viewpoints_favor_zorder(self, ivb):
+        """Viewpoints 2/6 (rays || y): paper runtime d_s 0.29-0.34."""
+        for viewpoint in (2, 6):
+            ds_rt, ds_ctr = _volrend_ds(ivb, viewpoint, "PAPI_L3_TCA")
+            assert ds_rt > 0.05
+            assert ds_ctr > 0.0
+
+    def test_array_order_oscillates_zorder_flat(self, ivb):
+        """Figure 4's key picture: array-order runtime swings with the
+        viewpoint; Z-order stays comparatively flat."""
+        rts_a, rts_z = [], []
+        for viewpoint in range(0, 8, 2):
+            cell = VolrendCell(platform=ivb, shape=SHAPE, n_threads=8,
+                               viewpoint=viewpoint, image_size=128, ray_step=2)
+            rts_a.append(run_volrend_cell(cell.with_layout("array")).runtime_seconds)
+            rts_z.append(run_volrend_cell(cell.with_layout("morton")).runtime_seconds)
+        swing = lambda xs: (max(xs) - min(xs)) / min(xs)
+        assert swing(rts_a) > 2 * swing(rts_z)
+
+    def test_aligned_viewpoint_is_array_orders_best(self, ivb):
+        cells = []
+        for viewpoint in (0, 1, 2, 3):
+            cell = VolrendCell(platform=ivb, shape=SHAPE, n_threads=8,
+                               viewpoint=viewpoint, image_size=128, ray_step=2,
+                               layout="array")
+            cells.append(run_volrend_cell(cell).runtime_seconds)
+        assert cells[0] == min(cells)
+
+    def test_mic_counter_advantage_shrinks_with_threads_per_core(self, mic):
+        """Figure 6 discussion: the counter d_s is largest at 59 threads
+        and drops as threads share each core's L2."""
+        ds = {}
+        for n_threads in (59, 236):
+            # 64^3 so the per-ray footprint sits in the regime where one
+            # thread's rays fit the scaled L2 but SMT siblings overflow it
+            cell = VolrendCell(platform=mic, shape=(64, 64, 64),
+                               n_threads=n_threads,
+                               viewpoint=2, image_size=512, tile_size=32,
+                               affinity="balanced", usable_cores=59,
+                               ray_step=2, sample_cores=4)
+            a = run_volrend_cell(cell.with_layout("array"))
+            z = run_volrend_cell(cell.with_layout("morton"))
+            ds[n_threads] = scaled_relative_difference(
+                a.counters["L2_DATA_READ_MISS_MEM_FILL"],
+                z.counters["L2_DATA_READ_MISS_MEM_FILL"])
+        assert ds[59] > ds[236]
+
+
+class TestCounterRuntimeCorrelation:
+    def test_runtime_and_counter_move_together(self, ivb):
+        """Paper Section IV-B1: increases/decreases in runtime are
+        generally reflected in the counter."""
+        pairs = []
+        for viewpoint in range(4):
+            ds_rt, ds_ctr = _volrend_ds(ivb, viewpoint, "PAPI_L3_TCA")
+            pairs.append((ds_rt, ds_ctr))
+        rts = np.array([p[0] for p in pairs])
+        ctrs = np.array([p[1] for p in pairs])
+        # positive rank correlation across viewpoints
+        corr = np.corrcoef(rts, ctrs)[0, 1]
+        assert corr > 0

@@ -1,0 +1,104 @@
+"""Tests for the 2-D bilateral filter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Grid2D, HilbertLayout2D, MortonLayout2D, RowMajorLayout2D
+from repro.kernels import Bilateral2DSpec, BilateralFilter2D
+
+
+def _image(shape=(16, 12), seed=0, noise=0.05):
+    rng = np.random.default_rng(seed)
+    x = np.linspace(0, 1, shape[0])[:, None]
+    img = (x > 0.5).astype(np.float64) * 0.8 + 0.1
+    img = np.broadcast_to(img, shape).copy()
+    if noise:
+        img += rng.normal(0, noise, shape)
+    return np.clip(img, 0, 1).astype(np.float32)
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Bilateral2DSpec(radius=0)
+        with pytest.raises(ValueError):
+            Bilateral2DSpec(scan_order="diag")
+        with pytest.raises(ValueError):
+            Bilateral2DSpec(sigma_range=0)
+        assert Bilateral2DSpec(radius=3).edge == 7
+
+
+class TestValuePath:
+    def test_gather_matches_dense(self):
+        img = _image()
+        filt = BilateralFilter2D(Bilateral2DSpec(radius=2, sigma_range=0.15))
+        ref = filt.apply_dense(img)
+        for layout_cls in (RowMajorLayout2D, MortonLayout2D, HilbertLayout2D):
+            grid = Grid2D.from_dense(img, layout_cls(img.shape))
+            out = filt.apply(grid)
+            assert np.allclose(out.to_dense(), ref, atol=1e-5)
+
+    def test_scan_order_irrelevant_to_values(self):
+        img = _image()
+        a = BilateralFilter2D(Bilateral2DSpec(scan_order="xy")).apply_dense(img)
+        b = BilateralFilter2D(Bilateral2DSpec(scan_order="yx")).apply_dense(img)
+        assert np.allclose(a, b)
+
+    def test_constant_fixed_point(self):
+        img = np.full((8, 8), 0.6, dtype=np.float32)
+        out = BilateralFilter2D(Bilateral2DSpec()).apply_dense(img)
+        assert np.allclose(out, 0.6)
+
+    def test_edge_preserved(self):
+        img = _image(noise=0.0)
+        out = BilateralFilter2D(Bilateral2DSpec(
+            radius=2, sigma_spatial=3.0, sigma_range=0.05)).apply_dense(img)
+        # the step between columns stays sharp
+        mid = img.shape[0] // 2
+        assert abs(out[mid - 2, 6] - img[mid - 2, 6]) < 0.02
+        assert abs(out[mid + 2, 6] - img[mid + 2, 6]) < 0.02
+
+    def test_denoises(self):
+        clean = _image(noise=0.0).astype(np.float64)
+        noisy = _image(noise=0.08).astype(np.float64)
+        out = BilateralFilter2D(Bilateral2DSpec(
+            radius=2, sigma_range=0.2)).apply_dense(noisy)
+        assert np.abs(out - clean).mean() < np.abs(noisy - clean).mean()
+
+
+class TestStreamPath:
+    def test_row_trace_counts(self):
+        img = _image((16, 16), noise=0.0)
+        grid = Grid2D.from_dense(img, RowMajorLayout2D(img.shape))
+        filt = BilateralFilter2D(Bilateral2DSpec(radius=1))
+        trace = filt.row_trace(grid, row=8)
+        # interior row: edge pixels in x lose a 3-tap column
+        assert trace.n_accesses == 14 * 9 + 2 * 6
+        assert trace.n_ops == trace.n_accesses
+
+    def test_trace_layout_sensitivity(self):
+        img = _image((32, 32), noise=0.0)
+        filt = BilateralFilter2D(Bilateral2DSpec(radius=2))
+        g_row = Grid2D.from_dense(img, RowMajorLayout2D(img.shape))
+        g_mor = Grid2D.from_dense(img, MortonLayout2D(img.shape))
+        t_row = filt.row_trace(g_row, 16)
+        t_mor = filt.row_trace(g_mor, 16)
+        assert t_row.n_accesses == t_mor.n_accesses
+        assert not np.array_equal(t_row.lines, t_mor.lines)
+
+    def test_row_values_match_dense_row(self):
+        img = _image((12, 10))
+        filt = BilateralFilter2D(Bilateral2DSpec(radius=2, sigma_range=0.2))
+        grid = Grid2D.from_dense(img, MortonLayout2D(img.shape))
+        ref = filt.apply_dense(img)
+        got = filt.row_values(grid, 4)
+        assert np.allclose(got, ref[:, 4], atol=1e-6)
+
+    def test_apply_shape_mismatch(self):
+        img = _image((8, 8))
+        filt = BilateralFilter2D(Bilateral2DSpec())
+        grid = Grid2D.from_dense(img, RowMajorLayout2D(img.shape))
+        with pytest.raises(ValueError):
+            filt.apply(grid, RowMajorLayout2D((8, 9)))

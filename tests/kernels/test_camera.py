@@ -1,0 +1,101 @@
+"""Tests for cameras, orbits, and ray generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels import Camera, generate_rays, orbit_camera
+
+
+class TestCameraValidation:
+    def test_rejects_bad_projection(self):
+        with pytest.raises(ValueError):
+            Camera(eye=(0, 0, 0), center=(1, 0, 0), projection="fisheye")
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            Camera(eye=(0, 0, 0), center=(1, 0, 0), width=0)
+
+    def test_ortho_needs_height(self):
+        with pytest.raises(ValueError):
+            Camera(eye=(0, 0, 0), center=(1, 0, 0), projection="orthographic")
+
+    def test_basis_orthonormal(self):
+        cam = Camera(eye=(10, 3, 2), center=(0, 0, 0), up=(0, 0, 1))
+        f, r, u = cam.basis()
+        for v in (f, r, u):
+            assert np.linalg.norm(v) == pytest.approx(1.0)
+        assert abs(f @ r) < 1e-12
+        assert abs(f @ u) < 1e-12
+        assert abs(r @ u) < 1e-12
+
+
+class TestOrbit:
+    def test_viewpoints_0_and_4_align_with_x(self):
+        """The paper's Figure 4/5 premise: rays parallel to x there."""
+        shape = (64, 64, 64)
+        cam0 = orbit_camera(shape, 0)
+        cam4 = orbit_camera(shape, 4)
+        f0 = cam0.basis()[0]
+        f4 = cam4.basis()[0]
+        assert np.allclose(f0, [-1, 0, 0], atol=1e-12)
+        assert np.allclose(f4, [1, 0, 0], atol=1e-12)
+
+    def test_viewpoint_2_aligns_with_y(self):
+        f2 = orbit_camera((64, 64, 64), 2).basis()[0]
+        assert np.allclose(f2, [0, -1, 0], atol=1e-12)
+
+    def test_orbit_radius(self):
+        cam = orbit_camera((64, 64, 64), 3, distance_factor=2.5)
+        center = np.array(cam.center)
+        assert np.linalg.norm(np.array(cam.eye) - center) == pytest.approx(160.0)
+        assert np.allclose(center, 31.5)
+
+    def test_out_of_range_viewpoint(self):
+        with pytest.raises(ValueError):
+            orbit_camera((8, 8, 8), 8)
+        with pytest.raises(ValueError):
+            orbit_camera((8, 8, 8), -1)
+
+
+class TestRayGeneration:
+    def test_perspective_rays_unit_length_and_diverge(self):
+        """Perspective: every ray has its own slope (semi-structured)."""
+        cam = orbit_camera((32, 32, 32), 1, width=8, height=8)
+        px, py = np.meshgrid(np.arange(8), np.arange(8), indexing="xy")
+        origins, dirs = generate_rays(cam, px.ravel(), py.ravel())
+        assert np.allclose(np.linalg.norm(dirs, axis=1), 1.0)
+        assert np.allclose(origins, np.asarray(cam.eye))
+        unique_dirs = np.unique(np.round(dirs, 12), axis=0)
+        assert unique_dirs.shape[0] == 64
+
+    def test_orthographic_rays_parallel_distinct_origins(self):
+        cam = orbit_camera((32, 32, 32), 1, width=8, height=8,
+                           projection="orthographic")
+        px, py = np.meshgrid(np.arange(8), np.arange(8), indexing="xy")
+        origins, dirs = generate_rays(cam, px.ravel(), py.ravel())
+        assert np.allclose(dirs, dirs[0])
+        assert np.unique(np.round(origins, 9), axis=0).shape[0] == 64
+
+    def test_center_pixel_ray_points_at_target(self):
+        cam = Camera(eye=(100, 31.5, 31.5), center=(31.5, 31.5, 31.5),
+                     width=64, height=64)
+        # the mean of the four central pixels' rays is the forward axis
+        px = np.array([31, 32, 31, 32])
+        py = np.array([31, 31, 32, 32])
+        _, dirs = generate_rays(cam, px, py)
+        mean_dir = dirs.mean(axis=0)
+        mean_dir /= np.linalg.norm(mean_dir)
+        assert np.allclose(mean_dir, [-1, 0, 0], atol=1e-9)
+
+    def test_fov_controls_spread(self):
+        shape = (32, 32, 32)
+        narrow = orbit_camera(shape, 0, fov_y_deg=10, width=16, height=16)
+        wide = orbit_camera(shape, 0, fov_y_deg=60, width=16, height=16)
+        px = np.array([0, 15])
+        py = np.array([8, 8])
+        _, dn = generate_rays(narrow, px, py)
+        _, dw = generate_rays(wide, px, py)
+        spread = lambda d: np.arccos(np.clip(d[0] @ d[1], -1, 1))
+        assert spread(dw) > spread(dn)

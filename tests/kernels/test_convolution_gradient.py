@@ -1,0 +1,128 @@
+"""Tests for the Gaussian convolution baseline and gradient shading."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import ndimage
+
+from repro.core import Grid, make_layout
+from repro.data import linear_ramp, mri_phantom
+from repro.kernels import (
+    GaussianConvolution3D,
+    GaussianSpec,
+    gradient_at,
+    gradient_dense,
+    lambert_shade,
+)
+from repro.memsim import AddressSpace
+from repro.parallel import Pencil
+
+
+def _grid(dense, layout="array"):
+    return Grid.from_dense(dense, make_layout(layout, dense.shape))
+
+
+class TestGaussianConvolution:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            GaussianSpec(radius=0)
+        with pytest.raises(ValueError):
+            GaussianSpec(sigma=0)
+        with pytest.raises(ValueError):
+            GaussianSpec(stencil_order="xzy")
+
+    def test_matches_scipy_truncated_normalized(self):
+        dense = mri_phantom((9, 8, 10), noise=0.05).astype(np.float64)
+        radius, sigma = 2, 1.1
+        conv = GaussianConvolution3D(GaussianSpec(radius=radius, sigma=sigma))
+        got = conv.apply_dense(dense)
+        span = np.arange(-radius, radius + 1, dtype=np.float64)
+        a, b, c = np.meshgrid(span, span, span, indexing="ij")
+        kernel = np.exp(-0.5 * (a**2 + b**2 + c**2) / sigma**2)
+        num = ndimage.convolve(dense, kernel, mode="constant")
+        den = ndimage.convolve(np.ones_like(dense), kernel, mode="constant")
+        assert np.allclose(got, num / den, atol=1e-10)
+
+    def test_constant_preserved(self):
+        dense = np.full((6, 6, 6), 1.5, dtype=np.float32)
+        out = GaussianConvolution3D(GaussianSpec(radius=1)).apply_dense(dense)
+        assert np.allclose(out, 1.5)
+
+    def test_apply_through_layouts(self):
+        dense = mri_phantom((7, 6, 5), noise=0.05)
+        conv = GaussianConvolution3D(GaussianSpec(radius=1))
+        ref = conv.apply_dense(dense)
+        for name in ("array", "morton"):
+            out = conv.apply(_grid(dense, name))
+            assert np.allclose(out.to_dense(), ref, atol=1e-5)
+
+    def test_trace_identical_to_bilateral(self):
+        """The stream depends only on stencil geometry, not weights."""
+        from repro.kernels import BilateralFilter3D, BilateralSpec
+
+        dense = mri_phantom((8, 8, 8), noise=0.1)
+        grid = _grid(dense, "morton")
+        p = Pencil(axis=0, fixed=(4, 4))
+        s1 = AddressSpace(64)
+        s2 = AddressSpace(64)
+        t_conv = GaussianConvolution3D(
+            GaussianSpec(radius=2)).pencil_trace(grid, p, s1)
+        t_bilat = BilateralFilter3D(
+            BilateralSpec(radius=2)).pencil_trace(grid, p, s2)
+        assert np.array_equal(t_conv.lines, t_bilat.lines)
+        assert t_conv.n_ops == t_bilat.n_ops
+
+    def test_smooths_more_with_larger_sigma(self):
+        rng = np.random.default_rng(6)
+        noisy = rng.random((10, 10, 10)).astype(np.float32)
+        mild = GaussianConvolution3D(GaussianSpec(radius=2, sigma=0.5)).apply_dense(noisy)
+        strong = GaussianConvolution3D(GaussianSpec(radius=2, sigma=3.0)).apply_dense(noisy)
+        assert strong.std() < mild.std() < noisy.std()
+
+
+class TestGradient:
+    def test_ramp_gradient(self):
+        dense = linear_ramp((9, 9, 9), axis=1).astype(np.float64)
+        grid = _grid(dense)
+        grads, offs = gradient_at(grid, np.array([4]), np.array([4]),
+                                  np.array([4]))
+        assert grads.shape == (1, 3)
+        assert grads[0] == pytest.approx([0.0, 1 / 8, 0.0])
+        assert offs.shape == (6,)
+
+    def test_matches_np_gradient_interior(self, rng):
+        dense = rng.random((8, 8, 8)).astype(np.float64)
+        grid = _grid(dense, "morton")
+        ref = gradient_dense(dense)
+        i = rng.integers(1, 7, size=30)
+        j = rng.integers(1, 7, size=30)
+        k = rng.integers(1, 7, size=30)
+        grads, _ = gradient_at(grid, i, j, k)
+        assert np.allclose(grads, ref[i, j, k], atol=1e-12)
+
+    def test_one_sided_at_borders(self):
+        dense = linear_ramp((5, 5, 5), axis=0).astype(np.float64)
+        grid = _grid(dense)
+        grads, _ = gradient_at(grid, np.array([0]), np.array([2]),
+                               np.array([2]))
+        assert grads[0, 0] == pytest.approx(0.25)  # (v[1]-v[0]) / 1
+
+    def test_lambert_bounds(self, rng):
+        colors = np.ones((20, 3))
+        grads = rng.normal(size=(20, 3))
+        shaded = lambert_shade(colors, grads, light_dir=(1, 1, 1), ambient=0.3)
+        assert np.all(shaded >= 0.3 - 1e-12)
+        assert np.all(shaded <= 1.0 + 1e-12)
+
+    def test_lambert_flat_region_unshaded(self):
+        colors = np.full((2, 3), 0.5)
+        grads = np.zeros((2, 3))
+        shaded = lambert_shade(colors, grads, light_dir=(0, 0, 1))
+        assert np.allclose(shaded, colors)
+
+    def test_lambert_normal_facing_light_fully_lit(self):
+        colors = np.ones((1, 3))
+        grads = np.array([[0.0, 0.0, 2.0]])
+        shaded = lambert_shade(colors, grads, light_dir=(0, 0, 1), ambient=0.2)
+        assert np.allclose(shaded, 1.0)

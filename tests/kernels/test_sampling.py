@@ -1,0 +1,104 @@
+"""Tests for nearest/trilinear reconstruction through layouts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import ndimage
+
+from repro.core import Grid, make_layout
+from repro.data import linear_ramp
+from repro.kernels import sample_nearest, sample_trilinear
+
+
+def _grid(dense, layout="array"):
+    return Grid.from_dense(dense, make_layout(layout, dense.shape))
+
+
+class TestNearest:
+    def test_exact_at_integer_points(self, rng):
+        dense = rng.random((6, 5, 4)).astype(np.float32)
+        grid = _grid(dense)
+        pts = np.array([[1, 2, 3], [0, 0, 0], [5, 4, 3]], dtype=np.float64)
+        vals, offs = sample_nearest(grid, pts)
+        assert vals == pytest.approx(
+            [dense[1, 2, 3], dense[0, 0, 0], dense[5, 4, 3]])
+        assert offs.shape == (3,)
+
+    def test_rounds_to_nearest(self):
+        dense = np.arange(8, dtype=np.float32).reshape(2, 2, 2)
+        grid = _grid(dense)
+        vals, _ = sample_nearest(grid, np.array([[0.4, 0.6, 0.2]]))
+        assert vals[0] == dense[0, 1, 0]
+
+    def test_clamps_out_of_range(self):
+        dense = np.arange(8, dtype=np.float32).reshape(2, 2, 2)
+        grid = _grid(dense)
+        vals, _ = sample_nearest(grid, np.array([[-3.0, 5.0, 0.0]]))
+        assert vals[0] == dense[0, 1, 0]
+
+    def test_offsets_respect_layout(self, rng):
+        dense = rng.random((8, 8, 8)).astype(np.float32)
+        ga = _grid(dense, "array")
+        gm = _grid(dense, "morton")
+        pts = rng.random((20, 3)) * 7
+        va, oa = sample_nearest(ga, pts)
+        vm, om = sample_nearest(gm, pts)
+        assert np.allclose(va, vm)
+        assert not np.array_equal(oa, om)  # different layouts, different offsets
+
+
+class TestTrilinear:
+    def test_exact_at_integer_points(self, rng):
+        dense = rng.random((6, 5, 4)).astype(np.float64)
+        grid = _grid(dense)
+        pts = np.array([[1, 2, 3], [4, 3, 2]], dtype=np.float64)
+        vals, offs = sample_trilinear(grid, pts)
+        assert vals == pytest.approx([dense[1, 2, 3], dense[4, 3, 2]])
+        assert offs.shape == (16,)  # 8 corners per sample
+
+    def test_midpoint_is_cell_average(self):
+        dense = np.zeros((2, 2, 2), dtype=np.float64)
+        dense[1, 1, 1] = 8.0
+        grid = _grid(dense)
+        vals, _ = sample_trilinear(grid, np.array([[0.5, 0.5, 0.5]]))
+        assert vals[0] == pytest.approx(1.0)  # 8 / 8 corners
+
+    def test_linear_field_reproduced_exactly(self):
+        """Trilinear interpolation is exact on (tri)linear fields."""
+        dense = linear_ramp((9, 9, 9), axis=0).astype(np.float64)
+        grid = _grid(dense)
+        rng = np.random.default_rng(5)
+        pts = rng.random((50, 3)) * 8
+        vals, _ = sample_trilinear(grid, pts)
+        assert np.allclose(vals, pts[:, 0] / 8.0, atol=1e-12)
+
+    def test_matches_scipy_map_coordinates(self, rng):
+        dense = rng.random((8, 7, 6)).astype(np.float64)
+        grid = _grid(dense, "morton")
+        pts = rng.random((100, 3)) * np.array([6.9, 5.9, 4.9])
+        vals, _ = sample_trilinear(grid, pts)
+        ref = ndimage.map_coordinates(dense, pts.T, order=1, mode="nearest")
+        assert np.allclose(vals, ref, atol=1e-12)
+
+    def test_corner_order_x_fastest(self):
+        dense = np.zeros((4, 4, 4), dtype=np.float32)
+        grid = _grid(dense)  # array layout: offset = i + 4j + 16k
+        _, offs = sample_trilinear(grid, np.array([[1.5, 2.5, 0.5]]))
+        base = 1 + 2 * 4 + 0 * 16
+        assert list(offs) == [base, base + 1, base + 4, base + 5,
+                              base + 16, base + 17, base + 20, base + 21]
+
+    def test_degenerate_single_voxel_axes(self):
+        dense = np.full((1, 1, 3), 2.5, dtype=np.float32)
+        grid = _grid(dense)
+        vals, _ = sample_trilinear(grid, np.array([[0.0, 0.0, 1.2]]))
+        assert vals[0] == pytest.approx(2.5)
+
+    def test_values_layout_invariant(self, rng):
+        dense = rng.random((8, 8, 8)).astype(np.float64)
+        pts = rng.random((30, 3)) * 7
+        ref, _ = sample_trilinear(_grid(dense, "array"), pts)
+        for name in ("morton", "hilbert", "tiled"):
+            vals, _ = sample_trilinear(_grid(dense, name), pts)
+            assert np.allclose(vals, ref)

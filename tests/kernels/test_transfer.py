@@ -1,0 +1,82 @@
+"""Tests for transfer functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels import TransferFunction, grayscale_ramp, isosurface_like, warm_ramp
+
+
+class TestTransferFunction:
+    def test_endpoint_interpolation(self):
+        tf = TransferFunction(points=(
+            (0.0, 0.0, 0.0, 0.0, 0.0),
+            (1.0, 1.0, 0.5, 0.25, 0.8),
+        ))
+        rgba = tf(np.array([0.0, 0.5, 1.0]))
+        assert np.allclose(rgba[0], [0, 0, 0, 0])
+        assert np.allclose(rgba[1], [0.5, 0.25, 0.125, 0.4])
+        assert np.allclose(rgba[2], [1.0, 0.5, 0.25, 0.8])
+
+    def test_clamps_outside_range(self):
+        tf = grayscale_ramp(0.2, 0.8, max_alpha=0.5)
+        rgba = tf(np.array([-1.0, 2.0]))
+        assert np.allclose(rgba[0], [0, 0, 0, 0])
+        assert np.allclose(rgba[1], [1, 1, 1, 0.5])
+
+    def test_preserves_input_shape(self):
+        tf = grayscale_ramp()
+        rgba = tf(np.zeros((3, 5)))
+        assert rgba.shape == (3, 5, 4)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            TransferFunction(points=((0.0, 0, 0, 0, 0),))
+
+    def test_rejects_unsorted_points(self):
+        with pytest.raises(ValueError):
+            TransferFunction(points=(
+                (0.5, 0, 0, 0, 0), (0.5, 1, 1, 1, 1),
+            ))
+
+
+class TestPresets:
+    def test_grayscale_monotone_alpha(self):
+        tf = grayscale_ramp()
+        xs = np.linspace(0, 1, 11)
+        alpha = tf(xs)[:, 3]
+        assert np.all(np.diff(alpha) >= 0)
+        assert alpha[0] == 0.0
+
+    def test_warm_ramp_low_values_transparent(self):
+        tf = warm_ramp()
+        rgba = tf(np.array([0.0, 1.0]))
+        assert rgba[0, 3] == 0.0
+        assert rgba[1, 3] > 0.5
+
+    def test_isosurface_peak_at_iso(self):
+        tf = isosurface_like(0.5, width=0.1)
+        alpha = tf(np.array([0.3, 0.5, 0.7]))[:, 3]
+        assert alpha[1] > 0.8
+        assert alpha[0] == 0.0
+        assert alpha[2] == 0.0
+
+
+class TestSparseRamp:
+    def test_zero_below_threshold(self):
+        from repro.kernels import sparse_ramp
+
+        tf = sparse_ramp(threshold=0.4)
+        alpha = tf(np.array([0.0, 0.2, 0.399, 0.5, 1.0]))[:, 3]
+        assert np.all(alpha[:3] == 0.0)
+        assert alpha[3] > 0
+        assert alpha[4] == pytest.approx(0.7)
+
+    def test_validates_threshold(self):
+        from repro.kernels import sparse_ramp
+
+        with pytest.raises(ValueError):
+            sparse_ramp(threshold=0.0)
+        with pytest.raises(ValueError):
+            sparse_ramp(threshold=1.5)

@@ -1,0 +1,235 @@
+"""Tests for the raycasting volume renderer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Grid, make_layout
+from repro.data import combustion_field, linear_ramp
+from repro.kernels import (
+    RaycastRenderer,
+    RenderSpec,
+    TransferFunction,
+    grayscale_ramp,
+    orbit_camera,
+    ray_box_intersect,
+)
+from repro.memsim import AddressSpace
+from repro.parallel import Tile
+
+
+def _grid(dense, layout="array"):
+    return Grid.from_dense(dense, make_layout(layout, dense.shape))
+
+
+class TestRenderSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RenderSpec(step=0)
+        with pytest.raises(ValueError):
+            RenderSpec(sampler="cubic")
+        with pytest.raises(ValueError):
+            RenderSpec(early_termination=1.5)
+        with pytest.raises(ValueError):
+            RenderSpec(max_steps=0)
+
+
+class TestRayBoxIntersect:
+    def test_head_on_hit(self):
+        o = np.array([[-10.0, 5.0, 5.0]])
+        d = np.array([[1.0, 0.0, 0.0]])
+        lo, hi = np.zeros(3), np.full(3, 10.0)
+        tn, tf = ray_box_intersect(o, d, lo, hi)
+        assert tn[0] == pytest.approx(10.0)
+        assert tf[0] == pytest.approx(20.0)
+
+    def test_miss(self):
+        o = np.array([[-10.0, 50.0, 5.0]])
+        d = np.array([[1.0, 0.0, 0.0]])
+        tn, tf = ray_box_intersect(o, d, np.zeros(3), np.full(3, 10.0))
+        assert tn[0] >= tf[0]
+
+    def test_origin_inside_clamps_to_zero(self):
+        o = np.array([[5.0, 5.0, 5.0]])
+        d = np.array([[0.0, 1.0, 0.0]])
+        tn, tf = ray_box_intersect(o, d, np.zeros(3), np.full(3, 10.0))
+        assert tn[0] == 0.0
+        assert tf[0] == pytest.approx(5.0)
+
+    def test_axis_parallel_on_boundary(self):
+        # ray sliding exactly along a face: grazing counts as a hit here
+        o = np.array([[-5.0, 0.0, 5.0]])
+        d = np.array([[1.0, 0.0, 0.0]])
+        tn, tf = ray_box_intersect(o, d, np.zeros(3), np.full(3, 10.0))
+        assert tf[0] >= tn[0]
+
+    def test_diagonal(self):
+        o = np.array([[-1.0, -1.0, -1.0]])
+        d = np.array([[1.0, 1.0, 1.0]]) / np.sqrt(3)
+        tn, tf = ray_box_intersect(o, d, np.zeros(3), np.ones(3))
+        assert tn[0] == pytest.approx(np.sqrt(3))
+        assert tf[0] == pytest.approx(2 * np.sqrt(3))
+
+    def test_pointing_away(self):
+        o = np.array([[-5.0, 0.5, 0.5]])
+        d = np.array([[-1.0, 0.0, 0.0]])
+        tn, tf = ray_box_intersect(o, d, np.zeros(3), np.ones(3))
+        assert tf[0] <= 0  # behind the origin -> treated as miss upstream
+
+
+class TestRendering:
+    def test_empty_volume_renders_transparent(self):
+        grid = _grid(np.zeros((16, 16, 16), dtype=np.float32))
+        cam = orbit_camera((16, 16, 16), 1, width=16, height=16)
+        img = RaycastRenderer(grid, grayscale_ramp()).render_image(cam)
+        assert img.shape == (16, 16, 4)
+        assert np.allclose(img, 0.0)
+
+    def test_dense_volume_saturates_center(self):
+        grid = _grid(np.ones((16, 16, 16), dtype=np.float32))
+        cam = orbit_camera((16, 16, 16), 0, width=17, height=17)
+        spec = RenderSpec(step=0.5)
+        img = RaycastRenderer(grid, grayscale_ramp(max_alpha=0.9),
+                              spec).render_image(cam)
+        assert img[8, 8, 3] > 0.99  # central ray crosses the whole cube
+        assert img[0, 0, 3] < img[8, 8, 3] + 1e-9
+
+    def test_constant_volume_alpha_matches_closed_form(self):
+        """n compositing steps of constant per-sample opacity a give
+        accumulated alpha 1 - (1-a)^n; with the step-size correction the
+        result is step-size independent up to discretization."""
+        c = 0.6
+        grid = _grid(np.full((32, 32, 32), c, dtype=np.float32))
+        tf = grayscale_ramp(max_alpha=0.5)
+        cam = orbit_camera((32, 32, 32), 0, width=9, height=9,
+                           projection="orthographic")
+        a_tf = 0.5 * c
+        for step in (0.5, 1.0):
+            spec = RenderSpec(step=step)
+            r = RaycastRenderer(grid, tf, spec)
+            img = r.render_image(cam)
+            # center ray spans the full 31-voxel depth
+            n = int(np.ceil(31.0 / step))
+            expect = 1 - (1 - a_tf) ** (n * step)
+            assert img[4, 4, 3] == pytest.approx(expect, rel=0.05)
+
+    def test_values_layout_invariant(self):
+        dense = combustion_field((16, 16, 16), seed=2)
+        cam = orbit_camera((16, 16, 16), 3, width=12, height=12)
+        spec = RenderSpec(step=0.75, sampler="trilinear")
+        ref = RaycastRenderer(_grid(dense, "array"), grayscale_ramp(),
+                              spec).render_image(cam)
+        for name in ("morton", "hilbert", "tiled"):
+            img = RaycastRenderer(_grid(dense, name), grayscale_ramp(),
+                                  spec).render_image(cam)
+            assert np.allclose(img, ref, atol=1e-9)
+
+    def test_nearest_vs_trilinear_close_on_smooth_field(self):
+        dense = linear_ramp((24, 24, 24))
+        cam = orbit_camera((24, 24, 24), 2, width=10, height=10)
+        grid = _grid(dense)
+        img_n = RaycastRenderer(grid, grayscale_ramp(),
+                                RenderSpec(sampler="nearest")).render_image(cam)
+        img_t = RaycastRenderer(grid, grayscale_ramp(),
+                                RenderSpec(sampler="trilinear")).render_image(cam)
+        assert np.abs(img_n - img_t).max() < 0.1
+
+
+class TestTraces:
+    def _setup(self, layout="array", **spec_kw):
+        dense = combustion_field((16, 16, 16), seed=1)
+        grid = _grid(dense, layout)
+        cam = orbit_camera((16, 16, 16), 1, width=32, height=32)
+        r = RaycastRenderer(grid, grayscale_ramp(), RenderSpec(**spec_kw))
+        return grid, cam, r
+
+    def test_trace_ops_equal_samples(self):
+        grid, cam, r = self._setup()
+        space = AddressSpace(64)
+        res = r.render_tile(cam, Tile(0, 0, 8, 8), space=space)
+        assert res.trace is not None
+        assert res.trace.n_ops == res.n_samples
+        assert res.trace.n_accesses == res.n_samples  # nearest: 1 load/sample
+
+    def test_trilinear_trace_eight_loads_per_sample(self):
+        grid, cam, r = self._setup(sampler="trilinear")
+        space = AddressSpace(64)
+        res = r.render_tile(cam, Tile(0, 0, 8, 8), space=space)
+        assert res.trace.n_accesses == 8 * res.n_samples
+
+    def test_no_space_no_trace(self):
+        grid, cam, r = self._setup()
+        res = r.render_tile(cam, Tile(0, 0, 8, 8))
+        assert res.trace is None
+        assert res.rgba is not None
+
+    def test_want_values_false_skips_pixels(self):
+        grid, cam, r = self._setup()
+        space = AddressSpace(64)
+        res = r.render_tile(cam, Tile(0, 0, 8, 8), space=space,
+                            want_values=False)
+        assert res.rgba is None
+        assert res.trace is not None
+        assert res.trace.n_accesses > 0
+
+    def test_trace_data_independent_for_fixed_view(self):
+        space = AddressSpace(64)
+        cam = orbit_camera((16, 16, 16), 1, width=16, height=16)
+        g1 = _grid(combustion_field((16, 16, 16), seed=1))
+        g2 = _grid(np.zeros((16, 16, 16), dtype=np.float32))
+        r1 = RaycastRenderer(g1, grayscale_ramp())
+        r2 = RaycastRenderer(g2, grayscale_ramp())
+        t1 = r1.render_tile(cam, Tile(0, 0, 8, 8), space=space).trace
+        t2 = r2.render_tile(cam, Tile(0, 0, 8, 8), space=space).trace
+        b1 = space.base_of(g1) // 64
+        b2 = space.base_of(g2) // 64
+        assert np.array_equal(t1.lines - b1, t2.lines - b2)
+
+    def test_ray_step_subsamples(self):
+        grid, cam, r = self._setup()
+        space = AddressSpace(64)
+        full = r.render_tile(cam, Tile(0, 0, 8, 8), space=space,
+                             want_values=False)
+        quarter = r.render_tile(cam, Tile(0, 0, 8, 8), space=space,
+                                want_values=False, ray_step=2)
+        assert quarter.n_samples < full.n_samples
+        # a quarter of the rays, but per-ray step counts vary across the
+        # tile, so only bound the ratio loosely
+        assert 0.1 * full.n_samples < quarter.n_samples < 0.45 * full.n_samples
+
+
+class TestEarlyTermination:
+    def test_truncates_samples_and_trace(self):
+        dense = np.ones((16, 16, 16), dtype=np.float32)
+        grid = _grid(dense)
+        cam = orbit_camera((16, 16, 16), 0, width=8, height=8)
+        space = AddressSpace(64)
+        tf = grayscale_ramp(max_alpha=0.9)
+        full = RaycastRenderer(grid, tf, RenderSpec()).render_tile(
+            cam, Tile(0, 0, 8, 8), space=space)
+        et = RaycastRenderer(grid, tf, RenderSpec(
+            early_termination=0.95)).render_tile(
+            cam, Tile(0, 0, 8, 8), space=AddressSpace(64))
+        assert et.n_samples < full.n_samples
+        assert et.trace.n_accesses == et.n_samples
+
+    def test_image_unchanged_within_tolerance(self):
+        dense = combustion_field((16, 16, 16), seed=4)
+        grid = _grid(dense)
+        cam = orbit_camera((16, 16, 16), 5, width=16, height=16)
+        tf = grayscale_ramp(max_alpha=0.8)
+        img_full = RaycastRenderer(grid, tf, RenderSpec(step=0.5)).render_image(cam)
+        img_et = RaycastRenderer(grid, tf, RenderSpec(
+            step=0.5, early_termination=0.999)).render_image(cam)
+        assert np.allclose(img_full, img_et, atol=5e-3)
+
+    def test_trilinear_trace_truncation_consistent(self):
+        dense = np.ones((16, 16, 16), dtype=np.float32)
+        grid = _grid(dense)
+        cam = orbit_camera((16, 16, 16), 0, width=8, height=8)
+        space = AddressSpace(64)
+        res = RaycastRenderer(grid, grayscale_ramp(max_alpha=0.9), RenderSpec(
+            sampler="trilinear", early_termination=0.9)).render_tile(
+            cam, Tile(0, 0, 4, 4), space=space)
+        assert res.trace.n_accesses == 8 * res.n_samples

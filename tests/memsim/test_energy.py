@@ -1,0 +1,72 @@
+"""Tests for the memory-system energy model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.memsim import (
+    EnergyModel,
+    ServiceCounts,
+    SimulationEngine,
+    ThreadWork,
+    TraceChunk,
+    energy_of_result,
+    scaled_ivybridge,
+)
+
+
+class TestEnergyModel:
+    def test_access_energy_weights(self):
+        model = EnergyModel(access_energy_nj={"L1": 1.0, "MEM": 100.0})
+        counts = ServiceCounts(per_level={"L1": 10}, mem=1)
+        assert model.access_joules(counts) == pytest.approx(110e-9)
+
+    def test_unknown_level_falls_back_to_largest_cache(self):
+        model = EnergyModel(access_energy_nj={"L1": 1.0, "L2": 5.0,
+                                              "MEM": 100.0})
+        counts = ServiceCounts(per_level={"LLC": 2}, mem=0)
+        assert model.access_joules(counts) == pytest.approx(10e-9)
+
+    def test_compute_and_static_terms(self):
+        model = EnergyModel(compute_energy_nj_per_op=1.0, static_power_w=2.0)
+        counts = ServiceCounts(per_level={}, mem=0)
+        total = model.total_joules(counts, n_ops=1000, runtime_seconds=0.5)
+        assert total == pytest.approx(1000e-9 + 1.0)
+
+    def test_memory_dominates_by_default(self):
+        model = EnergyModel()
+        on_chip = ServiceCounts(per_level={"L1": 100}, mem=0)
+        off_chip = ServiceCounts(per_level={}, mem=100)
+        assert (model.access_joules(off_chip)
+                > 100 * model.access_joules(on_chip))
+
+
+class TestEnergyOfResult:
+    def test_streaming_vs_resident(self):
+        """A cache-resident rerun of the same traffic costs far less
+        energy than the cold streaming pass — the Reissmann-style
+        mechanism behind layout energy savings."""
+        spec = scaled_ivybridge(64)
+        engine = SimulationEngine(spec)
+        lines = np.tile(np.arange(64, dtype=np.int64), 50)
+        resident = engine.run(
+            [ThreadWork(0, 0, TraceChunk(lines=lines))])
+        engine2 = SimulationEngine(spec)
+        streaming_lines = np.arange(3200, dtype=np.int64)
+        streaming = engine2.run(
+            [ThreadWork(0, 0, TraceChunk(lines=streaming_lines))])
+        model = EnergyModel(static_power_w=0.0)
+        e_resident = energy_of_result(resident, model)
+        e_streaming = energy_of_result(streaming, model)
+        assert e_streaming > 5 * e_resident
+
+    def test_static_term_uses_runtime(self):
+        spec = scaled_ivybridge(64)
+        engine = SimulationEngine(spec)
+        res = engine.run([ThreadWork(0, 0, TraceChunk(
+            lines=np.arange(100, dtype=np.int64)))])
+        no_static = energy_of_result(res, EnergyModel(static_power_w=0.0))
+        with_static = energy_of_result(res, EnergyModel(static_power_w=5.0))
+        assert with_static == pytest.approx(
+            no_static + 5.0 * res.runtime_seconds)

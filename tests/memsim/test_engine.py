@@ -1,0 +1,203 @@
+"""Tests for the interleaving simulation engine and cost model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ArrayOrderLayout, Grid
+from repro.memsim import (
+    AddressSpace,
+    CacheConfig,
+    CostModel,
+    LevelSpec,
+    PlatformSpec,
+    ServiceCounts,
+    SimulationEngine,
+    ThreadWork,
+    TraceChunk,
+)
+
+
+def _platform(n_cores=4, smt=1, shared_l2=False):
+    return PlatformSpec(
+        name="tiny",
+        n_cores=n_cores,
+        n_sockets=1,
+        smt=smt,
+        freq_ghz=1.0,
+        levels=(
+            LevelSpec(CacheConfig("L1", 64 * 8, ways=2), scope="core",
+                      latency_cycles=2),
+            LevelSpec(CacheConfig("L2", 64 * 32, ways=4),
+                      scope="machine" if shared_l2 else "core",
+                      latency_cycles=10),
+        ),
+        mem_latency_cycles=100,
+        mem_parallelism=1.0,
+        counters={"L2_ACC": ("L2", "accesses"), "L2_MISS": ("L2", "misses")},
+    )
+
+
+def _chunk(lines, n_ops=0, collapsed=0):
+    return TraceChunk(lines=np.asarray(lines, dtype=np.int64),
+                      collapsed_hits=collapsed, n_ops=n_ops)
+
+
+class TestEngineBasics:
+    def test_counters_match_totals(self):
+        eng = SimulationEngine(_platform())
+        works = [ThreadWork(0, 0, _chunk(np.arange(100)))]
+        res = eng.run(works)
+        total_served = sum(res.level_served.values())
+        assert total_served == 100
+        assert res.n_accesses == 100
+        # everything misses a cold hierarchy -> all from memory
+        assert res.level_served["MEM"] == 100
+
+    def test_quantum_does_not_change_single_thread_results(self):
+        lines = np.tile(np.arange(50), 4)
+        res_small = SimulationEngine(_platform(), quantum=7).run(
+            [ThreadWork(0, 0, _chunk(lines))])
+        res_big = SimulationEngine(_platform(), quantum=10_000).run(
+            [ThreadWork(0, 0, _chunk(lines))])
+        assert res_small.counters == res_big.counters
+        assert res_small.runtime_seconds == pytest.approx(res_big.runtime_seconds)
+
+    def test_collapsed_hits_credited(self):
+        eng = SimulationEngine(_platform())
+        works = [ThreadWork(0, 0, _chunk([0, 1], n_ops=0, collapsed=98))]
+        res = eng.run(works)
+        assert res.level_served["L1"] == 98
+        assert res.n_accesses == 100
+
+    def test_compute_ops_add_cycles(self):
+        base = SimulationEngine(_platform(), CostModel(cpi_compute=1.0)).run(
+            [ThreadWork(0, 0, _chunk([0], n_ops=0))])
+        heavy = SimulationEngine(_platform(), CostModel(cpi_compute=1.0)).run(
+            [ThreadWork(0, 0, _chunk([0], n_ops=1000))])
+        assert heavy.runtime_seconds > base.runtime_seconds
+        # 1000 ops at 1 cpi at 1 GHz = 1 microsecond extra
+        assert heavy.runtime_seconds - base.runtime_seconds == pytest.approx(1e-6)
+
+    def test_runtime_is_slowest_thread(self):
+        eng = SimulationEngine(_platform())
+        works = [
+            ThreadWork(0, 0, _chunk(np.arange(10))),
+            ThreadWork(1, 1, _chunk(np.arange(1000, 2000))),
+        ]
+        res = eng.run(works)
+        assert res.runtime_seconds == pytest.approx(
+            max(res.per_thread_cycles.values()) / 1e9)
+        assert res.per_thread_cycles[1] > res.per_thread_cycles[0]
+
+    def test_rejects_bad_core(self):
+        eng = SimulationEngine(_platform(n_cores=2))
+        with pytest.raises(ValueError):
+            eng.run([ThreadWork(0, 5, _chunk([1]))])
+
+    def test_rejects_bad_quantum(self):
+        with pytest.raises(ValueError):
+            SimulationEngine(_platform(), quantum=0)
+
+    def test_empty_run(self):
+        res = SimulationEngine(_platform()).run([])
+        assert res.runtime_seconds == 0.0
+        assert res.n_accesses == 0
+
+
+class TestInterference:
+    def test_shared_cache_interference(self):
+        """Two threads on a shared L2 evict each other; private L2s don't."""
+        # two threads streaming disjoint 40-line ranges; L2 holds 32 lines
+        w = [
+            ThreadWork(0, 0, _chunk(np.tile(np.arange(0, 24), 8))),
+            ThreadWork(1, 1, _chunk(np.tile(np.arange(100, 124), 8))),
+        ]
+        private = SimulationEngine(_platform(shared_l2=False), quantum=8).run(w)
+        shared = SimulationEngine(_platform(shared_l2=True), quantum=8).run(w)
+        assert shared.counters["L2_MISS"] > private.counters["L2_MISS"]
+
+    def test_smt_threads_share_l1(self):
+        """Two threads on the same core hit each other's lines in L1."""
+        spec = _platform(n_cores=2, smt=2)
+        lines = np.arange(4)
+        w_same = [
+            ThreadWork(0, 0, _chunk(np.tile(lines, 10))),
+            ThreadWork(1, 0, _chunk(np.tile(lines, 10))),
+        ]
+        w_diff = [
+            ThreadWork(0, 0, _chunk(np.tile(lines, 10))),
+            ThreadWork(1, 1, _chunk(np.tile(lines, 10))),
+        ]
+        res_same = SimulationEngine(spec, quantum=4).run(w_same)
+        res_diff = SimulationEngine(spec, quantum=4).run(w_diff)
+        # same-core threads warm one L1 -> fewer L2 accesses in total
+        assert res_same.counters["L2_ACC"] <= res_diff.counters["L2_ACC"]
+
+
+class TestScaling:
+    def test_scaled_result(self):
+        res = SimulationEngine(_platform()).run(
+            [ThreadWork(0, 0, _chunk(np.arange(10)))])
+        scaled = res.scaled(count_scale=4.0, work_scale=2.0)
+        assert scaled.counters["L2_ACC"] == 4 * res.counters["L2_ACC"]
+        assert scaled.runtime_seconds == pytest.approx(2 * res.runtime_seconds)
+        assert scaled.count_scale == 4.0
+        assert scaled.work_scale == 2.0
+        # raw per-thread cycles untouched
+        assert scaled.per_thread_cycles == res.per_thread_cycles
+
+
+class TestCostModel:
+    def test_access_cycles_formula(self):
+        spec = _platform()
+        cm = CostModel(cpi_compute=0.0, issue_cycles_per_access=0.0)
+        counts = ServiceCounts(per_level={"L1": 10, "L2": 5}, mem=2)
+        cycles = cm.access_cycles(counts, spec)
+        assert cycles == pytest.approx(10 * 2 + 5 * 10 + 2 * 100)
+
+    def test_mem_parallelism_divides_latency(self):
+        spec = _platform()
+        spec2 = PlatformSpec(**{**spec.__dict__, "mem_parallelism": 4.0})
+        cm = CostModel(issue_cycles_per_access=0.0)
+        counts = ServiceCounts(per_level={}, mem=8)
+        assert cm.access_cycles(counts, spec2) == pytest.approx(
+            cm.access_cycles(counts, spec) / 4)
+
+    def test_issue_cost_applies_to_all(self):
+        spec = _platform()
+        cm = CostModel(issue_cycles_per_access=1.0)
+        counts = ServiceCounts(per_level={"L1": 10}, mem=0)
+        base = CostModel(issue_cycles_per_access=0.0).access_cycles(counts, spec)
+        assert cm.access_cycles(counts, spec) == pytest.approx(base + 10)
+
+    def test_seconds(self):
+        spec = _platform()  # 1 GHz
+        assert CostModel().seconds(1e9, spec) == pytest.approx(1.0)
+
+
+class TestAddressSpace:
+    def test_disjoint_line_ranges(self):
+        space = AddressSpace(64)
+        g1 = Grid.zeros(ArrayOrderLayout((8, 8, 8)))
+        g2 = Grid.zeros(ArrayOrderLayout((8, 8, 8)))
+        l1 = space.lines_for(g1, np.arange(512))
+        l2 = space.lines_for(g2, np.arange(512))
+        assert set(l1.tolist()).isdisjoint(set(l2.tolist()))
+
+    def test_register_is_idempotent(self):
+        space = AddressSpace(64)
+        g = Grid.zeros(ArrayOrderLayout((4, 4, 4)))
+        assert space.register(g) == space.register(g) == space.base_of(g)
+
+    def test_base_alignment(self):
+        space = AddressSpace(64)
+        g = Grid.zeros(ArrayOrderLayout((4, 4, 4)))
+        assert space.register(g) % 4096 == 0
+
+    def test_unregistered_lookup_raises(self):
+        space = AddressSpace(64)
+        g = Grid.zeros(ArrayOrderLayout((4, 4, 4)))
+        with pytest.raises(KeyError):
+            space.base_of(g)

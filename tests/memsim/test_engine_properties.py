@@ -1,0 +1,102 @@
+"""Property-based invariants of the simulation engine (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memsim import (
+    CacheConfig,
+    LevelSpec,
+    PlatformSpec,
+    SimulationEngine,
+    ThreadWork,
+    TraceChunk,
+)
+
+
+def _spec(n_cores=4):
+    return PlatformSpec(
+        name="prop",
+        n_cores=n_cores,
+        n_sockets=1,
+        smt=1,
+        freq_ghz=1.0,
+        levels=(
+            LevelSpec(CacheConfig("L1", 64 * 8, ways=2), scope="core",
+                      latency_cycles=2),
+            LevelSpec(CacheConfig("L2", 64 * 32, ways=4), scope="machine",
+                      latency_cycles=10),
+        ),
+        mem_latency_cycles=100,
+        counters={"L1_TCA": ("L1", "accesses"), "L1_TCM": ("L1", "misses"),
+                  "L2_TCA": ("L2", "accesses"), "L2_TCM": ("L2", "misses")},
+    )
+
+
+chunks_st = st.lists(
+    st.lists(st.integers(0, 200), min_size=0, max_size=150).map(
+        lambda xs: np.array(xs, dtype=np.int64)),
+    min_size=1, max_size=4,
+)
+
+
+class TestEngineInvariants:
+    @given(chunks_st)
+    @settings(max_examples=25)
+    def test_request_conservation(self, streams):
+        works = [ThreadWork(t, t % 4, TraceChunk(lines=lines))
+                 for t, lines in enumerate(streams)]
+        res = SimulationEngine(_spec()).run(works)
+        total_lines = sum(int(s.size) for s in streams)
+        assert res.n_accesses == total_lines
+        # every simulated request is served exactly once
+        assert sum(res.level_served.values()) == total_lines
+        # counter chain: L2 sees exactly the L1 misses
+        assert res.counters["L2_TCA"] == res.counters["L1_TCM"]
+        assert res.counters["L1_TCA"] == total_lines
+
+    @given(chunks_st)
+    @settings(max_examples=25)
+    def test_scaling_algebra(self, streams):
+        works = [ThreadWork(t, t % 4, TraceChunk(lines=lines))
+                 for t, lines in enumerate(streams)]
+        res = SimulationEngine(_spec()).run(works)
+        scaled = res.scaled(3.0, 2.0)
+        for name in res.counters:
+            assert scaled.counters[name] == pytest.approx(
+                3.0 * res.counters[name])
+        assert scaled.runtime_seconds == pytest.approx(
+            2.0 * res.runtime_seconds)
+        # double scaling composes multiplicatively
+        again = scaled.scaled(2.0, 0.5)
+        assert again.count_scale == pytest.approx(6.0)
+        assert again.work_scale == pytest.approx(1.0)
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=200))
+    @settings(max_examples=25)
+    def test_determinism(self, lines_list):
+        lines = np.array(lines_list, dtype=np.int64)
+        work = [ThreadWork(0, 0, TraceChunk(lines=lines))]
+        a = SimulationEngine(_spec()).run(work)
+        b = SimulationEngine(_spec()).run(work)
+        assert a.counters == b.counters
+        assert a.runtime_seconds == b.runtime_seconds
+
+    @given(st.lists(st.integers(0, 60), min_size=10, max_size=200))
+    @settings(max_examples=25)
+    def test_collapsed_credit_equivalence(self, lines_list):
+        """Feeding collapsed lines + credit must equal feeding the raw
+        stream, in every counter."""
+        from repro.memsim import collapse_consecutive
+
+        raw = np.array(lines_list, dtype=np.int64)
+        collapsed, removed = collapse_consecutive(raw)
+        res_raw = SimulationEngine(_spec()).run(
+            [ThreadWork(0, 0, TraceChunk(lines=raw))])
+        res_col = SimulationEngine(_spec()).run(
+            [ThreadWork(0, 0, TraceChunk(lines=collapsed,
+                                         collapsed_hits=removed))])
+        assert res_raw.counters == res_col.counters

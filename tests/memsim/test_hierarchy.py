@@ -1,0 +1,182 @@
+"""Tests for multi-level, multi-core machine models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.memsim import (
+    Cache,
+    CacheConfig,
+    LevelSpec,
+    Machine,
+    PlatformSpec,
+    ServiceCounts,
+)
+
+
+def _tiny_platform(n_cores=4, n_sockets=2, smt=1, with_l3=True):
+    levels = [
+        LevelSpec(CacheConfig("L1", 64 * 4, line_bytes=64, ways=2),
+                  scope="core", latency_cycles=4),
+        LevelSpec(CacheConfig("L2", 64 * 16, line_bytes=64, ways=4),
+                  scope="core", latency_cycles=12),
+    ]
+    if with_l3:
+        levels.append(
+            LevelSpec(CacheConfig("L3", 64 * 64, line_bytes=64, ways=8),
+                      scope="socket", latency_cycles=36))
+    return PlatformSpec(
+        name="tiny",
+        n_cores=n_cores,
+        n_sockets=n_sockets,
+        smt=smt,
+        freq_ghz=1.0,
+        levels=tuple(levels),
+        mem_latency_cycles=200,
+        counters={
+            "L1_MISS": ("L1", "misses"),
+            "L2_ACC": ("L2", "accesses"),
+            "L2_MISS": ("L2", "misses"),
+            **({"L3_ACC": ("L3", "accesses")} if with_l3 else {}),
+        },
+    )
+
+
+class TestPlatformSpec:
+    def test_core_split_validation(self):
+        with pytest.raises(ValueError):
+            _tiny_platform(n_cores=5, n_sockets=2)
+
+    def test_requires_levels(self):
+        with pytest.raises(ValueError):
+            PlatformSpec("x", 1, 1, 1, 1.0, tuple(), 100)
+
+    def test_rejects_mixed_line_sizes(self):
+        levels = (
+            LevelSpec(CacheConfig("L1", 64 * 4, line_bytes=64, ways=2)),
+            LevelSpec(CacheConfig("L2", 128 * 4, line_bytes=128, ways=2)),
+        )
+        with pytest.raises(ValueError):
+            PlatformSpec("x", 1, 1, 1, 1.0, levels, 100)
+
+    def test_scope_validation(self):
+        with pytest.raises(ValueError):
+            LevelSpec(CacheConfig("L1", 64 * 4, ways=2), scope="cluster")
+
+    def test_properties(self):
+        spec = _tiny_platform()
+        assert spec.cores_per_socket == 2
+        assert spec.line_bytes == 64
+        assert spec.max_threads == 4
+        assert spec.level_names() == ["L1", "L2", "L3"]
+
+    def test_scaled(self):
+        spec = _tiny_platform().scaled(2)
+        assert spec.levels[0].cache.capacity_bytes == 64 * 2
+        assert spec.levels[0].latency_cycles == 4  # latency unchanged
+        assert spec.name.endswith("-scaled")
+
+
+class TestMachineRouting:
+    def test_request_conservation(self):
+        m = Machine(_tiny_platform())
+        lines = np.arange(100, dtype=np.int64)
+        counts = m.access(0, lines)
+        assert counts.total == 100
+        assert sum(counts.per_level.values()) + counts.mem == 100
+
+    def test_l1_instances_are_private(self):
+        m = Machine(_tiny_platform())
+        lines = np.array([1, 2, 3], dtype=np.int64)
+        m.access(0, lines)
+        # same lines from another core: its private L1/L2 are cold but the
+        # shared L3 of the same socket is warm
+        counts = m.access(1, lines)
+        assert counts.per_level["L1"] == 0
+        assert counts.per_level["L2"] == 0
+        assert counts.per_level["L3"] == 3
+        assert counts.mem == 0
+
+    def test_sockets_do_not_share_l3(self):
+        spec = _tiny_platform()  # cores 0,1 socket 0; cores 2,3 socket 1
+        m = Machine(spec)
+        lines = np.array([1, 2, 3], dtype=np.int64)
+        m.access(0, lines)
+        counts = m.access(2, lines)  # other socket: everything from memory
+        assert counts.mem == 3
+
+    def test_machine_scope(self):
+        levels = (
+            LevelSpec(CacheConfig("L1", 64 * 4, ways=2), scope="core"),
+            LevelSpec(CacheConfig("LL", 64 * 64, ways=8), scope="machine"),
+        )
+        spec = PlatformSpec("m", 4, 2, 1, 1.0, levels, 100,
+                            counters={"LL_ACC": ("LL", "accesses")})
+        m = Machine(spec)
+        lines = np.array([7, 8], dtype=np.int64)
+        m.access(0, lines)
+        counts = m.access(3, lines)  # different socket, still shared LL
+        assert counts.per_level["LL"] == 2
+        assert counts.mem == 0
+
+    def test_repeat_hits_in_l1(self):
+        m = Machine(_tiny_platform())
+        lines = np.array([5], dtype=np.int64)
+        m.access(0, lines)
+        counts = m.access(0, lines)
+        assert counts.per_level["L1"] == 1
+
+    def test_pre_collapsed_credit(self):
+        m = Machine(_tiny_platform())
+        counts = m.access(0, np.array([1], dtype=np.int64),
+                          pre_collapsed_hits=10)
+        assert counts.per_level["L1"] == 10  # credited hits
+        assert counts.mem == 1
+        stats = m.level_stats("L1")
+        assert stats.accesses == 11
+        assert stats.hits == 10
+
+    def test_pre_collapsed_credit_empty_batch(self):
+        m = Machine(_tiny_platform())
+        counts = m.access(0, np.empty(0, dtype=np.int64), pre_collapsed_hits=4)
+        assert counts.per_level["L1"] == 4
+        assert counts.total == 4
+
+    def test_core_bounds(self):
+        m = Machine(_tiny_platform())
+        with pytest.raises(ValueError):
+            m.access(4, np.array([0], dtype=np.int64))
+
+    def test_counters(self):
+        m = Machine(_tiny_platform())
+        lines = np.arange(50, dtype=np.int64)
+        m.access(0, lines)
+        all_ctr = m.all_counters()
+        assert all_ctr["L2_ACC"] == m.counter("L1_MISS")
+        assert all_ctr["L3_ACC"] == all_ctr["L2_MISS"]
+        with pytest.raises(KeyError):
+            m.counter("PAPI_NOPE")
+
+    def test_level_stats_unknown(self):
+        m = Machine(_tiny_platform())
+        with pytest.raises(KeyError):
+            m.level_stats("L9")
+
+    def test_reset(self):
+        m = Machine(_tiny_platform())
+        m.access(0, np.arange(10, dtype=np.int64))
+        m.reset()
+        assert m.counter("L2_ACC") == 0
+        counts = m.access(0, np.arange(10, dtype=np.int64))
+        assert counts.mem == 10  # cold again
+
+
+class TestServiceCounts:
+    def test_merge(self):
+        a = ServiceCounts(per_level={"L1": 3}, mem=1)
+        b = ServiceCounts(per_level={"L1": 2, "L2": 5}, mem=0)
+        c = a.merge(b)
+        assert c.per_level == {"L1": 5, "L2": 5}
+        assert c.mem == 1
+        assert c.total == 11

@@ -1,0 +1,155 @@
+"""Tests for eviction tracking, invalidation, and inclusive hierarchies."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.memsim import (
+    Cache,
+    CacheConfig,
+    LevelSpec,
+    Machine,
+    PlatformSpec,
+)
+
+
+def _cache(lines=4, ways=2, replacement="lru", track=True):
+    c = Cache(CacheConfig("T", lines * 64, line_bytes=64, ways=ways,
+                          replacement=replacement))
+    c.track_evictions = track
+    return c
+
+
+class TestEvictionTracking:
+    def test_lru_records_victims(self):
+        c = _cache(lines=2, ways=2)  # one set
+        c.access_lines([0, 1])
+        assert c.last_evicted == []
+        c.access_lines([2])
+        assert c.last_evicted == [0]
+
+    def test_fifo_records_victims(self):
+        c = _cache(lines=2, ways=2, replacement="fifo")
+        c.access_lines([0, 1, 2])
+        assert c.last_evicted == [0]
+
+    def test_random_records_victims(self):
+        c = _cache(lines=2, ways=2, replacement="random")
+        c.access_lines([0, 1, 2, 3])
+        assert len(c.last_evicted) == 2
+
+    def test_plru_records_victims(self):
+        c = Cache(CacheConfig("T", 2 * 64, ways=2, replacement="plru"))
+        c.track_evictions = True
+        c.access_lines(np.array([0, 1, 2]))
+        assert len(c.last_evicted) == 1
+        assert c.last_evicted[0] in (0, 1)
+
+    def test_direct_records_victims(self):
+        c = Cache(CacheConfig("T", 2 * 64, ways=1, replacement="direct"))
+        c.track_evictions = True
+        c.access_lines(np.array([0, 2, 4]))  # all map to set 0
+        assert c.last_evicted == [0, 2]
+
+    def test_log_cleared_per_batch(self):
+        c = _cache(lines=2, ways=2)
+        c.access_lines([0, 1, 2])
+        c.access_lines([2])  # hit, no eviction
+        assert c.last_evicted == []
+
+    def test_untracked_cache_keeps_log_empty(self):
+        c = _cache(lines=2, ways=2, track=False)
+        c.access_lines([0, 1, 2, 3])
+        assert c.last_evicted == []
+
+
+class TestInvalidate:
+    @pytest.mark.parametrize("replacement", ["lru", "fifo", "random"])
+    def test_list_policies(self, replacement):
+        c = _cache(lines=8, ways=2, replacement=replacement)
+        c.access_lines([1, 2, 3])
+        assert c.invalidate([2, 99]) == 1
+        assert 2 not in c.resident_lines()
+        assert {1, 3} <= c.resident_lines()
+
+    def test_direct(self):
+        c = Cache(CacheConfig("T", 4 * 64, ways=1, replacement="direct"))
+        c.access_lines(np.array([0, 1]))
+        assert c.invalidate([1]) == 1
+        assert c.resident_lines() == {0}
+        # invalidated line misses on re-access
+        assert list(c.access_lines(np.array([1]))) == [1]
+
+    def test_plru(self):
+        c = Cache(CacheConfig("T", 4 * 64, ways=4, replacement="plru"))
+        c.access_lines(np.array([0, 1, 2]))
+        assert c.invalidate([1]) == 1
+        assert 1 not in c.resident_lines()
+
+    def test_counters_untouched(self):
+        c = _cache()
+        c.access_lines([5])
+        before = (c.stats.accesses, c.stats.hits, c.stats.misses)
+        c.invalidate([5])
+        assert (c.stats.accesses, c.stats.hits, c.stats.misses) == before
+
+
+def _platform(inclusive):
+    return PlatformSpec(
+        name="incl",
+        n_cores=2,
+        n_sockets=1,
+        smt=1,
+        freq_ghz=1.0,
+        levels=(
+            LevelSpec(CacheConfig("L1", 64 * 8, ways=2), scope="core",
+                      latency_cycles=2),
+            LevelSpec(CacheConfig("L2", 64 * 4, ways=4), scope="machine",
+                      latency_cycles=10),
+        ),
+        mem_latency_cycles=100,
+        counters={"L1_MISS": ("L1", "misses")},
+        inclusive=inclusive,
+    )
+
+
+class TestInclusiveMachine:
+    def test_llc_eviction_back_invalidates_l1(self):
+        """With an L2 (LLC, 4 lines) smaller than L1 (8 lines), filling
+        the LLC with new lines must purge the old ones from L1 when
+        inclusive — so their re-access misses L1."""
+        lines = np.arange(4, dtype=np.int64)
+        churn = np.arange(100, 104, dtype=np.int64)
+        m_incl = Machine(_platform(True))
+        m_nine = Machine(_platform(False))
+        for m in (m_incl, m_nine):
+            m.access(0, lines)   # resident in L1 and L2
+            m.access(0, churn)   # evicts all 4 from the tiny LLC
+        counts_incl = m_incl.access(0, lines)
+        counts_nine = m_nine.access(0, lines)
+        # non-inclusive: the original lines still hit in the bigger L1
+        assert counts_nine.per_level["L1"] == 4
+        # inclusive: they were back-invalidated
+        assert counts_incl.per_level["L1"] < 4
+
+    def test_back_invalidation_covers_all_sharing_cores(self):
+        m = Machine(_platform(True))
+        lines = np.arange(4, dtype=np.int64)
+        m.access(0, lines)
+        m.access(1, lines)           # both cores' L1s hold the lines
+        m.access(0, np.arange(100, 104, dtype=np.int64))  # churn the LLC
+        counts = m.access(1, lines)  # core 1's L1 must also have purged
+        assert counts.per_level["L1"] < 4
+
+    def test_single_level_platform_no_inclusion_machinery(self):
+        spec = PlatformSpec(
+            name="one", n_cores=1, n_sockets=1, smt=1, freq_ghz=1.0,
+            levels=(LevelSpec(CacheConfig("L1", 64 * 4, ways=2)),),
+            mem_latency_cycles=100, inclusive=True,
+        )
+        m = Machine(spec)
+        counts = m.access(0, np.arange(10, dtype=np.int64))
+        assert counts.mem == 10  # no crash, no back-invalidation target

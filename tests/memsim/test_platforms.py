@@ -1,0 +1,86 @@
+"""Tests for the paper's platform presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memsim import (
+    BABBAGE_MIC,
+    EDISON_IVYBRIDGE,
+    get_platform,
+    scaled_ivybridge,
+    scaled_mic,
+)
+
+
+class TestIvyBridgePreset:
+    def test_paper_description(self):
+        """Section IV-A: two 12-core 2.4 GHz CPUs, 64K L1 + 256K L2 per
+        core, 30 MB shared L3 per processor."""
+        spec = EDISON_IVYBRIDGE
+        assert spec.n_cores == 24
+        assert spec.n_sockets == 2
+        assert spec.cores_per_socket == 12
+        assert spec.freq_ghz == 2.4
+        l1, l2, l3 = spec.levels
+        assert l1.cache.capacity_bytes == 64 * 1024 and l1.scope == "core"
+        assert l2.cache.capacity_bytes == 256 * 1024 and l2.scope == "core"
+        assert l3.cache.capacity_bytes == 30 * 1024 * 1024 and l3.scope == "socket"
+        assert spec.line_bytes == 64
+
+    def test_papi_counters_wired(self):
+        assert EDISON_IVYBRIDGE.counters["PAPI_L3_TCA"] == ("L3", "accesses")
+        assert EDISON_IVYBRIDGE.counters["PAPI_L3_TCM"] == ("L3", "misses")
+
+    def test_latencies_ordered(self):
+        spec = EDISON_IVYBRIDGE
+        lats = [lv.latency_cycles for lv in spec.levels]
+        assert lats == sorted(lats)
+        assert spec.mem_latency_cycles > lats[-1]
+
+
+class TestMICPreset:
+    def test_paper_description(self):
+        """Section IV-A/IV-B5: 60 cores, 4 hw threads/core, two cache
+        levels, L2 is the 512 KB LLC."""
+        spec = BABBAGE_MIC
+        assert spec.n_cores == 60
+        assert spec.smt == 4
+        assert spec.max_threads == 240
+        assert len(spec.levels) == 2  # "two levels of caching" vs IVB's three
+        l1, l2 = spec.levels
+        assert l2.cache.capacity_bytes == 512 * 1024
+        assert l1.scope == l2.scope == "core"
+
+    def test_mem_fill_counter(self):
+        assert BABBAGE_MIC.counters["L2_DATA_READ_MISS_MEM_FILL"] == (
+            "L2", "misses")
+
+    def test_mic_l2_smaller_than_ivb_l3(self):
+        # the paper's explanation of the stronger thread-sharing effect
+        assert (BABBAGE_MIC.levels[-1].cache.capacity_bytes
+                < EDISON_IVYBRIDGE.levels[-1].cache.capacity_bytes)
+
+
+class TestScaling:
+    def test_scaled_ivybridge_capacities(self):
+        spec = scaled_ivybridge(64)
+        l1, l2, l3 = spec.levels
+        assert l1.cache.capacity_bytes == 1024
+        assert l2.cache.capacity_bytes == 4 * 1024
+        assert l3.cache.capacity_bytes == 30 * 1024 * 1024 // 64
+        # geometry invariants preserved
+        assert l1.cache.ways == 8 and l3.cache.ways == 30
+        assert spec.n_cores == 24
+
+    def test_scaled_mic(self):
+        spec = scaled_mic(64)
+        assert spec.levels[1].cache.capacity_bytes == 8 * 1024
+        assert spec.smt == 4
+
+    def test_get_platform(self):
+        assert get_platform("ivybridge") is EDISON_IVYBRIDGE
+        assert get_platform("mic") is BABBAGE_MIC
+        assert get_platform("ivybridge", scale=64).levels[0].cache.capacity_bytes == 1024
+        with pytest.raises(ValueError):
+            get_platform("epyc")

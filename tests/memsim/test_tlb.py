@@ -1,0 +1,116 @@
+"""Tests for the data-TLB model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.memsim import (
+    CacheConfig,
+    EDISON_IVYBRIDGE,
+    LevelSpec,
+    Machine,
+    PlatformSpec,
+)
+
+
+def _spec(tlb_entries=4, page=4096):
+    return PlatformSpec(
+        name="tlb-test",
+        n_cores=2,
+        n_sockets=1,
+        smt=1,
+        freq_ghz=1.0,
+        levels=(
+            LevelSpec(CacheConfig("L1", 64 * 64, ways=4), scope="core",
+                      latency_cycles=2),
+        ),
+        mem_latency_cycles=100,
+        counters={"TLB_MISS": ("TLB", "misses"), "TLB_ACC": ("TLB", "accesses")},
+        tlb=CacheConfig("TLB", tlb_entries * page, line_bytes=page,
+                        ways=tlb_entries),
+        tlb_miss_cycles=30.0,
+    )
+
+
+class TestTLB:
+    def test_pages_counted_not_lines(self):
+        m = Machine(_spec())
+        # 64 lines of 64 B span exactly one 4 KB page
+        counts = m.access(0, np.arange(64, dtype=np.int64))
+        assert counts.tlb_misses == 1
+        assert m.counter("TLB_MISS") == 1
+
+    def test_tlb_capacity_thrash(self):
+        m = Machine(_spec(tlb_entries=4))
+        # touch 8 pages round-robin twice: fully-assoc LRU of 4 entries
+        # never retains a page across the 8-page cycle
+        pages = np.tile(np.arange(8) * 64, 2).astype(np.int64)
+        counts = m.access(0, pages)
+        assert counts.tlb_misses == 16
+
+    def test_tlb_hit_on_locality(self):
+        m = Machine(_spec(tlb_entries=4))
+        pages = np.tile(np.arange(2) * 64, 8).astype(np.int64)
+        counts = m.access(0, pages)
+        assert counts.tlb_misses == 2  # cold only
+
+    def test_tlb_counts_collapsed_repeats_as_hits(self):
+        m = Machine(_spec())
+        m.access(0, np.zeros(10, dtype=np.int64))
+        stats = m.level_stats("TLB")
+        assert stats.accesses == 10
+        assert stats.misses == 1
+
+    def test_per_core_private(self):
+        m = Machine(_spec())
+        m.access(0, np.arange(64, dtype=np.int64))
+        counts = m.access(1, np.arange(64, dtype=np.int64))
+        assert counts.tlb_misses == 1  # core 1's TLB was cold
+
+    def test_tlb_misses_cost_cycles(self):
+        from repro.memsim import CostModel, ServiceCounts
+
+        spec = _spec()
+        cm = CostModel(issue_cycles_per_access=0.0)
+        with_tlb = ServiceCounts(per_level={"L1": 1}, tlb_misses=5)
+        without = ServiceCounts(per_level={"L1": 1}, tlb_misses=0)
+        delta = cm.access_cycles(with_tlb, spec) - cm.access_cycles(without, spec)
+        assert delta == pytest.approx(5 * 30.0)
+
+    def test_reset_clears_tlb(self):
+        m = Machine(_spec())
+        m.access(0, np.arange(64, dtype=np.int64))
+        m.reset()
+        assert m.counter("TLB_MISS") == 0
+        counts = m.access(0, np.arange(64, dtype=np.int64))
+        assert counts.tlb_misses == 1  # cold again
+
+    def test_rejects_page_smaller_than_line(self):
+        spec = PlatformSpec(
+            name="bad", n_cores=1, n_sockets=1, smt=1, freq_ghz=1.0,
+            levels=(LevelSpec(CacheConfig("L1", 64 * 4, ways=2)),),
+            mem_latency_cycles=100,
+            tlb=CacheConfig("TLB", 32 * 2, line_bytes=32, ways=2),
+        )
+        with pytest.raises(ValueError, match="page size"):
+            Machine(spec)
+
+    def test_platform_presets_have_tlbs(self):
+        assert EDISON_IVYBRIDGE.tlb is not None
+        assert EDISON_IVYBRIDGE.counters["PAPI_TLB_DM"] == ("TLB", "misses")
+        m = Machine(EDISON_IVYBRIDGE)
+        m.access(0, np.arange(1000, dtype=np.int64))
+        assert m.counter("PAPI_TLB_DM") >= 1
+
+    def test_no_tlb_platform_unchanged(self):
+        spec = PlatformSpec(
+            name="plain", n_cores=1, n_sockets=1, smt=1, freq_ghz=1.0,
+            levels=(LevelSpec(CacheConfig("L1", 64 * 4, ways=2)),),
+            mem_latency_cycles=100,
+        )
+        m = Machine(spec)
+        counts = m.access(0, np.arange(10, dtype=np.int64))
+        assert counts.tlb_misses == 0
+        with pytest.raises(KeyError):
+            m.level_stats("TLB")

@@ -1,0 +1,98 @@
+"""Tests for trace plumbing: offset→line mapping and collapsing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memsim import TraceChunk, collapse_consecutive, concat_chunks, offsets_to_lines
+
+offsets_st = st.lists(st.integers(0, 10_000), min_size=0, max_size=300).map(
+    lambda xs: np.array(xs, dtype=np.int64))
+
+
+class TestOffsetsToLines:
+    def test_basic(self):
+        offs = np.array([0, 15, 16, 31, 32])
+        # float32 elements, 64-byte lines: 16 elements per line
+        lines = offsets_to_lines(offs, itemsize=4, line_bytes=64)
+        assert list(lines) == [0, 0, 1, 1, 2]
+
+    def test_base_address_shifts_lines(self):
+        offs = np.array([0, 1])
+        lines = offsets_to_lines(offs, 4, 64, base_bytes=4096)
+        assert list(lines) == [64, 64]
+
+    def test_float64_halves_line_capacity(self):
+        offs = np.array([7, 8])
+        assert list(offsets_to_lines(offs, 8, 64)) == [0, 1]
+
+
+class TestCollapse:
+    def test_collapses_runs(self):
+        lines, removed = collapse_consecutive(np.array([3, 3, 3, 4, 4, 3]))
+        assert list(lines) == [3, 4, 3]
+        assert removed == 3
+
+    def test_no_runs(self):
+        lines, removed = collapse_consecutive(np.array([1, 2, 3]))
+        assert list(lines) == [1, 2, 3]
+        assert removed == 0
+
+    def test_degenerate(self):
+        lines, removed = collapse_consecutive(np.array([], dtype=np.int64))
+        assert lines.size == 0 and removed == 0
+        lines, removed = collapse_consecutive(np.array([9]))
+        assert list(lines) == [9] and removed == 0
+
+    @given(offsets_st)
+    def test_collapse_preserves_counts(self, offs):
+        lines, removed = collapse_consecutive(offs)
+        assert lines.size + removed == offs.size
+
+    @given(offsets_st)
+    def test_collapsed_has_no_adjacent_duplicates(self, offs):
+        lines, _ = collapse_consecutive(offs)
+        if lines.size > 1:
+            assert np.all(np.diff(lines) != 0)
+
+    @given(offsets_st)
+    def test_collapse_is_idempotent(self, offs):
+        once, _ = collapse_consecutive(offs)
+        twice, removed = collapse_consecutive(once)
+        assert removed == 0
+        assert np.array_equal(once, twice)
+
+
+class TestTraceChunk:
+    def test_from_offsets(self):
+        offs = np.arange(64)  # 4 lines of 16 float32 elements
+        chunk = TraceChunk.from_offsets(offs, 4, 64, n_ops=64)
+        assert list(chunk.lines) == [0, 1, 2, 3]
+        assert chunk.collapsed_hits == 60
+        assert chunk.n_accesses == 64
+        assert chunk.n_ops == 64
+
+    def test_concat_collapses_at_seams(self):
+        a = TraceChunk.from_offsets(np.array([0, 1]), 4, 64, n_ops=2)
+        b = TraceChunk.from_offsets(np.array([2, 64]), 4, 64, n_ops=2)
+        merged = concat_chunks([a, b])
+        # a ends on line 0, b starts on line 0 -> seam collapse
+        assert list(merged.lines) == [0, 4]
+        assert merged.n_accesses == 4
+        assert merged.n_ops == 4
+
+    def test_concat_empty(self):
+        merged = concat_chunks([])
+        assert merged.lines.size == 0
+        assert merged.n_accesses == 0
+
+    @given(st.lists(offsets_st, min_size=1, max_size=4))
+    def test_concat_preserves_total_accesses(self, batches):
+        chunks = [TraceChunk.from_offsets(b, 4, 64, n_ops=b.size)
+                  for b in batches]
+        merged = concat_chunks(chunks)
+        assert merged.n_accesses == sum(b.size for b in batches)
+        assert merged.n_ops == sum(b.size for b in batches)

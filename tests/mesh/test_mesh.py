@@ -1,0 +1,118 @@
+"""Tests for the unstructured-mesh substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mesh import TetraMesh, perturbed_grid_delaunay, random_delaunay
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return random_delaunay(400, seed=2)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TetraMesh(np.zeros((4, 2)), np.zeros((1, 4), dtype=int))
+        with pytest.raises(ValueError):
+            TetraMesh(np.zeros((4, 3)), np.zeros((1, 3), dtype=int))
+        with pytest.raises(ValueError):
+            TetraMesh(np.zeros((4, 3)), np.array([[0, 1, 2, 9]]))
+
+    def test_counts(self, mesh):
+        assert mesh.n_vertices == 400
+        assert mesh.n_cells > 0
+        assert mesh.n_edges > mesh.n_vertices  # tet meshes are dense-ish
+
+    def test_empty_cells(self):
+        m = TetraMesh(np.zeros((3, 3)), np.empty((0, 4), dtype=int))
+        assert m.n_edges == 0
+        assert m.neighbors(0).size == 0
+
+
+class TestAdjacency:
+    def test_symmetric(self, mesh):
+        for v in range(0, mesh.n_vertices, 37):
+            for nb in mesh.neighbors(v):
+                assert v in mesh.neighbors(int(nb))
+
+    def test_no_self_loops(self, mesh):
+        for v in range(0, mesh.n_vertices, 23):
+            assert v not in mesh.neighbors(v)
+
+    def test_matches_cells(self, mesh):
+        # every cell edge appears in the adjacency
+        cell = mesh.cells[7]
+        for a in range(4):
+            for b in range(a + 1, 4):
+                assert cell[b] in mesh.neighbors(int(cell[a]))
+
+    def test_valences(self, mesh):
+        val = mesh.valences()
+        assert val.sum() == mesh.indices.size
+        assert val.min() >= 3  # interior Delaunay vertices are well connected
+
+
+class TestPermute:
+    def test_geometry_preserved(self, mesh):
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(mesh.n_vertices)
+        m2 = mesh.permute(perm)
+        assert np.allclose(m2.points, mesh.points[perm])
+        assert m2.n_edges == mesh.n_edges
+        # adjacency is isomorphic: degrees match under the permutation
+        inverse = np.empty_like(perm)
+        inverse[perm] = np.arange(len(perm))
+        assert np.array_equal(m2.valences(), mesh.valences()[perm])
+
+    def test_rejects_non_permutation(self, mesh):
+        with pytest.raises(ValueError):
+            mesh.permute(np.zeros(mesh.n_vertices, dtype=int))
+        with pytest.raises(ValueError):
+            mesh.permute(np.arange(5))
+
+
+class TestSweepStream:
+    def test_read_counts(self, mesh):
+        ids = mesh.sweep_read_ids()
+        assert ids.size == mesh.n_vertices + mesh.indices.size
+
+    def test_own_vertex_precedes_neighbors(self, mesh):
+        ids = mesh.sweep_read_ids()
+        # vertex 0's record starts at position 0
+        assert ids[0] == 0
+        deg0 = mesh.valences()[0]
+        assert set(ids[1:1 + deg0].tolist()) == set(mesh.neighbors(0).tolist())
+        assert ids[1 + deg0] == 1  # then vertex 1's own read
+
+    def test_element_offsets_triplets(self, mesh):
+        offs = mesh.sweep_element_offsets()
+        assert offs.size == 3 * mesh.sweep_read_ids().size
+        assert list(offs[:3]) == [0, 1, 2]
+
+
+class TestGenerators:
+    def test_random_delaunay_determinism(self):
+        a = random_delaunay(100, seed=5)
+        b = random_delaunay(100, seed=5)
+        assert np.array_equal(a.points, b.points)
+        assert np.array_equal(a.cells, b.cells)
+
+    def test_random_delaunay_validation(self):
+        with pytest.raises(ValueError):
+            random_delaunay(3)
+
+    def test_perturbed_grid(self):
+        m = perturbed_grid_delaunay(5, jitter=0.2, seed=1)
+        assert m.n_vertices == 125
+        assert m.points.min() >= -0.05
+        assert m.points.max() <= 1.05
+
+    def test_perturbed_grid_validation(self):
+        with pytest.raises(ValueError):
+            perturbed_grid_delaunay(1)
+        with pytest.raises(ValueError):
+            perturbed_grid_delaunay(4, jitter=0.6)

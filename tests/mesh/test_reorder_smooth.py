@@ -1,0 +1,158 @@
+"""Tests for vertex reordering and mesh smoothing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mesh import (
+    ORDERINGS,
+    bilateral_smooth,
+    laplacian_smooth,
+    ordering_permutation,
+    random_delaunay,
+    reorder,
+)
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return random_delaunay(500, seed=3)
+
+
+class TestReorder:
+    @pytest.mark.parametrize("strategy", sorted(ORDERINGS))
+    def test_valid_permutation(self, mesh, strategy):
+        perm = ordering_permutation(mesh, strategy, seed=1)
+        assert np.array_equal(np.sort(perm), np.arange(mesh.n_vertices))
+
+    def test_identity(self, mesh):
+        assert np.array_equal(ordering_permutation(mesh, "identity"),
+                              np.arange(mesh.n_vertices))
+
+    def test_unknown_strategy(self, mesh):
+        with pytest.raises(ValueError, match="unknown ordering"):
+            reorder(mesh, "zigzag")
+
+    def test_morton_orders_spatially(self, mesh):
+        m2 = reorder(mesh, "morton")
+        # consecutive vertices in storage are close in space on average,
+        # much closer than under the mesher's order
+        def mean_gap(m):
+            return float(np.linalg.norm(np.diff(m.points, axis=0),
+                                        axis=1).mean())
+        assert mean_gap(m2) < 0.5 * mean_gap(mesh)
+
+    def test_bfs_visits_connected_component_contiguously(self, mesh):
+        m2 = reorder(mesh, "bfs")
+        # the first two vertices in BFS order are adjacent
+        assert 1 in m2.neighbors(0)
+
+    def test_reorder_preserves_edge_count(self, mesh):
+        for strategy in ORDERINGS:
+            assert reorder(mesh, strategy).n_edges == mesh.n_edges
+
+    def test_sfc_reduces_edge_span(self, mesh):
+        """The locality metric reorderers optimize: |i - j| over edges."""
+        def mean_span(m):
+            src = np.repeat(np.arange(m.n_vertices), np.diff(m.indptr))
+            return float(np.abs(src - m.indices).mean())
+        base = mean_span(reorder(mesh, "random", seed=9))
+        assert mean_span(reorder(mesh, "morton")) < 0.5 * base
+        assert mean_span(reorder(mesh, "hilbert")) < 0.5 * base
+
+
+class TestSmoothing:
+    def test_laplacian_contracts_toward_centroids(self, mesh):
+        out = laplacian_smooth(mesh, lam=0.5)
+        # smoothing shrinks the cloud's variance
+        assert out.var(axis=0).sum() < mesh.points.var(axis=0).sum()
+        assert out.shape == mesh.points.shape
+
+    def test_sweeps_compose(self, mesh):
+        import copy
+
+        once = laplacian_smooth(mesh, lam=0.4, sweeps=1)
+        m2 = type(mesh)(once, mesh.cells)
+        twice_manual = laplacian_smooth(m2, lam=0.4, sweeps=1)
+        twice = laplacian_smooth(mesh, lam=0.4, sweeps=2)
+        assert np.allclose(twice, twice_manual)
+
+    def test_order_invariance(self, mesh):
+        """The numeric result must not depend on vertex storage order."""
+        perm = ordering_permutation(mesh, "hilbert")
+        m2 = mesh.permute(perm)
+        a = laplacian_smooth(mesh, sweeps=2)
+        b = laplacian_smooth(m2, sweeps=2)
+        assert np.allclose(a[perm], b)
+        ab = bilateral_smooth(mesh, sigma=0.1, sweeps=2)
+        bb = bilateral_smooth(m2, sigma=0.1, sweeps=2)
+        assert np.allclose(ab[perm], bb)
+
+    def test_bilateral_preserves_features_better(self):
+        """Two separated clusters: Laplacian drags boundary vertices
+        toward the other cluster more than the bilateral smoother."""
+        rng = np.random.default_rng(4)
+        a = rng.normal(0.0, 0.02, (60, 3))
+        b = rng.normal(0.0, 0.02, (60, 3)) + np.array([1.0, 0, 0])
+        pts = np.concatenate([a, b])
+        from scipy.spatial import Delaunay
+
+        mesh2 = __import__("repro.mesh", fromlist=["TetraMesh"]).TetraMesh(
+            pts, Delaunay(pts).simplices)
+        lap = laplacian_smooth(mesh2, lam=0.5)
+        bil = bilateral_smooth(mesh2, lam=0.5, sigma=0.05)
+        # movement of cluster-a vertices toward the far cluster
+        drift_lap = np.abs(lap[:60, 0] - pts[:60, 0]).max()
+        drift_bil = np.abs(bil[:60, 0] - pts[:60, 0]).max()
+        assert drift_bil < drift_lap
+
+    def test_parameter_validation(self, mesh):
+        with pytest.raises(ValueError):
+            laplacian_smooth(mesh, lam=0)
+        with pytest.raises(ValueError):
+            laplacian_smooth(mesh, sweeps=0)
+        with pytest.raises(ValueError):
+            bilateral_smooth(mesh, sigma=0)
+        with pytest.raises(ValueError):
+            bilateral_smooth(mesh, lam=2.0)
+
+
+class TestTaubin:
+    def test_shrinks_less_than_laplacian(self, mesh):
+        from repro.mesh import taubin_smooth
+
+        lap = laplacian_smooth(mesh, lam=0.33, sweeps=5)
+        tau = taubin_smooth(mesh, sweeps=5)
+
+        def volume_proxy(pts):
+            return np.prod(pts.max(axis=0) - pts.min(axis=0))
+
+        original = volume_proxy(mesh.points)
+        assert volume_proxy(tau) > volume_proxy(lap)
+        # taubin preserves the bounding volume within a few percent
+        assert volume_proxy(tau) > 0.9 * original
+
+    def test_still_smooths(self, mesh):
+        from repro.mesh import taubin_smooth
+
+        out = taubin_smooth(mesh, sweeps=3)
+        assert not np.allclose(out, mesh.points)
+
+    def test_order_invariant(self, mesh):
+        from repro.mesh import taubin_smooth
+
+        perm = ordering_permutation(mesh, "morton")
+        a = taubin_smooth(mesh, sweeps=2)
+        b = taubin_smooth(mesh.permute(perm), sweeps=2)
+        assert np.allclose(a[perm], b)
+
+    def test_validation(self, mesh):
+        from repro.mesh import taubin_smooth
+
+        with pytest.raises(ValueError):
+            taubin_smooth(mesh, lam=0)
+        with pytest.raises(ValueError):
+            taubin_smooth(mesh, mu=0.1)
+        with pytest.raises(ValueError):
+            taubin_smooth(mesh, sweeps=0)

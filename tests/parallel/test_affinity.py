@@ -1,0 +1,59 @@
+"""Tests for thread→core placement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memsim import BABBAGE_MIC, EDISON_IVYBRIDGE
+from repro.parallel import balanced_map, compact_map, make_affinity, scatter_map
+
+
+class TestCompact:
+    def test_ivybridge_twelve_threads_one_socket(self):
+        """The paper: compact keeps <=12 threads on one processor."""
+        cores = compact_map(12, EDISON_IVYBRIDGE)
+        sockets = {c // EDISON_IVYBRIDGE.cores_per_socket for c in cores}
+        assert sockets == {0}
+
+    def test_ivybridge_24_threads_both_sockets(self):
+        cores = compact_map(24, EDISON_IVYBRIDGE)
+        assert len(set(cores)) == 24  # one thread per core, smt=1
+        sockets = {c // 12 for c in cores}
+        assert sockets == {0, 1}
+
+    def test_smt_fills_core_first(self):
+        cores = compact_map(6, BABBAGE_MIC)
+        assert cores == [0, 0, 0, 0, 1, 1]
+
+    def test_capacity_check(self):
+        with pytest.raises(ValueError):
+            compact_map(25, EDISON_IVYBRIDGE)  # smt=1, 24 cores
+        with pytest.raises(ValueError):
+            compact_map(0, EDISON_IVYBRIDGE)
+
+
+class TestBalanced:
+    def test_mic_paper_sweep(self):
+        """59/118/177/236 threads = exactly 1/2/3/4 per usable core."""
+        for n, per_core in [(59, 1), (118, 2), (177, 3), (236, 4)]:
+            cores = balanced_map(n, BABBAGE_MIC, usable_cores=59)
+            counts = {c: cores.count(c) for c in set(cores)}
+            assert set(counts.values()) == {per_core}
+            assert max(cores) == 58  # core 59 reserved for the OS
+
+    def test_usable_cores_capacity(self):
+        with pytest.raises(ValueError):
+            balanced_map(237, BABBAGE_MIC, usable_cores=59)
+
+    def test_scatter_alias(self):
+        assert scatter_map(10, BABBAGE_MIC) == balanced_map(10, BABBAGE_MIC)
+
+
+class TestMakeAffinity:
+    def test_dispatch(self):
+        assert make_affinity("compact", 4, EDISON_IVYBRIDGE) == [0, 1, 2, 3]
+        assert make_affinity("balanced", 4, EDISON_IVYBRIDGE) == [0, 1, 2, 3]
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown affinity"):
+            make_affinity("numa", 4, EDISON_IVYBRIDGE)

@@ -1,0 +1,117 @@
+"""Tests for work schedulers and per-thread trace assembly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memsim import TraceChunk
+from repro.parallel import (
+    assignment_balance,
+    build_thread_works,
+    dynamic_worker_pool,
+    static_round_robin,
+)
+
+
+class TestStaticRoundRobin:
+    def test_round_robin_order(self):
+        out = static_round_robin(list(range(7)), 3)
+        assert out == {0: [0, 3, 6], 1: [1, 4], 2: [2, 5]}
+
+    def test_every_thread_present(self):
+        out = static_round_robin([1], 4)
+        assert set(out) == {0, 1, 2, 3}
+        assert out[3] == []
+
+    @given(st.lists(st.integers(), max_size=50), st.integers(1, 8))
+    def test_completeness(self, items, n):
+        out = static_round_robin(items, n)
+        flat = [x for lst in out.values() for x in lst]
+        assert sorted(flat) == sorted(items)
+
+    def test_rejects_bad_thread_count(self):
+        with pytest.raises(ValueError):
+            static_round_robin([1, 2], 0)
+
+
+class TestDynamicWorkerPool:
+    def test_balances_uneven_costs(self):
+        # one huge item plus many small ones: pool keeps other threads busy
+        items = [100] + [1] * 10
+        out = dynamic_worker_pool(items, 2, cost=lambda x: x)
+        loads = {t: sum(v) for t, v in out.items()}
+        # the thread that got the huge item gets little else
+        assert min(loads.values()) >= 10  # the 10 small items together
+        balance = assignment_balance(out, cost=lambda x: x)
+        # static round-robin would put ~half the small items with the big one
+        static_balance = assignment_balance(
+            static_round_robin(items, 2), cost=lambda x: x)
+        assert balance <= static_balance
+
+    @given(st.lists(st.integers(1, 20), max_size=40), st.integers(1, 6))
+    def test_completeness(self, items, n):
+        out = dynamic_worker_pool(items, n, cost=lambda x: x)
+        flat = [x for lst in out.values() for x in lst]
+        assert sorted(flat) == sorted(items)
+
+    def test_queue_order_preserved_per_thread(self):
+        items = list(range(20))
+        out = dynamic_worker_pool(items, 3, cost=lambda x: 1)
+        for lst in out.values():
+            assert lst == sorted(lst)
+
+    def test_equal_costs_reduce_to_round_robin(self):
+        items = list(range(9))
+        pool = dynamic_worker_pool(items, 3, cost=lambda x: 1)
+        rr = static_round_robin(items, 3)
+        assert pool == rr
+
+    def test_deterministic(self):
+        items = [3, 1, 4, 1, 5, 9, 2, 6]
+        a = dynamic_worker_pool(items, 3, cost=lambda x: x)
+        b = dynamic_worker_pool(items, 3, cost=lambda x: x)
+        assert a == b
+
+    def test_rejects_bad_thread_count(self):
+        with pytest.raises(ValueError):
+            dynamic_worker_pool([1], 0, cost=lambda x: x)
+
+
+class TestAssignmentBalance:
+    def test_perfect_balance(self):
+        assert assignment_balance({0: [1, 1], 1: [2]}, cost=lambda x: x) == 1.0
+
+    def test_imbalance(self):
+        assert assignment_balance({0: [4], 1: []}, cost=lambda x: x) == 2.0
+
+    def test_empty(self):
+        assert assignment_balance({}, cost=lambda x: x) == 1.0
+        assert assignment_balance({0: [], 1: []}, cost=lambda x: x) == 1.0
+
+
+class TestBuildThreadWorks:
+    def _render(self, item):
+        return TraceChunk(lines=np.array([item, item + 1], dtype=np.int64),
+                          collapsed_hits=1, n_ops=2)
+
+    def test_merges_in_order(self):
+        works = build_thread_works({0: [10, 20]}, self._render, affinity=[5])
+        assert len(works) == 1
+        w = works[0]
+        assert w.core == 5
+        assert list(w.chunk.lines) == [10, 11, 20, 21]
+        assert w.chunk.collapsed_hits == 2
+        assert w.chunk.n_ops == 4
+
+    def test_multiple_threads_sorted(self):
+        works = build_thread_works({1: [1], 0: [2]}, self._render,
+                                   affinity=[7, 8])
+        assert [w.thread_id for w in works] == [0, 1]
+        assert [w.core for w in works] == [7, 8]
+
+    def test_missing_core_raises(self):
+        with pytest.raises(ValueError):
+            build_thread_works({2: [1]}, self._render, affinity=[0, 1])

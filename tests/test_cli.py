@@ -1,0 +1,137 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_figure_choices(self):
+        args = build_parser().parse_args(["figure", "2", "--shape", "16"])
+        assert args.which == "2"
+        assert args.shape == 16
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "9"])
+
+    def test_bilateral_defaults(self):
+        args = build_parser().parse_args(["bilateral"])
+        assert args.stencil == "r3"
+        assert args.layouts == ["array", "morton"]
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "ivybridge" in out
+        assert "PAPI_L3_TCA" in out
+        assert "morton" in out
+
+    def test_bilateral_cell(self, capsys):
+        rc = main(["bilateral", "--shape", "16", "--threads", "2",
+                   "--stencil", "r1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "runtime (ms)" in out
+        assert "PAPI_L3_TCA" in out
+        assert "d_s" in out
+
+    def test_bilateral_on_mic(self, capsys):
+        rc = main(["bilateral", "--shape", "16", "--threads", "59",
+                   "--stencil", "r1", "--platform", "mic"])
+        assert rc == 0
+        assert "L2_DATA_READ_MISS_MEM_FILL" in capsys.readouterr().out
+
+    def test_bilateral_custom_layout_pair(self, capsys):
+        rc = main(["bilateral", "--shape", "16", "--threads", "2",
+                   "--stencil", "r1", "--layouts", "array", "hilbert"])
+        assert rc == 0
+        assert "hilbert" in capsys.readouterr().out
+
+    def test_volrend_cell(self, capsys):
+        rc = main(["volrend", "--shape", "16", "--threads", "2",
+                   "--image", "64", "--viewpoint", "1"])
+        assert rc == 0
+        assert "volrend viewpoint 1" in capsys.readouterr().out
+
+    def test_figure_small(self, capsys, tmp_path):
+        rc = main(["figure", "4", "--shape", "16", "-o", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "viewpoint" in out
+        assert os.path.exists(tmp_path / "fig4_volrend_viewpoints.txt")
+
+    def test_render(self, capsys, tmp_path):
+        out_path = str(tmp_path / "frame.ppm")
+        rc = main(["render", "--shape", "16", "--image", "24",
+                   "--out", out_path])
+        assert rc == 0
+        with open(out_path, "rb") as fh:
+            header = fh.read(2)
+        assert header == b"P6"
+
+    def test_render_mri(self, tmp_path):
+        out_path = str(tmp_path / "mri.ppm")
+        rc = main(["render", "--shape", "16", "--image", "16",
+                   "--dataset", "mri", "--layout", "array",
+                   "--out", out_path])
+        assert rc == 0
+        assert os.path.getsize(out_path) > 16 * 16 * 3
+
+    def test_analyze_bilateral(self, capsys):
+        rc = main(["analyze", "--kernel", "bilateral", "--layout", "morton",
+                   "--shape", "16"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "stride spectrum" in out
+        assert "miss-ratio curve" in out
+
+    def test_analyze_volrend(self, capsys):
+        rc = main(["analyze", "--kernel", "volrend", "--layout", "array",
+                   "--shape", "32"])
+        assert rc == 0
+        assert "working set" in capsys.readouterr().out
+
+
+class TestTuneCommand:
+    def test_tune_brick(self, capsys):
+        rc = main(["tune", "brick", "--shape", "16", "--threads", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "best: brick =" in out
+        assert "evaluations" in out
+
+    def test_tune_tile(self, capsys):
+        rc = main(["tune", "tile", "--shape", "16", "--threads", "2",
+                   "--method", "hill"])
+        assert rc == 0
+        assert "best: tile =" in capsys.readouterr().out
+
+    def test_tune_rejects_unknown_target(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tune", "threads"])
+
+
+class TestMeshCommand:
+    def test_mesh_ordering_study(self, capsys):
+        rc = main(["mesh", "--vertices", "300"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "TetraMesh" in out
+        assert "hilbert" in out
+        assert "PAPI_L3_TCA" in out

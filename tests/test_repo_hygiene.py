@@ -1,0 +1,104 @@
+"""Repository hygiene: docs reference real files; deliverables exist."""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+
+import pytest
+
+ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+
+
+def _read(name: str) -> str:
+    with open(os.path.join(ROOT, name)) as fh:
+        return fh.read()
+
+
+class TestDocsExist:
+    @pytest.mark.parametrize("name", [
+        "README.md", "DESIGN.md", "EXPERIMENTS.md",
+        "docs/API.md", "docs/SIMULATOR.md", "docs/TUTORIAL.md",
+    ])
+    def test_present_and_substantial(self, name):
+        path = os.path.join(ROOT, name)
+        assert os.path.exists(path)
+        assert os.path.getsize(path) > 1000
+
+    def test_readme_links_resolve(self):
+        text = _read("README.md")
+        for target in re.findall(r"\]\(([^)#http][^)]*)\)", text):
+            assert os.path.exists(os.path.join(ROOT, target)), target
+
+
+class TestExamplesExist:
+    def test_readme_examples_table_matches_directory(self):
+        text = _read("README.md")
+        listed = set(re.findall(r"`(\w+\.py)` \|", text))
+        on_disk = {f for f in os.listdir(os.path.join(ROOT, "examples"))
+                   if f.endswith(".py")}
+        assert listed <= on_disk
+        assert len(on_disk) >= 3  # the deliverable floor
+
+    def test_quickstart_exists(self):
+        assert os.path.exists(os.path.join(ROOT, "examples", "quickstart.py"))
+
+
+class TestBenchCoverage:
+    def test_every_design_experiment_has_a_bench(self):
+        """DESIGN.md's experiment index names bench files; all must exist."""
+        text = _read("DESIGN.md")
+        for target in re.findall(r"`benchmarks/(test_\w+\.py)`", text):
+            assert os.path.exists(os.path.join(ROOT, "benchmarks", target)), \
+                target
+
+    def test_every_paper_figure_has_a_bench(self):
+        benches = os.listdir(os.path.join(ROOT, "benchmarks"))
+        for fig in range(1, 7):
+            assert any(f"fig{fig}" in b for b in benches), f"figure {fig}"
+
+    def test_experiments_md_references_result_files(self):
+        """Every results/*.txt EXPERIMENTS.md cites is produced by some
+        bench (by save_result call)."""
+        text = _read("EXPERIMENTS.md")
+        cited = set(re.findall(r"`([\w]+\.txt)`", text))
+        bench_src = ""
+        for name in os.listdir(os.path.join(ROOT, "benchmarks")):
+            if name.endswith(".py"):
+                bench_src += _read(os.path.join("benchmarks", name))
+        for fname in cited:
+            assert fname in bench_src, fname
+
+
+class TestExamplesRun:
+    """Each example must execute cleanly at a tiny size (the slow ones
+    accept size arguments precisely for this)."""
+
+    @pytest.mark.parametrize("cmd", [
+        ["quickstart.py"],
+        ["denoise_mri.py", "--size", "16", "--radius", "1"],
+        ["locality_analysis.py"],
+        ["custom_platform.py"],
+        ["distributed_render.py", "--ranks", "4", "--size", "16",
+         "--image", "24"],
+        ["mesh_smoothing.py", "--vertices", "400"],
+    ])
+    def test_example(self, cmd, tmp_path):
+        result = subprocess.run(
+            [sys.executable, os.path.join(ROOT, "examples", cmd[0]), *cmd[1:]],
+            capture_output=True, text=True, timeout=300, cwd=str(tmp_path),
+        )
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert result.stdout.strip()
+
+    def test_render_orbit(self, tmp_path):
+        result = subprocess.run(
+            [sys.executable, os.path.join(ROOT, "examples", "render_orbit.py"),
+             "--size", "16", "--image", "24", "--outdir",
+             str(tmp_path / "frames")],
+            capture_output=True, text=True, timeout=300, cwd=str(tmp_path),
+        )
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert len(os.listdir(tmp_path / "frames")) == 8

@@ -1,0 +1,83 @@
+"""Tests for simulator-backed brick/tile auto-tuning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import LAYOUTS
+from repro.experiments import (
+    BilateralCell,
+    VolrendCell,
+    default_ivybridge,
+    run_bilateral_cell,
+)
+from repro.tuning import tiled_layout_name, tune_brick, tune_tile_size
+
+SHAPE = (16, 16, 16)
+
+
+@pytest.fixture(scope="module")
+def bilateral_cell():
+    return BilateralCell(platform=default_ivybridge(64), shape=SHAPE,
+                         n_threads=4, stencil="r1", pencil="pz",
+                         stencil_order="zyx", pencils_per_thread=2)
+
+
+@pytest.fixture(scope="module")
+def volrend_cell():
+    return VolrendCell(platform=default_ivybridge(64), shape=SHAPE,
+                       n_threads=2, image_size=64, viewpoint=2, ray_step=2)
+
+
+class TestTiledLayoutName:
+    def test_registers_once(self):
+        name = tiled_layout_name(4)
+        assert name == "tiled-b4"
+        assert name in LAYOUTS
+        assert tiled_layout_name(4) == name  # idempotent
+
+    def test_factory_builds_right_brick(self):
+        layout = LAYOUTS[tiled_layout_name(2)]((8, 8, 8))
+        assert layout.brick == (2, 2, 2)
+
+
+class TestTuneBrick:
+    def test_best_is_minimum_of_history(self, bilateral_cell):
+        result = tune_brick(bilateral_cell, bricks=(2, 4, 8))
+        costs = [cost for _, cost in result.history]
+        assert result.best_cost == min(costs)
+        assert result.best_params["brick"] in (2, 4, 8)
+
+    def test_tuned_brick_no_worse_than_any_candidate(self, bilateral_cell):
+        result = tune_brick(bilateral_cell, bricks=(2, 4, 8))
+        for brick in (2, 4, 8):
+            rt = run_bilateral_cell(bilateral_cell.with_layout(
+                tiled_layout_name(brick))).runtime_seconds
+            assert result.best_cost <= rt + 1e-12
+
+    def test_hill_method(self, bilateral_cell):
+        result = tune_brick(bilateral_cell, bricks=(2, 4, 8), method="hill")
+        assert result.best_params["brick"] in (2, 4, 8)
+
+    def test_unknown_method(self, bilateral_cell):
+        with pytest.raises(ValueError):
+            tune_brick(bilateral_cell, method="bayesian")
+
+
+class TestTuneTileSize:
+    def test_respects_thread_feasibility(self, volrend_cell):
+        # 64^2 image with 2 threads: tile 64 gives one tile -> infeasible
+        result = tune_tile_size(volrend_cell, tiles=(16, 32, 64))
+        assert result.best_params["tile"] in (16, 32)
+        infeasible = [cost for params, cost in result.history
+                      if params["tile"] == 64]
+        assert all(np.isinf(c) for c in infeasible)
+
+    def test_best_cost_finite(self, volrend_cell):
+        result = tune_tile_size(volrend_cell, tiles=(16, 32))
+        assert np.isfinite(result.best_cost)
+
+    def test_unknown_method(self, volrend_cell):
+        with pytest.raises(ValueError):
+            tune_tile_size(volrend_cell, method="anneal")

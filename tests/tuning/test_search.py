@@ -1,0 +1,103 @@
+"""Tests for the generic parameter searchers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tuning import (
+    ParameterSpace,
+    exhaustive_search,
+    hill_climb,
+)
+
+
+def _quadratic(params):
+    """Convex objective with minimum at x=3, y=7."""
+    return (params["x"] - 3) ** 2 + (params["y"] - 7) ** 2
+
+
+SPACE = ParameterSpace.from_dict({
+    "x": list(range(8)),
+    "y": list(range(12)),
+})
+
+
+class TestParameterSpace:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParameterSpace.from_dict({})
+        with pytest.raises(ValueError):
+            ParameterSpace.from_dict({"x": []})
+
+    def test_n_points(self):
+        assert SPACE.n_points == 96
+
+    def test_point(self):
+        assert SPACE.point((3, 7)) == {"x": 3, "y": 7}
+
+    def test_all_indices_cover_grid(self):
+        indices = list(SPACE.all_indices())
+        assert len(indices) == 96
+        assert len(set(indices)) == 96
+
+    def test_neighbors_interior(self):
+        n = set(SPACE.neighbors((3, 7)))
+        assert n == {(2, 7), (4, 7), (3, 6), (3, 8)}
+
+    def test_neighbors_corner(self):
+        n = set(SPACE.neighbors((0, 0)))
+        assert n == {(1, 0), (0, 1)}
+
+
+class TestExhaustive:
+    def test_finds_global_minimum(self):
+        result = exhaustive_search(SPACE, _quadratic)
+        assert result.best_params == {"x": 3, "y": 7}
+        assert result.best_cost == 0
+        assert result.evaluations == 96
+        assert len(result.history) == 96
+
+    def test_handles_plateaus(self):
+        result = exhaustive_search(SPACE, lambda p: 5.0)
+        assert result.best_cost == 5.0
+
+
+class TestHillClimb:
+    def test_converges_on_convex(self):
+        result = hill_climb(SPACE, _quadratic, start=(0, 0), restarts=1)
+        assert result.best_params == {"x": 3, "y": 7}
+        assert result.best_cost == 0
+
+    def test_fewer_evaluations_than_exhaustive(self):
+        result = hill_climb(SPACE, _quadratic, start=(0, 0), restarts=1)
+        assert result.evaluations < SPACE.n_points
+
+    def test_restarts_escape_local_minima(self):
+        # two-basin objective: local min at x=0, global at x=9
+        space = ParameterSpace.from_dict({"x": list(range(10))})
+        costs = [1, 2, 3, 4, 5, 4, 3, 2, 1, 0]
+
+        def objective(params):
+            return costs[params["x"]]
+
+        stuck = hill_climb(space, objective, start=(0,), restarts=1)
+        assert stuck.best_cost == 1  # trapped
+        freed = hill_climb(space, objective, start=(0,), restarts=8, seed=1)
+        assert freed.best_cost == 0
+
+    def test_memoizes_across_restarts(self):
+        calls = []
+
+        def objective(params):
+            calls.append(params["x"])
+            return abs(params["x"] - 2)
+
+        space = ParameterSpace.from_dict({"x": list(range(5))})
+        result = hill_climb(space, objective, restarts=4, seed=0)
+        assert result.evaluations == len(set(calls))
+        assert result.best_cost == 0
+
+    def test_validates_restarts(self):
+        with pytest.raises(ValueError):
+            hill_climb(SPACE, _quadratic, restarts=0)
