@@ -1,0 +1,19 @@
+"""Make the examples runnable from a plain checkout.
+
+``import _bootstrap`` at the top of an example makes ``repro``
+importable even when the package is not installed: if the normal import
+fails, the in-tree ``src/`` directory next to this file is appended to
+``sys.path``.  An installed copy (``pip install -e .`` or
+``python setup.py develop``) always wins — this is a fallback, not an
+override.
+"""
+
+import os
+import sys
+
+try:
+    import repro  # noqa: F401  (probe only)
+except ModuleNotFoundError:
+    _src = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        os.pardir, "src")
+    sys.path.insert(0, os.path.abspath(_src))

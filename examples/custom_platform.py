@@ -10,6 +10,8 @@ kernels over both layouts to produce a personalized verdict.
 Run:  python examples/custom_platform.py
 """
 
+import _bootstrap  # noqa: F401  (sys.path fallback for uninstalled checkouts)
+
 from repro.experiments import (
     BilateralCell,
     VolrendCell,

@@ -16,6 +16,8 @@ import argparse
 
 import numpy as np
 
+import _bootstrap  # noqa: F401  (sys.path fallback for uninstalled checkouts)
+
 from repro.core import ArrayOrderLayout, Grid
 from repro.data import combustion_field
 from repro.distributed import (

@@ -14,6 +14,8 @@ Run:  python examples/locality_analysis.py
 
 import numpy as np
 
+import _bootstrap  # noqa: F401  (sys.path fallback for uninstalled checkouts)
+
 from repro.analysis import (
     miss_ratio_curve,
     reuse_distance_histogram,

@@ -14,6 +14,8 @@ import argparse
 
 import numpy as np
 
+import _bootstrap  # noqa: F401  (sys.path fallback for uninstalled checkouts)
+
 from repro.experiments import default_ivybridge
 from repro.mesh import (
     ORDERINGS,

@@ -16,6 +16,8 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
+import _bootstrap  # noqa: F401  (sys.path fallback for uninstalled checkouts)
+
 from repro.core import ArrayOrderLayout, Grid, MortonLayout
 from repro.data import mri_phantom
 from repro.experiments import BilateralCell, default_ivybridge, run_bilateral_cell

@@ -16,6 +16,8 @@ import os
 
 import numpy as np
 
+import _bootstrap  # noqa: F401  (sys.path fallback for uninstalled checkouts)
+
 from repro.core import Grid, make_layout
 from repro.data import combustion_field
 from repro.experiments import VolrendCell, default_ivybridge, run_volrend_cell

@@ -36,8 +36,7 @@ from .experiments import (
     figure6,
     render_ds_figure,
     render_series_figure,
-    run_bilateral_cell,
-    run_volrend_cell,
+    run_cells_parallel,
 )
 from .instrument import scaled_relative_difference
 from .memsim.platforms import PLATFORMS, get_platform
@@ -64,6 +63,13 @@ def build_parser() -> argparse.ArgumentParser:
                         version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def _workers(text: str) -> int:
+        value = int(text)
+        if value < 0:
+            raise argparse.ArgumentTypeError(
+                f"workers must be >= 0 (0 = all CPUs), got {value}")
+        return value
+
     sub.add_parser("info", help="list platforms, layouts and counters")
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
@@ -74,6 +80,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="platform cache scale divisor (default 64)")
     p_fig.add_argument("-o", "--out", default=None,
                        help="directory to write the table (default: print only)")
+    p_fig.add_argument("-j", "--workers", type=_workers, default=1,
+                       help="worker processes for the figure's cells "
+                            "(0 = all CPUs; default 1 = serial)")
 
     p_bil = sub.add_parser("bilateral",
                            help="one bilateral cell, array vs Z-order")
@@ -89,6 +98,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_bil.add_argument("--layouts", nargs=2, default=["array", "morton"],
                        metavar=("A", "Z"),
                        help="the two layouts to compare (default array morton)")
+    p_bil.add_argument("-j", "--workers", type=_workers, default=1,
+                       help="worker processes (0 = all CPUs; default serial)")
 
     p_vol = sub.add_parser("volrend",
                            help="one volume-rendering cell, array vs Z-order")
@@ -101,6 +112,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_vol.add_argument("--image", type=int, default=256)
     p_vol.add_argument("--layouts", nargs=2, default=["array", "morton"],
                        metavar=("A", "Z"))
+    p_vol.add_argument("-j", "--workers", type=_workers, default=1,
+                       help="worker processes (0 = all CPUs; default serial)")
 
     p_ren = sub.add_parser("render", help="render a PPM image of a volume")
     p_ren.add_argument("--shape", type=int, default=48)
@@ -156,7 +169,7 @@ def _cmd_figure(args) -> int:
         driver, renderer, fname = _FIGURES[fig_id]
         print(f"running figure {fig_id} at {shape}, scale {args.scale} ...",
               file=sys.stderr)
-        fig = driver(shape=shape, scale=args.scale)
+        fig = driver(shape=shape, scale=args.scale, workers=args.workers)
         text = renderer(fig)
         print(text)
         if args.out:
@@ -194,8 +207,9 @@ def _cmd_bilateral(args) -> int:
         sample_cores=8 if mic else None,
         pencils_per_thread=2,
     )
-    res_a = run_bilateral_cell(cell.with_layout(args.layouts[0]))
-    res_z = run_bilateral_cell(cell.with_layout(args.layouts[1]))
+    res_a, res_z = run_cells_parallel(
+        [cell.with_layout(args.layouts[0]), cell.with_layout(args.layouts[1])],
+        workers=args.workers)
     print(f"bilateral {args.stencil} {args.pencil} {args.order}, "
           f"{args.threads} threads, {platform.name}\n")
     _print_comparison(res_a, res_z, args.layouts)
@@ -214,8 +228,9 @@ def _cmd_volrend(args) -> int:
         sample_cores=8 if mic else None,
         ray_step=2,
     )
-    res_a = run_volrend_cell(cell.with_layout(args.layouts[0]))
-    res_z = run_volrend_cell(cell.with_layout(args.layouts[1]))
+    res_a, res_z = run_cells_parallel(
+        [cell.with_layout(args.layouts[0]), cell.with_layout(args.layouts[1])],
+        workers=args.workers)
     print(f"volrend viewpoint {args.viewpoint}, {args.threads} threads, "
           f"{platform.name}\n")
     _print_comparison(res_a, res_z, args.layouts)

@@ -11,6 +11,7 @@ from .config import (
     default_mic,
 )
 from .harness import CellResult, clear_caches, run_bilateral_cell, run_volrend_cell
+from .parallel import resolve_workers, run_cell, run_cells_parallel
 from .report import DsFigure, SeriesFigure, render_ds_figure, render_series_figure
 from .sweep import compare_layouts, rows_to_csv, sweep_cells
 from .volrend_study import figure4, figure5, figure6, volrend_ds_figure
@@ -36,8 +37,11 @@ __all__ = [
     "figure6",
     "render_ds_figure",
     "render_series_figure",
+    "resolve_workers",
     "rows_to_csv",
     "run_bilateral_cell",
+    "run_cell",
+    "run_cells_parallel",
     "sweep_cells",
     "run_volrend_cell",
     "volrend_ds_figure",

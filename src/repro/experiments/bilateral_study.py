@@ -26,7 +26,7 @@ from .config import (
     default_ivybridge,
     default_mic,
 )
-from .harness import run_bilateral_cell
+from .parallel import run_cells_parallel
 from .report import DsFigure
 
 __all__ = ["figure2", "figure3", "bilateral_ds_figure"]
@@ -40,11 +40,14 @@ def bilateral_ds_figure(
     title: str = "Bilateral 3D: scaled relative difference, Z- vs A-order",
     base_cell: Optional[BilateralCell] = None,
     layouts: Tuple[str, str] = ("array", "morton"),
+    workers: Optional[int] = 1,
 ) -> DsFigure:
     """Run a full bilateral d_s matrix for any platform/counter pair.
 
     ``layouts`` is the (a, z) pair of Eq. 4 — swap in "hilbert" or
-    "tiled" for the ablations.
+    "tiled" for the ablations.  ``workers`` fans the matrix's
+    independent cells across processes; the figure is identical for any
+    worker count.
     """
     base = base_cell or BilateralCell(platform=platform)
     base = replace(base, platform=platform)
@@ -53,12 +56,18 @@ def bilateral_ds_figure(
     counter_ds = np.zeros_like(runtime_ds)
     raw = {}
     a_name, z_name = layouts
-    for r, (stencil, pencil, order) in enumerate(rows):
-        for c, n_threads in enumerate(concurrencies):
+    cells = []
+    for stencil, pencil, order in rows:
+        for n_threads in concurrencies:
             cell = replace(base, stencil=stencil, pencil=pencil,
                            stencil_order=order, n_threads=n_threads)
-            res_a = run_bilateral_cell(cell.with_layout(a_name))
-            res_z = run_bilateral_cell(cell.with_layout(z_name))
+            cells.append(cell.with_layout(a_name))
+            cells.append(cell.with_layout(z_name))
+    results = run_cells_parallel(cells, workers=workers)
+    for r in range(len(rows)):
+        for c, n_threads in enumerate(concurrencies):
+            i = 2 * (r * len(concurrencies) + c)
+            res_a, res_z = results[i], results[i + 1]
             runtime_ds[r, c] = scaled_relative_difference(
                 res_a.runtime_seconds, res_z.runtime_seconds)
             counter_ds[r, c] = scaled_relative_difference(
@@ -79,7 +88,8 @@ def figure2(shape: Tuple[int, int, int] = (64, 64, 64),
             scale: int = 64,
             concurrencies: Sequence[int] = IVYBRIDGE_CONCURRENCIES,
             rows: Sequence[Tuple[str, str, str]] = PAPER_BILATERAL_ROWS,
-            pencils_per_thread: int = 2) -> DsFigure:
+            pencils_per_thread: int = 2,
+            workers: Optional[int] = 1) -> DsFigure:
     """Reproduce Figure 2: Bilateral 3D on Ivy Bridge, runtime + L3 TCA."""
     platform = default_ivybridge(scale)
     base = BilateralCell(
@@ -92,6 +102,7 @@ def figure2(shape: Tuple[int, int, int] = (64, 64, 64),
         platform, "PAPI_L3_TCA", concurrencies, rows,
         title=f"Fig 2 | Bilat3d, {shape[0]}^3, IvyBridge: Z- vs A-order",
         base_cell=base,
+        workers=workers,
     )
 
 
@@ -100,7 +111,8 @@ def figure3(shape: Tuple[int, int, int] = (64, 64, 64),
             concurrencies: Sequence[int] = MIC_CONCURRENCIES,
             rows: Sequence[Tuple[str, str, str]] = PAPER_BILATERAL_ROWS,
             pencils_per_thread: int = 2,
-            sample_cores: int = 8) -> DsFigure:
+            sample_cores: int = 8,
+            workers: Optional[int] = 1) -> DsFigure:
     """Reproduce Figure 3: Bilateral 3D on MIC, runtime + L2 read miss.
 
     Threads spread 1–4 per core over 59 usable cores (the paper reserves
@@ -120,4 +132,5 @@ def figure3(shape: Tuple[int, int, int] = (64, 64, 64),
         platform, "L2_DATA_READ_MISS_MEM_FILL", concurrencies, rows,
         title=f"Fig 3 | Bilat3d, {shape[0]}^3, MIC: Z- vs A-order",
         base_cell=base,
+        workers=workers,
     )

@@ -93,6 +93,9 @@ class BilateralCell:
     sample_cores: Optional[int] = None
     quantum: int = 256
     cpi_compute: float = 1.0
+    #: cache replay backend ("scalar" / "vector" / "auto"); bit-for-bit
+    #: equivalent, see :mod:`repro.memsim.cache`
+    backend: str = "auto"
 
     def with_layout(self, layout: str) -> "BilateralCell":
         """Same cell, different layout (the a-vs-z pairing)."""
@@ -132,6 +135,9 @@ class VolrendCell:
     quantum: int = 256
     cpi_compute: float = 4.0
     early_termination: Optional[float] = None
+    #: cache replay backend ("scalar" / "vector" / "auto"); bit-for-bit
+    #: equivalent, see :mod:`repro.memsim.cache`
+    backend: str = "auto"
 
     def with_layout(self, layout: str) -> "VolrendCell":
         """Same cell, different layout (the a-vs-z pairing)."""

@@ -11,7 +11,8 @@ pair up into the paper's d_s tables.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -94,12 +95,17 @@ class CellResult:
         The raw (pre-extrapolation metadata included) engine result.
     n_threads_simulated : int
         Threads actually driven through the simulator.
+    wall_seconds : float
+        Host wall-clock time this cell took to simulate (throughput
+        telemetry for BENCH_*.json; excluded from equality so parallel
+        and serial runs of the same cell compare equal).
     """
 
     runtime_seconds: float
     counters: Dict[str, float]
     sim: SimResult
     n_threads_simulated: int
+    wall_seconds: float = field(default=0.0, compare=False)
 
 
 def _select_simulated_threads(n_threads: int, affinity: List[int],
@@ -118,6 +124,7 @@ def _select_simulated_threads(n_threads: int, affinity: List[int],
 
 def run_bilateral_cell(cell: BilateralCell) -> CellResult:
     """Run one Figure-2/3 cell: bilateral filter counters + runtime."""
+    t0 = time.perf_counter()
     shape = tuple(cell.shape)
     radius = STENCIL_LABELS.get(cell.stencil)
     if radius is None:
@@ -165,18 +172,21 @@ def run_bilateral_cell(cell: BilateralCell) -> CellResult:
         affinity,
     )
     engine = SimulationEngine(spec, CostModel(cpi_compute=cell.cpi_compute),
-                              quantum=cell.quantum)
+                              quantum=cell.quantum, seed=cell.seed,
+                              backend=cell.backend)
     sim = engine.run(works).scaled(count_scale=factor, work_scale=thread_factor)
     return CellResult(
         runtime_seconds=sim.runtime_seconds,
         counters=sim.counters,
         sim=sim,
         n_threads_simulated=len(sampled_assignment),
+        wall_seconds=time.perf_counter() - t0,
     )
 
 
 def run_volrend_cell(cell: VolrendCell) -> CellResult:
     """Run one Figure-4/5/6 cell: raycasting counters + runtime."""
+    t0 = time.perf_counter()
     shape = tuple(cell.shape)
     grid = _grid_for(cell.dataset, shape, cell.seed, cell.layout)
     spec = cell.platform
@@ -252,11 +262,13 @@ def run_volrend_cell(cell: VolrendCell) -> CellResult:
         affinity,
     )
     engine = SimulationEngine(spec, CostModel(cpi_compute=cell.cpi_compute),
-                              quantum=cell.quantum)
+                              quantum=cell.quantum, seed=cell.seed,
+                              backend=cell.backend)
     sim = engine.run(works).scaled(count_scale=factor, work_scale=thread_factor)
     return CellResult(
         runtime_seconds=sim.runtime_seconds,
         counters=sim.counters,
         sim=sim,
         n_threads_simulated=len(sampled_assignment),
+        wall_seconds=time.perf_counter() - t0,
     )

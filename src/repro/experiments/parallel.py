@@ -1,0 +1,74 @@
+"""Fan independent experiment cells across worker processes.
+
+Every cell owns its own :class:`~repro.memsim.hierarchy.Machine` — cells
+never share simulator state — so a sweep of cells is embarrassingly
+parallel and fidelity is untouched by distribution.  This module is the
+single chokepoint through which the figure drivers, sweeps, and the CLI
+run their cell lists:
+
+* ``workers <= 1`` (the default) runs cells serially in the calling
+  process — byte-identical to the historical serial loops, and the path
+  tests take when determinism is being pinned;
+* ``workers > 1`` distributes over a ``ProcessPoolExecutor``.  Results
+  come back in input order regardless of completion order, and each
+  cell's RNG behavior is fixed by its own ``seed`` field, so the result
+  list is identical to the serial one.
+
+Worker processes rebuild dataset/grid caches on first use (the caches in
+:mod:`repro.experiments.harness` are per-process); with ``fork`` start
+method (Linux default) already-warm parent caches are inherited for
+free.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence, Union
+
+from .config import BilateralCell, VolrendCell
+from .harness import CellResult, run_bilateral_cell, run_volrend_cell
+
+__all__ = ["run_cell", "run_cells_parallel", "resolve_workers"]
+
+Cell = Union[BilateralCell, VolrendCell]
+
+
+def run_cell(cell: Cell) -> CellResult:
+    """Run one cell of either kind (module-level, hence picklable)."""
+    if isinstance(cell, BilateralCell):
+        return run_bilateral_cell(cell)
+    if isinstance(cell, VolrendCell):
+        return run_volrend_cell(cell)
+    raise TypeError(f"not an experiment cell: {type(cell).__name__}")
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a worker count: ``None``/``0`` → all CPUs, else as given."""
+    if workers is None or workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0 or None, got {workers}")
+    return workers
+
+
+def run_cells_parallel(cells: Sequence[Cell],
+                       workers: Optional[int] = 1) -> List[CellResult]:
+    """Run ``cells`` and return their results in input order.
+
+    Parameters
+    ----------
+    cells : sequence of BilateralCell / VolrendCell
+        The cells to run; kinds may be mixed.
+    workers : int or None
+        Process count.  ``1`` (default) runs serially in-process;
+        ``None`` or ``0`` uses all CPUs.  The result list is identical
+        for any worker count — only wall-clock changes.
+    """
+    cells = list(cells)
+    n_workers = resolve_workers(workers)
+    if n_workers <= 1 or len(cells) <= 1:
+        return [run_cell(c) for c in cells]
+    with ProcessPoolExecutor(max_workers=min(n_workers, len(cells))) as ex:
+        # ex.map preserves input order regardless of completion order
+        return list(ex.map(run_cell, cells))

@@ -16,19 +16,17 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..instrument.metrics import scaled_relative_difference
 from .config import BilateralCell, VolrendCell
-from .harness import CellResult, run_bilateral_cell, run_volrend_cell
+from .harness import CellResult
+from .parallel import run_cells_parallel
 
 __all__ = ["sweep_cells", "compare_layouts", "rows_to_csv"]
 
 Cell = Union[BilateralCell, VolrendCell]
 
 
-def _runner_for(cell: Cell):
-    if isinstance(cell, BilateralCell):
-        return run_bilateral_cell
-    if isinstance(cell, VolrendCell):
-        return run_volrend_cell
-    raise TypeError(f"unsupported cell type {type(cell).__name__}")
+def _check_cell(cell: Cell) -> None:
+    if not isinstance(cell, (BilateralCell, VolrendCell)):
+        raise TypeError(f"unsupported cell type {type(cell).__name__}")
 
 
 def _grid(axes: Dict[str, Sequence]) -> List[Dict[str, object]]:
@@ -40,19 +38,22 @@ def _grid(axes: Dict[str, Sequence]) -> List[Dict[str, object]]:
 
 
 def sweep_cells(base: Cell, axes: Dict[str, Sequence],
-                counters: Optional[Sequence[str]] = None
-                ) -> List[Dict[str, object]]:
+                counters: Optional[Sequence[str]] = None,
+                workers: Optional[int] = 1) -> List[Dict[str, object]]:
     """Run the cell at every combination of ``axes`` values.
 
     Returns one flat dict per combination: the axis values,
     ``runtime_seconds``, and the requested ``counters`` (all platform
-    counters when None).
+    counters when None).  ``workers`` fans the combinations across
+    processes (see :func:`~repro.experiments.parallel.run_cells_parallel`);
+    rows are identical for any worker count.
     """
-    runner = _runner_for(base)
+    _check_cell(base)
+    points = _grid(axes)
+    cells = [replace(base, **point) for point in points]
+    results = run_cells_parallel(cells, workers=workers)
     rows = []
-    for point in _grid(axes):
-        cell = replace(base, **point)
-        result: CellResult = runner(cell)
+    for point, cell, result in zip(points, cells, results):
         row: Dict[str, object] = dict(point)
         row["layout"] = cell.layout
         row["runtime_seconds"] = result.runtime_seconds
@@ -65,19 +66,24 @@ def sweep_cells(base: Cell, axes: Dict[str, Sequence],
 
 def compare_layouts(base: Cell, axes: Dict[str, Sequence],
                     layouts: Tuple[str, str] = ("array", "morton"),
-                    counters: Optional[Sequence[str]] = None
-                    ) -> List[Dict[str, object]]:
+                    counters: Optional[Sequence[str]] = None,
+                    workers: Optional[int] = 1) -> List[Dict[str, object]]:
     """Layout-pair sweep: each row carries both measurements and d_s.
 
     Column naming: ``runtime_<layout>`` / ``<counter>_<layout>`` for the
     raw values, ``ds_runtime`` / ``ds_<counter>`` for Eq. 4.
+    ``workers`` parallelizes over (combination × layout) cells.
     """
-    runner = _runner_for(base)
+    _check_cell(base)
     a_name, z_name = layouts
+    points = _grid(axes)
+    cells = [replace(base, layout=name, **point)
+             for point in points for name in layouts]
+    results = run_cells_parallel(cells, workers=workers)
     rows = []
-    for point in _grid(axes):
-        res = {name: runner(replace(base, layout=name, **point))
-               for name in layouts}
+    for pi, point in enumerate(points):
+        res = {name: results[pi * len(layouts) + li]
+               for li, name in enumerate(layouts)}
         row: Dict[str, object] = dict(point)
         row[f"runtime_{a_name}"] = res[a_name].runtime_seconds
         row[f"runtime_{z_name}"] = res[z_name].runtime_seconds

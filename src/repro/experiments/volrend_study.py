@@ -28,7 +28,7 @@ from .config import (
     default_ivybridge,
     default_mic,
 )
-from .harness import run_volrend_cell
+from .parallel import run_cells_parallel
 from .report import DsFigure, SeriesFigure
 
 __all__ = ["figure4", "figure5", "figure6", "volrend_ds_figure"]
@@ -42,8 +42,13 @@ def volrend_ds_figure(
     title: str = "Volrend: scaled relative difference, Z- vs A-order",
     base_cell: Optional[VolrendCell] = None,
     layouts: Tuple[str, str] = ("array", "morton"),
+    workers: Optional[int] = 1,
 ) -> DsFigure:
-    """Run a full volrend d_s matrix (rows = viewpoints)."""
+    """Run a full volrend d_s matrix (rows = viewpoints).
+
+    ``workers`` fans the matrix's independent cells across processes;
+    the figure is identical for any worker count.
+    """
     base = base_cell or VolrendCell(platform=platform)
     base = replace(base, platform=platform)
     row_labels = [str(v) for v in viewpoints]
@@ -51,11 +56,17 @@ def volrend_ds_figure(
     counter_ds = np.zeros_like(runtime_ds)
     raw = {}
     a_name, z_name = layouts
-    for r, viewpoint in enumerate(viewpoints):
-        for c, n_threads in enumerate(concurrencies):
+    cells = []
+    for viewpoint in viewpoints:
+        for n_threads in concurrencies:
             cell = replace(base, viewpoint=viewpoint, n_threads=n_threads)
-            res_a = run_volrend_cell(cell.with_layout(a_name))
-            res_z = run_volrend_cell(cell.with_layout(z_name))
+            cells.append(cell.with_layout(a_name))
+            cells.append(cell.with_layout(z_name))
+    results = run_cells_parallel(cells, workers=workers)
+    for r in range(len(viewpoints)):
+        for c, n_threads in enumerate(concurrencies):
+            i = 2 * (r * len(concurrencies) + c)
+            res_a, res_z = results[i], results[i + 1]
             runtime_ds[r, c] = scaled_relative_difference(
                 res_a.runtime_seconds, res_z.runtime_seconds)
             counter_ds[r, c] = scaled_relative_difference(
@@ -78,7 +89,8 @@ def figure4(shape: Tuple[int, int, int] = (64, 64, 64),
             image_size: int = 256,
             viewpoints: Sequence[int] = tuple(range(8)),
             tiles_per_thread: int = 1,
-            ray_step: int = 2) -> SeriesFigure:
+            ray_step: int = 2,
+            workers: Optional[int] = 1) -> SeriesFigure:
     """Reproduce Figure 4: absolute runtime & PAPI_L3_TCA vs viewpoint."""
     platform = default_ivybridge(scale)
     base = VolrendCell(
@@ -90,11 +102,15 @@ def figure4(shape: Tuple[int, int, int] = (64, 64, 64),
         tiles_per_thread=tiles_per_thread,
         ray_step=ray_step,
     )
-    runtime_a, runtime_z, counter_a, counter_z = [], [], [], []
+    cells = []
     for viewpoint in viewpoints:
         cell = base.with_viewpoint(viewpoint)
-        res_a = run_volrend_cell(cell.with_layout("array"))
-        res_z = run_volrend_cell(cell.with_layout("morton"))
+        cells.append(cell.with_layout("array"))
+        cells.append(cell.with_layout("morton"))
+    results = run_cells_parallel(cells, workers=workers)
+    runtime_a, runtime_z, counter_a, counter_z = [], [], [], []
+    for v in range(len(viewpoints)):
+        res_a, res_z = results[2 * v], results[2 * v + 1]
         runtime_a.append(res_a.runtime_seconds)
         runtime_z.append(res_z.runtime_seconds)
         counter_a.append(res_a.counters["PAPI_L3_TCA"])
@@ -118,7 +134,8 @@ def figure5(shape: Tuple[int, int, int] = (64, 64, 64),
             viewpoints: Sequence[int] = tuple(range(8)),
             image_size: int = 256,
             tiles_per_thread: int = 1,
-            ray_step: int = 2) -> DsFigure:
+            ray_step: int = 2,
+            workers: Optional[int] = 1) -> DsFigure:
     """Reproduce Figure 5: Volrend on Ivy Bridge, d_s matrices."""
     platform = default_ivybridge(scale)
     base = VolrendCell(
@@ -133,6 +150,7 @@ def figure5(shape: Tuple[int, int, int] = (64, 64, 64),
         platform, "PAPI_L3_TCA", concurrencies, viewpoints,
         title=f"Fig 5 | Volrend, {shape[0]}^3, IvyBridge: Z- vs A-order",
         base_cell=base,
+        workers=workers,
     )
 
 
@@ -143,7 +161,8 @@ def figure6(shape: Tuple[int, int, int] = (64, 64, 64),
             image_size: int = 512,
             tiles_per_thread: int = 1,
             ray_step: int = 4,
-            sample_cores: int = 8) -> DsFigure:
+            sample_cores: int = 8,
+            workers: Optional[int] = 1) -> DsFigure:
     """Reproduce Figure 6: Volrend on MIC, d_s matrices.
 
     The image is 512² so the tile pool (256 tiles) exceeds the largest
@@ -164,4 +183,5 @@ def figure6(shape: Tuple[int, int, int] = (64, 64, 64),
         platform, "L2_DATA_READ_MISS_MEM_FILL", concurrencies, viewpoints,
         title=f"Fig 6 | Volrend, {shape[0]}^3, MIC: Z- vs A-order",
         base_cell=base,
+        workers=workers,
     )

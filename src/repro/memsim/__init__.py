@@ -19,7 +19,13 @@ Public surface:
 """
 
 from .address import AddressSpace
-from .cache import Cache, CacheConfig, CacheStats, REPLACEMENT_POLICIES
+from .cache import (
+    Cache,
+    CacheConfig,
+    CacheStats,
+    REPLACEMENT_POLICIES,
+    REPLAY_BACKENDS,
+)
 from .cost import CostModel
 from .energy import DEFAULT_ACCESS_ENERGY_NJ, EnergyModel, energy_of_result
 from .gpu import (
@@ -64,6 +70,7 @@ __all__ = [
     "PrefetchConfig",
     "StreamPrefetcher",
     "REPLACEMENT_POLICIES",
+    "REPLAY_BACKENDS",
     "ServiceCounts",
     "SimResult",
     "SimulationEngine",

@@ -92,16 +92,20 @@ class SimulationEngine:
         Lines per thread per round-robin turn.  Smaller quanta model
         finer-grained concurrency (more cross-thread interference);
         256 lines ≈ 16 KB of traffic per turn.
+    backend : str
+        Cache replay backend (``"scalar"``, ``"vector"``, ``"auto"``),
+        forwarded to every :class:`~repro.memsim.cache.Cache`.  Both
+        backends are bit-for-bit equivalent; see :mod:`repro.memsim.cache`.
     """
 
     def __init__(self, spec: PlatformSpec, cost: Optional[CostModel] = None,
-                 quantum: int = 256, seed: int = 0):
+                 quantum: int = 256, seed: int = 0, backend: str = "auto"):
         if quantum <= 0:
             raise ValueError(f"quantum must be positive, got {quantum}")
         self.spec = spec
         self.cost = cost or CostModel()
         self.quantum = quantum
-        self.machine = Machine(spec, seed=seed)
+        self.machine = Machine(spec, seed=seed, backend=backend)
 
     def run(self, works: List[ThreadWork], reset: bool = True) -> SimResult:
         """Simulate all thread streams to completion and account costs."""

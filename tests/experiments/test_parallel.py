@@ -1,0 +1,99 @@
+"""run_cells_parallel: worker-count invariance and ordering.
+
+The contract under test: the result list is identical — counters,
+runtimes, extrapolation metadata — for any worker count, and comes back
+in input order regardless of completion order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    BilateralCell,
+    VolrendCell,
+    default_ivybridge,
+    resolve_workers,
+    run_bilateral_cell,
+    run_cell,
+    run_cells_parallel,
+    run_volrend_cell,
+)
+
+SHAPE = (16, 16, 16)
+
+
+@pytest.fixture(scope="module")
+def ivb():
+    return default_ivybridge(64)
+
+
+@pytest.fixture(scope="module")
+def cells(ivb):
+    """A small mixed batch: 2 bilateral + 2 volrend cells."""
+    bil = BilateralCell(platform=ivb, shape=SHAPE, n_threads=2,
+                        stencil="r1", pencils_per_thread=1)
+    vol = VolrendCell(platform=ivb, shape=SHAPE, n_threads=2,
+                      image_size=64, tiles_per_thread=1, ray_step=4)
+    return [bil, bil.with_layout("morton"), vol, vol.with_layout("morton")]
+
+
+class TestRunCell:
+    def test_dispatches_by_type(self, cells):
+        assert run_cell(cells[0]) == run_bilateral_cell(cells[0])
+        assert run_cell(cells[2]) == run_volrend_cell(cells[2])
+
+    def test_rejects_non_cells(self):
+        with pytest.raises(TypeError, match="not an experiment cell"):
+            run_cell(object())
+
+    def test_wall_seconds_recorded_but_not_compared(self, cells):
+        a = run_cell(cells[0])
+        b = run_cell(cells[0])
+        assert a.wall_seconds > 0 and b.wall_seconds > 0
+        assert a == b  # wall clock differs, equality must not
+
+
+class TestRunCellsParallel:
+    def test_serial_matches_direct_calls(self, cells):
+        assert run_cells_parallel(cells, workers=1) == \
+            [run_cell(c) for c in cells]
+
+    def test_parallel_equals_serial_exactly(self, cells):
+        serial = run_cells_parallel(cells, workers=1)
+        parallel = run_cells_parallel(cells, workers=4)
+        assert parallel == serial
+
+    def test_result_order_follows_input_order(self, cells):
+        fwd = run_cells_parallel(cells, workers=2)
+        rev = run_cells_parallel(list(reversed(cells)), workers=2)
+        assert fwd == list(reversed(rev))
+
+    def test_empty_batch(self):
+        assert run_cells_parallel([], workers=4) == []
+
+    def test_single_cell_skips_pool(self, cells):
+        assert run_cells_parallel([cells[0]], workers=8) == \
+            [run_cell(cells[0])]
+
+
+class TestResolveWorkers:
+    def test_explicit_count_passes_through(self):
+        assert resolve_workers(3) == 3
+
+    def test_none_and_zero_mean_all_cpus(self):
+        assert resolve_workers(None) >= 1
+        assert resolve_workers(0) == resolve_workers(None)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            resolve_workers(-2)
+
+
+class TestSweepWorkers:
+    def test_sweep_rows_worker_invariant(self, ivb):
+        from repro.experiments import sweep_cells
+        base = BilateralCell(platform=ivb, shape=SHAPE, n_threads=2,
+                             stencil="r1", pencils_per_thread=1)
+        axes = {"n_threads": [2, 4], "layout": ["array", "morton"]}
+        assert sweep_cells(base, axes, workers=2) == sweep_cells(base, axes)

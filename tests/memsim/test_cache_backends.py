@@ -1,0 +1,190 @@
+"""Scalar-vs-vector replay equivalence: the vector backend must be
+bit-for-bit identical to the scalar oracle — same missed lines in the
+same order, same CacheStats (hits, misses, evictions), same eviction
+sets, same residency — for every replacement policy, on both random and
+adversarial (same-set thrash) streams, interleaved with prefetch
+installs and invalidations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memsim.cache import (
+    Cache,
+    CacheConfig,
+    REPLAY_BACKENDS,
+    _AUTO_MIN_SETS,
+    _victim_way,
+    _victim_way_arr,
+)
+
+POLICIES = ("lru", "fifo", "plru", "random")
+
+
+def _pair(policy: str, ways: int = 4, n_sets: int = 16, seed: int = 3):
+    cfg = CacheConfig("T", 64 * ways * n_sets, ways=ways, replacement=policy)
+    return (Cache(cfg, seed=seed, backend="scalar"),
+            Cache(cfg, seed=seed, backend="vector"))
+
+
+def _check_access(scalar: Cache, vector: Cache, lines: np.ndarray) -> None:
+    ms = scalar.access_lines(lines)
+    mv = vector.access_lines(lines)
+    np.testing.assert_array_equal(ms, mv)
+    assert scalar.stats == vector.stats
+    assert sorted(scalar.last_evicted) == sorted(vector.last_evicted)
+    assert scalar.resident_lines() == vector.resident_lines()
+
+
+def _streams(rng, n_sets: int, ways: int):
+    """Random, same-set-thrash, and sweep streams over a small id space."""
+    span = 8 * n_sets * ways
+    yield rng.integers(0, span, size=4000).astype(np.int64)
+    # adversarial: ways+1 distinct lines of one set, round-robin — every
+    # access misses under LRU/FIFO, maximum replacement churn
+    yield ((np.arange(3000, dtype=np.int64) % (ways + 1)) * n_sets)
+    yield np.arange(2500, dtype=np.int64) % span
+    # heavy same-line repeats (collapse-like hit runs)
+    yield np.repeat(rng.integers(0, span, size=300).astype(np.int64), 7)
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("ways,n_sets", [(2, 8), (4, 16), (8, 4), (1, 32)])
+    def test_streams_identical(self, policy, ways, n_sets):
+        if policy == "plru" and ways == 1:
+            pytest.skip("plru needs >= 2 ways to have a tree")
+        rng = np.random.default_rng(hash((policy, ways, n_sets)) % 2**31)
+        scalar, vector = _pair(policy, ways=ways, n_sets=n_sets)
+        scalar.track_evictions = vector.track_evictions = True
+        for lines in _streams(rng, n_sets, ways):
+            _check_access(scalar, vector, lines)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_install_and_invalidate_identical(self, policy):
+        rng = np.random.default_rng(11)
+        scalar, vector = _pair(policy)
+        for _ in range(20):
+            lines = rng.integers(0, 1024, size=200).astype(np.int64)
+            _check_access(scalar, vector, lines)
+            inst = rng.integers(0, 1024, size=40).astype(np.int64)
+            assert scalar.install_lines(inst) == vector.install_lines(inst)
+            # installs never touch counters
+            assert scalar.stats == vector.stats
+            inv = rng.integers(0, 1024, size=20).astype(np.int64)
+            assert scalar.invalidate(inv) == vector.invalidate(inv)
+            assert scalar.resident_lines() == vector.resident_lines()
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_chunking_invariance(self, policy):
+        """Splitting one stream into arbitrary batches must not change
+        the aggregate stats (the engine's quantum does exactly this)."""
+        rng = np.random.default_rng(5)
+        lines = rng.integers(0, 2048, size=5000).astype(np.int64)
+        whole_s, whole_v = _pair(policy, ways=4, n_sets=32)
+        whole_s.access_lines(lines)
+        whole_v.access_lines(lines)
+        chunked_s, chunked_v = _pair(policy, ways=4, n_sets=32)
+        pos = 0
+        while pos < lines.size:
+            step = int(rng.integers(1, 700))
+            chunked_s.access_lines(lines[pos:pos + step])
+            chunked_v.access_lines(lines[pos:pos + step])
+            pos += step
+        assert whole_s.stats == chunked_s.stats == whole_v.stats \
+            == chunked_v.stats
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        policy=st.sampled_from(POLICIES),
+        seed=st.integers(0, 2**20),
+        data=st.lists(st.integers(0, 511), min_size=1, max_size=400),
+    )
+    def test_property_random_streams(self, policy, seed, data):
+        cfg = CacheConfig("T", 64 * 4 * 8, ways=4, replacement=policy)
+        scalar = Cache(cfg, seed=seed, backend="scalar")
+        vector = Cache(cfg, seed=seed, backend="vector")
+        scalar.track_evictions = vector.track_evictions = True
+        _check_access(scalar, vector, np.asarray(data, dtype=np.int64))
+
+
+class TestRandomVictimHash:
+    def test_scalar_vector_hash_agree(self):
+        sets = np.arange(0, 4096, 7, dtype=np.int64)
+        ords = np.arange(sets.size, dtype=np.int64)
+        vec = _victim_way_arr(123, sets, ords, 8)
+        ref = [_victim_way(123, int(s), int(o), 8)
+               for s, o in zip(sets, ords)]
+        np.testing.assert_array_equal(vec, np.asarray(ref))
+
+    def test_depends_only_on_eviction_history(self):
+        """Victim choice is a function of (seed, set, ordinal) — feeding
+        extra traffic to *other* sets must not perturb a set's victims."""
+        cfg = CacheConfig("T", 64 * 2 * 16, ways=2, replacement="random")
+        thrash = (np.arange(30, dtype=np.int64) % 3) * 16  # set 0 only
+        lone = Cache(cfg, seed=9)
+        lone_missed = lone.access_lines(thrash)
+        noisy = Cache(cfg, seed=9)
+        noisy.access_lines(np.arange(1, 16, dtype=np.int64))  # other sets
+        noisy_missed = noisy.access_lines(thrash)
+        np.testing.assert_array_equal(lone_missed, noisy_missed)
+
+    def test_seed_changes_victims(self):
+        cfg = CacheConfig("T", 64 * 2 * 4, ways=2, replacement="random")
+        stream = (np.arange(400, dtype=np.int64) % 5) * 4
+        a = Cache(cfg, seed=0)
+        b = Cache(cfg, seed=1)
+        a.track_evictions = b.track_evictions = True
+        a.access_lines(stream)
+        b.access_lines(stream)
+        assert a.last_evicted != b.last_evicted
+
+
+class TestBackendSelection:
+    def test_explicit_backends_honored(self):
+        cfg = CacheConfig("T", 64 * 4 * 4, ways=4)
+        for backend in ("scalar", "vector"):
+            assert Cache(cfg, backend=backend).backend == backend
+
+    def test_auto_resolves_by_set_count(self):
+        small = CacheConfig("T", 64 * 4 * (_AUTO_MIN_SETS // 2), ways=4)
+        large = CacheConfig("T", 64 * 4 * _AUTO_MIN_SETS, ways=4)
+        assert Cache(small, backend="auto").backend == "scalar"
+        assert Cache(large, backend="auto").backend == "vector"
+
+    def test_unknown_backend_rejected(self):
+        cfg = CacheConfig("T", 64 * 4 * 4, ways=4)
+        with pytest.raises(ValueError, match="backend"):
+            Cache(cfg, backend="simd")
+
+    def test_backends_registry(self):
+        assert REPLAY_BACKENDS == ("scalar", "vector", "auto")
+
+
+class TestEvictionCounter:
+    @pytest.mark.parametrize("backend", ["scalar", "vector"])
+    def test_cold_fills_are_not_evictions(self, backend):
+        cfg = CacheConfig("T", 64 * 4 * 4, ways=4)
+        cache = Cache(cfg, backend=backend)
+        cache.access_lines(np.arange(16, dtype=np.int64))  # exactly fills
+        assert cache.stats.misses == 16
+        assert cache.stats.evictions == 0
+        cache.access_lines(np.arange(16, 20, dtype=np.int64))  # one per set
+        assert cache.stats.evictions == 4
+
+    def test_direct_mapped_evictions(self):
+        cfg = CacheConfig("T", 64 * 8, ways=1, replacement="direct")
+        cache = Cache(cfg)
+        cache.access_lines(np.arange(8, dtype=np.int64))
+        assert cache.stats.evictions == 0
+        cache.access_lines(np.arange(8, 16, dtype=np.int64))
+        assert cache.stats.evictions == 8
+
+    def test_merge_sums_evictions(self):
+        from repro.memsim.cache import CacheStats
+        a = CacheStats(accesses=4, hits=1, misses=3, evictions=2)
+        b = CacheStats(accesses=6, hits=2, misses=4, evictions=1)
+        assert a.merge(b).evictions == 3

@@ -12,6 +12,17 @@ import pytest
 ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
 
 
+def _example_env() -> dict:
+    """Subprocess env that can import `repro` even without installation:
+    prepend the in-tree `src/` to PYTHONPATH (an installed copy, editable
+    or not, still takes whatever precedence the interpreter gives it)."""
+    env = dict(os.environ)
+    src = os.path.join(ROOT, "src")
+    prev = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + os.pathsep + prev if prev else src
+    return env
+
+
 def _read(name: str) -> str:
     with open(os.path.join(ROOT, name)) as fh:
         return fh.read()
@@ -89,6 +100,7 @@ class TestExamplesRun:
         result = subprocess.run(
             [sys.executable, os.path.join(ROOT, "examples", cmd[0]), *cmd[1:]],
             capture_output=True, text=True, timeout=300, cwd=str(tmp_path),
+            env=_example_env(),
         )
         assert result.returncode == 0, result.stderr[-2000:]
         assert result.stdout.strip()
@@ -99,6 +111,7 @@ class TestExamplesRun:
              "--size", "16", "--image", "24", "--outdir",
              str(tmp_path / "frames")],
             capture_output=True, text=True, timeout=300, cwd=str(tmp_path),
+            env=_example_env(),
         )
         assert result.returncode == 0, result.stderr[-2000:]
         assert len(os.listdir(tmp_path / "frames")) == 8
