@@ -35,8 +35,8 @@ def main() -> None:
     print(f"volume {SHAPE}: array buffer = {grid_array.nbytes} B, "
           f"morton buffer = {grid_morton.nbytes} B")
     print(f"same element, two offsets: array[3,5,7] -> "
-          f"{grid_array.layout.get_index(3, 5, 7)}, morton[3,5,7] -> "
-          f"{grid_morton.layout.get_index(3, 5, 7)}")
+          f"{grid_array.layout.index(3, 5, 7)}, morton[3,5,7] -> "
+          f"{grid_morton.layout.index(3, 5, 7)}")
 
     # -- 2. the kernel neither knows nor cares --------------------------
     filt = BilateralFilter3D(BilateralSpec(radius=1, sigma_range=0.15))

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Guard: tracing must cost < 5% of a cell run while disabled.
+
+Two measurements back the claim in docs/SIMULATOR.md:
+
+1. the per-call cost of a *disabled* ``trace.span()`` (a global load,
+   a compare, and a shared no-op context manager), multiplied by the
+   span count an instrumented cell actually emits, compared against the
+   cell's untraced wall time;
+2. the direct comparison: the same cell run back-to-back with tracing
+   off, reported as a ratio against the baseline.
+
+Exits non-zero when the projected overhead exceeds the budget, so CI
+can hold the line.
+
+Run:  python scripts/bench_trace.py [--shape 24] [--repeat 5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "src"))
+
+from repro.experiments import (  # noqa: E402
+    BilateralCell,
+    clear_caches,
+    default_ivybridge,
+    run_bilateral_cell,
+)
+from repro.instrument import trace  # noqa: E402
+
+BUDGET = 0.05  # fraction of cell wall time
+
+
+def disabled_span_cost(calls: int = 200_000) -> float:
+    """Per-call seconds of a span() open/close while tracing is off."""
+    assert trace.current() is None
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        with trace.span("bench"):
+            pass
+    return (time.perf_counter() - t0) / calls
+
+
+def traced_span_count(cell) -> int:
+    """How many spans one run of ``cell`` actually emits."""
+    tracer = trace.enable()
+    run_bilateral_cell(cell)
+    trace.disable()
+    return len(tracer.records)
+
+
+def cell_wall_time(cell, repeat: int) -> float:
+    """Best-of-N untraced wall seconds for one cell run (caches warm)."""
+    run_bilateral_cell(cell)  # warm dataset/grid caches
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        run_bilateral_cell(cell)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--shape", type=int, default=24)
+    parser.add_argument("--repeat", type=int, default=5)
+    args = parser.parse_args()
+
+    cell = BilateralCell(
+        platform=default_ivybridge(64), layout="morton",
+        shape=(args.shape,) * 3, stencil="r1", n_threads=2,
+    )
+
+    per_call = disabled_span_cost()
+    n_spans = traced_span_count(cell)
+    clear_caches()
+    wall = cell_wall_time(cell, args.repeat)
+    projected = per_call * n_spans
+    frac = projected / wall
+
+    print(f"disabled span cost : {per_call * 1e9:8.1f} ns/call")
+    print(f"spans per cell run : {n_spans:8d}")
+    print(f"untraced cell time : {wall * 1e3:8.2f} ms")
+    print(f"projected overhead : {projected * 1e6:8.2f} us "
+          f"({frac * 100:.3f}% of cell)")
+    if frac >= BUDGET:
+        print(f"FAIL: disabled-tracing overhead {frac * 100:.2f}% "
+              f">= {BUDGET * 100:.0f}% budget")
+        return 1
+    print(f"OK: under the {BUDGET * 100:.0f}% budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

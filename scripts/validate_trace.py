@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Validate a trace file + manifest pair (the CI smoke check).
+
+Checks the JSON-lines trace against the span schema (meta header, id
+uniqueness, parent resolution, dur arithmetic), the manifest against
+the manifest schema, and the two against each other: every manifest
+cell must correspond to a ``cell`` span, and each cell's summed phase
+durations must reconcile with its recorded ``wall_seconds`` within the
+acceptance tolerance.
+
+Run:  python scripts/validate_trace.py TRACE.jsonl [MANIFEST.json]
+      (manifest defaults to TRACE.jsonl.manifest.json)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "src"))
+
+from repro.instrument.manifest import (  # noqa: E402
+    validate_manifest,
+    validate_trace_file,
+)
+
+TOLERANCE = 0.10  # phase-sum vs wall_seconds
+
+
+def cross_check(trace_path: str, manifest: dict) -> list:
+    """Trace/manifest consistency problems (empty list = clean)."""
+    with open(trace_path) as fh:
+        records = [json.loads(line) for line in fh if line.strip()]
+    spans = [r for r in records if r.get("type") == "span"]
+    cell_spans = {r["attrs"].get("cell"): r for r in spans
+                  if r["name"] == "cell"}
+    problems = []
+    for cell in manifest["cells"]:
+        idx = cell["index"]
+        span = cell_spans.get(idx)
+        if span is None:
+            problems.append(f"manifest cell {idx} has no 'cell' span")
+            continue
+        wall = cell["wall_seconds"]
+        phase_sum = sum(r["dur"] for r in spans
+                        if r["name"].startswith("cell.")
+                        and r["attrs"].get("cell") == idx)
+        if wall > 0 and abs(phase_sum - wall) / wall > TOLERANCE:
+            problems.append(
+                f"cell {idx}: phase sum {phase_sum:.6f}s vs "
+                f"wall {wall:.6f}s exceeds {TOLERANCE:.0%}")
+    if len(cell_spans) != len(manifest["cells"]):
+        problems.append(
+            f"{len(cell_spans)} cell spans vs "
+            f"{len(manifest['cells'])} manifest cells")
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace")
+    parser.add_argument("manifest", nargs="?", default=None)
+    args = parser.parse_args()
+    manifest_path = args.manifest or args.trace + ".manifest.json"
+
+    n_spans = validate_trace_file(args.trace)
+    with open(manifest_path) as fh:
+        manifest = validate_manifest(json.load(fh))
+    problems = cross_check(args.trace, manifest)
+    if problems:
+        for p in problems:
+            print(f"FAIL: {p}")
+        return 1
+    print(f"OK: {n_spans} spans, {len(manifest['cells'])} cells, "
+          f"phases reconcile within {TOLERANCE:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,7 +9,7 @@ Subpackages
 -----------
 ``repro.core``
     The paper's contribution: array-order, Z-order (Morton), Hilbert and
-    tiled layouts behind a uniform ``get_index(i, j, k)`` interface, plus
+    tiled layouts behind a uniform ``index(i, j, k)`` interface, plus
     grids and locality metrics.
 ``repro.memsim``
     Trace-driven cache-hierarchy simulator standing in for PAPI and the

@@ -38,7 +38,13 @@ from .experiments import (
     render_series_figure,
     run_cells_parallel,
 )
-from .instrument import scaled_relative_difference
+from .instrument import (
+    build_manifest,
+    render_summary,
+    scaled_relative_difference,
+    trace,
+    write_manifest,
+)
 from .memsim.platforms import PLATFORMS, get_platform
 
 __all__ = ["main", "build_parser"]
@@ -70,9 +76,20 @@ def build_parser() -> argparse.ArgumentParser:
                 f"workers must be >= 0 (0 = all CPUs), got {value}")
         return value
 
+    # observability flags shared by every command that runs work
+    obs = argparse.ArgumentParser(add_help=False)
+    obs.add_argument("--trace", metavar="PATH", default=None,
+                     help="write a JSON-lines span trace of the run")
+    obs.add_argument("--trace-summary", action="store_true",
+                     help="print a per-phase timing/counter rollup")
+    obs.add_argument("--manifest", metavar="PATH", default=None,
+                     help="run-manifest output path (default: "
+                          "<trace>.manifest.json when --trace is given)")
+
     sub.add_parser("info", help="list platforms, layouts and counters")
 
-    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure",
+                           parents=[obs])
     p_fig.add_argument("which", choices=[*_FIGURES, "all"])
     p_fig.add_argument("--shape", type=int, default=64,
                        help="volume edge length (default 64)")
@@ -84,7 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for the figure's cells "
                             "(0 = all CPUs; default 1 = serial)")
 
-    p_bil = sub.add_parser("bilateral",
+    p_bil = sub.add_parser("bilateral", parents=[obs],
                            help="one bilateral cell, array vs Z-order")
     p_bil.add_argument("--platform", choices=sorted(PLATFORMS),
                        default="ivybridge")
@@ -101,7 +118,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_bil.add_argument("-j", "--workers", type=_workers, default=1,
                        help="worker processes (0 = all CPUs; default serial)")
 
-    p_vol = sub.add_parser("volrend",
+    p_vol = sub.add_parser("volrend", parents=[obs],
                            help="one volume-rendering cell, array vs Z-order")
     p_vol.add_argument("--platform", choices=sorted(PLATFORMS),
                        default="ivybridge")
@@ -115,23 +132,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_vol.add_argument("-j", "--workers", type=_workers, default=1,
                        help="worker processes (0 = all CPUs; default serial)")
 
-    p_ren = sub.add_parser("render", help="render a PPM image of a volume")
+    p_ren = sub.add_parser("render", parents=[obs], help="render a PPM image of a volume")
     p_ren.add_argument("--shape", type=int, default=48)
     p_ren.add_argument("--viewpoint", type=int, default=2)
     p_ren.add_argument("--image", type=int, default=128)
     p_ren.add_argument("--dataset", choices=["combustion", "mri"],
                        default="combustion")
-    p_ren.add_argument("--layout", choices=layout_names(), default="morton")
+    p_ren.add_argument("--layout", default="morton", metavar="SPEC",
+                       help="layout name or spec string, e.g. morton or "
+                            "tiled:brick=8 (see `repro info`)")
     p_ren.add_argument("--out", default="render.ppm")
 
-    p_ana = sub.add_parser("analyze",
+    p_ana = sub.add_parser("analyze", parents=[obs],
                            help="locality report for a kernel stream")
     p_ana.add_argument("--kernel", choices=["bilateral", "volrend"],
                        default="bilateral")
-    p_ana.add_argument("--layout", choices=layout_names(), default="morton")
+    p_ana.add_argument("--layout", default="morton", metavar="SPEC",
+                       help="layout name or spec string (see `repro info`)")
     p_ana.add_argument("--shape", type=int, default=32)
 
-    p_tune = sub.add_parser("tune",
+    p_tune = sub.add_parser("tune", parents=[obs],
                             help="auto-tune a blocking/tiling parameter "
                                  "against the simulator")
     p_tune.add_argument("what", choices=["brick", "tile"])
@@ -140,7 +160,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.add_argument("--method", choices=["exhaustive", "hill"],
                         default="exhaustive")
 
-    p_mesh = sub.add_parser("mesh",
+    p_mesh = sub.add_parser("mesh", parents=[obs],
                             help="unstructured-mesh ordering study")
     p_mesh.add_argument("--vertices", type=int, default=2000)
     p_mesh.add_argument("--seed", type=int, default=1)
@@ -149,7 +169,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_info() -> int:
     print(f"repro {__version__}\n")
-    print("layouts:", ", ".join(layout_names()))
+    print("layouts (name: accepted spec kwargs, as in 'tiled:brick=8'):")
+    for name, doc in layout_names(with_kwargs=True):
+        print(f"  {name:10s} {doc or '(no kwargs)'}")
     print("\nplatforms:")
     for name, spec in sorted(PLATFORMS.items()):
         levels = ", ".join(
@@ -367,9 +389,7 @@ def _cmd_mesh(args) -> int:
     return 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+def _dispatch(args) -> int:
     if args.command == "info":
         return _cmd_info()
     if args.command == "figure":
@@ -387,6 +407,45 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "mesh":
         return _cmd_mesh(args)
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _observability_requested(args) -> bool:
+    return bool(getattr(args, "trace", None)
+                or getattr(args, "trace_summary", False)
+                or getattr(args, "manifest", None))
+
+
+def _write_observability(args, tracer) -> None:
+    """Emit the trace file, manifest, and/or summary the flags asked for."""
+    if getattr(args, "trace", None):
+        n = tracer.write_jsonl(args.trace)
+        print(f"[trace: {n} spans -> {args.trace}]", file=sys.stderr)
+    manifest_path = getattr(args, "manifest", None)
+    if manifest_path is None and getattr(args, "trace", None):
+        manifest_path = args.trace + ".manifest.json"
+    if manifest_path:
+        manifest = build_manifest(
+            tracer, extra={"argv": [args.command], "command": args.command})
+        write_manifest(manifest_path, manifest)
+        print(f"[manifest: {len(manifest['cells'])} cells -> {manifest_path}]",
+              file=sys.stderr)
+    if getattr(args, "trace_summary", False):
+        print("\n" + render_summary(tracer))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if not _observability_requested(args):
+        return _dispatch(args)
+    tracer = trace.enable()
+    try:
+        with trace.span(f"cli.{args.command}"):
+            rc = _dispatch(args)
+    finally:
+        trace.disable()
+    _write_observability(args, tracer)
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -2,8 +2,9 @@
 
 Public surface of :mod:`repro.core`:
 
-* :class:`~repro.core.layout.Layout` — the ``get_index(i, j, k)``
-  abstraction of the paper's Section III-C;
+* :class:`~repro.core.layout.Layout` — the ``index(i, j, k)`` /
+  ``index_array`` abstraction of the paper's Section III-C (the paper's
+  ``get_index`` name survives as a deprecated shim);
 * :class:`~repro.core.array_order.ArrayOrderLayout` — row-major with the
   paper's yoffset/zoffset tables;
 * :class:`~repro.core.morton.MortonLayout` — Z-order via per-axis
@@ -51,7 +52,14 @@ from .morton import (
     morton_step_3d,
 )
 from .padding import PaddingReport, padded_shape, padding_report
-from .registry import LAYOUTS, layout_names, make_layout, register_layout
+from .registry import (
+    LAYOUTS,
+    layout_kwargs_doc,
+    layout_names,
+    make_layout,
+    parse_layout_spec,
+    register_layout,
+)
 from .tiled import TiledLayout
 
 __all__ = [
@@ -83,8 +91,10 @@ __all__ = [
     "hilbert_encode",
     "hz_from_morton",
     "is_power_of_two",
+    "layout_kwargs_doc",
     "layout_names",
     "make_layout",
+    "parse_layout_spec",
     "morton_decode_2d",
     "morton_decode_3d",
     "morton_encode_2d",

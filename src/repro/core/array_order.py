@@ -7,7 +7,7 @@ are built —
 * ``yoffset[j] = j * xsize``
 * ``zoffset[k] = k * xsize * ysize``
 
-— and each ``get_index(i, j, k)`` is two table lookups plus two adds.
+— and each ``index(i, j, k)`` is two table lookups plus two adds.
 The tables exist so that the array-order and Z-order index computations
 are "on more or less equal footing" cost-wise; functionally the result
 equals ``i + j*nx + k*nx*ny``.

@@ -89,11 +89,13 @@ class Grid:
 
     def get(self, i: int, j: int, k: int):
         """Bounds-checked scalar read (the paper's access idiom)."""
-        return self.buffer[self.layout.get_index(i, j, k)]
+        self.layout.check_bounds(i, j, k)
+        return self.buffer[self.layout.index(i, j, k)]
 
     def set(self, i: int, j: int, k: int, value) -> None:
         """Bounds-checked scalar write."""
-        self.buffer[self.layout.get_index(i, j, k)] = value
+        self.layout.check_bounds(i, j, k)
+        self.buffer[self.layout.index(i, j, k)] = value
 
     def gather(self, i, j, k) -> np.ndarray:
         """Vectorized read of many points; returns values array."""

@@ -73,11 +73,13 @@ class Grid2D:
 
     def get(self, i: int, j: int):
         """Bounds-checked scalar read."""
-        return self.buffer[self.layout.get_index(i, j)]
+        self.layout.check_bounds(i, j)
+        return self.buffer[self.layout.index(i, j)]
 
     def set(self, i: int, j: int, value) -> None:
         """Bounds-checked scalar write."""
-        self.buffer[self.layout.get_index(i, j)] = value
+        self.layout.check_bounds(i, j)
+        self.buffer[self.layout.index(i, j)] = value
 
     def gather(self, i, j) -> np.ndarray:
         """Vectorized read of many points."""

@@ -1,12 +1,19 @@
 """Abstract interface for in-memory layouts of multidimensional arrays.
 
 This is the reproduction of the paper's Section III-C "Accessing Memory"
-library: every layout exposes a uniform ``get_index(i, j, k)`` so that an
+library: every layout exposes a uniform ``index(i, j, k)`` so that an
 application (the bilateral filter, the raycaster, user code) is written
 once and the layout is swapped transparently.  On top of the paper's API
-we add vectorized index computation (numpy arrays of coordinates in, one
-array of linear indices out), inverse mapping, and buffer sizing, which
-the simulator and the analysis tooling need.
+we add vectorized index computation (``index_array``: numpy arrays of
+coordinates in, one array of linear indices out), inverse mapping, and
+buffer sizing, which the simulator and the analysis tooling need.
+
+``index`` / ``index_array`` are the canonical entry points.  ``index``
+is deliberately unchecked (it sits inside the kernels' hot loops); use
+:meth:`Layout.check_bounds` first when coordinates come from outside.
+The paper-named ``get_index`` survives as a deprecated shim that bounds
+checks and delegates — it emits :class:`DeprecationWarning` and will be
+removed.
 
 Coordinate convention
 ---------------------
@@ -17,6 +24,7 @@ adjacent in physical memory").  ``shape`` is given as ``(nx, ny, nz)``.
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
 from typing import Iterable, Sequence, Tuple
 
@@ -95,11 +103,24 @@ class Layout(ABC):
         """Fraction of buffer wasted on padding: ``buffer/points - 1``."""
         return self.buffer_size / self.n_points - 1.0
 
-    def get_index(self, i: int, j: int, k: int) -> int:
-        """Bounds-checked scalar index — the paper's ``getIndex(i,j,k)``."""
+    def check_bounds(self, i: int, j: int, k: int) -> None:
+        """Raise :class:`IndexError` unless ``(i, j, k)`` is on the grid."""
         nx, ny, nz = self.shape
         if not (0 <= i < nx and 0 <= j < ny and 0 <= k < nz):
             raise IndexError(f"({i}, {j}, {k}) out of bounds for shape {self.shape}")
+
+    def get_index(self, i: int, j: int, k: int) -> int:
+        """Deprecated alias: bounds-checked :meth:`index`.
+
+        The paper's ``getIndex(i,j,k)``.  Use ``index()`` (or
+        ``check_bounds()`` + ``index()`` for untrusted coordinates);
+        use ``index_array()`` for vectorized access.
+        """
+        warnings.warn(
+            "Layout.get_index() is deprecated; use index()/index_array() "
+            "(call check_bounds() first for untrusted coordinates)",
+            DeprecationWarning, stacklevel=2)
+        self.check_bounds(i, j, k)
         return self.index(i, j, k)
 
     def inverse_array(self, offsets) -> tuple:
@@ -184,11 +205,23 @@ class Layout2D(ABC):
         """Number of logical grid points ``nx*ny``."""
         return self.shape[0] * self.shape[1]
 
-    def get_index(self, i: int, j: int) -> int:
-        """Bounds-checked scalar index."""
+    def check_bounds(self, i: int, j: int) -> None:
+        """Raise :class:`IndexError` unless ``(i, j)`` is on the grid."""
         nx, ny = self.shape
         if not (0 <= i < nx and 0 <= j < ny):
             raise IndexError(f"({i}, {j}) out of bounds for shape {self.shape}")
+
+    def get_index(self, i: int, j: int) -> int:
+        """Deprecated alias: bounds-checked :meth:`index`.
+
+        Use ``index()``/``index_array()``; call ``check_bounds()`` first
+        for untrusted coordinates.
+        """
+        warnings.warn(
+            "Layout2D.get_index() is deprecated; use index()/index_array() "
+            "(call check_bounds() first for untrusted coordinates)",
+            DeprecationWarning, stacklevel=2)
+        self.check_bounds(i, j)
         return self.index(i, j)
 
     def check_bijective(self) -> bool:

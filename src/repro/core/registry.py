@@ -1,13 +1,30 @@
-"""Name → layout factory registry.
+"""Name → layout factory registry, with spec-string construction.
 
 Experiment configs refer to layouts by short name (``"array"``,
 ``"morton"``, …); the registry turns those names into constructed
 layouts so sweep definitions stay declarative.
+
+Names may carry constructor kwargs inline as a **spec string**::
+
+    make_layout("tiled:brick=8", shape)
+    make_layout("morton:engine=magic,padding=cube", shape)
+
+The part before ``:`` is the registered name; the rest is a
+comma-separated ``key=value`` list whose values are coerced to int,
+float, bool, or str.  Explicit ``**kwargs`` to :func:`make_layout`
+override spec-string values, and a bare name is unchanged — every
+pre-existing call site keeps working.  Because cells and CLI flags pass
+layouts as plain strings, the spec form travels for free through config
+dataclasses, sweeps, and worker processes.
+
+Custom layouts register via :func:`register_layout`; built-in names are
+protected against silent replacement (pass ``replace=True`` to shadow
+one deliberately).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Sequence
+from typing import Any, Callable, Dict, Sequence, Tuple
 
 from .array_order import ArrayOrderLayout, ColumnMajorLayout
 from .hilbert import HilbertLayout
@@ -16,7 +33,8 @@ from .layout import Layout
 from .morton import MortonLayout
 from .tiled import TiledLayout
 
-__all__ = ["LAYOUTS", "make_layout", "register_layout", "layout_names"]
+__all__ = ["LAYOUTS", "make_layout", "register_layout", "layout_names",
+           "parse_layout_spec", "layout_kwargs_doc"]
 
 LAYOUTS: Dict[str, Callable[..., Layout]] = {
     "array": ArrayOrderLayout,
@@ -27,26 +45,137 @@ LAYOUTS: Dict[str, Callable[..., Layout]] = {
     "tiled": TiledLayout,
 }
 
+#: built-in names are protected from silent replacement
+_BUILTIN_NAMES = frozenset(LAYOUTS)
+
+#: accepted spec-string kwargs per built-in layout (shown by ``repro info``)
+_KWARGS_DOC: Dict[str, str] = {
+    "array": "(no kwargs)",
+    "column": "(no kwargs)",
+    "morton": "engine={tables|magic|loop}, padding={per_axis|cube}",
+    "hilbert": "(no kwargs)",
+    "hzorder": "(no kwargs)",
+    "tiled": "brick=<int> (cubic brick edge, default 4)",
+}
+
 
 def register_layout(name: str, factory: Callable[..., Layout],
-                    *, overwrite: bool = False) -> None:
-    """Register a custom layout factory under ``name``."""
-    if name in LAYOUTS and not overwrite:
-        raise ValueError(f"layout {name!r} already registered")
+                    *, replace: bool = False,
+                    kwargs_doc: str = "") -> None:
+    """Register a custom layout factory under ``name``.
+
+    Parameters
+    ----------
+    name : str
+        Registry key.  May not contain ``:`` (reserved for spec
+        strings).
+    factory : callable
+        ``factory(shape, **kwargs) -> Layout``.
+    replace : bool
+        Registering over an existing name is an error unless this is
+        True.  Replacing a *built-in* name gets a dedicated error so a
+        typo'd experiment can't silently redefine what ``"morton"``
+        means for every other cell in the process.
+    kwargs_doc : str
+        One-line description of the factory's accepted kwargs, shown by
+        ``layout_names(with_kwargs=True)`` / ``repro info``.
+    """
+    if ":" in name:
+        raise ValueError(
+            f"layout name {name!r} may not contain ':' "
+            "(reserved for spec strings like 'tiled:brick=8')")
+    if name in LAYOUTS and not replace:
+        if name in _BUILTIN_NAMES:
+            raise ValueError(
+                f"{name!r} is a built-in layout; refusing to replace it "
+                "silently. Pass replace=True to shadow it deliberately, "
+                "or register under a different name.")
+        raise ValueError(
+            f"layout {name!r} already registered; pass replace=True "
+            "to replace it")
     LAYOUTS[name] = factory
+    if kwargs_doc:
+        _KWARGS_DOC[name] = kwargs_doc
 
 
-def make_layout(name: str, shape: Sequence[int], **kwargs) -> Layout:
-    """Construct the layout registered as ``name`` for ``shape``."""
+def _coerce(text: str) -> Any:
+    """Spec-string value coercion: int, then float, then bool, else str."""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    low = text.lower()
+    if low in ("true", "yes", "on"):
+        return True
+    if low in ("false", "no", "off"):
+        return False
+    return text
+
+
+def parse_layout_spec(spec: str) -> Tuple[str, Dict[str, Any]]:
+    """Split ``"name:key=val,key=val"`` into ``(name, kwargs)``.
+
+    A bare name parses to ``(name, {})``.  Values coerce to int, float,
+    bool (true/false/yes/no/on/off), or fall back to str.
+    """
+    name, sep, rest = spec.partition(":")
+    name = name.strip()
+    if not name:
+        raise ValueError(f"empty layout name in spec {spec!r}")
+    kwargs: Dict[str, Any] = {}
+    if sep and not rest.strip():
+        raise ValueError(f"layout spec {spec!r} has ':' but no kwargs")
+    if rest.strip():
+        for item in rest.split(","):
+            key, eq, value = item.partition("=")
+            key, value = key.strip(), value.strip()
+            if not eq or not key or not value:
+                raise ValueError(
+                    f"bad kwarg {item!r} in layout spec {spec!r}; "
+                    "expected key=value")
+            kwargs[key] = _coerce(value)
+    return name, kwargs
+
+
+def make_layout(spec: str, shape: Sequence[int], **kwargs) -> Layout:
+    """Construct the layout named by ``spec`` for ``shape``.
+
+    ``spec`` is a registered name, optionally with inline kwargs
+    (``"tiled:brick=8"``).  Explicit ``**kwargs`` win over spec-string
+    ones.
+    """
+    name, spec_kwargs = parse_layout_spec(spec)
     try:
         factory = LAYOUTS[name]
     except KeyError:
         raise ValueError(
             f"unknown layout {name!r}; known: {sorted(LAYOUTS)}"
         ) from None
-    return factory(shape, **kwargs)
+    merged = {**spec_kwargs, **kwargs}
+    try:
+        return factory(shape, **merged)
+    except TypeError as exc:
+        doc = _KWARGS_DOC.get(name)
+        hint = f" (accepted kwargs: {doc})" if doc else ""
+        raise TypeError(f"layout {name!r}: {exc}{hint}") from exc
 
 
-def layout_names() -> list:
-    """Sorted list of registered layout names."""
+def layout_names(with_kwargs: bool = False):
+    """Sorted registered layout names.
+
+    With ``with_kwargs=True``, returns ``(name, kwargs_doc)`` pairs
+    instead — the doc string lists each layout's accepted spec-string
+    kwargs (empty when none were documented).
+    """
+    if with_kwargs:
+        return [(n, layout_kwargs_doc(n)) for n in sorted(LAYOUTS)]
     return sorted(LAYOUTS)
+
+
+def layout_kwargs_doc(name: str) -> str:
+    """The documented spec-string kwargs for layout ``name`` ('' if none)."""
+    return _KWARGS_DOC.get(name, "")

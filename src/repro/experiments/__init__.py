@@ -11,7 +11,13 @@ from .config import (
     default_mic,
 )
 from .harness import CellResult, clear_caches, run_bilateral_cell, run_volrend_cell
-from .parallel import resolve_workers, run_cell, run_cells_parallel
+from .parallel import (
+    CellFailure,
+    CellRunError,
+    resolve_workers,
+    run_cell,
+    run_cells_parallel,
+)
 from .report import DsFigure, SeriesFigure, render_ds_figure, render_series_figure
 from .sweep import compare_layouts, rows_to_csv, sweep_cells
 from .volrend_study import figure4, figure5, figure6, volrend_ds_figure
@@ -21,7 +27,9 @@ __all__ = [
     "MIC_CONCURRENCIES",
     "PAPER_BILATERAL_ROWS",
     "BilateralCell",
+    "CellFailure",
     "CellResult",
+    "CellRunError",
     "DsFigure",
     "SeriesFigure",
     "VolrendCell",

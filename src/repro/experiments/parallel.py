@@ -14,6 +14,19 @@ run their cell lists:
   cell's RNG behavior is fixed by its own ``seed`` field, so the result
   list is identical to the serial one.
 
+Two cross-cutting concerns are handled here so callers never see them:
+
+* **Tracing.**  When the parent process has a tracer enabled
+  (:func:`repro.instrument.trace.enable`), every cell — serial or in a
+  worker — runs under its own fresh :class:`~repro.instrument.trace.Tracer`
+  whose finished records are shipped back and absorbed into the parent
+  tracer tagged with the cell's input index, so one ordered trace file
+  falls out of any worker count.
+* **Failures.**  A cell that raises does not abort the batch: every
+  other cell still completes, and a :class:`CellRunError` is then
+  raised naming each failed cell's index and carrying the original
+  (worker-side) traceback text.
+
 Worker processes rebuild dataset/grid caches on first use (the caches in
 :mod:`repro.experiments.harness` are per-process); with ``fork`` start
 method (Linux default) already-warm parent caches are inherited for
@@ -23,15 +36,56 @@ free.
 from __future__ import annotations
 
 import os
+import traceback
 from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Sequence, Union
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..instrument import trace as _trace
 from .config import BilateralCell, VolrendCell
 from .harness import CellResult, run_bilateral_cell, run_volrend_cell
 
-__all__ = ["run_cell", "run_cells_parallel", "resolve_workers"]
+__all__ = ["run_cell", "run_cells_parallel", "resolve_workers",
+           "CellFailure", "CellRunError"]
 
 Cell = Union[BilateralCell, VolrendCell]
+
+
+@dataclass
+class CellFailure:
+    """One failed cell: its input index, the cell, and the traceback text."""
+
+    index: int
+    cell: Any
+    error: str
+    traceback: str
+
+    def describe(self) -> str:
+        label = type(self.cell).__name__
+        layout = getattr(self.cell, "layout", None)
+        if layout is not None:
+            label += f"(layout={layout!r})"
+        return f"cell {self.index} [{label}]: {self.error}"
+
+
+class CellRunError(RuntimeError):
+    """Raised after a batch completes when one or more cells failed.
+
+    ``failures`` lists every failed cell with its original traceback;
+    ``results`` holds the per-cell outcomes in input order (``None`` at
+    the failed positions), so partial work is not thrown away.
+    """
+
+    def __init__(self, failures: List[CellFailure],
+                 results: List[Optional[CellResult]]):
+        self.failures = failures
+        self.results = results
+        lines = [f"{len(failures)} of {len(results)} cells failed:"]
+        for f in failures:
+            lines.append(f"  {f.describe()}")
+            lines.append("    " + "    ".join(
+                f.traceback.splitlines(keepends=True)))
+        super().__init__("\n".join(lines))
 
 
 def run_cell(cell: Cell) -> CellResult:
@@ -41,6 +95,29 @@ def run_cell(cell: Cell) -> CellResult:
     if isinstance(cell, VolrendCell):
         return run_volrend_cell(cell)
     raise TypeError(f"not an experiment cell: {type(cell).__name__}")
+
+
+def _run_cell_job(job: Tuple[int, Cell, bool]) -> Dict[str, Any]:
+    """One cell, isolated: catches failures, captures its trace records.
+
+    Module-level so it pickles into ``ProcessPoolExecutor`` workers; the
+    serial path runs it too, so failure semantics and trace output are
+    identical for every worker count.
+    """
+    index, cell, traced = job
+    tracer = _trace.Tracer() if traced else None
+    previous = _trace.activate(tracer) if traced else None
+    try:
+        result = run_cell(cell)
+        return {"index": index, "result": result,
+                "records": tracer.records if tracer else None}
+    except Exception as exc:
+        return {"index": index, "error": f"{type(exc).__name__}: {exc}",
+                "traceback": traceback.format_exc(),
+                "records": tracer.records if tracer else None}
+    finally:
+        if traced:
+            _trace.activate(previous)
 
 
 def resolve_workers(workers: Optional[int]) -> int:
@@ -64,11 +141,39 @@ def run_cells_parallel(cells: Sequence[Cell],
         Process count.  ``1`` (default) runs serially in-process;
         ``None`` or ``0`` uses all CPUs.  The result list is identical
         for any worker count — only wall-clock changes.
+
+    Raises
+    ------
+    CellRunError
+        If any cell raised.  Every other cell still ran to completion;
+        the error carries each failure's cell index and original
+        traceback plus the partial results.
     """
     cells = list(cells)
     n_workers = resolve_workers(workers)
+    parent_tracer = _trace.current()
+    traced = parent_tracer is not None
+    jobs = [(i, cell, traced) for i, cell in enumerate(cells)]
     if n_workers <= 1 or len(cells) <= 1:
-        return [run_cell(c) for c in cells]
-    with ProcessPoolExecutor(max_workers=min(n_workers, len(cells))) as ex:
-        # ex.map preserves input order regardless of completion order
-        return list(ex.map(run_cell, cells))
+        outcomes = [_run_cell_job(job) for job in jobs]
+    else:
+        with ProcessPoolExecutor(max_workers=min(n_workers, len(cells))) as ex:
+            # ex.map preserves input order; jobs never raise (failures
+            # come back as records), so every cell completes
+            outcomes = list(ex.map(_run_cell_job, jobs))
+
+    results: List[Optional[CellResult]] = [None] * len(cells)
+    failures: List[CellFailure] = []
+    for outcome in outcomes:
+        index = outcome["index"]
+        if traced and outcome.get("records"):
+            parent_tracer.absorb(outcome["records"], cell=index)
+        if "result" in outcome:
+            results[index] = outcome["result"]
+        else:
+            failures.append(CellFailure(
+                index=index, cell=cells[index],
+                error=outcome["error"], traceback=outcome["traceback"]))
+    if failures:
+        raise CellRunError(failures, results)
+    return results

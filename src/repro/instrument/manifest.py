@@ -1,0 +1,245 @@
+"""Run manifests: self-describing stamps for experiment results.
+
+A *manifest* is a small JSON document written next to a trace file (or
+a figure/BENCH output) that records everything needed to trust, compare
+and regress the numbers later: which code (git SHA, package version),
+which configuration (a stable hash of each cell's full parameter set),
+which platform model and seed, and where the time went (per-phase
+rollups from the tracer).  The schema is deliberately flat and
+validated by hand — no external JSON-schema dependency.
+
+The CI smoke job runs one traced cell and feeds the emitted pair
+through :func:`validate_trace_file` + :func:`validate_manifest`
+(``scripts/validate_trace.py``), so the formats cannot drift silently.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import platform as _platform
+import subprocess
+import sys
+import time
+from typing import Any, Dict, Iterable, Optional
+
+from .trace import TRACE_SCHEMA_VERSION, Tracer
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "config_hash",
+    "git_sha",
+    "build_manifest",
+    "write_manifest",
+    "validate_manifest",
+    "validate_trace_file",
+]
+
+#: bumped whenever the manifest layout changes incompatibly
+MANIFEST_SCHEMA_VERSION = 1
+
+
+def config_hash(cell) -> str:
+    """Stable short hash of a cell's complete configuration.
+
+    Dataclass ``repr`` is deterministic field order and covers nested
+    dataclasses (the platform spec with all its cache geometry), so two
+    cells hash equal iff every parameter matches.
+    """
+    if not dataclasses.is_dataclass(cell):
+        raise TypeError(f"expected a dataclass cell, got {type(cell).__name__}")
+    return hashlib.sha256(repr(cell).encode()).hexdigest()[:16]
+
+
+def git_sha() -> Optional[str]:
+    """The repository HEAD commit, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and len(sha) == 40 else None
+
+
+def _cell_entries(tracer: Tracer) -> list:
+    """One manifest entry per ``cell`` span in the trace, in merge order."""
+    entries = []
+    for rec in tracer.ordered_records():
+        if rec["name"] != "cell":
+            continue
+        attrs = rec.get("attrs", {})
+        entries.append({
+            "index": attrs.get("cell", len(entries)),
+            "kind": attrs.get("kind"),
+            "layout": attrs.get("layout"),
+            "platform": attrs.get("platform"),
+            "seed": attrs.get("seed"),
+            "shape": attrs.get("shape"),
+            "config_sha256": attrs.get("config"),
+            "wall_seconds": attrs.get("wall_seconds", rec["dur"]),
+            "counters": rec.get("counters", {}),
+        })
+    return entries
+
+
+def build_manifest(tracer: Tracer,
+                   extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Assemble the manifest for one traced run.
+
+    ``extra`` entries (e.g. the CLI argv) are merged in under ``run``.
+    """
+    from .. import __version__
+
+    manifest: Dict[str, Any] = {
+        "schema_version": MANIFEST_SCHEMA_VERSION,
+        "trace_schema_version": TRACE_SCHEMA_VERSION,
+        "created_unix": time.time(),
+        "tool": {"name": "repro", "version": __version__},
+        "git_sha": git_sha(),
+        "host": {
+            "python": sys.version.split()[0],
+            "platform": _platform.platform(),
+        },
+        "run": dict(extra or {}),
+        "cells": _cell_entries(tracer),
+        "phases": tracer.summary(),
+    }
+    return manifest
+
+
+def write_manifest(path: str, manifest: Dict[str, Any]) -> None:
+    """Write a (validated) manifest as indented JSON."""
+    validate_manifest(manifest)
+    with open(path, "w") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=True, default=str)
+        fh.write("\n")
+
+
+# -- validation -----------------------------------------------------------------
+
+
+def _fail(problems: Iterable[str], what: str) -> None:
+    problems = list(problems)
+    if problems:
+        raise ValueError(f"invalid {what}: " + "; ".join(problems))
+
+
+def validate_manifest(manifest: Dict[str, Any]) -> Dict[str, Any]:
+    """Check the manifest against the schema; raises ValueError on drift."""
+    problems = []
+    if not isinstance(manifest, dict):
+        raise ValueError(f"invalid manifest: not an object "
+                         f"({type(manifest).__name__})")
+    for key, kind in (("schema_version", int), ("created_unix", (int, float)),
+                      ("tool", dict), ("host", dict), ("run", dict),
+                      ("cells", list), ("phases", dict)):
+        if key not in manifest:
+            problems.append(f"missing key {key!r}")
+        elif not isinstance(manifest[key], kind):
+            problems.append(f"{key!r} is {type(manifest[key]).__name__}")
+    if manifest.get("schema_version") not in (None, MANIFEST_SCHEMA_VERSION):
+        problems.append(
+            f"schema_version {manifest['schema_version']} != "
+            f"{MANIFEST_SCHEMA_VERSION}")
+    sha = manifest.get("git_sha")
+    if sha is not None and (not isinstance(sha, str) or len(sha) != 40):
+        problems.append(f"git_sha {sha!r} is not a 40-char hex string")
+    for n, cell in enumerate(manifest.get("cells") or []):
+        if not isinstance(cell, dict):
+            problems.append(f"cells[{n}] is not an object")
+            continue
+        for key in ("index", "kind", "layout", "platform", "seed",
+                    "config_sha256", "wall_seconds", "counters"):
+            if key not in cell:
+                problems.append(f"cells[{n}] missing {key!r}")
+        counters = cell.get("counters")
+        if isinstance(counters, dict):
+            for cname, value in counters.items():
+                if not isinstance(value, (int, float)):
+                    problems.append(
+                        f"cells[{n}] counter {cname!r} is not numeric")
+    for name, entry in (manifest.get("phases") or {}).items():
+        if not isinstance(entry, dict) or "count" not in entry \
+                or "total_seconds" not in entry:
+            problems.append(f"phase {name!r} missing count/total_seconds")
+    _fail(problems, "manifest")
+    return manifest
+
+
+def _validate_span(rec: Dict[str, Any], lineno: int, problems: list) -> None:
+    for key, kind in (("name", str), ("id", int), ("depth", int),
+                      ("t0", (int, float)), ("t1", (int, float)),
+                      ("dur", (int, float)), ("attrs", dict),
+                      ("counters", dict)):
+        if key not in rec:
+            problems.append(f"line {lineno}: missing {key!r}")
+        elif not isinstance(rec[key], kind):
+            problems.append(f"line {lineno}: {key!r} is "
+                            f"{type(rec[key]).__name__}")
+    if "parent" not in rec:
+        problems.append(f"line {lineno}: missing 'parent'")
+    elif rec["parent"] is not None and not isinstance(rec["parent"], int):
+        problems.append(f"line {lineno}: 'parent' is neither null nor int")
+    if isinstance(rec.get("dur"), (int, float)):
+        if rec["dur"] < 0:
+            problems.append(f"line {lineno}: negative duration")
+        t0, t1 = rec.get("t0"), rec.get("t1")
+        if isinstance(t0, (int, float)) and isinstance(t1, (int, float)) \
+                and abs((t1 - t0) - rec["dur"]) > 1e-9:
+            problems.append(f"line {lineno}: dur != t1 - t0")
+    for cname, value in (rec.get("counters") or {}).items():
+        if not isinstance(value, (int, float)):
+            problems.append(f"line {lineno}: counter {cname!r} not numeric")
+
+
+def validate_trace_file(path: str) -> int:
+    """Validate a JSON-lines trace file; returns the span-record count.
+
+    Checks the meta header, per-record structure, id uniqueness and
+    parent resolution.  Raises ValueError with every problem found.
+    """
+    problems: list = []
+    ids = set()
+    parents = []
+    n_spans = 0
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                problems.append(f"line {lineno}: not JSON ({exc})")
+                continue
+            if lineno == 1:
+                if rec.get("type") != "meta":
+                    problems.append("line 1: missing meta header")
+                elif rec.get("schema_version") != TRACE_SCHEMA_VERSION:
+                    problems.append(
+                        f"line 1: schema_version {rec.get('schema_version')} "
+                        f"!= {TRACE_SCHEMA_VERSION}")
+                if rec.get("type") == "meta":
+                    continue
+            if rec.get("type") != "span":
+                problems.append(f"line {lineno}: unknown type {rec.get('type')!r}")
+                continue
+            n_spans += 1
+            _validate_span(rec, lineno, problems)
+            if isinstance(rec.get("id"), int):
+                if rec["id"] in ids:
+                    problems.append(f"line {lineno}: duplicate id {rec['id']}")
+                ids.add(rec["id"])
+            if rec.get("parent") is not None:
+                parents.append((lineno, rec["parent"]))
+    for lineno, parent in parents:
+        if parent not in ids:
+            problems.append(f"line {lineno}: parent {parent} not in file")
+    if n_spans == 0:
+        problems.append("no span records")
+    _fail(problems, f"trace file {path}")
+    return n_spans

@@ -35,6 +35,7 @@ import numpy as np
 
 from ..core.grid import Grid
 from ..core.layout import Layout
+from ..instrument import trace as _trace
 from ..memsim.address import AddressSpace
 from ..memsim.trace import TraceChunk
 from ..parallel.pencil import Pencil, pencil_coords
@@ -167,29 +168,35 @@ class BilateralFilter3D:
         like a read of the target line), so the trace carries the full
         read+write traffic of the loop nest.
         """
-        shape = grid.shape
-        ii, jj, kk, valid = self._pencil_taps(shape, pencil)
-        flat = valid.ravel()
-        offs = grid.offsets(ii.ravel()[flat], jj.ravel()[flat], kk.ravel()[flat])
-        from ..memsim.trace import collapse_consecutive, offsets_to_lines
+        with _trace.span("bilateral.pencil", axis=pencil.axis) as sp:
+            shape = grid.shape
+            ii, jj, kk, valid = self._pencil_taps(shape, pencil)
+            flat = valid.ravel()
+            offs = grid.offsets(ii.ravel()[flat], jj.ravel()[flat],
+                                kk.ravel()[flat])
+            from ..memsim.trace import collapse_consecutive, offsets_to_lines
 
-        read_lines = offsets_to_lines(offs, grid.itemsize, space.line_bytes,
-                                      space.register(grid))
-        n_ops = int(flat.sum())
-        if out_grid is None:
-            lines = read_lines
-        else:
-            i0, j0, k0 = pencil_coords(pencil, shape)
-            w_offs = out_grid.offsets(i0, j0, k0)
-            write_lines = offsets_to_lines(
-                w_offs, out_grid.itemsize, space.line_bytes,
-                space.register(out_grid))
-            # each voxel's store lands right after its last tap
-            insert_at = np.cumsum(valid.sum(axis=1))
-            lines = np.insert(read_lines, insert_at, write_lines)
-            n_ops += write_lines.size
-        collapsed, removed = collapse_consecutive(lines)
-        return TraceChunk(lines=collapsed, collapsed_hits=removed, n_ops=n_ops)
+            read_lines = offsets_to_lines(offs, grid.itemsize, space.line_bytes,
+                                          space.register(grid))
+            n_ops = int(flat.sum())
+            if out_grid is None:
+                lines = read_lines
+            else:
+                i0, j0, k0 = pencil_coords(pencil, shape)
+                w_offs = out_grid.offsets(i0, j0, k0)
+                write_lines = offsets_to_lines(
+                    w_offs, out_grid.itemsize, space.line_bytes,
+                    space.register(out_grid))
+                # each voxel's store lands right after its last tap
+                insert_at = np.cumsum(valid.sum(axis=1))
+                lines = np.insert(read_lines, insert_at, write_lines)
+                n_ops += write_lines.size
+            collapsed, removed = collapse_consecutive(lines)
+            sp.add("voxels", valid.shape[0])
+            sp.add("taps", n_ops)
+            sp.add("lines", collapsed.size)
+            return TraceChunk(lines=collapsed, collapsed_hits=removed,
+                              n_ops=n_ops)
 
     # -- whole-volume value paths -------------------------------------------------
 

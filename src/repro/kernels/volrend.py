@@ -21,6 +21,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..core.grid import Grid
+from ..instrument import trace as _trace
 from ..memsim.address import AddressSpace
 from ..memsim.trace import TraceChunk
 from ..parallel.tiles import Tile, tile_pixels
@@ -267,12 +268,17 @@ class RaycastRenderer:
                     space: Optional[AddressSpace] = None,
                     want_values: bool = True, ray_step: int = 1) -> TileResult:
         """Render one image tile (optionally subsampling rays by ``ray_step``)."""
-        px, py = tile_pixels(tile, step=ray_step)
-        result = self.render_pixels(camera, px, py, space=space,
-                                    want_values=want_values)
-        if result.rgba is not None and ray_step == 1:
-            result.rgba = result.rgba.reshape(tile.h, tile.w, 4)
-        return result
+        with _trace.span("volrend.tile", x0=tile.x0, y0=tile.y0) as sp:
+            px, py = tile_pixels(tile, step=ray_step)
+            result = self.render_pixels(camera, px, py, space=space,
+                                        want_values=want_values)
+            if result.rgba is not None and ray_step == 1:
+                result.rgba = result.rgba.reshape(tile.h, tile.w, 4)
+            sp.add("rays", px.size)
+            sp.add("samples", result.n_samples)
+            if result.trace is not None:
+                sp.add("lines", result.trace.lines.size)
+            return result
 
     def render_image(self, camera: Camera) -> np.ndarray:
         """Render the full image; returns ``(height, width, 4)`` RGBA."""

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..instrument import trace as _trace
 from .cost import CostModel
 from .hierarchy import Machine, PlatformSpec, ServiceCounts
 from .trace import TraceChunk
@@ -119,35 +120,46 @@ class SimulationEngine:
                 )
         cycles: Dict[int, float] = {w.thread_id: 0.0 for w in works}
         served_total = ServiceCounts()
-        positions = [0] * len(works)
-        pre_credit = [w.chunk.collapsed_hits for w in works]
-        active = [w.chunk.lines.size > 0 or pre_credit[i] > 0
-                  for i, w in enumerate(works)]
-        q = self.quantum
-        while any(active):
-            for idx, w in enumerate(works):
-                if not active[idx]:
-                    continue
-                pos = positions[idx]
-                batch = w.chunk.lines[pos:pos + q]
-                positions[idx] = pos + batch.size
-                credit = pre_credit[idx]
-                pre_credit[idx] = 0
-                counts = self.machine.access(w.core, batch,
-                                             pre_collapsed_hits=credit)
-                cycles[w.thread_id] += self.cost.access_cycles(counts, self.spec)
-                served_total = served_total.merge(counts)
-                if positions[idx] >= w.chunk.lines.size:
-                    active[idx] = False
-        for w in works:
-            cycles[w.thread_id] += self.cost.compute_cycles(w.chunk.n_ops)
-        runtime = self.cost.seconds(max(cycles.values(), default=0.0), self.spec)
-        level_served = {k: float(v) for k, v in served_total.per_level.items()}
-        level_served["MEM"] = float(served_total.mem)
-        return SimResult(
-            counters={k: float(v) for k, v in self.machine.all_counters().items()},
-            level_served=level_served,
-            runtime_seconds=runtime,
-            per_thread_cycles=cycles,
-            n_accesses=sum(w.chunk.n_accesses for w in works),
-        )
+        with _trace.span("engine.replay", platform=self.spec.name,
+                         threads=len(works), quantum=self.quantum) as sp:
+            positions = [0] * len(works)
+            pre_credit = [w.chunk.collapsed_hits for w in works]
+            active = [w.chunk.lines.size > 0 or pre_credit[i] > 0
+                      for i, w in enumerate(works)]
+            q = self.quantum
+            while any(active):
+                for idx, w in enumerate(works):
+                    if not active[idx]:
+                        continue
+                    pos = positions[idx]
+                    batch = w.chunk.lines[pos:pos + q]
+                    positions[idx] = pos + batch.size
+                    credit = pre_credit[idx]
+                    pre_credit[idx] = 0
+                    counts = self.machine.access(w.core, batch,
+                                                 pre_collapsed_hits=credit)
+                    cycles[w.thread_id] += self.cost.access_cycles(counts,
+                                                                   self.spec)
+                    served_total = served_total.merge(counts)
+                    if positions[idx] >= w.chunk.lines.size:
+                        active[idx] = False
+            sp.add("lines", sum(w.chunk.lines.size for w in works))
+            sp.add("accesses", sum(w.chunk.n_accesses for w in works))
+        with _trace.span("engine.cost") as sp:
+            for w in works:
+                cycles[w.thread_id] += self.cost.compute_cycles(w.chunk.n_ops)
+            runtime = self.cost.seconds(max(cycles.values(), default=0.0),
+                                        self.spec)
+            level_served = {k: float(v)
+                            for k, v in served_total.per_level.items()}
+            level_served["MEM"] = float(served_total.mem)
+            result = SimResult(
+                counters={k: float(v)
+                          for k, v in self.machine.all_counters().items()},
+                level_served=level_served,
+                runtime_seconds=runtime,
+                per_thread_cycles=cycles,
+                n_accesses=sum(w.chunk.n_accesses for w in works),
+            )
+            sp.add("mem_lines", level_served["MEM"])
+        return result

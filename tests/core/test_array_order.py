@@ -115,5 +115,13 @@ class TestRowMajorLayout2D:
     def test_bounds(self):
         layout = RowMajorLayout2D((4, 4))
         with pytest.raises(IndexError):
+            layout.check_bounds(4, 0)
+        layout.check_bounds(3, 3)
+        assert layout.index(3, 3) == 15
+
+    def test_get_index_deprecated_but_equivalent(self):
+        layout = RowMajorLayout2D((4, 4))
+        with pytest.warns(DeprecationWarning, match="get_index"):
+            assert layout.get_index(3, 3) == 15
+        with pytest.warns(DeprecationWarning), pytest.raises(IndexError):
             layout.get_index(4, 0)
-        assert layout.get_index(3, 3) == 15

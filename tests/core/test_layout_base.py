@@ -121,12 +121,71 @@ class TestRegistry:
         with pytest.raises(ValueError, match="unknown layout"):
             make_layout("zigzag", (8, 8, 8))
 
-    def test_register_and_overwrite_guard(self):
+    def test_register_and_replace_guard(self):
         register_layout("broken-test", _BrokenLayout)
         try:
             assert isinstance(make_layout("broken-test", (2, 2, 2)), _BrokenLayout)
             with pytest.raises(ValueError, match="already registered"):
                 register_layout("broken-test", _BrokenLayout)
-            register_layout("broken-test", _BrokenLayout, overwrite=True)
+            register_layout("broken-test", _BrokenLayout, replace=True)
         finally:
             LAYOUTS.pop("broken-test", None)
+
+    def test_builtin_names_are_protected(self):
+        # replacing "morton" silently would redefine it for every cell
+        # in the process — must be a loud, dedicated error
+        with pytest.raises(ValueError, match="built-in layout"):
+            register_layout("morton", _BrokenLayout)
+        assert isinstance(make_layout("morton", (4, 4, 4)), MortonLayout)
+
+    def test_builtin_replace_escape_hatch(self):
+        original = LAYOUTS["morton"]
+        try:
+            register_layout("morton", _BrokenLayout, replace=True)
+            assert isinstance(make_layout("morton", (2, 2, 2)), _BrokenLayout)
+        finally:
+            register_layout("morton", original, replace=True)
+
+    def test_register_rejects_colon_in_name(self):
+        with pytest.raises(ValueError, match="reserved for spec strings"):
+            register_layout("custom:thing", _BrokenLayout)
+
+
+class TestLayoutSpecs:
+    def test_parse_bare_name(self):
+        from repro.core import parse_layout_spec
+        assert parse_layout_spec("morton") == ("morton", {})
+
+    def test_parse_kwargs_with_coercion(self):
+        from repro.core import parse_layout_spec
+        name, kwargs = parse_layout_spec("tiled:brick=8,fast=true,tag=abc")
+        assert name == "tiled"
+        assert kwargs == {"brick": 8, "fast": True, "tag": "abc"}
+        assert isinstance(kwargs["brick"], int)
+
+    def test_parse_rejects_malformed(self):
+        from repro.core import parse_layout_spec
+        for bad in ("tiled:", ":brick=8", "tiled:brick", "tiled:=8"):
+            with pytest.raises(ValueError):
+                parse_layout_spec(bad)
+
+    def test_make_layout_with_spec(self):
+        from repro.core import TiledLayout
+        layout = make_layout("tiled:brick=8", (16, 16, 16))
+        assert isinstance(layout, TiledLayout)
+        assert layout.brick == (8, 8, 8)
+
+    def test_explicit_kwargs_beat_spec(self):
+        layout = make_layout("morton:engine=loop", (8, 8, 8), engine="magic")
+        assert layout.engine == "magic"
+
+    def test_unknown_kwarg_names_accepted_ones(self):
+        with pytest.raises(TypeError, match="accepted kwargs.*brick"):
+            make_layout("tiled:block=8", (8, 8, 8))
+
+    def test_kwargs_docs_exposed(self):
+        from repro.core import layout_kwargs_doc
+        assert "brick" in layout_kwargs_doc("tiled")
+        assert layout_kwargs_doc("no-such-layout") == ""
+        pairs = dict(layout_names(with_kwargs=True))
+        assert "engine" in pairs["morton"]

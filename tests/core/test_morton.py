@@ -162,13 +162,21 @@ class TestMortonLayout:
         for n in range(0, 100, 17):
             assert layout.inverse(int(offs[n])) == (i[n], j[n], k[n])
 
-    def test_get_index_bounds_check(self):
+    def test_check_bounds(self):
         layout = MortonLayout((4, 4, 4))
         with pytest.raises(IndexError):
-            layout.get_index(4, 0, 0)
+            layout.check_bounds(4, 0, 0)
         with pytest.raises(IndexError):
-            layout.get_index(0, -1, 0)
-        assert layout.get_index(3, 3, 3) == 63
+            layout.check_bounds(0, -1, 0)
+        layout.check_bounds(3, 3, 3)
+        assert layout.index(3, 3, 3) == 63
+
+    def test_get_index_deprecated_but_equivalent(self):
+        layout = MortonLayout((4, 4, 4))
+        with pytest.warns(DeprecationWarning, match="get_index"):
+            assert layout.get_index(3, 3, 3) == 63
+        with pytest.warns(DeprecationWarning), pytest.raises(IndexError):
+            layout.get_index(4, 0, 0)
 
     def test_iter_curve_visits_each_point_once(self):
         layout = MortonLayout((3, 4, 2))
@@ -212,7 +220,7 @@ class TestMortonLayout2D:
     def test_bounds_check(self):
         layout = MortonLayout2D((4, 4))
         with pytest.raises(IndexError):
-            layout.get_index(0, 4)
+            layout.check_bounds(0, 4)
 
 
 class TestMortonStep:

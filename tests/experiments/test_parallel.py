@@ -1,8 +1,11 @@
-"""run_cells_parallel: worker-count invariance and ordering.
+"""run_cells_parallel: worker-count invariance, ordering, failures, tracing.
 
-The contract under test: the result list is identical — counters,
+The contracts under test: the result list is identical — counters,
 runtimes, extrapolation metadata — for any worker count, and comes back
-in input order regardless of completion order.
+in input order regardless of completion order; a failing cell never
+aborts the batch (every other cell completes, the error names the cell
+and carries its original traceback); and a parent tracer collects one
+merged, ordered trace whatever the worker count.
 """
 
 from __future__ import annotations
@@ -11,6 +14,7 @@ import pytest
 
 from repro.experiments import (
     BilateralCell,
+    CellRunError,
     VolrendCell,
     default_ivybridge,
     resolve_workers,
@@ -19,6 +23,7 @@ from repro.experiments import (
     run_cells_parallel,
     run_volrend_cell,
 )
+from repro.instrument import trace
 
 SHAPE = (16, 16, 16)
 
@@ -75,6 +80,105 @@ class TestRunCellsParallel:
     def test_single_cell_skips_pool(self, cells):
         assert run_cells_parallel([cells[0]], workers=8) == \
             [run_cell(cells[0])]
+
+
+class TestFailurePaths:
+    """A raising worker must surface cell id + original traceback while
+    every other cell still completes (serial and parallel paths)."""
+
+    @pytest.fixture()
+    def batch_with_failure(self, cells):
+        # an unknown layout raises ValueError inside the worker; the
+        # cell itself pickles fine, so the failure happens worker-side
+        bad = cells[0].with_layout("zigzag")
+        return [cells[0], bad, cells[2]]
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_failure_surfaces_id_and_traceback(self, batch_with_failure,
+                                               workers):
+        with pytest.raises(CellRunError) as excinfo:
+            run_cells_parallel(batch_with_failure, workers=workers)
+        err = excinfo.value
+        (failure,) = err.failures
+        assert failure.index == 1
+        assert "zigzag" in failure.error
+        assert "ValueError" in failure.error
+        # the original worker-side traceback, not a pickling artifact
+        assert "Traceback" in failure.traceback
+        assert "make_layout" in failure.traceback
+        assert "cell 1" in str(err)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_remaining_cells_still_complete(self, batch_with_failure,
+                                            cells, workers):
+        with pytest.raises(CellRunError) as excinfo:
+            run_cells_parallel(batch_with_failure, workers=workers)
+        results = excinfo.value.results
+        assert results[1] is None
+        assert results[0] == run_cell(cells[0])
+        assert results[2] == run_cell(cells[2])
+
+    def test_all_failures_reported(self, cells):
+        bad = cells[0].with_layout("zigzag")
+        with pytest.raises(CellRunError) as excinfo:
+            run_cells_parallel([bad, cells[0], bad], workers=2)
+        assert [f.index for f in excinfo.value.failures] == [0, 2]
+
+
+class TestTraceMerge:
+    """Per-cell worker traces merge into one ordered parent trace."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_tracer(self):
+        trace.disable()
+        yield
+        trace.disable()
+
+    def _traced_run(self, cells, workers):
+        tracer = trace.enable()
+        run_cells_parallel(cells, workers=workers)
+        trace.disable()
+        return tracer
+
+    def test_merged_trace_is_worker_invariant(self, cells):
+        serial = self._traced_run(cells, workers=1)
+        parallel = self._traced_run(cells, workers=2)
+        skeleton = lambda t: [(r["name"], r["attrs"].get("cell"))
+                              for r in t.ordered_records()]
+        assert skeleton(serial) == skeleton(parallel)
+
+    def test_merged_trace_orders_by_cell(self, cells, tmp_path):
+        import json
+
+        tracer = self._traced_run(cells, workers=2)
+        path = tmp_path / "merged.jsonl"
+        tracer.write_jsonl(path)
+        recs = [json.loads(ln) for ln in path.read_text().splitlines()[1:]]
+        cell_tags = [r["attrs"]["cell"] for r in recs]
+        assert cell_tags == sorted(cell_tags)
+        assert set(cell_tags) == {0, 1, 2, 3}
+        ids = [r["id"] for r in recs]
+        assert len(set(ids)) == len(ids)
+
+    def test_phase_durations_reconcile_with_wall_seconds(self, cells):
+        # acceptance bar: summed per-phase durations within 10% of the
+        # cell's wall_seconds (the phases are contiguous children)
+        tracer = self._traced_run(cells, workers=1)
+        for rec in tracer.ordered_records():
+            if rec["name"] != "cell":
+                continue
+            cell_id = rec["attrs"]["cell"]
+            wall = rec["attrs"]["wall_seconds"]
+            phase_sum = sum(
+                r["dur"] for r in tracer.ordered_records()
+                if r["name"].startswith("cell.")
+                and r["attrs"].get("cell") == cell_id)
+            assert phase_sum == pytest.approx(wall, rel=0.10)
+
+    def test_untraced_run_leaves_no_tracer_state(self, cells):
+        assert trace.current() is None
+        run_cells_parallel(cells[:2], workers=2)
+        assert trace.current() is None
 
 
 class TestResolveWorkers:

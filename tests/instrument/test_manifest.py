@@ -1,0 +1,122 @@
+"""Tests for run manifests (repro.instrument.manifest)."""
+
+import json
+
+import pytest
+
+from repro.experiments import BilateralCell, default_ivybridge
+from repro.instrument import trace
+from repro.instrument.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    build_manifest,
+    config_hash,
+    git_sha,
+    validate_manifest,
+    validate_trace_file,
+    write_manifest,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer():
+    trace.disable()
+    yield
+    trace.disable()
+
+
+def _cell(**overrides):
+    base = dict(platform=default_ivybridge(64), layout="morton",
+                shape=(16, 16, 16), stencil="r1", n_threads=2)
+    base.update(overrides)
+    return BilateralCell(**base)
+
+
+class TestConfigHash:
+    def test_stable_and_sensitive(self):
+        a, b = _cell(), _cell()
+        assert config_hash(a) == config_hash(b)
+        assert config_hash(a) != config_hash(_cell(layout="array"))
+        assert config_hash(a) != config_hash(_cell(seed=1))
+
+    def test_requires_dataclass(self):
+        with pytest.raises(TypeError, match="dataclass"):
+            config_hash({"layout": "morton"})
+
+
+def _traced_run():
+    t = trace.enable()
+    with trace.span("cell", kind="bilateral", layout="morton",
+                    platform="ivy", seed=0, shape=[16, 16, 16],
+                    config="ab" * 8, cell=0) as sp:
+        with trace.span("cell.simulate"):
+            pass
+        sp.set("wall_seconds", 0.5)
+        sp.add("sim_runtime_seconds", 0.1)
+    trace.disable()
+    return t
+
+
+class TestManifest:
+    def test_build_and_validate(self):
+        m = build_manifest(_traced_run(), extra={"command": "test"})
+        validate_manifest(m)
+        assert m["schema_version"] == MANIFEST_SCHEMA_VERSION
+        assert m["run"]["command"] == "test"
+        (cell,) = m["cells"]
+        assert cell["layout"] == "morton"
+        assert cell["wall_seconds"] == 0.5
+        assert cell["counters"]["sim_runtime_seconds"] == 0.1
+        assert "cell.simulate" in m["phases"]
+
+    def test_git_sha_recorded_in_repo(self):
+        # the test suite runs inside the repo checkout
+        sha = git_sha()
+        assert sha is None or (len(sha) == 40 and set(sha) <= set("0123456789abcdef"))
+
+    def test_write_roundtrip(self, tmp_path):
+        path = tmp_path / "run.manifest.json"
+        write_manifest(path, build_manifest(_traced_run()))
+        loaded = json.loads(path.read_text())
+        validate_manifest(loaded)
+
+    def test_validation_rejects_drift(self):
+        m = build_manifest(_traced_run())
+        del m["cells"][0]["config_sha256"]
+        with pytest.raises(ValueError, match="config_sha256"):
+            validate_manifest(m)
+        m2 = build_manifest(_traced_run())
+        m2["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema_version"):
+            validate_manifest(m2)
+
+    def test_validation_rejects_non_numeric_counter(self):
+        m = build_manifest(_traced_run())
+        m["cells"][0]["counters"]["bad"] = "not-a-number"
+        with pytest.raises(ValueError, match="not numeric"):
+            validate_manifest(m)
+
+
+class TestTraceFileValidation:
+    def test_rejects_missing_meta(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "span", "name": "x"}\n')
+        with pytest.raises(ValueError, match="meta header"):
+            validate_trace_file(path)
+
+    def test_rejects_dangling_parent(self, tmp_path):
+        t = _traced_run()
+        path = tmp_path / "t.jsonl"
+        t.write_jsonl(path)
+        lines = path.read_text().splitlines()
+        rec = json.loads(lines[-1])
+        rec["parent"] = 999
+        lines[-1] = json.dumps(rec)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="parent 999"):
+            validate_trace_file(path)
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text('{"type": "meta", "schema_version": 1}\n')
+        with pytest.raises(ValueError, match="no span records"):
+            validate_trace_file(path)

@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+import json
 import os
 
 import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
+from repro.instrument.manifest import validate_manifest, validate_trace_file
 
 
 class TestParser:
@@ -106,6 +108,82 @@ class TestCommands:
                    "--shape", "32"])
         assert rc == 0
         assert "working set" in capsys.readouterr().out
+
+
+class TestObservabilityFlags:
+    def test_trace_writes_valid_trace_and_manifest(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "run.jsonl")
+        rc = main(["bilateral", "--shape", "16", "--threads", "2",
+                   "--stencil", "r1", "--trace", trace_path])
+        assert rc == 0
+        n_spans = validate_trace_file(trace_path)
+        assert n_spans > 0
+        manifest = json.loads(
+            (tmp_path / "run.jsonl.manifest.json").read_text())
+        validate_manifest(manifest)
+        assert len(manifest["cells"]) == 2  # array vs morton
+        assert manifest["run"]["command"] == "bilateral"
+        assert {c["layout"] for c in manifest["cells"]} == {"array", "morton"}
+
+    def test_trace_phases_reconcile_with_wall_seconds(self, tmp_path):
+        trace_path = str(tmp_path / "run.jsonl")
+        assert main(["bilateral", "--shape", "16", "--threads", "2",
+                     "--stencil", "r1", "--trace", trace_path]) == 0
+        recs = [json.loads(ln) for ln
+                in open(trace_path).read().splitlines()[1:]]
+        cells = [r for r in recs if r["name"] == "cell"]
+        assert cells
+        for cell in cells:
+            tag = cell["attrs"]["cell"]
+            phase_sum = sum(r["dur"] for r in recs
+                            if r["name"].startswith("cell.")
+                            and r["attrs"].get("cell") == tag)
+            assert phase_sum == pytest.approx(
+                cell["attrs"]["wall_seconds"], rel=0.10)
+
+    def test_trace_summary_prints_rollup(self, capsys):
+        rc = main(["bilateral", "--shape", "16", "--threads", "2",
+                   "--stencil", "r1", "--trace-summary"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cell.simulate" in out
+        assert "engine.replay" in out
+
+    def test_explicit_manifest_path(self, tmp_path):
+        manifest_path = str(tmp_path / "m.json")
+        rc = main(["volrend", "--shape", "16", "--threads", "2",
+                   "--image", "64", "--manifest", manifest_path])
+        assert rc == 0
+        manifest = validate_manifest(json.loads(open(manifest_path).read()))
+        assert all(c["kind"] == "volrend" for c in manifest["cells"])
+
+    def test_untraced_run_has_no_observability_output(self, tmp_path, capsys):
+        rc = main(["bilateral", "--shape", "16", "--threads", "2",
+                   "--stencil", "r1"])
+        assert rc == 0
+        assert "[trace:" not in capsys.readouterr().err
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestLayoutSpecStrings:
+    def test_render_accepts_spec_string(self, tmp_path):
+        out_path = str(tmp_path / "t.ppm")
+        rc = main(["render", "--shape", "16", "--image", "16",
+                   "--layout", "tiled:brick=8", "--out", out_path])
+        assert rc == 0
+        assert os.path.getsize(out_path) > 0
+
+    def test_analyze_accepts_spec_string(self, capsys):
+        rc = main(["analyze", "--kernel", "bilateral",
+                   "--layout", "morton:engine=magic", "--shape", "16"])
+        assert rc == 0
+        assert "stride spectrum" in capsys.readouterr().out
+
+    def test_info_lists_layout_kwargs(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "brick=<int>" in out
+        assert "engine={tables|magic|loop}" in out
 
 
 class TestTuneCommand:
