@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Chaos smoke: a sweep survives injected crash + hang + corrupt faults.
+
+The CI resilience check.  A small bilateral batch runs under a fault
+plan that kills one worker mid-cell (``crash``), wedges another past the
+per-cell timeout (``hang``), and ships one schema-invalid payload
+(``corrupt``) — all deterministic, all transient (``once``), so with
+retries enabled the batch must still complete and its results must be
+*identical* to an undisturbed serial run.  The traced run's manifest
+must record what the supervisor did (worker deaths, timeouts, quarantined
+payloads, retries), and the emitted trace + manifest pair must pass
+``scripts/validate_trace.py`` afterwards::
+
+    python scripts/chaos_smoke.py chaos.jsonl
+    python scripts/validate_trace.py chaos.jsonl
+
+Exits nonzero on any divergence.  See docs/RESILIENCE.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from dataclasses import replace
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "src"))
+
+from repro.experiments import (  # noqa: E402
+    BilateralCell,
+    RetryPolicy,
+    default_ivybridge,
+    run_cells_parallel,
+)
+from repro.instrument import trace  # noqa: E402
+from repro.instrument.manifest import build_manifest, write_manifest  # noqa: E402
+from repro.resilience.faults import clear_faults, install_faults  # noqa: E402
+
+#: one worker crash, one hang (reaped by the timeout), one corrupt payload
+FAULT_PLAN = "crash@1,hang@3:seconds=600,corrupt@4"
+
+#: per-cell deadline: generous for a 48^3 cell, tiny next to the hang
+CELL_TIMEOUT = 15.0
+
+
+def make_cells():
+    # 48^3 keeps each cell fast but long enough that per-phase durations
+    # dwarf scheduler noise — the validate_trace.py cross-check compares
+    # phase sums to wall clock within 10%
+    base = BilateralCell(platform=default_ivybridge(64), shape=(48, 48, 48),
+                         n_threads=2, stencil="r1", pencils_per_thread=1)
+    return [replace(base, layout=layout, n_threads=n)
+            for n in (2, 4, 8) for layout in ("array", "morton")]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", nargs="?", default="chaos.jsonl",
+                        help="trace output path (manifest lands beside it)")
+    args = parser.parse_args()
+
+    cells = make_cells()
+    print(f"reference run: {len(cells)} cells, serial, no faults")
+    clear_faults()
+    reference = run_cells_parallel(cells, workers=1)
+
+    print(f"chaos run: faults [{FAULT_PLAN}], workers=2, "
+          f"timeout={CELL_TIMEOUT:g}s, 2 retries")
+    install_faults(FAULT_PLAN)
+    tracer = trace.enable()
+    start = time.monotonic()
+    try:
+        chaotic = run_cells_parallel(
+            cells, workers=2, timeout=CELL_TIMEOUT,
+            retry=RetryPolicy(max_retries=2, backoff_base=0.05))
+    finally:
+        trace.disable()
+        clear_faults()
+    elapsed = time.monotonic() - start
+
+    tracer.write_jsonl(args.trace)
+    manifest = build_manifest(tracer, extra={"argv": sys.argv,
+                                             "faults": FAULT_PLAN})
+    write_manifest(args.trace + ".manifest.json", manifest)
+
+    stats = manifest.get("resilience", {})
+    print(f"survived in {elapsed:.1f}s; resilience stats: "
+          + ", ".join(f"{k}={v}" for k, v in sorted(stats.items())))
+
+    problems = []
+    if chaotic != reference:
+        problems.append("chaos results differ from the undisturbed run")
+    if stats.get("worker_deaths", 0) < 1:
+        problems.append("crash fault produced no worker death")
+    if stats.get("timeouts", 0) < 1:
+        problems.append("hang fault was not reaped by the timeout")
+    if stats.get("corrupt", 0) < 1:
+        problems.append("corrupt fault was not quarantined")
+    if stats.get("retries", 0) < 3:
+        problems.append(f"expected >= 3 retries, saw {stats.get('retries')}")
+    if stats.get("failures", 0) != 0:
+        problems.append(f"{stats['failures']} cells failed outright")
+    if problems:
+        for p in problems:
+            print(f"FAIL: {p}")
+        return 1
+    print(f"OK: {len(cells)} cells identical to reference after "
+          f"crash+hang+corrupt; trace: {args.trace}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

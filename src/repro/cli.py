@@ -13,6 +13,11 @@ Usage (also via ``python -m repro``):
 Figure subcommands accept ``--shape`` / ``--scale`` to trade fidelity
 for speed; cell subcommands run one array-vs-Z comparison and print the
 counters and the paper's d_s.
+
+Long runs survive interruption: the figure/bilateral/volrend commands
+take ``--checkpoint PATH`` / ``--resume`` (journal completed cells and
+restart where a killed run stopped), ``--retries N`` and
+``--cell-timeout SECONDS`` (reap hung workers).  See docs/RESILIENCE.md.
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from . import __version__
 from .core.registry import layout_names
 from .experiments import (
     BilateralCell,
+    RetryPolicy,
     VolrendCell,
     figure2,
     figure3,
@@ -64,6 +70,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="SFC memory-layout study reproduction "
                     "(Bethel et al., IPDPS-W 2015)",
+        epilog="Checkpoint/resume, retries and per-cell timeouts for long "
+               "runs are documented in docs/RESILIENCE.md.",
     )
     parser.add_argument("--version", action="version",
                         version=f"repro {__version__}")
@@ -86,10 +94,28 @@ def build_parser() -> argparse.ArgumentParser:
                      help="run-manifest output path (default: "
                           "<trace>.manifest.json when --trace is given)")
 
+    # resilience flags shared by the cell-batch commands
+    # (checkpoint/resume, per-cell retry + timeout; see docs/RESILIENCE.md)
+    res = argparse.ArgumentParser(add_help=False)
+    res.add_argument("--checkpoint", metavar="PATH", default=None,
+                     help="journal completed cells to this JSON-lines file "
+                          "so an interrupted run can --resume "
+                          "(see docs/RESILIENCE.md)")
+    res.add_argument("--resume", action="store_true",
+                     help="skip cells already completed in --checkpoint "
+                          "instead of truncating it")
+    res.add_argument("--retries", type=int, default=0, metavar="N",
+                     help="retry transiently-failed cells up to N times "
+                          "with deterministic backoff (default 0)")
+    res.add_argument("--cell-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="per-cell deadline; a hung worker is killed and "
+                          "its cell requeued (needs --workers >= 2)")
+
     sub.add_parser("info", help="list platforms, layouts and counters")
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure",
-                           parents=[obs])
+                           parents=[obs, res])
     p_fig.add_argument("which", choices=[*_FIGURES, "all"])
     p_fig.add_argument("--shape", type=int, default=64,
                        help="volume edge length (default 64)")
@@ -101,7 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for the figure's cells "
                             "(0 = all CPUs; default 1 = serial)")
 
-    p_bil = sub.add_parser("bilateral", parents=[obs],
+    p_bil = sub.add_parser("bilateral", parents=[obs, res],
                            help="one bilateral cell, array vs Z-order")
     p_bil.add_argument("--platform", choices=sorted(PLATFORMS),
                        default="ivybridge")
@@ -118,7 +144,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_bil.add_argument("-j", "--workers", type=_workers, default=1,
                        help="worker processes (0 = all CPUs; default serial)")
 
-    p_vol = sub.add_parser("volrend", parents=[obs],
+    p_vol = sub.add_parser("volrend", parents=[obs, res],
                            help="one volume-rendering cell, array vs Z-order")
     p_vol.add_argument("--platform", choices=sorted(PLATFORMS),
                        default="ivybridge")
@@ -184,14 +210,35 @@ def _cmd_info() -> int:
     return 0
 
 
+def _resilience_kwargs(args) -> dict:
+    """``run_cells_parallel`` resilience kwargs from the shared CLI flags."""
+    if args.resume and not args.checkpoint:
+        raise SystemExit("--resume requires --checkpoint PATH")
+    kwargs = {}
+    if args.checkpoint:
+        kwargs["checkpoint"] = args.checkpoint
+        kwargs["resume"] = args.resume
+    if args.retries:
+        kwargs["retry"] = RetryPolicy(max_retries=args.retries)
+    if args.cell_timeout is not None:
+        kwargs["timeout"] = args.cell_timeout
+    return kwargs
+
+
 def _cmd_figure(args) -> int:
     which = list(_FIGURES) if args.which == "all" else [args.which]
     shape = (args.shape, args.shape, args.shape)
-    for fig_id in which:
+    resilience = _resilience_kwargs(args)
+    for n, fig_id in enumerate(which):
         driver, renderer, fname = _FIGURES[fig_id]
         print(f"running figure {fig_id} at {shape}, scale {args.scale} ...",
               file=sys.stderr)
-        fig = driver(shape=shape, scale=args.scale, workers=args.workers)
+        if "checkpoint" in resilience and n > 0:
+            # later figures must append to the shared journal, not wipe
+            # the completed figures' entries
+            resilience["resume"] = True
+        fig = driver(shape=shape, scale=args.scale, workers=args.workers,
+                     **resilience)
         text = renderer(fig)
         print(text)
         if args.out:
@@ -231,7 +278,7 @@ def _cmd_bilateral(args) -> int:
     )
     res_a, res_z = run_cells_parallel(
         [cell.with_layout(args.layouts[0]), cell.with_layout(args.layouts[1])],
-        workers=args.workers)
+        workers=args.workers, **_resilience_kwargs(args))
     print(f"bilateral {args.stencil} {args.pencil} {args.order}, "
           f"{args.threads} threads, {platform.name}\n")
     _print_comparison(res_a, res_z, args.layouts)
@@ -252,7 +299,7 @@ def _cmd_volrend(args) -> int:
     )
     res_a, res_z = run_cells_parallel(
         [cell.with_layout(args.layouts[0]), cell.with_layout(args.layouts[1])],
-        workers=args.workers)
+        workers=args.workers, **_resilience_kwargs(args))
     print(f"volrend viewpoint {args.viewpoint}, {args.threads} threads, "
           f"{platform.name}\n")
     _print_comparison(res_a, res_z, args.layouts)

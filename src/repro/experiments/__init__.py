@@ -1,5 +1,6 @@
 """Per-figure experiment harnesses (see DESIGN.md experiment index)."""
 
+from ..resilience import CheckpointStore, RetryPolicy
 from .bilateral_study import bilateral_ds_figure, figure2, figure3
 from .config import (
     IVYBRIDGE_CONCURRENCIES,
@@ -30,6 +31,8 @@ __all__ = [
     "CellFailure",
     "CellResult",
     "CellRunError",
+    "CheckpointStore",
+    "RetryPolicy",
     "DsFigure",
     "SeriesFigure",
     "VolrendCell",

@@ -12,12 +12,14 @@ with L2_DATA_READ_MISS_MEM_FILL as the counter.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..instrument.metrics import scaled_relative_difference
 from ..memsim.hierarchy import PlatformSpec
+from ..resilience.checkpoint import CheckpointStore
+from ..resilience.policy import RetryPolicy
 from .config import (
     IVYBRIDGE_CONCURRENCIES,
     MIC_CONCURRENCIES,
@@ -41,6 +43,10 @@ def bilateral_ds_figure(
     base_cell: Optional[BilateralCell] = None,
     layouts: Tuple[str, str] = ("array", "morton"),
     workers: Optional[int] = 1,
+    timeout: Optional[float] = None,
+    retry: Optional[RetryPolicy] = None,
+    checkpoint: Union[CheckpointStore, str, None] = None,
+    resume: bool = False,
 ) -> DsFigure:
     """Run a full bilateral d_s matrix for any platform/counter pair.
 
@@ -63,7 +69,9 @@ def bilateral_ds_figure(
                            stencil_order=order, n_threads=n_threads)
             cells.append(cell.with_layout(a_name))
             cells.append(cell.with_layout(z_name))
-    results = run_cells_parallel(cells, workers=workers)
+    results = run_cells_parallel(cells, workers=workers, timeout=timeout,
+                                 retry=retry, checkpoint=checkpoint,
+                                 resume=resume)
     for r in range(len(rows)):
         for c, n_threads in enumerate(concurrencies):
             i = 2 * (r * len(concurrencies) + c)
@@ -89,8 +97,13 @@ def figure2(shape: Tuple[int, int, int] = (64, 64, 64),
             concurrencies: Sequence[int] = IVYBRIDGE_CONCURRENCIES,
             rows: Sequence[Tuple[str, str, str]] = PAPER_BILATERAL_ROWS,
             pencils_per_thread: int = 2,
-            workers: Optional[int] = 1) -> DsFigure:
-    """Reproduce Figure 2: Bilateral 3D on Ivy Bridge, runtime + L3 TCA."""
+            workers: Optional[int] = 1,
+            **resilience) -> DsFigure:
+    """Reproduce Figure 2: Bilateral 3D on Ivy Bridge, runtime + L3 TCA.
+
+    ``resilience`` kwargs (``timeout``, ``retry``, ``checkpoint``,
+    ``resume``) forward to :func:`bilateral_ds_figure`.
+    """
     platform = default_ivybridge(scale)
     base = BilateralCell(
         platform=platform,
@@ -103,6 +116,7 @@ def figure2(shape: Tuple[int, int, int] = (64, 64, 64),
         title=f"Fig 2 | Bilat3d, {shape[0]}^3, IvyBridge: Z- vs A-order",
         base_cell=base,
         workers=workers,
+        **resilience,
     )
 
 
@@ -112,7 +126,8 @@ def figure3(shape: Tuple[int, int, int] = (64, 64, 64),
             rows: Sequence[Tuple[str, str, str]] = PAPER_BILATERAL_ROWS,
             pencils_per_thread: int = 2,
             sample_cores: int = 8,
-            workers: Optional[int] = 1) -> DsFigure:
+            workers: Optional[int] = 1,
+            **resilience) -> DsFigure:
     """Reproduce Figure 3: Bilateral 3D on MIC, runtime + L2 read miss.
 
     Threads spread 1–4 per core over 59 usable cores (the paper reserves
@@ -133,4 +148,5 @@ def figure3(shape: Tuple[int, int, int] = (64, 64, 64),
         title=f"Fig 3 | Bilat3d, {shape[0]}^3, MIC: Z- vs A-order",
         base_cell=base,
         workers=workers,
+        **resilience,
     )

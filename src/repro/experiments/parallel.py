@@ -9,23 +9,36 @@ run their cell lists:
 * ``workers <= 1`` (the default) runs cells serially in the calling
   process — byte-identical to the historical serial loops, and the path
   tests take when determinism is being pinned;
-* ``workers > 1`` distributes over a ``ProcessPoolExecutor``.  Results
-  come back in input order regardless of completion order, and each
-  cell's RNG behavior is fixed by its own ``seed`` field, so the result
-  list is identical to the serial one.
+* ``workers > 1`` distributes over a
+  :class:`~repro.resilience.pool.SupervisedPool`.  Results come back in
+  input order regardless of completion order, and each cell's RNG
+  behavior is fixed by its own ``seed`` field, so the result list is
+  identical to the serial one.
 
-Two cross-cutting concerns are handled here so callers never see them:
+Cross-cutting concerns handled here so callers never see them:
 
 * **Tracing.**  When the parent process has a tracer enabled
   (:func:`repro.instrument.trace.enable`), every cell — serial or in a
   worker — runs under its own fresh :class:`~repro.instrument.trace.Tracer`
   whose finished records are shipped back and absorbed into the parent
   tracer tagged with the cell's input index, so one ordered trace file
-  falls out of any worker count.
+  falls out of any worker count.  Only each cell's *final* attempt is
+  absorbed (retried attempts are counted, not traced twice).
 * **Failures.**  A cell that raises does not abort the batch: every
   other cell still completes, and a :class:`CellRunError` is then
   raised naming each failed cell's index and carrying the original
-  (worker-side) traceback text.
+  (worker-side) traceback text.  Worker payloads are schema-validated
+  first (:mod:`repro.resilience.validate`), so a corrupted result
+  becomes a failure, never a silently wrong row.
+* **Resilience.**  ``retry`` re-attempts transiently failed cells with
+  deterministic backoff; ``timeout`` reaps a hung worker and requeues
+  its cell (parallel path only — the serial path cannot kill itself);
+  ``checkpoint``/``resume`` journal every completed cell by its
+  ``config_hash`` so an interrupted batch restarts where it stopped.
+  ``KeyboardInterrupt``/SIGTERM shut the pool down (no orphan workers),
+  leave the journal flushed, and re-raise.  Attempt/retry/timeout
+  counts land in the parent tracer's ``resilience.*`` counters and from
+  there in the run manifest.  See docs/RESILIENCE.md.
 
 Worker processes rebuild dataset/grid caches on first use (the caches in
 :mod:`repro.experiments.harness` are per-process); with ``fork`` start
@@ -36,12 +49,20 @@ free.
 from __future__ import annotations
 
 import os
+import signal
+import threading
+import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..instrument import trace as _trace
+from ..instrument.manifest import config_hash
+from ..resilience import faults as _faults
+from ..resilience.checkpoint import CheckpointStore
+from ..resilience.policy import RetryPolicy, classify_error
+from ..resilience.pool import JobOutcome, SupervisedPool
+from ..resilience.validate import corrupt_payload, validate_outcome
 from .config import BilateralCell, VolrendCell
 from .harness import CellResult, run_bilateral_cell, run_volrend_cell
 
@@ -53,19 +74,29 @@ Cell = Union[BilateralCell, VolrendCell]
 
 @dataclass
 class CellFailure:
-    """One failed cell: its input index, the cell, and the traceback text."""
+    """One failed cell: its input index, the cell, and the traceback text.
+
+    ``error_class`` is the retry-policy classification (exception type
+    name, or ``timeout`` / ``worker-death`` / ``corrupt-result``);
+    ``attempts`` and ``timeouts`` count what the supervisor tried before
+    giving up.
+    """
 
     index: int
     cell: Any
     error: str
     traceback: str
+    error_class: str = ""
+    attempts: int = 1
+    timeouts: int = 0
 
     def describe(self) -> str:
         label = type(self.cell).__name__
         layout = getattr(self.cell, "layout", None)
         if layout is not None:
             label += f"(layout={layout!r})"
-        return f"cell {self.index} [{label}]: {self.error}"
+        suffix = f" [{self.attempts} attempts]" if self.attempts > 1 else ""
+        return f"cell {self.index} [{label}]: {self.error}{suffix}"
 
 
 class CellRunError(RuntimeError):
@@ -97,17 +128,23 @@ def run_cell(cell: Cell) -> CellResult:
     raise TypeError(f"not an experiment cell: {type(cell).__name__}")
 
 
-def _run_cell_job(job: Tuple[int, Cell, bool]) -> Dict[str, Any]:
+def _run_cell_job(job: Tuple[int, Cell, bool],
+                  attempt: int = 1) -> Dict[str, Any]:
     """One cell, isolated: catches failures, captures its trace records.
 
-    Module-level so it pickles into ``ProcessPoolExecutor`` workers; the
-    serial path runs it too, so failure semantics and trace output are
-    identical for every worker count.
+    Module-level so it pickles into supervised workers; the serial path
+    runs it too, so failure semantics and trace output are identical for
+    every worker count.  Fault injection hooks in here — before the cell
+    body, under the tracer — so every recovery path (worker crash, hang,
+    in-band error, corrupt payload) is reachable deterministically.
     """
     index, cell, traced = job
+    fault = _faults.active_plan().for_cell(index, attempt)
     tracer = _trace.Tracer() if traced else None
     previous = _trace.activate(tracer) if traced else None
     try:
+        if fault is not None and _faults.fire(fault):
+            return corrupt_payload(index)
         result = run_cell(cell)
         return {"index": index, "result": result,
                 "records": tracer.records if tracer else None}
@@ -129,8 +166,44 @@ def resolve_workers(workers: Optional[int]) -> int:
     return workers
 
 
+def _run_jobs_serial(jobs: List[Tuple[int, Cell, bool]],
+                     retry: RetryPolicy, on_outcome) -> None:
+    """The in-process twin of :meth:`SupervisedPool.run` (no timeouts —
+    a process cannot reap itself; use ``workers > 1`` for that)."""
+    for seq, job in enumerate(jobs):
+        attempt = 1
+        quarantined: List[str] = []
+        while True:
+            out = _run_cell_job(job, attempt)
+            problem = validate_outcome(out)
+            if problem is not None:
+                quarantined.append(f"attempt {attempt}: {problem}")
+                error, tb, payload = f"corrupt-result: {problem}", "", None
+            elif out.get("error"):
+                error, tb, payload = out["error"], out["traceback"], out
+            else:
+                on_outcome(JobOutcome(seq=seq, payload=out, attempts=attempt,
+                                      quarantined=quarantined))
+                break
+            if retry.retryable(error) and attempt <= retry.max_retries:
+                time.sleep(retry.backoff_seconds(attempt))
+                attempt += 1
+                continue
+            on_outcome(JobOutcome(
+                seq=seq, payload=payload, error=error,
+                error_class=classify_error(error),
+                traceback=tb or f"{error} (no traceback)",
+                attempts=attempt, quarantined=quarantined))
+            break
+
+
 def run_cells_parallel(cells: Sequence[Cell],
-                       workers: Optional[int] = 1) -> List[CellResult]:
+                       workers: Optional[int] = 1,
+                       *,
+                       timeout: Optional[float] = None,
+                       retry: Optional[RetryPolicy] = None,
+                       checkpoint: Union[CheckpointStore, str, None] = None,
+                       resume: bool = False) -> List[CellResult]:
     """Run ``cells`` and return their results in input order.
 
     Parameters
@@ -141,39 +214,130 @@ def run_cells_parallel(cells: Sequence[Cell],
         Process count.  ``1`` (default) runs serially in-process;
         ``None`` or ``0`` uses all CPUs.  The result list is identical
         for any worker count — only wall-clock changes.
+    timeout : float, optional
+        Per-cell deadline in seconds.  A worker past it is killed and
+        the cell requeued (or failed, per ``retry``).  Parallel path
+        only; ignored when ``workers <= 1``.
+    retry : RetryPolicy, optional
+        Re-attempt transiently failed cells (worker death, timeout,
+        corrupt result, non-deterministic exceptions) with deterministic
+        backoff.  Default: no retries, preserving fail-fast behavior.
+    checkpoint : CheckpointStore or str, optional
+        Journal every completed cell (keyed by ``config_hash``) so an
+        interrupted batch can resume.  A string is taken as the journal
+        path.  Without ``resume`` the journal is truncated first.
+    resume : bool
+        Restore already-completed cells from ``checkpoint`` instead of
+        re-running them; only the missing cells execute.
 
     Raises
     ------
     CellRunError
-        If any cell raised.  Every other cell still ran to completion;
-        the error carries each failure's cell index and original
-        traceback plus the partial results.
+        If any cell failed after all attempts.  Every other cell still
+        ran to completion; the error carries each failure's cell index,
+        classification and original traceback plus the partial results.
     """
     cells = list(cells)
     n_workers = resolve_workers(workers)
+    retry = retry or RetryPolicy()
     parent_tracer = _trace.current()
     traced = parent_tracer is not None
-    jobs = [(i, cell, traced) for i, cell in enumerate(cells)]
-    if n_workers <= 1 or len(cells) <= 1:
-        outcomes = [_run_cell_job(job) for job in jobs]
-    else:
-        with ProcessPoolExecutor(max_workers=min(n_workers, len(cells))) as ex:
-            # ex.map preserves input order; jobs never raise (failures
-            # come back as records), so every cell completes
-            outcomes = list(ex.map(_run_cell_job, jobs))
+
+    store = CheckpointStore(checkpoint) \
+        if isinstance(checkpoint, (str, os.PathLike)) else checkpoint
+    hashes = [config_hash(cell) for cell in cells]
+    restored: Dict[int, CellResult] = {}
+    if store is not None:
+        if resume:
+            completed = store.load()
+            restored = {i: completed[h] for i, h in enumerate(hashes)
+                        if h in completed}
+        else:
+            store.reset()
 
     results: List[Optional[CellResult]] = [None] * len(cells)
+    for index, result in restored.items():
+        results[index] = result
+    jobs = [(i, cells[i], traced) for i in range(len(cells))
+            if i not in restored]
     failures: List[CellFailure] = []
-    for outcome in outcomes:
-        index = outcome["index"]
-        if traced and outcome.get("records"):
-            parent_tracer.absorb(outcome["records"], cell=index)
-        if "result" in outcome:
-            results[index] = outcome["result"]
+    stats = {"cells": len(cells), "restored": len(restored), "attempts": 0,
+             "retries": 0, "timeouts": 0, "worker_deaths": 0, "corrupt": 0,
+             "failures": 0}
+
+    def on_outcome(outcome: JobOutcome) -> None:
+        index = jobs[outcome.seq][0]
+        stats["attempts"] += outcome.attempts
+        stats["retries"] += outcome.attempts - 1
+        stats["timeouts"] += outcome.timeouts
+        stats["worker_deaths"] += outcome.deaths
+        stats["corrupt"] += len(outcome.quarantined)
+        payload = outcome.payload
+        if traced and payload and payload.get("records"):
+            parent_tracer.absorb(payload["records"], cell=index)
+        if store is not None:
+            for note in outcome.quarantined:
+                store.quarantine({"cell": index, "key": hashes[index],
+                                  "problem": note})
+        if outcome.ok:
+            results[index] = payload["result"]
+            if store is not None:
+                store.record(hashes[index], payload["result"],
+                             kind=type(cells[index]).__name__,
+                             attempts=outcome.attempts)
         else:
+            stats["failures"] += 1
             failures.append(CellFailure(
-                index=index, cell=cells[index],
-                error=outcome["error"], traceback=outcome["traceback"]))
+                index=index, cell=cells[index], error=outcome.error,
+                traceback=outcome.traceback,
+                error_class=outcome.error_class or "",
+                attempts=outcome.attempts, timeouts=outcome.timeouts))
+
+    old_sigterm = None
+    if threading.current_thread() is threading.main_thread():
+        def _sigterm_to_interrupt(signum, frame):
+            raise KeyboardInterrupt("SIGTERM")
+        try:
+            old_sigterm = signal.signal(signal.SIGTERM, _sigterm_to_interrupt)
+        except (ValueError, OSError):  # pragma: no cover - exotic embeddings
+            old_sigterm = None
+    try:
+        if jobs:
+            if n_workers <= 1 or len(jobs) <= 1:
+                _run_jobs_serial(jobs, retry, on_outcome)
+            else:
+                pool = SupervisedPool(_run_cell_job,
+                                      min(n_workers, len(jobs)))
+                pool.run(jobs, timeout=timeout, retry=retry,
+                         validate=validate_outcome, on_outcome=on_outcome)
+    finally:
+        if old_sigterm is not None:
+            signal.signal(signal.SIGTERM, old_sigterm)
+        if store is not None:
+            store.close()
+        _record_stats(parent_tracer, stats, engaged=(
+            store is not None or resume or timeout is not None
+            or retry.max_retries > 0 or stats["retries"] > 0
+            or stats["timeouts"] > 0 or stats["corrupt"] > 0
+            or stats["failures"] > 0 or stats["restored"] > 0))
+
     if failures:
+        failures.sort(key=lambda f: f.index)
         raise CellRunError(failures, results)
     return results
+
+
+def _record_stats(tracer: Optional[_trace.Tracer], stats: Dict[str, int],
+                  engaged: bool) -> None:
+    """Accumulate batch resilience stats as top-level tracer counters.
+
+    Only when a resilience feature actually engaged — a plain traced run
+    emits byte-identical traces to the pre-resilience code.  The
+    counters land in the trace file's meta header and in the manifest's
+    ``resilience`` section (:func:`repro.instrument.manifest.build_manifest`).
+    """
+    if tracer is None or not engaged:
+        return
+    for key, value in stats.items():
+        name = f"resilience.{key}"
+        tracer.counters[name] = tracer.counters.get(name, 0) + value

@@ -5,19 +5,30 @@ open-ended version for users: take any :class:`BilateralCell` or
 :class:`VolrendCell`, name the fields to vary, and get back flat result
 rows (optionally as layout-comparison rows carrying the paper's d_s) —
 ready for CSV export and whatever plotting tool sits downstream.
+
+Long sweeps are where resilience matters most, so :func:`sweep_cells`
+forwards the checkpoint/retry/timeout knobs of
+:func:`~repro.experiments.parallel.run_cells_parallel` and can keep
+partial rows (``on_error="keep"``) instead of raising; CSV export is
+atomic (temp file + ``os.replace``) so an interrupted export never
+leaves a truncated file behind.  See docs/RESILIENCE.md.
 """
 
 from __future__ import annotations
 
 import csv
 import itertools
+import os
+import tempfile
 from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..instrument.metrics import scaled_relative_difference
+from ..resilience.checkpoint import CheckpointStore
+from ..resilience.policy import RetryPolicy
 from .config import BilateralCell, VolrendCell
 from .harness import CellResult
-from .parallel import run_cells_parallel
+from .parallel import CellRunError, run_cells_parallel
 
 __all__ = ["sweep_cells", "compare_layouts", "rows_to_csv"]
 
@@ -39,7 +50,13 @@ def _grid(axes: Dict[str, Sequence]) -> List[Dict[str, object]]:
 
 def sweep_cells(base: Cell, axes: Dict[str, Sequence],
                 counters: Optional[Sequence[str]] = None,
-                workers: Optional[int] = 1) -> List[Dict[str, object]]:
+                workers: Optional[int] = 1,
+                *,
+                on_error: str = "raise",
+                timeout: Optional[float] = None,
+                retry: Optional[RetryPolicy] = None,
+                checkpoint: Union[CheckpointStore, str, None] = None,
+                resume: bool = False) -> List[Dict[str, object]]:
     """Run the cell at every combination of ``axes`` values.
 
     Returns one flat dict per combination: the axis values,
@@ -47,19 +64,46 @@ def sweep_cells(base: Cell, axes: Dict[str, Sequence],
     counters when None).  ``workers`` fans the combinations across
     processes (see :func:`~repro.experiments.parallel.run_cells_parallel`);
     rows are identical for any worker count.
+
+    ``on_error`` selects the failure contract: ``"raise"`` (default)
+    raises :class:`CellRunError` after the batch completes, while
+    ``"keep"`` returns every row — failed combinations carry an
+    ``error`` column and ``None`` measurements, so an overnight sweep
+    yields its completed cells either way.  ``timeout``, ``retry``,
+    ``checkpoint`` and ``resume`` forward to
+    :func:`run_cells_parallel` unchanged.
     """
+    if on_error not in ("raise", "keep"):
+        raise ValueError(f"on_error must be 'raise' or 'keep', "
+                         f"got {on_error!r}")
     _check_cell(base)
     points = _grid(axes)
     cells = [replace(base, **point) for point in points]
-    results = run_cells_parallel(cells, workers=workers)
+    errors: Dict[int, str] = {}
+    try:
+        results = run_cells_parallel(cells, workers=workers, timeout=timeout,
+                                     retry=retry, checkpoint=checkpoint,
+                                     resume=resume)
+    except CellRunError as exc:
+        if on_error == "raise":
+            raise
+        results = exc.results
+        errors = {f.index: f.error for f in exc.failures}
     rows = []
-    for point, cell, result in zip(points, cells, results):
+    for i, (point, cell, result) in enumerate(zip(points, cells, results)):
         row: Dict[str, object] = dict(point)
         row["layout"] = cell.layout
+        if result is None:
+            row["runtime_seconds"] = None
+            row["error"] = errors.get(i, "unknown failure")
+            rows.append(row)
+            continue
         row["runtime_seconds"] = result.runtime_seconds
         names = counters if counters is not None else sorted(result.counters)
         for name in names:
             row[name] = result.counters[name]
+        if errors:
+            row["error"] = None
         rows.append(row)
     return rows
 
@@ -67,19 +111,27 @@ def sweep_cells(base: Cell, axes: Dict[str, Sequence],
 def compare_layouts(base: Cell, axes: Dict[str, Sequence],
                     layouts: Tuple[str, str] = ("array", "morton"),
                     counters: Optional[Sequence[str]] = None,
-                    workers: Optional[int] = 1) -> List[Dict[str, object]]:
+                    workers: Optional[int] = 1,
+                    *,
+                    timeout: Optional[float] = None,
+                    retry: Optional[RetryPolicy] = None,
+                    checkpoint: Union[CheckpointStore, str, None] = None,
+                    resume: bool = False) -> List[Dict[str, object]]:
     """Layout-pair sweep: each row carries both measurements and d_s.
 
     Column naming: ``runtime_<layout>`` / ``<counter>_<layout>`` for the
     raw values, ``ds_runtime`` / ``ds_<counter>`` for Eq. 4.
-    ``workers`` parallelizes over (combination × layout) cells.
+    ``workers`` parallelizes over (combination × layout) cells; the
+    resilience knobs forward to :func:`run_cells_parallel`.
     """
     _check_cell(base)
     a_name, z_name = layouts
     points = _grid(axes)
     cells = [replace(base, layout=name, **point)
              for point in points for name in layouts]
-    results = run_cells_parallel(cells, workers=workers)
+    results = run_cells_parallel(cells, workers=workers, timeout=timeout,
+                                 retry=retry, checkpoint=checkpoint,
+                                 resume=resume)
     rows = []
     for pi, point in enumerate(points):
         res = {name: results[pi * len(layouts) + li]
@@ -103,7 +155,13 @@ def compare_layouts(base: Cell, axes: Dict[str, Sequence],
 
 
 def rows_to_csv(rows: List[Dict[str, object]], path: str) -> None:
-    """Write sweep rows to a CSV file (columns = union of row keys)."""
+    """Write sweep rows to a CSV file (columns = union of row keys).
+
+    The write is atomic: rows land in a temp file beside ``path`` which
+    is then ``os.replace``d over it, so a sweep killed mid-export leaves
+    either the previous file or the complete new one — never a
+    truncated CSV.
+    """
     if not rows:
         raise ValueError("no rows to write")
     fields: List[str] = []
@@ -111,7 +169,20 @@ def rows_to_csv(rows: List[Dict[str, object]], path: str) -> None:
         for key in row:
             if key not in fields:
                 fields.append(key)
-    with open(path, "w", newline="") as fh:
-        writer = csv.DictWriter(fh, fieldnames=fields)
-        writer.writeheader()
-        writer.writerows(rows)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(prefix=os.path.basename(path) + ".",
+                                    suffix=".tmp", dir=directory)
+    try:
+        with os.fdopen(fd, "w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=fields)
+            writer.writeheader()
+            writer.writerows(rows)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.remove(tmp_path)
+        except OSError:
+            pass
+        raise

@@ -15,12 +15,14 @@ L2_DATA_READ_MISS_MEM_FILL.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..instrument.metrics import scaled_relative_difference
 from ..memsim.hierarchy import PlatformSpec
+from ..resilience.checkpoint import CheckpointStore
+from ..resilience.policy import RetryPolicy
 from .config import (
     IVYBRIDGE_CONCURRENCIES,
     MIC_CONCURRENCIES,
@@ -43,6 +45,10 @@ def volrend_ds_figure(
     base_cell: Optional[VolrendCell] = None,
     layouts: Tuple[str, str] = ("array", "morton"),
     workers: Optional[int] = 1,
+    timeout: Optional[float] = None,
+    retry: Optional[RetryPolicy] = None,
+    checkpoint: Union[CheckpointStore, str, None] = None,
+    resume: bool = False,
 ) -> DsFigure:
     """Run a full volrend d_s matrix (rows = viewpoints).
 
@@ -62,7 +68,9 @@ def volrend_ds_figure(
             cell = replace(base, viewpoint=viewpoint, n_threads=n_threads)
             cells.append(cell.with_layout(a_name))
             cells.append(cell.with_layout(z_name))
-    results = run_cells_parallel(cells, workers=workers)
+    results = run_cells_parallel(cells, workers=workers, timeout=timeout,
+                                 retry=retry, checkpoint=checkpoint,
+                                 resume=resume)
     for r in range(len(viewpoints)):
         for c, n_threads in enumerate(concurrencies):
             i = 2 * (r * len(concurrencies) + c)
@@ -90,7 +98,11 @@ def figure4(shape: Tuple[int, int, int] = (64, 64, 64),
             viewpoints: Sequence[int] = tuple(range(8)),
             tiles_per_thread: int = 1,
             ray_step: int = 2,
-            workers: Optional[int] = 1) -> SeriesFigure:
+            workers: Optional[int] = 1,
+            timeout: Optional[float] = None,
+            retry: Optional[RetryPolicy] = None,
+            checkpoint: Union[CheckpointStore, str, None] = None,
+            resume: bool = False) -> SeriesFigure:
     """Reproduce Figure 4: absolute runtime & PAPI_L3_TCA vs viewpoint."""
     platform = default_ivybridge(scale)
     base = VolrendCell(
@@ -107,7 +119,9 @@ def figure4(shape: Tuple[int, int, int] = (64, 64, 64),
         cell = base.with_viewpoint(viewpoint)
         cells.append(cell.with_layout("array"))
         cells.append(cell.with_layout("morton"))
-    results = run_cells_parallel(cells, workers=workers)
+    results = run_cells_parallel(cells, workers=workers, timeout=timeout,
+                                 retry=retry, checkpoint=checkpoint,
+                                 resume=resume)
     runtime_a, runtime_z, counter_a, counter_z = [], [], [], []
     for v in range(len(viewpoints)):
         res_a, res_z = results[2 * v], results[2 * v + 1]
@@ -135,7 +149,8 @@ def figure5(shape: Tuple[int, int, int] = (64, 64, 64),
             image_size: int = 256,
             tiles_per_thread: int = 1,
             ray_step: int = 2,
-            workers: Optional[int] = 1) -> DsFigure:
+            workers: Optional[int] = 1,
+            **resilience) -> DsFigure:
     """Reproduce Figure 5: Volrend on Ivy Bridge, d_s matrices."""
     platform = default_ivybridge(scale)
     base = VolrendCell(
@@ -151,6 +166,7 @@ def figure5(shape: Tuple[int, int, int] = (64, 64, 64),
         title=f"Fig 5 | Volrend, {shape[0]}^3, IvyBridge: Z- vs A-order",
         base_cell=base,
         workers=workers,
+        **resilience,
     )
 
 
@@ -162,7 +178,8 @@ def figure6(shape: Tuple[int, int, int] = (64, 64, 64),
             tiles_per_thread: int = 1,
             ray_step: int = 4,
             sample_cores: int = 8,
-            workers: Optional[int] = 1) -> DsFigure:
+            workers: Optional[int] = 1,
+            **resilience) -> DsFigure:
     """Reproduce Figure 6: Volrend on MIC, d_s matrices.
 
     The image is 512² so the tile pool (256 tiles) exceeds the largest
@@ -184,4 +201,5 @@ def figure6(shape: Tuple[int, int, int] = (64, 64, 64),
         title=f"Fig 6 | Volrend, {shape[0]}^3, MIC: Z- vs A-order",
         base_cell=base,
         workers=workers,
+        **resilience,
     )

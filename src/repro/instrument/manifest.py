@@ -86,11 +86,24 @@ def _cell_entries(tracer: Tracer) -> list:
     return entries
 
 
+def _resilience_entries(tracer: Tracer) -> Dict[str, Any]:
+    """The batch recovery stats :func:`repro.experiments.parallel
+    .run_cells_parallel` accumulates as top-level ``resilience.*``
+    counters (attempts, retries, timeouts, worker deaths, restored /
+    quarantined cells) — empty when no resilience feature engaged."""
+    prefix = "resilience."
+    return {name[len(prefix):]: value
+            for name, value in tracer.counters.items()
+            if name.startswith(prefix)}
+
+
 def build_manifest(tracer: Tracer,
                    extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     """Assemble the manifest for one traced run.
 
     ``extra`` entries (e.g. the CLI argv) are merged in under ``run``.
+    When the run used retries / timeouts / checkpoint-resume, their
+    counts appear under ``resilience`` (absent otherwise).
     """
     from .. import __version__
 
@@ -108,6 +121,9 @@ def build_manifest(tracer: Tracer,
         "cells": _cell_entries(tracer),
         "phases": tracer.summary(),
     }
+    resilience = _resilience_entries(tracer)
+    if resilience:
+        manifest["resilience"] = resilience
     return manifest
 
 
@@ -166,6 +182,16 @@ def validate_manifest(manifest: Dict[str, Any]) -> Dict[str, Any]:
         if not isinstance(entry, dict) or "count" not in entry \
                 or "total_seconds" not in entry:
             problems.append(f"phase {name!r} missing count/total_seconds")
+    resilience = manifest.get("resilience")
+    if resilience is not None:
+        if not isinstance(resilience, dict):
+            problems.append(
+                f"'resilience' is {type(resilience).__name__}, not an object")
+        else:
+            for rname, value in resilience.items():
+                if not isinstance(value, (int, float)):
+                    problems.append(
+                        f"resilience counter {rname!r} is not numeric")
     _fail(problems, "manifest")
     return manifest
 

@@ -1,0 +1,59 @@
+"""Resilient experiment execution (see docs/RESILIENCE.md).
+
+Long sweeps die for boring reasons — a preempted node, an OOM-killed
+worker, a wedged process — and the paper's result matrices are exactly
+the hours-long cell batches that cannot afford to restart from zero.
+This package is the recovery layer the execution stack
+(:mod:`repro.experiments.parallel`, the sweeps, the figure drivers and
+the CLI) runs on:
+
+* :mod:`~repro.resilience.checkpoint` — an append-only JSON-lines
+  journal of completed cell results keyed by ``config_hash``, flushed
+  after every cell, so an interrupted run resumes by re-executing only
+  the missing cells;
+* :mod:`~repro.resilience.policy` — retry classification (transient vs
+  permanent errors) and deterministic exponential backoff;
+* :mod:`~repro.resilience.pool` — a supervised worker pool that can
+  reap a hung worker on a per-cell timeout and requeue the cell without
+  losing the rest of the batch;
+* :mod:`~repro.resilience.faults` — a deterministic fault-injection
+  harness (crash / raise / hang / corrupt at a chosen cell index) used
+  by the tests and the CI chaos-smoke job to prove the above actually
+  recovers;
+* :mod:`~repro.resilience.validate` — worker-payload validation so a
+  corrupted result becomes a failure, never a silently wrong row.
+"""
+
+from .checkpoint import CheckpointStore, decode_result, encode_result
+from .faults import (
+    FAULTS_ENV_VAR,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    active_plan,
+    clear_faults,
+    install_faults,
+    parse_faults,
+)
+from .policy import RetryPolicy, classify_error
+from .pool import JobOutcome, SupervisedPool
+from .validate import validate_outcome
+
+__all__ = [
+    "CheckpointStore",
+    "FAULTS_ENV_VAR",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "JobOutcome",
+    "RetryPolicy",
+    "SupervisedPool",
+    "active_plan",
+    "classify_error",
+    "clear_faults",
+    "decode_result",
+    "encode_result",
+    "install_faults",
+    "parse_faults",
+    "validate_outcome",
+]

@@ -1,0 +1,192 @@
+"""Checkpoint journal: completed cells survive a dead parent process.
+
+The store is an append-only JSON-lines file with one record per
+completed cell, keyed by the cell's ``config_hash`` (the same stable
+hash the run manifest records, so a checkpoint entry and a manifest
+cell cross-reference for free).  Records are flushed **and fsynced**
+after every cell: when the parent is SIGKILLed mid-batch, everything
+that finished is on disk, and the crash window can at worst leave one
+*truncated trailing line*, which :meth:`CheckpointStore.load` detects
+and drops (the affected cell simply re-runs).
+
+Keying by config hash rather than batch position means a resumed run
+does not need the same cell *ordering* — any batch containing a cell
+with the same full parameter set reuses its result — and two identical
+cells in one batch share one journal entry.
+
+A sibling ``<journal>.quarantine.jsonl`` receives payloads that failed
+schema validation (see :mod:`repro.resilience.validate`): corrupt
+results are never replayed into a resumed run, but they are kept for
+post-mortem instead of vanishing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Optional
+
+from ..memsim.engine import SimResult
+
+__all__ = ["CheckpointStore", "encode_result", "decode_result",
+           "CHECKPOINT_SCHEMA_VERSION"]
+
+#: bumped whenever the journal record layout changes incompatibly
+CHECKPOINT_SCHEMA_VERSION = 1
+
+
+def _plain(value):
+    """Coerce numpy scalars to plain Python so json round-trips exactly."""
+    item = getattr(value, "item", None)
+    return item() if callable(item) else value
+
+
+def encode_result(result) -> Dict[str, Any]:
+    """A :class:`~repro.experiments.harness.CellResult` as a JSON-safe dict.
+
+    Floats survive JSON exactly (shortest-repr round-trip), so a decoded
+    result compares equal to the live one.
+    """
+    sim = result.sim
+    return {
+        "runtime_seconds": _plain(result.runtime_seconds),
+        "counters": {k: _plain(v) for k, v in result.counters.items()},
+        "n_threads_simulated": _plain(result.n_threads_simulated),
+        "wall_seconds": _plain(result.wall_seconds),
+        "sim": {
+            "counters": {k: _plain(v) for k, v in sim.counters.items()},
+            "level_served": {k: _plain(v) for k, v in sim.level_served.items()},
+            "runtime_seconds": _plain(sim.runtime_seconds),
+            "per_thread_cycles": {str(k): _plain(v)
+                                  for k, v in sim.per_thread_cycles.items()},
+            "n_accesses": _plain(sim.n_accesses),
+            "count_scale": _plain(sim.count_scale),
+            "work_scale": _plain(sim.work_scale),
+        },
+    }
+
+
+def decode_result(doc: Dict[str, Any]):
+    """Rebuild a :class:`CellResult` from :func:`encode_result` output."""
+    from ..experiments.harness import CellResult
+
+    sim_doc = doc["sim"]
+    sim = SimResult(
+        counters=dict(sim_doc["counters"]),
+        level_served=dict(sim_doc["level_served"]),
+        runtime_seconds=sim_doc["runtime_seconds"],
+        per_thread_cycles={int(k): v
+                           for k, v in sim_doc["per_thread_cycles"].items()},
+        n_accesses=sim_doc["n_accesses"],
+        count_scale=sim_doc["count_scale"],
+        work_scale=sim_doc["work_scale"],
+    )
+    return CellResult(
+        runtime_seconds=doc["runtime_seconds"],
+        counters=dict(doc["counters"]),
+        sim=sim,
+        n_threads_simulated=doc["n_threads_simulated"],
+        wall_seconds=doc.get("wall_seconds", 0.0),
+    )
+
+
+class CheckpointStore:
+    """Append-only journal of completed cell results.
+
+    Parameters
+    ----------
+    path : str
+        Journal file location.  Created on first :meth:`record`; a
+        missing file loads as an empty store.
+    """
+
+    def __init__(self, path: str):
+        self.path = os.fspath(path)
+        self.quarantine_path = self.path + ".quarantine.jsonl"
+        self._fh = None
+
+    # -- reading ------------------------------------------------------------
+
+    def load(self) -> Dict[str, Any]:
+        """Completed results by config hash; tolerant of a torn tail.
+
+        Unparseable lines (the possible last line of a crashed writer)
+        and records with an unknown schema version are skipped — a
+        skipped cell just re-runs, which is always safe.
+        """
+        completed: Dict[str, Any] = {}
+        if not os.path.exists(self.path):
+            return completed
+        with open(self.path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                    if rec.get("schema_version") != CHECKPOINT_SCHEMA_VERSION:
+                        continue
+                    completed[rec["key"]] = decode_result(rec["result"])
+                except (ValueError, KeyError, TypeError):
+                    continue  # torn or foreign line: drop, cell re-runs
+        return completed
+
+    def keys(self) -> set:
+        """Config hashes with a completed (decodable) journal entry."""
+        return set(self.load())
+
+    # -- writing ------------------------------------------------------------
+
+    def _handle(self):
+        if self._fh is None or self._fh.closed:
+            self._fh = open(self.path, "a")
+        return self._fh
+
+    def record(self, key: str, result, kind: str = "",
+               attempts: int = 1) -> None:
+        """Append one completed cell; durable before this returns.
+
+        One ``write`` call per record plus ``fsync`` keeps the journal
+        consistent under a parent kill: either the full line is on disk
+        or a torn tail that :meth:`load` drops.
+        """
+        line = json.dumps({
+            "schema_version": CHECKPOINT_SCHEMA_VERSION,
+            "key": key,
+            "kind": kind,
+            "attempts": attempts,
+            "result": encode_result(result),
+        }, default=str)
+        fh = self._handle()
+        fh.write(line + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+
+    def quarantine(self, entry: Dict[str, Any]) -> None:
+        """Append a corrupt/invalid payload description for post-mortem."""
+        with open(self.quarantine_path, "a") as fh:
+            fh.write(json.dumps(entry, default=str) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def reset(self) -> None:
+        """Truncate the journal (a fresh, non-resumed run)."""
+        self.close()
+        for path in (self.path, self.quarantine_path):
+            if os.path.exists(path):
+                os.remove(path)
+
+    def close(self) -> None:
+        if self._fh is not None and not self._fh.closed:
+            self._fh.close()
+        self._fh = None
+
+    def __enter__(self) -> "CheckpointStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CheckpointStore({self.path!r})"

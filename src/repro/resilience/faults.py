@@ -1,0 +1,187 @@
+"""Deterministic fault injection for the execution stack.
+
+Recovery code that is never exercised is broken code.  This module lets
+tests and the CI chaos-smoke job make a cell *deterministically* fail in
+one of four ways, at a chosen cell index, on a chosen attempt:
+
+``crash``
+    ``os._exit(3)`` — the process dies abruptly, no exception, no
+    cleanup.  In a worker this models an OOM kill / segfault; on the
+    serial path it models the parent being SIGKILLed mid-batch (the
+    checkpoint-resume acceptance scenario).
+``raise``
+    raise :class:`InjectedFault` — an ordinary in-band exception,
+    classified transient by the retry policy.
+``hang``
+    sleep for ``seconds`` (default 3600) — models a wedged worker; only
+    the supervised pool's per-cell timeout can reap it.
+``corrupt``
+    the cell "succeeds" but returns a schema-invalid payload — models
+    a worker shipping garbage; result validation must quarantine it.
+
+Faults are described by a compact spec string so they cross process
+boundaries through the ``REPRO_FAULTS`` environment variable (worker
+processes — forked or spawned — inherit the environment)::
+
+    crash@2                 # crash cell 2, first attempt only
+    hang@5:always           # hang cell 5 on every attempt
+    hang@5:seconds=120      # hang duration override
+    crash@1,corrupt@4       # plans compose with commas
+
+``@N:once`` (the default) fires on the first attempt only, so a retry
+then succeeds — the shape of a genuinely transient fault.  ``:always``
+makes the fault permanent, which is how tests force a cell into the
+failure path.  Everything is keyed on (cell index, attempt): no
+randomness, no clocks, so a chaos run is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = [
+    "FAULTS_ENV_VAR",
+    "FaultSpec",
+    "FaultPlan",
+    "InjectedFault",
+    "parse_faults",
+    "install_faults",
+    "clear_faults",
+    "active_plan",
+]
+
+#: environment variable carrying the fault spec into worker processes
+FAULTS_ENV_VAR = "REPRO_FAULTS"
+
+#: exit status used by the ``crash`` mode (distinctive in waitpid output)
+CRASH_EXIT_CODE = 3
+
+_MODES = ("crash", "raise", "hang", "corrupt")
+
+
+class InjectedFault(RuntimeError):
+    """The exception raised by the ``raise`` fault mode."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: what happens, at which cell index, on which attempts."""
+
+    mode: str
+    index: int
+    when: str = "once"      # "once" (attempt 1 only) or "always"
+    seconds: float = 3600.0  # hang duration
+
+    def fires(self, index: int, attempt: int) -> bool:
+        """True when this fault triggers for (cell ``index``, ``attempt``)."""
+        if index != self.index:
+            return False
+        return self.when == "always" or attempt <= 1
+
+    def to_spec(self) -> str:
+        parts = [f"{self.mode}@{self.index}"]
+        if self.when != "once":
+            parts.append(self.when)
+        if self.mode == "hang" and self.seconds != 3600.0:
+            parts.append(f"seconds={self.seconds:g}")
+        return ":".join(parts)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered set of :class:`FaultSpec`; first match wins."""
+
+    specs: Tuple[FaultSpec, ...] = ()
+
+    def for_cell(self, index: int, attempt: int) -> Optional[FaultSpec]:
+        """The fault that fires for this (cell, attempt), if any."""
+        for spec in self.specs:
+            if spec.fires(index, attempt):
+                return spec
+        return None
+
+    def to_spec(self) -> str:
+        return ",".join(spec.to_spec() for spec in self.specs)
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+
+def parse_faults(spec: str) -> FaultPlan:
+    """Parse a spec string (see module docstring) into a :class:`FaultPlan`."""
+    specs = []
+    for chunk in spec.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        head, *opts = chunk.split(":")
+        if "@" not in head:
+            raise ValueError(f"fault {chunk!r}: expected MODE@INDEX")
+        mode, _, index_text = head.partition("@")
+        if mode not in _MODES:
+            raise ValueError(f"fault {chunk!r}: unknown mode {mode!r} "
+                             f"(known: {', '.join(_MODES)})")
+        try:
+            index = int(index_text)
+        except ValueError:
+            raise ValueError(f"fault {chunk!r}: index {index_text!r} "
+                             f"is not an integer") from None
+        when = "once"
+        seconds = 3600.0
+        for opt in opts:
+            if opt in ("once", "always"):
+                when = opt
+            elif opt.startswith("seconds="):
+                seconds = float(opt[len("seconds="):])
+            else:
+                raise ValueError(f"fault {chunk!r}: unknown option {opt!r}")
+        specs.append(FaultSpec(mode=mode, index=index, when=when,
+                               seconds=seconds))
+    return FaultPlan(tuple(specs))
+
+
+def install_faults(plan) -> FaultPlan:
+    """Activate a fault plan process-wide (and for future workers).
+
+    Accepts a :class:`FaultPlan` or a spec string.  The plan is exported
+    via ``REPRO_FAULTS`` so worker processes — started before or after
+    this call, forked or spawned — resolve the same plan.
+    """
+    if isinstance(plan, str):
+        plan = parse_faults(plan)
+    os.environ[FAULTS_ENV_VAR] = plan.to_spec()
+    return plan
+
+
+def clear_faults() -> None:
+    """Deactivate fault injection for this process and future workers."""
+    os.environ.pop(FAULTS_ENV_VAR, None)
+
+
+def active_plan() -> FaultPlan:
+    """The currently active plan (empty when fault injection is off)."""
+    spec = os.environ.get(FAULTS_ENV_VAR)
+    if not spec:
+        return FaultPlan()
+    return parse_faults(spec)
+
+
+def fire(spec: FaultSpec) -> bool:
+    """Execute a fault.  Returns True when the caller must corrupt its
+    own payload (the ``corrupt`` mode is cooperative — only the cell
+    runner knows what a payload looks like); the other modes never
+    return normally or return False after sleeping."""
+    if spec.mode == "crash":
+        os._exit(CRASH_EXIT_CODE)
+    if spec.mode == "raise":
+        raise InjectedFault(
+            f"injected fault at cell {spec.index} ({spec.to_spec()})")
+    if spec.mode == "hang":
+        time.sleep(spec.seconds)
+        return False
+    if spec.mode == "corrupt":
+        return True
+    raise AssertionError(f"unhandled fault mode {spec.mode!r}")

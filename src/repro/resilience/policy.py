@@ -1,0 +1,99 @@
+"""Retry classification and deterministic backoff.
+
+A failed cell is retried only when retrying can plausibly change the
+outcome.  Failures are classified by *error class* — the exception's
+type name for in-band errors, or one of three supervisor-assigned
+sentinel classes:
+
+``worker-death``
+    the worker process died without delivering a result (crash, OOM
+    kill, segfault) — transient by definition of "the process is gone";
+``timeout``
+    the per-cell deadline expired and the worker was reaped —
+    retryable unless the policy says otherwise;
+``corrupt-result``
+    the payload failed schema validation — could be a one-off memory
+    corruption, so retryable, but the bad payload is quarantined either
+    way (see :mod:`repro.resilience.validate`).
+
+Deterministic exceptions (``ValueError``, ``TypeError``, …) are
+*permanent*: a mis-specified cell fails identically every time, and
+retrying it only burns the batch's wall clock.  Everything else
+(``OSError``, ``MemoryError``, :class:`~repro.resilience.faults.InjectedFault`,
+…) is presumed transient.
+
+Backoff is plain exponential with **no jitter**: resilience runs must
+be reproducible, and a seeded sweep that recovered once must recover
+identically on replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["RetryPolicy", "classify_error", "PERMANENT_ERROR_CLASSES"]
+
+#: exception type names that fail the same way every attempt
+PERMANENT_ERROR_CLASSES = (
+    "ValueError",
+    "TypeError",
+    "KeyError",
+    "IndexError",
+    "AttributeError",
+    "AssertionError",
+    "NotImplementedError",
+)
+
+
+def classify_error(error: str) -> str:
+    """Error class of a failure string (``"ValueError: ..."`` → ``"ValueError"``).
+
+    Supervisor sentinel classes (``worker-death``, ``timeout``,
+    ``corrupt-result``) pass through unchanged.
+    """
+    return error.split(":", 1)[0].strip()
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How (and whether) failed cells are re-attempted.
+
+    ``max_retries`` is *extra* attempts: 0 (the default) preserves the
+    historical fail-fast behavior, 2 means a cell runs at most 3 times.
+    """
+
+    max_retries: int = 0
+    backoff_base: float = 0.1
+    backoff_factor: float = 2.0
+    backoff_max: float = 30.0
+    retry_timeouts: bool = True
+    permanent: Tuple[str, ...] = PERMANENT_ERROR_CLASSES
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff durations must be >= 0")
+
+    def retryable(self, error: str) -> bool:
+        """Should a failure with this error string be re-attempted?"""
+        cls = classify_error(error)
+        if cls == "timeout":
+            return self.retry_timeouts
+        if cls in ("worker-death", "corrupt-result"):
+            return True
+        return cls not in self.permanent
+
+    def backoff_seconds(self, attempt: int) -> float:
+        """Delay before re-running attempt ``attempt + 1`` (deterministic).
+
+        ``attempt`` is the 1-based attempt that just failed, so the
+        first retry waits ``backoff_base`` seconds, the second
+        ``backoff_base * backoff_factor``, and so on up to
+        ``backoff_max``.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt is 1-based, got {attempt}")
+        delay = self.backoff_base * (self.backoff_factor ** (attempt - 1))
+        return min(delay, self.backoff_max)

@@ -1,0 +1,325 @@
+"""A supervised worker pool: per-job timeouts, kill + requeue, retries.
+
+``concurrent.futures.ProcessPoolExecutor`` cannot express the two
+failure modes that dominate long sweeps: a *hung* worker (the whole
+``map`` blocks forever) and a *dead* worker (``BrokenProcessPool``
+poisons every in-flight future, discarding completed work).  This pool
+owns its worker processes directly so the supervisor can:
+
+* enforce a **per-job deadline** — a worker past its deadline is
+  terminated (SIGTERM, then SIGKILL) and the job is requeued or failed,
+  while every other worker keeps running;
+* survive **abrupt worker death** — an exit without a result (OOM kill,
+  ``os._exit``, segfault) fails only that job, with error class
+  ``worker-death``;
+* **retry** failed jobs under a :class:`~repro.resilience.policy.RetryPolicy`
+  with deterministic backoff, re-dispatching to any free worker;
+* **validate** every payload before it counts as a result, so a
+  corrupted worker payload becomes an error (class ``corrupt-result``),
+  never a silently wrong entry.
+
+Jobs are handed to a module-level ``worker_fn`` (picklable, so the pool
+works under both ``fork`` and ``spawn`` start methods).  Workers are
+long-lived and process many jobs, preserving the per-process dataset
+caches that make sweeps fast.  Results are delivered through
+``on_outcome`` the moment each job reaches a final state — which is what
+lets the caller journal completed cells *before* the batch (or the
+parent process) dies.
+
+Every result message carries the sending worker's id, and the
+supervisor only accepts a result from the worker currently assigned
+that job — a worker reaped a microsecond after finishing cannot smuggle
+a stale result into a retry already running elsewhere.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from queue import Empty
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from .policy import RetryPolicy, classify_error
+
+__all__ = ["SupervisedPool", "JobOutcome"]
+
+#: supervisor poll interval (seconds) — bounds timeout-detection latency
+_POLL_SECONDS = 0.05
+
+#: grace period between SIGTERM and SIGKILL when reaping a worker
+_REAP_GRACE_SECONDS = 0.5
+
+
+def _worker_main(worker_id: int, worker_fn, task_q, result_q) -> None:
+    """Worker loop: pull (seq, payload) jobs until the None sentinel.
+
+    ``worker_fn`` is expected to catch job-level exceptions itself and
+    return an error payload; the blanket except here is a last resort so
+    a bug in the wrapper degrades to an in-band error, not worker death.
+    """
+    while True:
+        msg = task_q.get()
+        if msg is None:
+            return
+        seq, attempt, payload = msg
+        try:
+            out = worker_fn(payload, attempt)
+        except KeyboardInterrupt:  # parent is shutting everything down
+            return
+        except BaseException as exc:
+            out = {"error": f"{type(exc).__name__}: {exc}",
+                   "traceback": traceback.format_exc()}
+        result_q.put((worker_id, seq, out))
+
+
+@dataclass
+class JobOutcome:
+    """Final state of one job after all attempts."""
+
+    seq: int
+    payload: Optional[Dict[str, Any]] = None  # worker dict on success / in-band error
+    error: Optional[str] = None               # None iff the job succeeded
+    error_class: Optional[str] = None
+    traceback: str = ""
+    attempts: int = 1
+    timeouts: int = 0
+    deaths: int = 0
+    quarantined: List[str] = field(default_factory=list)  # corrupt-payload notes
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class _Attempt:
+    seq: int
+    payload: Any
+    attempt: int = 1
+    not_before: float = 0.0
+    timeouts: int = 0
+    deaths: int = 0
+    quarantined: List[str] = field(default_factory=list)
+
+
+class _Worker:
+    """One supervised process plus its private task queue."""
+
+    def __init__(self, worker_id: int, ctx, worker_fn, result_q):
+        self.worker_id = worker_id
+        self.task_q = ctx.SimpleQueue()
+        self.proc = ctx.Process(target=_worker_main,
+                                args=(worker_id, worker_fn, self.task_q,
+                                      result_q),
+                                daemon=True)
+        self.proc.start()
+        self.current: Optional[_Attempt] = None
+        self.deadline: Optional[float] = None
+
+    def assign(self, attempt: _Attempt, deadline: Optional[float]) -> None:
+        self.current = attempt
+        self.deadline = deadline
+        self.task_q.put((attempt.seq, attempt.attempt, attempt.payload))
+
+    def release(self) -> _Attempt:
+        attempt, self.current, self.deadline = self.current, None, None
+        return attempt
+
+    def reap(self) -> None:
+        """Terminate the process, escalating to SIGKILL if it lingers."""
+        if self.proc.is_alive():
+            self.proc.terminate()
+            self.proc.join(_REAP_GRACE_SECONDS)
+        if self.proc.is_alive():
+            self.proc.kill()
+            self.proc.join()
+
+    def retire(self) -> None:
+        """Graceful shutdown of an idle worker."""
+        try:
+            self.task_q.put(None)
+        except (OSError, ValueError):
+            pass  # queue already broken; fall through to force
+        self.proc.join(_REAP_GRACE_SECONDS)
+        if self.proc.is_alive():
+            self.reap()
+
+
+class SupervisedPool:
+    """Run jobs through supervised workers (see module docstring).
+
+    Parameters
+    ----------
+    worker_fn : callable
+        Module-level function ``payload -> dict`` (must be picklable).
+        A dict with an ``"error"`` key is an in-band failure; anything
+        else (post-validation) is a success.
+    n_workers : int
+        Worker process count (capped at the job count per run).
+    mp_context : multiprocessing context, optional
+        Defaults to the platform default (``fork`` on Linux, preserving
+        warm parent caches).
+    """
+
+    def __init__(self, worker_fn: Callable[[Any], Dict[str, Any]],
+                 n_workers: int, mp_context=None):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.worker_fn = worker_fn
+        self.n_workers = n_workers
+        self.ctx = mp_context or multiprocessing.get_context()
+
+    def run(self, payloads: Sequence[Any],
+            timeout: Optional[float] = None,
+            retry: Optional[RetryPolicy] = None,
+            validate: Optional[Callable[[Any], Optional[str]]] = None,
+            on_outcome: Optional[Callable[[JobOutcome], None]] = None,
+            ) -> List[JobOutcome]:
+        """Run every payload to a final outcome; outcomes in input order.
+
+        ``on_outcome`` fires as each job *finishes* (success or
+        exhausted failure), in completion order — callers use it to
+        checkpoint eagerly.  On ``KeyboardInterrupt`` (or any other
+        unexpected exception) all workers are terminated before the
+        exception propagates, so no orphan processes outlive the batch.
+        """
+        retry = retry or RetryPolicy()
+        pending = deque(_Attempt(seq, payload)
+                        for seq, payload in enumerate(payloads))
+        outcomes: Dict[int, JobOutcome] = {}
+        result_q = self.ctx.Queue()
+        workers: Dict[int, _Worker] = {}
+        worker_ids = itertools.count()
+
+        def spawn() -> None:
+            worker = _Worker(next(worker_ids), self.ctx, self.worker_fn,
+                             result_q)
+            workers[worker.worker_id] = worker
+
+        def finish(outcome: JobOutcome) -> None:
+            outcomes[outcome.seq] = outcome
+            if on_outcome is not None:
+                on_outcome(outcome)
+
+        def fail_or_retry(attempt: _Attempt, error: str,
+                          payload: Optional[Dict[str, Any]] = None,
+                          tb: str = "") -> None:
+            cls = classify_error(error)
+            if retry.retryable(error) and attempt.attempt <= retry.max_retries:
+                delay = retry.backoff_seconds(attempt.attempt)
+                pending.append(_Attempt(
+                    seq=attempt.seq, payload=attempt.payload,
+                    attempt=attempt.attempt + 1,
+                    not_before=time.monotonic() + delay,
+                    timeouts=attempt.timeouts, deaths=attempt.deaths,
+                    quarantined=attempt.quarantined,
+                ))
+                return
+            finish(JobOutcome(
+                seq=attempt.seq, payload=payload, error=error,
+                error_class=cls,
+                traceback=tb or f"{error} (no worker traceback)",
+                attempts=attempt.attempt, timeouts=attempt.timeouts,
+                deaths=attempt.deaths,
+                quarantined=attempt.quarantined,
+            ))
+
+        def handle_result(worker_id: int, seq: int, out: Any) -> None:
+            worker = workers.get(worker_id)
+            if worker is None or worker.current is None \
+                    or worker.current.seq != seq:
+                return  # stale: sender was reaped after this job moved on
+            attempt = worker.release()
+            problem = validate(out) if validate is not None else None
+            if problem is not None:
+                attempt.quarantined.append(
+                    f"attempt {attempt.attempt}: {problem}")
+                fail_or_retry(attempt, f"corrupt-result: {problem}")
+            elif isinstance(out, dict) and out.get("error"):
+                fail_or_retry(attempt, out["error"], payload=out,
+                              tb=out.get("traceback", ""))
+            else:
+                finish(JobOutcome(
+                    seq=seq, payload=out, attempts=attempt.attempt,
+                    timeouts=attempt.timeouts, deaths=attempt.deaths,
+                    quarantined=attempt.quarantined,
+                ))
+
+        def drain_nowait() -> None:
+            while True:
+                try:
+                    worker_id, seq, out = result_q.get_nowait()
+                except Empty:
+                    return
+                handle_result(worker_id, seq, out)
+
+        try:
+            for _ in range(min(self.n_workers, len(pending))):
+                spawn()
+
+            while len(outcomes) < len(payloads):
+                drain_nowait()  # keeps the death check below race-free
+
+                now = time.monotonic()
+                for worker in list(workers.values()):
+                    busy = worker.current is not None
+                    if busy and worker.deadline is not None \
+                            and now >= worker.deadline:
+                        # deadline blown: kill the worker, requeue or fail
+                        worker.reap()
+                        del workers[worker.worker_id]
+                        attempt = worker.release()
+                        attempt.timeouts += 1
+                        fail_or_retry(
+                            attempt,
+                            f"timeout: cell exceeded {timeout:g}s "
+                            f"(attempt {attempt.attempt})")
+                        spawn()
+                    elif busy and not worker.proc.is_alive():
+                        # died without a result (crash / OOM / segfault)
+                        del workers[worker.worker_id]
+                        attempt = worker.release()
+                        attempt.deaths += 1
+                        fail_or_retry(
+                            attempt,
+                            f"worker-death: worker exited with code "
+                            f"{worker.proc.exitcode} before returning "
+                            f"(attempt {attempt.attempt})")
+                        spawn()
+
+                now = time.monotonic()
+                for worker in workers.values():
+                    if worker.current is not None or not pending:
+                        continue
+                    ready = next((a for a in pending if a.not_before <= now),
+                                 None)
+                    if ready is None:  # all remaining are backing off
+                        break
+                    pending.remove(ready)
+                    worker.assign(ready, None if timeout is None
+                                  else now + timeout)
+
+                if len(outcomes) < len(payloads):
+                    try:
+                        worker_id, seq, out = result_q.get(
+                            timeout=_POLL_SECONDS)
+                    except Empty:
+                        continue
+                    handle_result(worker_id, seq, out)
+        except BaseException:
+            # interrupt / SIGTERM path: leave no orphan workers behind
+            for worker in workers.values():
+                worker.reap()
+            workers.clear()
+            raise
+        finally:
+            for worker in workers.values():
+                worker.retire()
+            result_q.close()
+            result_q.join_thread()
+
+        return [outcomes[seq] for seq in range(len(payloads))]

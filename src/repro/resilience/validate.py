@@ -1,0 +1,70 @@
+"""Worker-payload validation: corrupt results fail loudly, never merge.
+
+A worker ships back a plain dict (see
+:func:`repro.experiments.parallel._run_cell_job`).  Between a worker
+and the merged result list sits exactly one line of defense — this
+module.  If a payload is structurally wrong (wrong types, non-finite
+measurements, missing fields), the cell becomes a failure with error
+class ``corrupt-result``: retryable under the retry policy, quarantined
+next to the checkpoint journal, and *never* a silently wrong row in a
+figure or CSV.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Optional
+
+__all__ = ["validate_outcome"]
+
+
+def _finite_number(value) -> bool:
+    try:
+        return math.isfinite(float(value))
+    except (TypeError, ValueError):
+        return False
+
+
+def validate_outcome(payload: Any) -> Optional[str]:
+    """Problem description for a worker payload, or None when valid.
+
+    A valid payload is a dict with an int ``index`` and either an
+    ``error`` + ``traceback`` pair (a well-formed failure) or a
+    ``result`` that is a structurally sound
+    :class:`~repro.experiments.harness.CellResult`.
+    """
+    from ..experiments.harness import CellResult
+
+    if not isinstance(payload, dict):
+        return f"payload is {type(payload).__name__}, not a dict"
+    if not isinstance(payload.get("index"), int):
+        return f"index is {payload.get('index')!r}"
+    if "error" in payload:
+        if not isinstance(payload["error"], str) \
+                or not isinstance(payload.get("traceback"), str):
+            return "error payload without string error/traceback"
+        return None
+    result = payload.get("result")
+    if not isinstance(result, CellResult):
+        return (f"result is {type(result).__name__}, not CellResult")
+    if not _finite_number(result.runtime_seconds) or result.runtime_seconds < 0:
+        return f"runtime_seconds is {result.runtime_seconds!r}"
+    if not isinstance(result.counters, dict):
+        return f"counters is {type(result.counters).__name__}"
+    for name, value in result.counters.items():
+        if not _finite_number(value):
+            return f"counter {name!r} is {value!r}"
+    try:
+        n_threads = int(result.n_threads_simulated)
+    except (TypeError, ValueError):
+        return f"n_threads_simulated is {result.n_threads_simulated!r}"
+    if n_threads < 0:
+        return f"n_threads_simulated is {n_threads}"
+    return None
+
+
+def corrupt_payload(index: int) -> Dict[str, Any]:
+    """The payload the ``corrupt`` fault mode ships: plausible shape,
+    invalid content — exactly what validation must catch."""
+    return {"index": index, "result": {"runtime_seconds": float("nan")},
+            "records": None}

@@ -58,6 +58,60 @@ class TestSweepCells:
         with pytest.raises(TypeError):
             sweep_cells(object(), {})
 
+    def test_rejects_unknown_on_error(self, base_cell):
+        with pytest.raises(ValueError, match="on_error"):
+            sweep_cells(base_cell, {}, on_error="ignore")
+
+
+class TestSweepOnError:
+    """A sweep with a failing combination: raise vs keep partial rows."""
+
+    AXES = {"layout": ["array", "zigzag", "morton"]}  # zigzag is invalid
+
+    def test_raise_is_the_default(self, base_cell):
+        from repro.experiments import CellRunError
+        with pytest.raises(CellRunError):
+            sweep_cells(base_cell, self.AXES, counters=[])
+
+    def test_keep_returns_every_row(self, base_cell):
+        rows = sweep_cells(base_cell, self.AXES, counters=["PAPI_L3_TCA"],
+                           on_error="keep")
+        assert [r["layout"] for r in rows] == ["array", "zigzag", "morton"]
+        good = [r for r in rows if r["error"] is None]
+        (bad,) = [r for r in rows if r["error"] is not None]
+        assert len(good) == 2
+        assert bad["layout"] == "zigzag"
+        assert bad["runtime_seconds"] is None
+        assert "PAPI_L3_TCA" not in bad
+        assert "ValueError" in bad["error"]
+        for row in good:
+            assert row["runtime_seconds"] > 0
+            assert row["PAPI_L3_TCA"] > 0
+
+    def test_keep_without_failures_adds_no_error_column(self, base_cell):
+        rows = sweep_cells(base_cell, {"n_threads": [2, 4]}, counters=[],
+                           on_error="keep")
+        assert all("error" not in row for row in rows)
+
+    def test_keep_rows_match_clean_sweep_where_successful(self, base_cell):
+        kept = sweep_cells(base_cell, self.AXES, counters=["PAPI_L3_TCA"],
+                           on_error="keep")
+        clean = sweep_cells(base_cell, {"layout": ["array", "morton"]},
+                            counters=["PAPI_L3_TCA"])
+        surviving = [{k: v for k, v in row.items() if k != "error"}
+                     for row in kept if row["error"] is None]
+        assert surviving == clean
+
+    def test_keep_rows_export_to_csv(self, base_cell, tmp_path):
+        rows = sweep_cells(base_cell, self.AXES, counters=[],
+                           on_error="keep")
+        path = str(tmp_path / "partial.csv")
+        rows_to_csv(rows, path)
+        with open(path) as fh:
+            back = list(csv.DictReader(fh))
+        assert len(back) == 3
+        assert "error" in back[0]
+
 
 class TestCompareLayouts:
     def test_ds_columns(self, base_cell):
@@ -95,3 +149,24 @@ class TestCsvExport:
     def test_rejects_empty(self, tmp_path):
         with pytest.raises(ValueError):
             rows_to_csv([], str(tmp_path / "x.csv"))
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        path = tmp_path / "sweep.csv"
+        rows = [{"a": 1}, {"a": 2}]
+        rows_to_csv(rows, str(path))
+        rows_to_csv(rows, str(path))  # overwrite goes through a new temp
+        assert [p.name for p in tmp_path.iterdir()] == ["sweep.csv"]
+
+    def test_failed_write_preserves_previous_csv(self, tmp_path):
+        class Unwritable:
+            def __str__(self):
+                raise RuntimeError("cannot serialize")
+
+        path = tmp_path / "sweep.csv"
+        rows_to_csv([{"a": 1}], str(path))
+        before = path.read_text()
+        with pytest.raises(RuntimeError, match="cannot serialize"):
+            rows_to_csv([{"a": Unwritable()}], str(path))
+        # the old file is untouched and the temp file was cleaned up
+        assert path.read_text() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["sweep.csv"]

@@ -1,0 +1,133 @@
+"""Checkpoint journal: exact round-trips, torn-tail tolerance, quarantine."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import (
+    BilateralCell,
+    default_ivybridge,
+    run_bilateral_cell,
+)
+from repro.instrument.manifest import config_hash
+from repro.resilience import CheckpointStore, decode_result, encode_result
+from repro.resilience.checkpoint import CHECKPOINT_SCHEMA_VERSION
+
+
+@pytest.fixture(scope="module")
+def cell():
+    return BilateralCell(platform=default_ivybridge(64), shape=(16, 16, 16),
+                         n_threads=2, stencil="r1", pencils_per_thread=1)
+
+
+@pytest.fixture(scope="module")
+def result(cell):
+    return run_bilateral_cell(cell)
+
+
+class TestEncodeDecode:
+    def test_round_trip_compares_equal(self, result):
+        assert decode_result(encode_result(result)) == result
+
+    def test_round_trip_is_exact_not_approximate(self, result):
+        restored = decode_result(encode_result(result))
+        assert restored.runtime_seconds == result.runtime_seconds
+        assert restored.counters == result.counters
+        assert restored.sim.per_thread_cycles == result.sim.per_thread_cycles
+
+    def test_per_thread_cycles_keys_stay_ints(self, result):
+        doc = json.loads(json.dumps(encode_result(result)))
+        restored = decode_result(doc)
+        assert all(isinstance(k, int)
+                   for k in restored.sim.per_thread_cycles)
+
+    def test_survives_json_serialization(self, result):
+        doc = json.loads(json.dumps(encode_result(result)))
+        assert decode_result(doc) == result
+
+
+class TestCheckpointStore:
+    def test_missing_file_loads_empty(self, tmp_path):
+        store = CheckpointStore(tmp_path / "never-written.jsonl")
+        assert store.load() == {}
+        assert store.keys() == set()
+
+    def test_record_then_load(self, tmp_path, cell, result):
+        key = config_hash(cell)
+        with CheckpointStore(tmp_path / "journal.jsonl") as store:
+            store.record(key, result, kind="BilateralCell", attempts=2)
+            assert store.load() == {key: result}
+
+    def test_records_are_durable_lines(self, tmp_path, cell, result):
+        path = tmp_path / "journal.jsonl"
+        with CheckpointStore(path) as store:
+            store.record("aaaa", result)
+            store.record("bbbb", result)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            rec = json.loads(line)
+            assert rec["schema_version"] == CHECKPOINT_SCHEMA_VERSION
+            assert rec["key"] in ("aaaa", "bbbb")
+
+    def test_torn_trailing_line_is_dropped(self, tmp_path, result):
+        path = tmp_path / "journal.jsonl"
+        with CheckpointStore(path) as store:
+            store.record("good", result)
+            store.record("lost", result)
+        # simulate a crash mid-write: truncate inside the last record
+        raw = path.read_text()
+        path.write_text(raw[:len(raw) - 40])
+        loaded = CheckpointStore(path).load()
+        assert set(loaded) == {"good"}
+        assert loaded["good"] == result
+
+    def test_foreign_and_blank_lines_skipped(self, tmp_path, result):
+        path = tmp_path / "journal.jsonl"
+        with CheckpointStore(path) as store:
+            store.record("good", result)
+        with open(path, "a") as fh:
+            fh.write("\n")
+            fh.write(json.dumps({"schema_version": 999, "key": "future",
+                                 "result": {}}) + "\n")
+            fh.write(json.dumps({"unrelated": True}) + "\n")
+        assert set(CheckpointStore(path).load()) == {"good"}
+
+    def test_reset_removes_journal_and_quarantine(self, tmp_path, result):
+        path = tmp_path / "journal.jsonl"
+        store = CheckpointStore(path)
+        store.record("x", result)
+        store.quarantine({"cell": 0, "problem": "nan runtime"})
+        assert os.path.exists(store.path)
+        assert os.path.exists(store.quarantine_path)
+        store.reset()
+        assert not os.path.exists(store.path)
+        assert not os.path.exists(store.quarantine_path)
+        assert store.load() == {}
+
+    def test_quarantine_appends_jsonl(self, tmp_path):
+        store = CheckpointStore(tmp_path / "journal.jsonl")
+        store.quarantine({"cell": 3, "problem": "a"})
+        store.quarantine({"cell": 5, "problem": "b"})
+        entries = [json.loads(line) for line in
+                   open(store.quarantine_path)]
+        assert [e["cell"] for e in entries] == [3, 5]
+
+    def test_duplicate_key_keeps_latest(self, tmp_path, result):
+        path = tmp_path / "journal.jsonl"
+        with CheckpointStore(path) as store:
+            store.record("k", result, attempts=1)
+            store.record("k", result, attempts=3)
+        assert CheckpointStore(path).load() == {"k": result}
+
+    def test_close_is_idempotent(self, tmp_path, result):
+        store = CheckpointStore(tmp_path / "journal.jsonl")
+        store.record("k", result)
+        store.close()
+        store.close()
+        store.record("k2", result)  # reopens transparently
+        assert set(store.load()) == {"k", "k2"}
+        store.close()

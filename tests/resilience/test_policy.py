@@ -1,0 +1,135 @@
+"""Retry policy: error classification, retryability, deterministic backoff."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import RetryPolicy, classify_error, validate_outcome
+from repro.resilience.policy import PERMANENT_ERROR_CLASSES
+from repro.resilience.validate import corrupt_payload
+
+
+class TestClassifyError:
+    def test_exception_style_strings(self):
+        assert classify_error("ValueError: bad layout 'zigzag'") == "ValueError"
+        assert classify_error("OSError: [Errno 12] Cannot allocate") == "OSError"
+
+    def test_sentinel_classes_pass_through(self):
+        assert classify_error("timeout: cell exceeded 30s") == "timeout"
+        assert classify_error("worker-death: worker exited with code 3") == \
+            "worker-death"
+        assert classify_error("corrupt-result: runtime is nan") == \
+            "corrupt-result"
+
+    def test_classless_string_is_its_own_class(self):
+        assert classify_error("something odd happened") == \
+            "something odd happened"
+
+
+class TestRetryable:
+    policy = RetryPolicy(max_retries=2)
+
+    @pytest.mark.parametrize("cls", PERMANENT_ERROR_CLASSES)
+    def test_deterministic_exceptions_are_permanent(self, cls):
+        assert not self.policy.retryable(f"{cls}: deterministic failure")
+
+    @pytest.mark.parametrize("error", [
+        "worker-death: worker exited with code 3",
+        "corrupt-result: runtime_seconds is nan",
+        "OSError: flaky filesystem",
+        "MemoryError: transient pressure",
+        "InjectedFault: injected fault at cell 2",
+    ])
+    def test_transient_failures_are_retryable(self, error):
+        assert self.policy.retryable(error)
+
+    def test_timeout_retryability_is_a_knob(self):
+        timeout = "timeout: cell exceeded 10s"
+        assert RetryPolicy().retryable(timeout)
+        assert not RetryPolicy(retry_timeouts=False).retryable(timeout)
+
+    def test_permanent_set_is_overridable(self):
+        policy = RetryPolicy(permanent=("RuntimeError",))
+        assert not policy.retryable("RuntimeError: now permanent")
+        assert policy.retryable("ValueError: now transient")
+
+
+class TestBackoff:
+    def test_exponential_progression(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_factor=2.0,
+                             backoff_max=30.0)
+        assert policy.backoff_seconds(1) == pytest.approx(0.1)
+        assert policy.backoff_seconds(2) == pytest.approx(0.2)
+        assert policy.backoff_seconds(3) == pytest.approx(0.4)
+
+    def test_capped_at_backoff_max(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_factor=10.0,
+                             backoff_max=5.0)
+        assert policy.backoff_seconds(4) == 5.0
+
+    def test_deterministic_no_jitter(self):
+        policy = RetryPolicy()
+        assert [policy.backoff_seconds(a) for a in range(1, 6)] == \
+            [policy.backoff_seconds(a) for a in range(1, 6)]
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            RetryPolicy().backoff_seconds(0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError, match="backoff"):
+            RetryPolicy(backoff_base=-0.5)
+
+
+class TestValidateOutcome:
+    def test_well_formed_error_payload_is_valid(self):
+        payload = {"index": 2, "error": "ValueError: boom",
+                   "traceback": "Traceback ..."}
+        assert validate_outcome(payload) is None
+
+    def test_real_cell_result_is_valid(self):
+        from repro.experiments import (
+            BilateralCell, default_ivybridge, run_bilateral_cell)
+        cell = BilateralCell(platform=default_ivybridge(64),
+                             shape=(16, 16, 16), n_threads=2, stencil="r1",
+                             pencils_per_thread=1)
+        payload = {"index": 0, "result": run_bilateral_cell(cell),
+                   "records": None}
+        assert validate_outcome(payload) is None
+
+    @pytest.mark.parametrize("payload,fragment", [
+        (None, "not a dict"),
+        ([1, 2], "not a dict"),
+        ({"result": object()}, "index"),
+        ({"index": "three", "result": object()}, "index"),
+        ({"index": 1, "error": "boom", "traceback": None}, "traceback"),
+        ({"index": 1, "error": 42, "traceback": "tb"}, "error"),
+        ({"index": 1, "result": {"runtime_seconds": 1.0}}, "not CellResult"),
+    ])
+    def test_malformed_payloads_named(self, payload, fragment):
+        problem = validate_outcome(payload)
+        assert problem is not None and fragment in problem
+
+    def test_injected_corrupt_payload_is_caught(self):
+        problem = validate_outcome(corrupt_payload(4))
+        assert problem is not None
+        assert "not CellResult" in problem
+
+    def test_non_finite_measurements_rejected(self):
+        from repro.experiments import (
+            BilateralCell, default_ivybridge, run_bilateral_cell)
+        import dataclasses
+        cell = BilateralCell(platform=default_ivybridge(64),
+                             shape=(16, 16, 16), n_threads=2, stencil="r1",
+                             pencils_per_thread=1)
+        good = run_bilateral_cell(cell)
+        bad_runtime = dataclasses.replace(good,
+                                          runtime_seconds=float("inf"))
+        assert "runtime_seconds" in validate_outcome(
+            {"index": 0, "result": bad_runtime})
+        bad_counter = dataclasses.replace(
+            good, counters={**good.counters, "l2_misses": float("nan")})
+        assert "l2_misses" in validate_outcome(
+            {"index": 0, "result": bad_counter})

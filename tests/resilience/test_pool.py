@@ -1,0 +1,183 @@
+"""SupervisedPool: retries, timeout reaping, worker-death survival.
+
+The worker function here is synthetic — a cheap module-level dispatcher
+on ``payload["action"]`` — so every supervisor path (in-band error,
+abrupt death via ``os._exit``, hang, corrupt payload) is exercised in
+milliseconds, without real simulator cells.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.resilience import JobOutcome, RetryPolicy, SupervisedPool
+
+#: retry policies with effectively-zero backoff keep the suite fast
+FAST_RETRY = RetryPolicy(max_retries=2, backoff_base=0.001)
+
+
+def worker(payload, attempt):
+    """Synthetic worker: behavior chosen by payload, possibly per-attempt."""
+    action = payload["action"]
+    if action == "ok":
+        pass
+    elif action == "fail-once" and attempt <= 1:
+        raise OSError("transient failure (attempt 1)")
+    elif action == "fail-always":
+        raise OSError("fails on every attempt")
+    elif action == "fail-permanent":
+        raise ValueError("deterministic failure")
+    elif action == "crash-once" and attempt <= 1:
+        os._exit(3)
+    elif action == "crash-always":
+        os._exit(3)
+    elif action == "hang-once" and attempt <= 1:
+        time.sleep(60)
+    elif action == "corrupt-once" and attempt <= 1:
+        return {"index": payload["index"], "garbage": True}
+    return {"index": payload["index"], "value": payload["index"] * 10,
+            "attempt": attempt}
+
+
+def job(index, action):
+    return {"index": index, "action": action}
+
+
+def check(payload):
+    """Validator: a payload without value or error is corrupt."""
+    if "value" not in payload and "error" not in payload:
+        return "payload carries neither value nor error"
+    return None
+
+
+def run_pool(payloads, n_workers=2, **kwargs):
+    return SupervisedPool(worker, n_workers).run(payloads, **kwargs)
+
+
+class TestHappyPath:
+    def test_outcomes_in_input_order(self):
+        outcomes = run_pool([job(i, "ok") for i in range(6)], n_workers=3)
+        assert [o.seq for o in outcomes] == list(range(6))
+        assert all(o.ok and o.attempts == 1 for o in outcomes)
+        assert [o.payload["value"] for o in outcomes] == \
+            [0, 10, 20, 30, 40, 50]
+
+    def test_more_workers_than_jobs(self):
+        outcomes = run_pool([job(0, "ok")], n_workers=4)
+        assert len(outcomes) == 1 and outcomes[0].ok
+
+    def test_on_outcome_fires_once_per_job(self):
+        seen = []
+        run_pool([job(i, "ok") for i in range(5)],
+                 on_outcome=lambda o: seen.append(o.seq))
+        assert sorted(seen) == list(range(5))
+
+
+class TestRetries:
+    def test_transient_failure_retried_to_success(self):
+        (outcome,) = run_pool([job(0, "fail-once")], retry=FAST_RETRY)
+        assert outcome.ok
+        assert outcome.attempts == 2
+        assert outcome.payload["attempt"] == 2
+
+    def test_exhausted_retries_fail_with_class(self):
+        (outcome,) = run_pool([job(0, "fail-always")], retry=FAST_RETRY)
+        assert not outcome.ok
+        assert outcome.error_class == "OSError"
+        assert outcome.attempts == 1 + FAST_RETRY.max_retries
+
+    def test_permanent_errors_never_retried(self):
+        (outcome,) = run_pool([job(0, "fail-permanent")], retry=FAST_RETRY)
+        assert not outcome.ok
+        assert outcome.error_class == "ValueError"
+        assert outcome.attempts == 1
+
+    def test_no_retry_by_default(self):
+        (outcome,) = run_pool([job(0, "fail-once")])
+        assert not outcome.ok and outcome.attempts == 1
+
+    def test_neighbors_unaffected_by_failures(self):
+        outcomes = run_pool(
+            [job(0, "ok"), job(1, "fail-permanent"), job(2, "ok")])
+        assert [o.ok for o in outcomes] == [True, False, True]
+
+
+class TestWorkerDeath:
+    def test_death_is_detected_and_classified(self):
+        (outcome,) = run_pool([job(0, "crash-always")])
+        assert not outcome.ok
+        assert outcome.error_class == "worker-death"
+        assert outcome.deaths == 1
+        assert "code 3" in outcome.error
+
+    def test_death_retried_on_replacement_worker(self):
+        (outcome,) = run_pool([job(0, "crash-once")], retry=FAST_RETRY)
+        assert outcome.ok
+        assert outcome.attempts == 2
+        assert outcome.deaths == 1
+
+    def test_batch_survives_death_in_the_middle(self):
+        payloads = [job(0, "ok"), job(1, "crash-once"), job(2, "ok"),
+                    job(3, "ok")]
+        outcomes = run_pool(payloads, retry=FAST_RETRY)
+        assert all(o.ok for o in outcomes)
+
+
+class TestTimeouts:
+    def test_hung_worker_reaped_not_waited_for(self):
+        start = time.monotonic()
+        (outcome,) = run_pool([job(0, "hang-once")], timeout=1.0)
+        elapsed = time.monotonic() - start
+        assert not outcome.ok
+        assert outcome.error_class == "timeout"
+        assert outcome.timeouts == 1
+        assert elapsed < 10  # nowhere near the 60s hang
+
+    def test_timed_out_cell_retried_to_success(self):
+        (outcome,) = run_pool([job(0, "hang-once")], timeout=1.0,
+                              retry=FAST_RETRY)
+        assert outcome.ok
+        assert outcome.timeouts == 1
+        assert outcome.attempts == 2
+
+    def test_retry_timeouts_false_fails_fast(self):
+        policy = RetryPolicy(max_retries=2, backoff_base=0.001,
+                             retry_timeouts=False)
+        (outcome,) = run_pool([job(0, "hang-once")], timeout=1.0,
+                              retry=policy)
+        assert not outcome.ok and outcome.attempts == 1
+
+    def test_other_jobs_finish_while_one_hangs(self):
+        payloads = [job(0, "hang-once")] + [job(i, "ok") for i in range(1, 4)]
+        outcomes = run_pool(payloads, n_workers=2, timeout=2.0,
+                            retry=FAST_RETRY)
+        assert all(o.ok for o in outcomes)
+
+
+class TestValidation:
+    def test_corrupt_payload_quarantined_and_classified(self):
+        (outcome,) = run_pool([job(0, "corrupt-once")], validate=check)
+        assert not outcome.ok
+        assert outcome.error_class == "corrupt-result"
+        assert len(outcome.quarantined) == 1
+        assert "neither value nor error" in outcome.quarantined[0]
+
+    def test_corrupt_payload_retried_to_success(self):
+        (outcome,) = run_pool([job(0, "corrupt-once")], validate=check,
+                              retry=FAST_RETRY)
+        assert outcome.ok
+        assert outcome.attempts == 2
+        assert len(outcome.quarantined) == 1  # the bad attempt is on record
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_worker_count(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            SupervisedPool(worker, 0)
+
+    def test_outcome_ok_property(self):
+        assert JobOutcome(seq=0).ok
+        assert not JobOutcome(seq=0, error="timeout: 1s").ok
