@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Guard: the access sanitizer must cost < 10% of a cell while disabled.
+
+The sanitizer hook in :mod:`repro.core.grid` is a module-global load
+plus an ``is not None`` test in front of every ``get``/``set``/
+``gather``/``scatter``/``offsets`` call.  Two measurements back the
+"free when off" claim in docs/STATIC_ANALYSIS.md:
+
+1. the per-call cost of the *disabled* guard, multiplied by the number
+   of guarded calls an instrumented cell actually makes, compared
+   against the cell's unsanitized wall time;
+2. the direct comparison: the same cell run with the sanitizer enabled
+   (strict mode), reported as a ratio for context (enabled mode is
+   allowed to cost — it validates every access).
+
+Exits non-zero when the projected disabled overhead exceeds the
+budget, so CI can hold the line.
+
+Run:  python scripts/bench_sanitize.py [--shape 24] [--repeat 5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "src"))
+
+from repro.core import grid as grid_mod  # noqa: E402
+from repro.experiments import (  # noqa: E402
+    BilateralCell,
+    clear_caches,
+    default_ivybridge,
+    run_bilateral_cell,
+)
+from repro.memsim import sanitize  # noqa: E402
+
+BUDGET = 0.10  # fraction of cell wall time while disabled
+
+
+def disabled_guard_cost(calls: int = 1_000_000) -> float:
+    """Per-call seconds of the ``is not None`` guard while disabled."""
+    assert grid_mod._ACCESS_CHECK is None
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        if grid_mod._ACCESS_CHECK is not None:  # the guarded-site shape
+            pass
+    return (time.perf_counter() - t0) / calls
+
+
+def guarded_call_count(cell) -> int:
+    """How many guarded Grid accesses one run of ``cell`` makes."""
+    calls = [0]
+
+    def counting_hook(layout, offsets):
+        calls[0] += 1
+
+    grid_mod._install_access_check(counting_hook)
+    try:
+        run_bilateral_cell(cell)
+    finally:
+        grid_mod._install_access_check(None)
+    return calls[0]
+
+
+def cell_wall_time(cell, repeat: int) -> float:
+    """Best-of-N unsanitized wall seconds for one cell run (caches warm)."""
+    run_bilateral_cell(cell)  # warm dataset/grid caches
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        run_bilateral_cell(cell)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def sanitized_wall_time(cell, repeat: int) -> float:
+    """Best-of-N wall seconds with the sanitizer enabled (strict)."""
+    sanitize.enable("strict")
+    try:
+        return cell_wall_time(cell, repeat)
+    finally:
+        sanitize.disable()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--shape", type=int, default=24)
+    parser.add_argument("--repeat", type=int, default=5)
+    args = parser.parse_args()
+
+    cell = BilateralCell(
+        platform=default_ivybridge(64), layout="morton",
+        shape=(args.shape,) * 3, stencil="r1", n_threads=2,
+    )
+
+    per_call = disabled_guard_cost()
+    n_calls = guarded_call_count(cell)
+    clear_caches()
+    wall = cell_wall_time(cell, args.repeat)
+    projected = per_call * n_calls
+    frac = projected / wall
+
+    sanitized = sanitized_wall_time(cell, args.repeat)
+
+    print(f"disabled guard cost : {per_call * 1e9:8.1f} ns/call")
+    print(f"guarded calls/cell  : {n_calls:8d}")
+    print(f"unsanitized time    : {wall * 1e3:8.2f} ms")
+    print(f"projected overhead  : {projected * 1e6:8.2f} us "
+          f"({frac * 100:.3f}% of cell)")
+    print(f"sanitized (strict)  : {sanitized * 1e3:8.2f} ms "
+          f"({sanitized / wall:.2f}x, informational)")
+    if frac >= BUDGET:
+        print(f"FAIL: disabled-sanitizer overhead {frac * 100:.2f}% "
+              f">= {BUDGET * 100:.0f}% budget")
+        return 1
+    print(f"OK: under the {BUDGET * 100:.0f}% budget while disabled")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,62 @@
+"""repro.check — project-specific static analysis.
+
+Machine-checks the three contracts the reproduction's numbers rest on:
+
+* **layout contract** (RPC1xx) — kernels access memory only through the
+  uniform layout interface, never raw linear-index arithmetic;
+* **determinism** (RPC2xx) — measured code is seeded, monotonic-timed,
+  and iteration-order stable;
+* **worker safety** (RPC3xx) — everything shipped into worker processes
+  pickles and carries no parent-process state.
+
+Run it as ``repro check PATHS`` or ``python -m repro.check PATHS``.
+Suppress a single line with ``# repro: noqa[RPC103]``; acknowledge
+pre-existing findings with a committed baseline
+(``--write-baseline`` → ``.repro-check-baseline.json``).
+
+The package is import-light on purpose (stdlib only): the CI gate and
+editor integrations must not pay for numpy/scipy startup.  See
+docs/STATIC_ANALYSIS.md for the full rule catalog.
+"""
+
+from __future__ import annotations
+
+from .baseline import (
+    DEFAULT_BASELINE,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from .engine import (
+    FileContext,
+    ProjectChecker,
+    check_paths,
+    check_source,
+    domain_tags,
+    iter_python_files,
+)
+from .findings import PARSE_ERROR_CODE, Finding
+from .registry import FAMILIES, RULES, Rule, rule, select_codes
+
+# importing the rule modules populates the registry
+from . import rules_determinism, rules_layout, rules_worker  # noqa: F401,E402
+
+__all__ = [
+    "Finding",
+    "PARSE_ERROR_CODE",
+    "Rule",
+    "rule",
+    "RULES",
+    "FAMILIES",
+    "select_codes",
+    "FileContext",
+    "ProjectChecker",
+    "check_source",
+    "check_paths",
+    "iter_python_files",
+    "domain_tags",
+    "DEFAULT_BASELINE",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]

@@ -1,0 +1,90 @@
+"""Baseline files: acknowledged findings that do not fail the build.
+
+A baseline is a checked-in JSON file listing findings that existed when
+a rule was introduced and were consciously kept (with the expectation
+they are burned down over time).  Matching deliberately ignores line
+numbers — an entry is keyed by ``(path, code, stripped source line)``
+so unrelated edits above a finding do not invalidate the baseline —
+but it is count-exact: two identical violations need two entries.
+
+``repro check --write-baseline`` regenerates the file from the current
+findings; ``--baseline PATH`` points at a non-default location.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from typing import Dict, List, Tuple
+
+from .findings import Finding
+
+__all__ = ["BASELINE_VERSION", "DEFAULT_BASELINE", "load_baseline",
+           "write_baseline", "apply_baseline"]
+
+BASELINE_VERSION = 1
+
+#: conventional location, picked up automatically when present
+DEFAULT_BASELINE = ".repro-check-baseline.json"
+
+
+def load_baseline(path: str) -> Counter:
+    """Load a baseline into a ``Counter`` of baseline keys.
+
+    Raises :class:`ValueError` on malformed content (a usage error at
+    the CLI level — a corrupt baseline must not silently pass builds).
+    """
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or doc.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: not a repro-check baseline "
+            f"(want version {BASELINE_VERSION})")
+    entries = doc.get("entries")
+    if not isinstance(entries, list):
+        raise ValueError(f"{path}: 'entries' must be a list")
+    keys: Counter = Counter()
+    for n, entry in enumerate(entries):
+        try:
+            keys[(entry["path"], entry["code"], entry["context"])] += 1
+        except (TypeError, KeyError):
+            raise ValueError(
+                f"{path}: entry {n} missing path/code/context") from None
+    return keys
+
+
+def write_baseline(path: str, findings: List[Finding]) -> int:
+    """Write ``findings`` as the new baseline; returns the entry count."""
+    entries = [
+        {"path": f.path, "code": f.code, "line": f.line, "context": f.context}
+        for f in sorted(findings)
+    ]
+    doc = {"version": BASELINE_VERSION, "entries": entries}
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return len(entries)
+
+
+def apply_baseline(findings: List[Finding], baseline: Counter,
+                   ) -> Tuple[List[Finding], List[Finding], int]:
+    """Split findings into (new, baselined) against the baseline.
+
+    Returns ``(new, baselined, stale)`` where ``stale`` counts baseline
+    entries that matched nothing — fixed violations whose entries can be
+    pruned with ``--write-baseline``.
+    """
+    remaining = Counter(baseline)
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    for f in findings:
+        if remaining.get(f.baseline_key, 0) > 0:
+            remaining[f.baseline_key] -= 1
+            baselined.append(f)
+        else:
+            new.append(f)
+    stale = sum(remaining.values())
+    return new, baselined, stale

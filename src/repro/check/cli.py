@@ -1,0 +1,155 @@
+"""The ``repro check`` command (also ``python -m repro.check``).
+
+Usage::
+
+    repro check src tests scripts examples benchmarks
+    repro check src --format=json
+    repro check src --select RPC1,RPC203
+    repro check src --write-baseline          # acknowledge current findings
+    repro check --list-rules
+
+Exit codes: **0** no unbaselined findings, **1** findings reported,
+**2** usage error (missing path, bad selector, corrupt baseline).
+
+This module deliberately imports nothing heavy — no numpy, no
+simulator — so the CI gate runs in milliseconds and the checker can be
+used on machines without the scientific stack.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from .baseline import (
+    DEFAULT_BASELINE,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from .engine import check_paths
+from .registry import FAMILIES, RULES, select_codes
+
+__all__ = ["add_arguments", "run", "main"]
+
+USAGE_ERROR = 2
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Attach the ``repro check`` arguments to ``parser``."""
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files/directories to check (default: src)")
+    parser.add_argument("--format", choices=["human", "json"],
+                        default="human", dest="format_",
+                        help="output format (default human)")
+    parser.add_argument("--select", default=None, metavar="CODES",
+                        help="comma-separated rule codes or prefixes, "
+                             "e.g. RPC1,RPC203 (default: all rules)")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help=f"baseline file (default: {DEFAULT_BASELINE} "
+                             f"when it exists)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write current findings to the baseline "
+                             "file and exit 0")
+    parser.add_argument("--show-suppressed", action="store_true",
+                        help="also list findings silenced by "
+                             "'# repro: noqa' comments")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    return parser
+
+
+def _render_catalog() -> str:
+    lines = ["repro check rule catalog", ""]
+    for prefix, family in sorted(FAMILIES.items()):
+        lines.append(f"{prefix}xx  {family}")
+        for code in sorted(RULES):
+            if code.startswith(prefix):
+                cls = RULES[code]
+                lines.append(f"  {code}  {cls.name}")
+                lines.append(f"         {cls.summary}")
+        lines.append("")
+    lines.append("suppress one line:  # repro: noqa[RPC103]   "
+                 "(or bare '# repro: noqa' for all rules)")
+    return "\n".join(lines)
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute a parsed ``repro check`` invocation; returns exit code."""
+    if args.list_rules:
+        print(_render_catalog())
+        return 0
+
+    try:
+        codes = select_codes(args.select.split(",")) if args.select else None
+    except ValueError as exc:
+        print(f"repro check: {exc}", file=sys.stderr)
+        return USAGE_ERROR
+
+    try:
+        findings, suppressed, n_files = check_paths(args.paths, codes=codes)
+    except FileNotFoundError as exc:
+        print(f"repro check: no such path: {exc}", file=sys.stderr)
+        return USAGE_ERROR
+
+    baseline_path = args.baseline or DEFAULT_BASELINE
+    if args.write_baseline:
+        n = write_baseline(baseline_path, findings)
+        print(f"wrote {n} baseline entries to {baseline_path}")
+        return 0
+
+    baselined: List = []
+    stale = 0
+    if not args.no_baseline and os.path.exists(baseline_path):
+        try:
+            baseline = load_baseline(baseline_path)
+        except (ValueError, json.JSONDecodeError) as exc:
+            print(f"repro check: {exc}", file=sys.stderr)
+            return USAGE_ERROR
+        findings, baselined, stale = apply_baseline(findings, baseline)
+
+    if args.format_ == "json":
+        counts: dict = {}
+        for f in findings:
+            counts[f.code] = counts.get(f.code, 0) + 1
+        print(json.dumps({
+            "version": 1,
+            "files_checked": n_files,
+            "findings": [f.to_json() for f in findings],
+            "counts": counts,
+            "baselined": len(baselined),
+            "suppressed": len(suppressed),
+            "stale_baseline_entries": stale,
+        }, indent=2))
+        return 1 if findings else 0
+
+    for f in findings:
+        print(f.render())
+    if args.show_suppressed:
+        for f in suppressed:
+            print(f"{f.render()}  [suppressed]")
+    tail = [f"{n_files} files checked", f"{len(findings)} findings"]
+    if baselined:
+        tail.append(f"{len(baselined)} baselined")
+    if suppressed:
+        tail.append(f"{len(suppressed)} suppressed")
+    if stale:
+        tail.append(f"{stale} stale baseline entries "
+                    f"(prune with --write-baseline)")
+    print(("FAIL: " if findings else "OK: ") + ", ".join(tail))
+    return 1 if findings else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point for ``python -m repro.check``."""
+    parser = add_arguments(argparse.ArgumentParser(
+        prog="repro check",
+        description="project-specific static analysis: layout contract, "
+                    "determinism, worker safety (see "
+                    "docs/STATIC_ANALYSIS.md)"))
+    return run(parser.parse_args(argv))

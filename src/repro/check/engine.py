@@ -1,0 +1,276 @@
+"""The checker core: file walking, AST dispatch, noqa suppression.
+
+One :class:`ProjectChecker` handles one file: it parses the source,
+annotates parent links, instantiates every applicable rule, and walks
+the tree once, dispatching each node to the rules whose ``interests``
+include its type.  Rules report through :class:`FileContext`, which
+applies ``# repro: noqa[...]`` suppressions before a finding is kept.
+
+Domain model
+------------
+Rules police *areas* of the repository, not individual paths.  A file
+maps to a set of tags:
+
+* every file under ``src/repro`` gets ``{"src", "<subpackage>"}``
+  (e.g. ``src/repro/kernels/bilateral.py`` → ``{"src", "kernels"}``;
+  top-level modules like ``cli.py`` get ``{"src", "top"}``);
+* files under ``tests`` / ``scripts`` / ``examples`` / ``benchmarks``
+  get that single tag;
+* anything else gets ``{"other"}``.
+
+Suppression syntax (checked per offending line)::
+
+    offs = layout.get_index(i, j, k)   # repro: noqa[RPC103]
+    anything_at_all()                  # repro: noqa
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .findings import PARSE_ERROR_CODE, Finding
+from .registry import RULES, Rule
+
+__all__ = [
+    "FileContext",
+    "ProjectChecker",
+    "check_source",
+    "check_paths",
+    "iter_python_files",
+    "domain_tags",
+    "NOQA_RE",
+]
+
+#: ``# repro: noqa`` (all rules) or ``# repro: noqa[RPC101,RPC2]`` (prefixes)
+NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s]*)\])?")
+
+#: directory names never descended into
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache",
+              ".ruff_cache", ".venv", "node_modules"}
+
+#: repository areas recognized as top-level trees
+_TREES = {"tests", "scripts", "examples", "benchmarks", "docs"}
+
+
+def domain_tags(path: str) -> FrozenSet[str]:
+    """Map a file path to the repository-area tags rules filter on."""
+    parts = path.replace(os.sep, "/").split("/")
+    if "repro" in parts:
+        idx = parts.index("repro")
+        rest = parts[idx + 1:]
+        if len(rest) >= 2:
+            return frozenset({"src", rest[0]})
+        if len(rest) == 1:
+            return frozenset({"src", "top"})
+    for part in parts[:-1] or parts:
+        if part in _TREES:
+            return frozenset({part})
+    return frozenset({"other"})
+
+
+def _parse_noqa(source: str) -> Dict[int, Optional[Set[str]]]:
+    """Per-line suppressions: line -> None (all codes) or a prefix set."""
+    out: Dict[int, Optional[Set[str]]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = NOQA_RE.search(line)
+        if not m:
+            continue
+        if m.group(1) is None:
+            out[lineno] = None
+        else:
+            codes = {c.strip() for c in m.group(1).split(",") if c.strip()}
+            out[lineno] = codes or None
+    return out
+
+
+class FileContext:
+    """Everything rules need to know about the file being checked."""
+
+    def __init__(self, path: str, source: str,
+                 tags: Optional[FrozenSet[str]] = None):
+        self.path = path.replace(os.sep, "/")
+        self.source = source
+        self.lines = source.splitlines()
+        self.tags = tags if tags is not None else domain_tags(path)
+        self.noqa = _parse_noqa(source)
+        self.findings: List[Finding] = []
+        self.suppressed: List[Finding] = []
+        #: the checker fills these in during the walk
+        self.checker: Optional["ProjectChecker"] = None
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def _is_suppressed(self, code: str, lineno: int) -> bool:
+        if lineno not in self.noqa:
+            return False
+        prefixes = self.noqa[lineno]
+        if prefixes is None:
+            return True
+        return any(code.startswith(p) for p in prefixes)
+
+    def report(self, node: ast.AST, code: str, message: str) -> None:
+        """Record one finding (dropped if a noqa on its line covers it)."""
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        finding = Finding(path=self.path, line=lineno, col=col, code=code,
+                         message=message, context=self.line_text(lineno))
+        if self._is_suppressed(code, lineno):
+            self.suppressed.append(finding)
+        else:
+            self.findings.append(finding)
+
+
+class ProjectChecker(ast.NodeVisitor):
+    """One-pass AST walker dispatching nodes to the active rules.
+
+    Beyond dispatch it maintains the scope facts several rules need:
+
+    * ``function_stack`` — enclosing function/lambda names, outermost
+      first (empty at module scope);
+    * ``local_defs`` — per enclosing function, the names of functions
+      defined *inside* it (closures — unpicklable into workers);
+    * ``at_import_time`` — True outside any function body (module or
+      class scope: code there runs when the module is imported).
+    """
+
+    def __init__(self, ctx: FileContext, rules: Iterable[Rule]):
+        self.ctx = ctx
+        ctx.checker = self
+        self.function_stack: List[str] = []
+        self.local_defs: List[Set[str]] = []
+        self._dispatch: Dict[type, List[Rule]] = {}
+        self.rules = list(rules)
+        for r in self.rules:
+            for node_type in r.interests:
+                self._dispatch.setdefault(node_type, []).append(r)
+
+    # -- scope bookkeeping --------------------------------------------------
+
+    @property
+    def at_import_time(self) -> bool:
+        return not self.function_stack
+
+    def is_local_function(self, name: str) -> bool:
+        """Is ``name`` a function defined inside an enclosing function?"""
+        return any(name in defs for defs in self.local_defs)
+
+    def _enter_function(self, node) -> None:
+        name = getattr(node, "name", "<lambda>")
+        self.function_stack.append(name)
+        nested: Set[str] = set()
+        for sub in ast.walk(node):
+            if sub is node:
+                continue
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested.add(sub.name)
+        self.local_defs.append(nested)
+
+    def _exit_function(self) -> None:
+        self.function_stack.pop()
+        self.local_defs.pop()
+
+    # -- traversal ----------------------------------------------------------
+
+    def visit(self, node: ast.AST) -> None:
+        for r in self._dispatch.get(type(node), ()):
+            r.check(node)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            self._enter_function(node)
+            self.generic_visit(node)
+            self._exit_function()
+        else:
+            self.generic_visit(node)
+
+    def run(self, tree: ast.AST) -> None:
+        _annotate_parents(tree)
+        self.visit(tree)
+        for r in self.rules:
+            r.finish()
+
+
+def _annotate_parents(tree: ast.AST) -> None:
+    """Attach ``_repro_parent`` to every node (rules peek upward)."""
+    tree._repro_parent = None  # type: ignore[attr-defined]
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            child._repro_parent = parent  # type: ignore[attr-defined]
+
+
+def check_source(source: str, path: str,
+                 codes: Optional[Sequence[str]] = None,
+                 tags: Optional[FrozenSet[str]] = None,
+                 ) -> Tuple[List[Finding], List[Finding]]:
+    """Check one file's source; returns ``(findings, suppressed)``.
+
+    ``path`` determines the domain tags (overridable via ``tags`` for
+    tests); ``codes`` restricts the active rules (default: all).
+    """
+    ctx = FileContext(path, source, tags=tags)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        ctx.findings.append(Finding(
+            path=ctx.path, line=exc.lineno or 1, col=exc.offset or 0,
+            code=PARSE_ERROR_CODE,
+            message=f"file does not parse: {exc.msg}",
+            context=ctx.line_text(exc.lineno or 1)))
+        return ctx.findings, ctx.suppressed
+    active = []
+    for code in (codes if codes is not None else sorted(RULES)):
+        inst = RULES[code](ctx)
+        if inst.applies_to(ctx.tags):
+            active.append(inst)
+    ProjectChecker(ctx, active).run(tree)
+    ctx.findings.sort()
+    return ctx.findings, ctx.suppressed
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories to a sorted list of ``.py`` files.
+
+    Raises :class:`FileNotFoundError` for a path that does not exist
+    (the CLI turns that into a usage error, exit code 2).
+    """
+    out: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            out.append(path)
+        elif os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs
+                    if d not in _SKIP_DIRS and not d.endswith(".egg-info"))
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        out.append(os.path.join(root, name))
+        else:
+            raise FileNotFoundError(path)
+    return sorted(dict.fromkeys(out))
+
+
+def check_paths(paths: Sequence[str],
+                codes: Optional[Sequence[str]] = None,
+                ) -> Tuple[List[Finding], List[Finding], int]:
+    """Check every ``.py`` file under ``paths``.
+
+    Returns ``(findings, suppressed, n_files)``; findings are sorted by
+    (path, line, col, code).
+    """
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    files = iter_python_files(paths)
+    for path in files:
+        with open(path, encoding="utf-8") as fh:
+            source = fh.read()
+        got, hidden = check_source(source, path, codes=codes)
+        findings.extend(got)
+        suppressed.extend(hidden)
+    findings.sort()
+    return findings, suppressed, len(files)

@@ -1,0 +1,56 @@
+"""Finding: one rule violation at one source location.
+
+Findings are plain data — the engine produces them, the baseline
+consumes them, and the CLI renders them as ``path:line:col: CODE
+message`` lines or JSON objects.  ``context`` carries the stripped
+source line so baselines survive unrelated line-number drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict
+
+__all__ = ["Finding", "PARSE_ERROR_CODE"]
+
+#: pseudo-code reported when a file cannot be parsed at all
+PARSE_ERROR_CODE = "RPC000"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One violation: where, which rule, and what to do about it.
+
+    Attributes
+    ----------
+    path : str
+        File path as given to the checker (posix separators).
+    line, col : int
+        1-based line and 0-based column of the offending node.
+    code : str
+        Rule code (``RPC101``...); ``RPC000`` marks an unparseable file.
+    message : str
+        Human explanation with the expected remedy.
+    context : str
+        The stripped source line, used as the drift-tolerant baseline key.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    context: str = ""
+
+    def render(self) -> str:
+        """The human one-liner: ``path:line:col: CODE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-ready dict (all fields)."""
+        return asdict(self)
+
+    @property
+    def baseline_key(self) -> tuple:
+        """Identity used for baseline matching (line number excluded)."""
+        return (self.path, self.code, self.context)

@@ -1,0 +1,164 @@
+"""RPC2xx — determinism rules.
+
+The repository's reproduction claim is that two runs of the same cell
+produce bit-identical counters at any worker count.  That dies quietly
+the first time measured code reads an unseeded RNG, stamps wall-clock
+time into something that gets hashed or compared, or assembles results
+by iterating a ``set``.  These rules police the measured subpackages
+(``kernels``, ``experiments``, ``memsim``, and ``instrument`` for the
+iteration/hash rules).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .registry import Rule, dotted_name, rule
+
+__all__ = ["UnseededRandomRule", "WallClockTimerRule",
+           "SetIterationRule", "WallClockInHashRule"]
+
+#: np.random constructors that are deterministic when given a seed
+_SEEDABLE = {"default_rng", "RandomState", "Generator", "SeedSequence",
+             "PCG64", "Philox", "Random"}
+
+#: calls whose argument order is irrelevant, so feeding them a set is fine
+_ORDER_INSENSITIVE = {"sorted", "min", "max", "sum", "len", "any", "all",
+                      "set", "frozenset", "Counter"}
+
+
+def _first_arg_is_seed(node: ast.Call) -> bool:
+    """Does this constructor call pin its stream with a non-None seed?"""
+    if node.args:
+        first = node.args[0]
+        return not (isinstance(first, ast.Constant) and first.value is None)
+    for kw in node.keywords:
+        if kw.arg in ("seed", "x") and not (
+                isinstance(kw.value, ast.Constant) and kw.value.value is None):
+            return True
+    return False
+
+
+@rule
+class UnseededRandomRule(Rule):
+    """Unseeded / global-state RNG in measured code."""
+
+    code = "RPC201"
+    name = "unseeded-random"
+    summary = ("unseeded or global-state RNG in measured code; construct "
+               "np.random.default_rng(seed) (or random.Random(seed)) from "
+               "the cell's seed field")
+    interests = (ast.Call,)
+    domains = frozenset({"kernels", "experiments", "memsim"})
+
+    def check(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if not name:
+            return
+        parts = name.split(".")
+        # numpy.random.*: global-state functions are always flagged;
+        # seedable constructors are flagged only without a seed
+        if "random" in parts[:-1] and parts[0] in ("np", "numpy"):
+            if parts[-1] in _SEEDABLE:
+                if not _first_arg_is_seed(node):
+                    self.ctx.report(node, self.code, self.summary)
+            else:
+                self.ctx.report(node, self.code, self.summary)
+        # stdlib random module: random.random(), random.randint(), ...
+        elif parts[0] == "random" and len(parts) == 2:
+            if parts[-1] in _SEEDABLE:
+                if not _first_arg_is_seed(node):
+                    self.ctx.report(node, self.code, self.summary)
+            else:
+                self.ctx.report(node, self.code, self.summary)
+
+
+@rule
+class WallClockTimerRule(Rule):
+    """``time.time()`` in measured code (it is not monotonic)."""
+
+    code = "RPC202"
+    name = "wall-clock-timer"
+    summary = ("time.time() in measured code; use time.perf_counter() "
+               "for intervals, or the harness trace spans "
+               "(repro.instrument.trace) for attribution")
+    interests = (ast.Call,)
+    domains = frozenset({"kernels", "experiments", "memsim"})
+
+    def check(self, node: ast.Call) -> None:
+        if dotted_name(node.func) == "time.time":
+            self.ctx.report(node, self.code, self.summary)
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return dotted_name(node.func) in ("set", "frozenset")
+    return False
+
+
+@rule
+class SetIterationRule(Rule):
+    """Iterating a set where order can leak into results."""
+
+    code = "RPC203"
+    name = "set-iteration-order"
+    summary = ("iterating a set: element order is not part of the "
+               "language contract and can differ across processes; "
+               "wrap in sorted() before iterating in result assembly")
+    interests = (ast.For, ast.ListComp, ast.GeneratorExp, ast.DictComp,
+                 ast.SetComp)
+    domains = frozenset({"kernels", "experiments", "memsim", "instrument"})
+
+    def _inside_order_insensitive_call(self, node: ast.AST) -> bool:
+        parent = getattr(node, "_repro_parent", None)
+        return (isinstance(parent, ast.Call)
+                and dotted_name(parent.func).split(".")[-1]
+                in _ORDER_INSENSITIVE)
+
+    def check(self, node: ast.AST) -> None:
+        if isinstance(node, ast.For):
+            if _is_set_expr(node.iter):
+                self.ctx.report(node.iter, self.code, self.summary)
+            return
+        # comprehension forms: flag a set-typed source unless the whole
+        # comprehension feeds an order-insensitive reduction (sorted(...))
+        if self._inside_order_insensitive_call(node) \
+                or isinstance(node, ast.SetComp):
+            return
+        for gen in node.generators:
+            if _is_set_expr(gen.iter):
+                self.ctx.report(gen.iter, self.code, self.summary)
+
+
+@rule
+class WallClockInHashRule(Rule):
+    """Wall-clock reads inside config-hash / fingerprint functions."""
+
+    code = "RPC204"
+    name = "wall-clock-in-hash"
+    summary = ("wall-clock value inside a config-hash/fingerprint "
+               "function makes the hash unstable across runs; hash only "
+               "the configuration, stamp timestamps in the manifest")
+    interests = (ast.Call,)
+    domains = frozenset({"src"})
+    exclude = frozenset({"check"})
+
+    _CLOCKS = ("time.time", "time.time_ns", "datetime.now",
+               "datetime.utcnow", "datetime.datetime.now",
+               "datetime.datetime.utcnow", "date.today",
+               "datetime.date.today")
+
+    def check(self, node: ast.Call) -> None:
+        if dotted_name(node.func) not in self._CLOCKS:
+            return
+        checker = self.ctx.checker
+        if checker is None:
+            return
+        for fname in checker.function_stack:
+            lowered = fname.lower()
+            if "hash" in lowered or "fingerprint" in lowered \
+                    or "config" in lowered:
+                self.ctx.report(node, self.code, self.summary)
+                return

@@ -1,0 +1,148 @@
+"""RPC1xx — layout-contract rules.
+
+The paper's measurement argument only holds if every kernel touches
+memory through the uniform layout interface (``layout.index`` /
+``index_array`` / ``Grid.gather``).  A kernel that hand-computes
+``k*nx*ny + j*nx + i`` is silently hard-wired to array order: it will
+*run* under a Morton grid but the measured stream no longer reflects
+the declared layout.  These rules catch the three ways that contract
+leaks: raw strided arithmetic, numpy's linear-index shortcuts, and the
+deprecated ``get_index`` shim.
+
+``core`` is exempt throughout — it is the one place raw index math is
+the point.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List, Set
+
+from .registry import Rule, dotted_name, rule
+
+__all__ = ["RawLinearIndexRule", "FlatAccessRule", "GetIndexRule"]
+
+#: loop/coordinate variables as the kernels and the paper spell them
+_COORD_RE = re.compile(r"^(?:[ijk][0-9]?|[xyz][0-9]?|ii|jj|kk|row|col)$")
+#: grid-extent / stride variables
+_DIM_RE = re.compile(
+    r"^(?:n[xyz]|dim[xyz]?|width|height|depth|stride[_a-z0-9]*|pitch)$")
+
+
+def _is_coord(node: ast.AST) -> bool:
+    return isinstance(node, ast.Name) and bool(_COORD_RE.match(node.id))
+
+
+def _is_dim(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        return bool(_DIM_RE.match(node.id))
+    if isinstance(node, ast.Attribute):
+        return bool(_DIM_RE.match(node.attr))
+    if isinstance(node, ast.Subscript):
+        base = dotted_name(node.value)
+        return base.endswith("shape") or base.endswith("dims")
+    return False
+
+
+def _flatten(node: ast.AST, op_type: type) -> List[ast.AST]:
+    """Flatten a left-leaning chain of one binary operator."""
+    if isinstance(node, ast.BinOp) and isinstance(node.op, op_type):
+        return _flatten(node.left, op_type) + _flatten(node.right, op_type)
+    return [node]
+
+
+def _contains_coord(node: ast.AST) -> bool:
+    return any(_is_coord(sub) for sub in ast.walk(node))
+
+
+def _strided_mult(term: ast.AST) -> bool:
+    """Is ``term`` a product mixing a grid extent with a coordinate?
+
+    Matches ``k*nx*ny``, ``j*shape[0]``, and the nested form
+    ``nx*(j + ny*k)`` — the building blocks of every hand-rolled
+    row-major/column-major offset.
+    """
+    if not (isinstance(term, ast.BinOp) and isinstance(term.op, ast.Mult)):
+        return False
+    factors = _flatten(term, ast.Mult)
+    has_dim = any(_is_dim(f) for f in factors)
+    has_coord = any(_is_coord(f) or _contains_coord(f)
+                    for f in factors if not _is_dim(f))
+    return has_dim and has_coord
+
+
+@rule
+class RawLinearIndexRule(Rule):
+    """Hand-rolled linear-index arithmetic outside ``core``."""
+
+    code = "RPC101"
+    name = "raw-linear-index"
+    summary = ("raw strided index arithmetic (e.g. k*nx*ny + j*nx + i); "
+               "use layout.index()/index_array() so the access stream "
+               "follows the declared layout")
+    interests = (ast.BinOp,)
+    exclude = frozenset({"core", "check", "docs"})
+
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        self._consumed: Set[int] = set()
+
+    def check(self, node: ast.BinOp) -> None:
+        if not isinstance(node.op, ast.Add) or id(node) in self._consumed:
+            return
+        terms = _flatten(node, ast.Add)
+        if len(terms) < 2:
+            return
+        strided = [t for t in terms if _strided_mult(t)]
+        plain_coords = [t for t in terms if _is_coord(t)]
+        if strided and (plain_coords or len(strided) >= 2):
+            # claim every nested Add so the chain is reported once
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Add):
+                    self._consumed.add(id(sub))
+            self.ctx.report(node, self.code, self.summary)
+
+
+@rule
+class FlatAccessRule(Rule):
+    """numpy linear-index shortcuts that bypass the layout."""
+
+    code = "RPC102"
+    name = "flat-buffer-access"
+    summary = ("direct linear-buffer access (np.ravel_multi_index / "
+               ".flat) bypasses the layout; use layout.index_array() or "
+               "Grid.gather/scatter")
+    interests = (ast.Call, ast.Attribute)
+    exclude = frozenset({"core", "check", "docs"})
+
+    def check(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name.endswith("ravel_multi_index") \
+                    or name.endswith("unravel_index"):
+                self.ctx.report(node, self.code, self.summary)
+        elif isinstance(node, ast.Attribute) and node.attr == "flat":
+            # ``x.flat`` reads the buffer in storage order, whatever the
+            # declared layout is; ``x.flatten()`` is a Call, not this node
+            parent = getattr(node, "_repro_parent", None)
+            if not isinstance(parent, ast.Call) or parent.func is not node:
+                self.ctx.report(node, self.code, self.summary)
+
+
+@rule
+class GetIndexRule(Rule):
+    """Calls to the deprecated ``get_index`` shim outside ``core``."""
+
+    code = "RPC103"
+    name = "get-index-shim"
+    summary = ("get_index() is the deprecated external-compat shim; "
+               "internal code must call index()/index_array() "
+               "(check_bounds() first for untrusted coordinates)")
+    interests = (ast.Call,)
+    exclude = frozenset({"core"})
+
+    def check(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Attribute) \
+                and node.func.attr == "get_index":
+            self.ctx.report(node, self.code, self.summary)

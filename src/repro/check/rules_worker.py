@@ -1,0 +1,136 @@
+"""RPC3xx — worker-safety rules.
+
+Everything handed to :func:`repro.experiments.parallel.run_cells_parallel`
+or :class:`repro.resilience.pool.SupervisedPool` crosses a process
+boundary: it must pickle, and it must not smuggle state that is only
+valid in the parent (closures over locals, import-time pids, warm RNG
+streams).  These rules catch the failure modes at the call site instead
+of as an opaque ``PicklingError`` (or worse, a silent wrong answer)
+deep inside a worker.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .registry import Rule, dotted_name, rule
+
+__all__ = ["UnpicklableWorkerArgRule", "MutableModuleGlobalRule",
+           "ImportTimeStateRule"]
+
+#: call targets that ship their arguments into worker processes
+_POOL_TARGETS = {"run_cells_parallel", "SupervisedPool", "sweep_cells",
+                 "Pool", "ProcessPoolExecutor"}
+
+
+@rule
+class UnpicklableWorkerArgRule(Rule):
+    """Lambdas / nested functions passed into the worker pool."""
+
+    code = "RPC301"
+    name = "unpicklable-worker-arg"
+    summary = ("lambda or nested function passed into a worker pool; "
+               "workers unpickle their payload, so the callable must be "
+               "a module-level function")
+    interests = (ast.Call,)
+    exclude = frozenset({"check"})
+
+    def check(self, node: ast.Call) -> None:
+        target = dotted_name(node.func).split(".")[-1]
+        if target not in _POOL_TARGETS:
+            return
+        checker = self.ctx.checker
+        for arg in [*node.args, *(kw.value for kw in node.keywords)]:
+            for sub in ast.walk(arg):
+                if isinstance(sub, ast.Lambda):
+                    self.ctx.report(sub, self.code, self.summary)
+                elif (isinstance(sub, ast.Name) and checker is not None
+                        and checker.is_local_function(sub.id)):
+                    self.ctx.report(
+                        sub, self.code,
+                        f"nested function {sub.id!r} passed into a worker "
+                        f"pool; move it to module level so it pickles")
+
+
+@rule
+class MutableModuleGlobalRule(Rule):
+    """Lowercase mutable module globals (fork-shared, spawn-lost)."""
+
+    code = "RPC302"
+    name = "mutable-module-global"
+    summary = ("mutable module-level global: forked workers share the "
+               "parent's copy and spawned workers silently reset it; "
+               "name it ALL_CAPS to mark it a documented per-process "
+               "cache, or move it into function scope")
+    interests = (ast.Assign, ast.AnnAssign)
+    domains = frozenset({"src"})
+    exclude = frozenset({"check"})
+
+    _MUTABLE_CALLS = {"dict", "list", "set", "defaultdict", "deque",
+                      "OrderedDict", "Counter"}
+
+    def _is_mutable_literal(self, value: ast.AST) -> bool:
+        if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.ListComp,
+                              ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(value, ast.Call):
+            return dotted_name(value.func).split(".")[-1] \
+                in self._MUTABLE_CALLS
+        return False
+
+    def check(self, node: ast.AST) -> None:
+        checker = self.ctx.checker
+        if checker is None or not checker.at_import_time:
+            return
+        parent = getattr(node, "_repro_parent", None)
+        if not isinstance(parent, ast.Module):
+            return  # class attributes are a different contract
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        else:
+            targets = [node.target]
+            value = node.value
+        if value is None or not self._is_mutable_literal(value):
+            return
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            name = target.id
+            if name.startswith("__") and name.endswith("__"):
+                continue  # __all__ and friends: module metadata, not state
+            if not name.lstrip("_").isupper():
+                self.ctx.report(node, self.code, self.summary)
+                return
+
+
+@rule
+class ImportTimeStateRule(Rule):
+    """Process-identity / clock / RNG state captured at import time."""
+
+    code = "RPC303"
+    name = "import-time-state"
+    summary = ("process-specific state captured at import time is stale "
+               "in forked workers and re-made in spawned ones; read it "
+               "lazily inside the function that needs it")
+    interests = (ast.Call,)
+    domains = frozenset({"src"})
+    exclude = frozenset({"check"})
+
+    _FORK_UNSAFE = {"os.getpid", "os.cpu_count", "os.urandom",
+                    "multiprocessing.cpu_count", "time.time",
+                    "time.perf_counter", "time.monotonic",
+                    "socket.gethostname"}
+
+    def _is_fork_unsafe(self, name: str) -> bool:
+        return (name in self._FORK_UNSAFE
+                or name.startswith("np.random.")
+                or name.startswith("numpy.random.")
+                or name.startswith("random."))
+
+    def check(self, node: ast.Call) -> None:
+        checker = self.ctx.checker
+        if checker is None or not checker.at_import_time:
+            return
+        name = dotted_name(node.func)
+        if name and self._is_fork_unsafe(name):
+            self.ctx.report(node, self.code, self.summary)

@@ -93,6 +93,11 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--manifest", metavar="PATH", default=None,
                      help="run-manifest output path (default: "
                           "<trace>.manifest.json when --trace is given)")
+    obs.add_argument("--sanitize", nargs="?", const="strict",
+                     choices=["strict", "report"], default=None,
+                     help="validate every grid access against the layout's "
+                          "bounds/bijectivity (exports REPRO_SANITIZE so "
+                          "workers inherit it; see docs/STATIC_ANALYSIS.md)")
 
     # resilience flags shared by the cell-batch commands
     # (checkpoint/resume, per-cell retry + timeout; see docs/RESILIENCE.md)
@@ -190,6 +195,15 @@ def build_parser() -> argparse.ArgumentParser:
                             help="unstructured-mesh ordering study")
     p_mesh.add_argument("--vertices", type=int, default=2000)
     p_mesh.add_argument("--seed", type=int, default=1)
+
+    from .check.cli import add_arguments as add_check_arguments
+
+    add_check_arguments(sub.add_parser(
+        "check",
+        help="project-specific static analysis (layout contract, "
+             "determinism, worker safety)",
+        description="static analysis over the repo's own contracts; "
+                    "rule catalog in docs/STATIC_ANALYSIS.md"))
     return parser
 
 
@@ -437,6 +451,9 @@ def _cmd_mesh(args) -> int:
 
 
 def _dispatch(args) -> int:
+    if args.command == "check":
+        from .check.cli import run as run_check
+        return run_check(args)
     if args.command == "info":
         return _cmd_info()
     if args.command == "figure":
@@ -483,16 +500,33 @@ def _write_observability(args, tracer) -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    if not _observability_requested(args):
-        return _dispatch(args)
-    tracer = trace.enable()
+    sanitizer = None
+    if getattr(args, "sanitize", None):
+        from .memsim import sanitize as _sanitize
+
+        # exported so forked/spawned workers re-enable it on import
+        os.environ[_sanitize.ENV_VAR] = args.sanitize
+        sanitizer = _sanitize.enable(args.sanitize)
     try:
-        with trace.span(f"cli.{args.command}"):
-            rc = _dispatch(args)
+        if not _observability_requested(args):
+            return _dispatch(args)
+        tracer = trace.enable()
+        try:
+            with trace.span(f"cli.{args.command}"):
+                rc = _dispatch(args)
+        finally:
+            trace.disable()
+        _write_observability(args, tracer)
+        return rc
     finally:
-        trace.disable()
-    _write_observability(args, tracer)
-    return rc
+        if sanitizer is not None:
+            from .memsim import sanitize as _sanitize
+
+            _sanitize.disable()
+            stats = sanitizer.stats()
+            print(f"[sanitize: {stats['accesses']} accesses across "
+                  f"{stats['layouts']} layouts, "
+                  f"{stats['violations']} violations]", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -23,6 +23,18 @@ from .layout import Layout
 
 __all__ = ["Grid"]
 
+#: access-sanitizer hook, installed by :mod:`repro.memsim.sanitize`.
+#: None (the default) keeps the hot path at one global load plus an
+#: identity test per batched access; when set it is called as
+#: ``fn(layout, offsets)`` before the buffer is touched.
+_ACCESS_CHECK = None
+
+
+def _install_access_check(fn) -> None:
+    """Install (or, with None, remove) the runtime access sanitizer."""
+    global _ACCESS_CHECK
+    _ACCESS_CHECK = fn
+
 
 class Grid:
     """A scalar volume with layout-mediated element access.
@@ -90,24 +102,39 @@ class Grid:
     def get(self, i: int, j: int, k: int):
         """Bounds-checked scalar read (the paper's access idiom)."""
         self.layout.check_bounds(i, j, k)
-        return self.buffer[self.layout.index(i, j, k)]
+        off = self.layout.index(i, j, k)
+        if _ACCESS_CHECK is not None:
+            _ACCESS_CHECK(self.layout, off)
+        return self.buffer[off]
 
     def set(self, i: int, j: int, k: int, value) -> None:
         """Bounds-checked scalar write."""
         self.layout.check_bounds(i, j, k)
-        self.buffer[self.layout.index(i, j, k)] = value
+        off = self.layout.index(i, j, k)
+        if _ACCESS_CHECK is not None:
+            _ACCESS_CHECK(self.layout, off)
+        self.buffer[off] = value
 
     def gather(self, i, j, k) -> np.ndarray:
         """Vectorized read of many points; returns values array."""
-        return self.buffer[self.layout.index_array(i, j, k)]
+        offs = self.layout.index_array(i, j, k)
+        if _ACCESS_CHECK is not None:
+            _ACCESS_CHECK(self.layout, offs)
+        return self.buffer[offs]
 
     def scatter(self, i, j, k, values) -> None:
         """Vectorized write of many points."""
-        self.buffer[self.layout.index_array(i, j, k)] = values
+        offs = self.layout.index_array(i, j, k)
+        if _ACCESS_CHECK is not None:
+            _ACCESS_CHECK(self.layout, offs)
+        self.buffer[offs] = values
 
     def offsets(self, i, j, k) -> np.ndarray:
         """Buffer offsets for coordinates — the simulator's address feed."""
-        return self.layout.index_array(i, j, k)
+        offs = self.layout.index_array(i, j, k)
+        if _ACCESS_CHECK is not None:
+            _ACCESS_CHECK(self.layout, offs)
+        return offs
 
     # -- conversions ----------------------------------------------------------
 

@@ -97,13 +97,34 @@ def _resilience_entries(tracer: Tracer) -> Dict[str, Any]:
             if name.startswith(prefix)}
 
 
+def _sanitize_entries(tracer: Tracer) -> Dict[str, Any]:
+    """The access-sanitizer tallies :mod:`repro.memsim.sanitize` emits
+    as ``sanitize.*`` counters (batches, accesses, validated layouts,
+    violations by kind) — empty when the sanitizer was not enabled.
+
+    The sanitizer counts from inside whatever span is open, so the
+    rollup sums span counters (including cell spans merged back from
+    worker processes) as well as the tracer's top-level counters."""
+    prefix = "sanitize."
+    entries: Dict[str, Any] = {}
+    sources = [tracer.counters]
+    sources.extend(rec.get("counters", {}) for rec in tracer.records)
+    for counters in sources:
+        for name, value in counters.items():
+            if name.startswith(prefix):
+                key = name[len(prefix):]
+                entries[key] = entries.get(key, 0) + value
+    return entries
+
+
 def build_manifest(tracer: Tracer,
                    extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     """Assemble the manifest for one traced run.
 
     ``extra`` entries (e.g. the CLI argv) are merged in under ``run``.
     When the run used retries / timeouts / checkpoint-resume, their
-    counts appear under ``resilience`` (absent otherwise).
+    counts appear under ``resilience`` (absent otherwise); a run under
+    the access sanitizer likewise stamps its ``sanitize`` tallies.
     """
     from .. import __version__
 
@@ -124,6 +145,9 @@ def build_manifest(tracer: Tracer,
     resilience = _resilience_entries(tracer)
     if resilience:
         manifest["resilience"] = resilience
+    sanitize = _sanitize_entries(tracer)
+    if sanitize:
+        manifest["sanitize"] = sanitize
     return manifest
 
 
@@ -182,16 +206,18 @@ def validate_manifest(manifest: Dict[str, Any]) -> Dict[str, Any]:
         if not isinstance(entry, dict) or "count" not in entry \
                 or "total_seconds" not in entry:
             problems.append(f"phase {name!r} missing count/total_seconds")
-    resilience = manifest.get("resilience")
-    if resilience is not None:
-        if not isinstance(resilience, dict):
+    for section in ("resilience", "sanitize"):
+        entries = manifest.get(section)
+        if entries is None:
+            continue
+        if not isinstance(entries, dict):
             problems.append(
-                f"'resilience' is {type(resilience).__name__}, not an object")
-        else:
-            for rname, value in resilience.items():
-                if not isinstance(value, (int, float)):
-                    problems.append(
-                        f"resilience counter {rname!r} is not numeric")
+                f"{section!r} is {type(entries).__name__}, not an object")
+            continue
+        for rname, value in entries.items():
+            if not isinstance(value, (int, float)):
+                problems.append(
+                    f"{section} counter {rname!r} is not numeric")
     _fail(problems, "manifest")
     return manifest
 

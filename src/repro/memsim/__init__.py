@@ -47,8 +47,14 @@ from .platforms import (
     with_replacement,
 )
 from .trace import TraceChunk, collapse_consecutive, concat_chunks, offsets_to_lines
+from .sanitize import (
+    AccessSanitizer,
+    SanitizeViolation,
+)
+from . import sanitize as _sanitize
 
 __all__ = [
+    "AccessSanitizer",
     "AddressSpace",
     "BABBAGE_MIC",
     "Cache",
@@ -71,6 +77,7 @@ __all__ = [
     "StreamPrefetcher",
     "REPLACEMENT_POLICIES",
     "REPLAY_BACKENDS",
+    "SanitizeViolation",
     "ServiceCounts",
     "SimResult",
     "SimulationEngine",
@@ -84,3 +91,7 @@ __all__ = [
     "scaled_mic",
     "with_replacement",
 ]
+
+# honor REPRO_SANITIZE=1 / =report: opt-in runtime access validation
+# (see docs/STATIC_ANALYSIS.md); a no-op when the variable is unset
+_sanitize.enable_from_env()

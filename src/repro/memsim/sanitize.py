@@ -1,0 +1,220 @@
+"""Runtime access sanitizer: validate every replayed access vs the layout.
+
+The static checker (``repro check``, RPC1xx) proves kernels *call* the
+layout interface; this module proves the interface *delivers* — that
+every offset a :class:`~repro.core.grid.Grid` touches at run time lands
+inside the allocation and on an address the declared layout actually
+maps.  It is the dynamic half of the layout contract:
+
+* **structural check** (once per layout): the full coordinate → offset
+  table must stay inside ``buffer_size`` and be alias-free (bijective
+  onto its image);
+* **access check** (per batch): replayed offsets must be in-allocation
+  and land on mapped addresses — a hit on padding or on an address the
+  layout never produces means some code path bypassed the layout
+  (exactly the raw-arithmetic bug class RPC101 exists to prevent).
+
+Opt-in and off by default: enable with ``REPRO_SANITIZE=1`` in the
+environment (``REPRO_SANITIZE=report`` to count violations instead of
+raising) or the CLI's ``--sanitize`` flag, or programmatically via
+:func:`enable`.  When disabled the only cost in the hot path is one
+module-global load and an ``is not None`` test per batched access
+(guarded in ``Grid.gather``/``scatter``/``offsets``; see
+``scripts/bench_sanitize.py`` for the enforced overhead budget).
+
+Violations surface through the existing trace/manifest machinery as
+top-level ``sanitize.*`` counters (see ``repro.instrument.manifest``),
+and in strict mode as a :class:`SanitizeViolation` carrying the layout
+name, the violation kind and example offsets.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core import grid as _grid
+from ..instrument import trace
+
+__all__ = [
+    "SanitizeViolation",
+    "AccessSanitizer",
+    "enable",
+    "disable",
+    "is_enabled",
+    "current",
+    "enable_from_env",
+]
+
+#: environment switch; "0"/"" off, "report" counts, anything else strict
+ENV_VAR = "REPRO_SANITIZE"
+
+
+class SanitizeViolation(RuntimeError):
+    """A replayed access (or a layout's own table) broke the contract.
+
+    Attributes mirror the violation record: ``layout`` (name), ``kind``
+    (``out-of-allocation`` / ``unmapped-address`` / ``aliased-layout``),
+    ``count`` and ``examples`` (first few offending offsets).
+    """
+
+    def __init__(self, layout: str, kind: str, count: int,
+                 examples: List[int]):
+        self.layout = layout
+        self.kind = kind
+        self.count = count
+        self.examples = examples
+        super().__init__(
+            f"{kind}: {count} offending access(es) under layout "
+            f"{layout!r}, e.g. offsets {examples}")
+
+
+class _LayoutTable:
+    """Cached structural verdict + valid-address mask for one layout."""
+
+    __slots__ = ("name", "buffer_size", "valid", "structural")
+
+    def __init__(self, layout) -> None:
+        self.name = getattr(layout, "name", type(layout).__name__)
+        self.buffer_size = int(layout.buffer_size)
+        offs = np.asarray(layout.offsets_for_all()).ravel()
+        self.structural: Optional[Tuple[str, int, List[int]]] = None
+        oob = offs[(offs < 0) | (offs >= self.buffer_size)]
+        if oob.size:
+            self.structural = ("out-of-allocation", int(oob.size),
+                               [int(v) for v in oob[:4]])
+            offs = offs[(offs >= 0) & (offs < self.buffer_size)]
+        else:
+            uniq, counts = np.unique(offs, return_counts=True)
+            shared = uniq[counts > 1]
+            if shared.size:
+                self.structural = ("aliased-layout", int(shared.size),
+                                   [int(v) for v in shared[:4]])
+        self.valid = np.zeros(self.buffer_size, dtype=bool)
+        self.valid[offs] = True
+
+
+class AccessSanitizer:
+    """The checker installed into ``repro.core.grid`` while enabled.
+
+    Parameters
+    ----------
+    mode : ``"strict"`` or ``"report"``
+        strict raises :class:`SanitizeViolation` on the first offending
+        batch; report keeps running and tallies (for sweeps where one
+        bad layout should not abort the whole batch).
+    max_records : int
+        Bound on the retained violation detail records in report mode.
+    """
+
+    def __init__(self, mode: str = "strict", max_records: int = 64):
+        if mode not in ("strict", "report"):
+            raise ValueError(f"mode must be 'strict' or 'report', got {mode!r}")
+        self.mode = mode
+        self.max_records = max_records
+        self.counters: Dict[str, int] = {
+            "batches": 0, "accesses": 0, "layouts": 0, "violations": 0,
+        }
+        self.records: List[Dict] = []
+        # keyed by id(layout); the table list keeps the layouts alive so
+        # a recycled id can never pick up a stale verdict
+        self._tables: Dict[int, _LayoutTable] = {}
+        self._keepalive: List = []
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _violate(self, table: _LayoutTable, kind: str, count: int,
+                 examples: List[int]) -> None:
+        self.counters["violations"] += count
+        self.counters[kind] = self.counters.get(kind, 0) + count
+        trace.add("sanitize.violations", count)
+        trace.add(f"sanitize.{kind}", count)
+        if self.mode == "strict":
+            raise SanitizeViolation(table.name, kind, count, examples)
+        if len(self.records) < self.max_records:
+            self.records.append({"layout": table.name, "kind": kind,
+                                 "count": count, "examples": examples})
+
+    def _table(self, layout) -> _LayoutTable:
+        table = self._tables.get(id(layout))
+        if table is None:
+            table = _LayoutTable(layout)
+            self._tables[id(layout)] = table
+            self._keepalive.append(layout)
+            self.counters["layouts"] += 1
+            trace.add("sanitize.layouts", 1)
+            if table.structural is not None:
+                self._violate(table, *table.structural)
+        return table
+
+    # -- the hook ------------------------------------------------------------
+
+    def __call__(self, layout, offsets) -> None:
+        """Validate one batch of buffer offsets produced by ``layout``."""
+        table = self._table(layout)
+        offs = np.asarray(offsets).ravel()
+        self.counters["batches"] += 1
+        self.counters["accesses"] += int(offs.size)
+        trace.add("sanitize.batches", 1)
+        trace.add("sanitize.accesses", int(offs.size))
+        oob = offs[(offs < 0) | (offs >= table.buffer_size)]
+        if oob.size:
+            self._violate(table, "out-of-allocation", int(oob.size),
+                          [int(v) for v in oob[:4]])
+            offs = offs[(offs >= 0) & (offs < table.buffer_size)]
+        unmapped = offs[~table.valid[offs]]
+        if unmapped.size:
+            self._violate(table, "unmapped-address", int(unmapped.size),
+                          [int(v) for v in unmapped[:4]])
+
+    def stats(self) -> Dict[str, int]:
+        """A copy of the counter tallies (accesses, violations, kinds)."""
+        return dict(self.counters)
+
+
+# -- module-level switch ---------------------------------------------------------
+
+_SANITIZER: Optional[AccessSanitizer] = None
+
+
+def enable(mode: str = "strict",
+           sanitizer: Optional[AccessSanitizer] = None) -> AccessSanitizer:
+    """Install an access sanitizer into the Grid hot path; returns it."""
+    global _SANITIZER
+    _SANITIZER = sanitizer if sanitizer is not None else AccessSanitizer(mode)
+    _grid._install_access_check(_SANITIZER)
+    return _SANITIZER
+
+
+def disable() -> Optional[AccessSanitizer]:
+    """Uninstall the sanitizer; returns it (for reading final stats)."""
+    global _SANITIZER
+    sanitizer, _SANITIZER = _SANITIZER, None
+    _grid._install_access_check(None)
+    return sanitizer
+
+
+def is_enabled() -> bool:
+    """True while an access sanitizer is installed."""
+    return _SANITIZER is not None
+
+
+def current() -> Optional[AccessSanitizer]:
+    """The installed sanitizer, or None."""
+    return _SANITIZER
+
+
+def enable_from_env(environ=None) -> Optional[AccessSanitizer]:
+    """Honor ``REPRO_SANITIZE``; called at ``repro.memsim`` import.
+
+    Returns the sanitizer when the variable asked for one, else None.
+    Worker processes inherit the variable, so ``--sanitize`` (which
+    exports it) covers parallel runs too.
+    """
+    value = (environ if environ is not None else os.environ).get(ENV_VAR, "")
+    value = value.strip().lower()
+    if value in ("", "0", "off", "no", "false"):
+        return None
+    return enable("report" if value == "report" else "strict")

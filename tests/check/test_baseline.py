@@ -1,0 +1,72 @@
+"""Baseline round-trip, count-exactness, staleness and corruption."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.check import apply_baseline, load_baseline, write_baseline
+from repro.check.findings import Finding
+
+
+def make_finding(line=3, code="RPC103", context="layout.get_index(0, 0, 0)"):
+    return Finding(path="examples/x.py", line=line, col=4, code=code,
+                   message="shim call", context=context)
+
+
+class TestRoundTrip:
+    def test_write_then_load_matches(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        findings = [make_finding(), make_finding(line=9, code="RPC201",
+                                                 context="np.random.rand(3)")]
+        assert write_baseline(path, findings) == 2
+        baseline = load_baseline(path)
+        new, baselined, stale = apply_baseline(findings, baseline)
+        assert not new
+        assert len(baselined) == 2
+        assert stale == 0
+
+    def test_line_drift_still_matches(self, tmp_path):
+        """An edit above the finding moves its line but not its key."""
+        path = str(tmp_path / "baseline.json")
+        write_baseline(path, [make_finding(line=3)])
+        drifted = make_finding(line=30)
+        new, baselined, stale = apply_baseline([drifted],
+                                               load_baseline(path))
+        assert not new and len(baselined) == 1 and stale == 0
+
+    def test_count_exact(self, tmp_path):
+        """One baseline entry absorbs one violation, not two."""
+        path = str(tmp_path / "baseline.json")
+        write_baseline(path, [make_finding()])
+        pair = [make_finding(line=3), make_finding(line=4)]
+        new, baselined, stale = apply_baseline(pair, load_baseline(path))
+        assert len(new) == 1 and len(baselined) == 1 and stale == 0
+
+    def test_fixed_violation_reports_stale(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        write_baseline(path, [make_finding()])
+        new, baselined, stale = apply_baseline([], load_baseline(path))
+        assert not new and not baselined and stale == 1
+
+
+class TestCorruption:
+    def test_wrong_version_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(ValueError):
+            load_baseline(str(path))
+
+    def test_malformed_entry_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 1,
+                                    "entries": [{"path": "x.py"}]}))
+        with pytest.raises(ValueError):
+            load_baseline(str(path))
+
+    def test_not_json_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("not json at all")
+        with pytest.raises(json.JSONDecodeError):
+            load_baseline(str(path))

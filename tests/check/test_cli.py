@@ -1,0 +1,134 @@
+"""Exit codes and output formats of ``repro check`` (and the module
+entry point it shares).  Fixture files are written into tmp_path from
+inline strings, so the repository's own gate never sees them."""
+
+from __future__ import annotations
+
+import json
+import os
+import textwrap
+
+import pytest
+
+from repro.check.cli import main
+
+CLEAN = "VALUE = 1\n"
+DIRTY = textwrap.dedent("""\
+    def at(grid, layout):
+        return layout.get_index(0, 0, 0)
+""")
+SUPPRESSED = DIRTY.replace("0, 0, 0)", "0, 0, 0)  # repro: noqa[RPC103]")
+
+
+@pytest.fixture()
+def in_tmp(tmp_path, monkeypatch):
+    """Run the CLI from tmp_path so default baseline paths stay local."""
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+def write(tmp_path, name, content):
+    path = tmp_path / name
+    path.write_text(content)
+    return str(path)
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_0(self, in_tmp, capsys):
+        target = write(in_tmp, "clean.py", CLEAN)
+        assert main([target]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_1(self, in_tmp, capsys):
+        target = write(in_tmp, "dirty.py", DIRTY)
+        assert main([target]) == 1
+        out = capsys.readouterr().out
+        assert "RPC103" in out and "FAIL" in out
+
+    def test_missing_path_exits_2(self, in_tmp, capsys):
+        assert main(["no/such/dir"]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_bad_selector_exits_2(self, in_tmp, capsys):
+        target = write(in_tmp, "clean.py", CLEAN)
+        assert main([target, "--select", "RPC9"]) == 2
+        assert "RPC9" in capsys.readouterr().err
+
+    def test_corrupt_baseline_exits_2(self, in_tmp, capsys):
+        target = write(in_tmp, "dirty.py", DIRTY)
+        baseline = write(in_tmp, "base.json", "not json {")
+        assert main([target, "--baseline", baseline]) == 2
+
+
+class TestSuppression:
+    def test_noqa_keeps_exit_0(self, in_tmp, capsys):
+        target = write(in_tmp, "ack.py", SUPPRESSED)
+        assert main([target]) == 0
+        assert "1 suppressed" in capsys.readouterr().out
+
+    def test_show_suppressed_lists_them(self, in_tmp, capsys):
+        target = write(in_tmp, "ack.py", SUPPRESSED)
+        main([target, "--show-suppressed"])
+        assert "[suppressed]" in capsys.readouterr().out
+
+
+class TestBaselineFlow:
+    def test_write_then_check_is_green(self, in_tmp, capsys):
+        target = write(in_tmp, "dirty.py", DIRTY)
+        baseline = str(in_tmp / "baseline.json")
+        assert main([target, "--write-baseline",
+                     "--baseline", baseline]) == 0
+        assert os.path.exists(baseline)
+        assert main([target, "--baseline", baseline]) == 0
+        out = capsys.readouterr().out
+        assert "1 baselined" in out
+
+    def test_no_baseline_flag_reinstates_failure(self, in_tmp):
+        target = write(in_tmp, "dirty.py", DIRTY)
+        baseline = str(in_tmp / "baseline.json")
+        main([target, "--write-baseline", "--baseline", baseline])
+        assert main([target, "--baseline", baseline,
+                     "--no-baseline"]) == 1
+
+    def test_stale_entries_reported(self, in_tmp, capsys):
+        target = write(in_tmp, "dirty.py", DIRTY)
+        baseline = str(in_tmp / "baseline.json")
+        main([target, "--write-baseline", "--baseline", baseline])
+        write(in_tmp, "dirty.py", CLEAN)  # violation fixed
+        assert main([target, "--baseline", baseline]) == 0
+        assert "1 stale baseline" in capsys.readouterr().out
+
+
+class TestJsonFormat:
+    def test_json_document_shape(self, in_tmp, capsys):
+        target = write(in_tmp, "dirty.py", DIRTY)
+        assert main([target, "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["files_checked"] == 1
+        assert doc["counts"] == {"RPC103": 1}
+        (finding,) = doc["findings"]
+        assert finding["code"] == "RPC103"
+        assert finding["line"] == 2
+
+    def test_json_clean_exits_0(self, in_tmp, capsys):
+        target = write(in_tmp, "clean.py", CLEAN)
+        assert main([target, "--format", "json"]) == 0
+        assert json.loads(capsys.readouterr().out)["findings"] == []
+
+
+class TestCatalog:
+    def test_list_rules_names_every_family(self, in_tmp, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for family in ("layout-contract", "determinism", "worker-safety"):
+            assert family in out
+        for code in ("RPC101", "RPC201", "RPC301"):
+            assert code in out
+
+
+class TestSelfCheck:
+    def test_repo_source_is_clean(self):
+        """The repo's own gate: src must stay free of new findings."""
+        root = os.path.abspath(
+            os.path.join(os.path.dirname(__file__), "..", ".."))
+        assert main([os.path.join(root, "src"), "--no-baseline"]) == 0

@@ -1,0 +1,135 @@
+"""Golden tests for the RPC2xx determinism family (inline fixtures)."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.check import check_source
+
+EXPERIMENT = "src/repro/experiments/fixture.py"
+
+
+def codes(src, path=EXPERIMENT):
+    findings, _ = check_source(textwrap.dedent(src), path)
+    return [f.code for f in findings]
+
+
+class TestUnseededRandom:
+    def test_legacy_global_rng(self):
+        assert codes("""\
+            import numpy as np
+
+            def noise(n):
+                return np.random.rand(n)
+        """) == ["RPC201"]
+
+    def test_default_rng_without_seed(self):
+        assert codes("""\
+            import numpy as np
+
+            def noise(n):
+                return np.random.default_rng().normal(size=n)
+        """) == ["RPC201"]
+
+    def test_seeded_default_rng_is_fine(self):
+        assert codes("""\
+            import numpy as np
+
+            def noise(n, seed):
+                return np.random.default_rng(seed).normal(size=n)
+        """) == []
+
+    def test_stdlib_random(self):
+        assert codes("""\
+            import random
+
+            def pick(items):
+                return random.choice(items)
+        """) == ["RPC201"]
+
+    def test_outside_measured_domains_is_fine(self):
+        src = """\
+            import numpy as np
+
+            def noise(n):
+                return np.random.rand(n)
+        """
+        findings, _ = check_source(textwrap.dedent(src), "scripts/demo.py")
+        assert [f.code for f in findings] == []
+
+
+class TestWallClockTimer:
+    def test_time_time(self):
+        assert codes("""\
+            import time
+
+            def measure(fn):
+                t0 = time.time()
+                fn()
+                return time.time() - t0
+        """) == ["RPC202", "RPC202"]
+
+    def test_perf_counter_is_fine(self):
+        assert codes("""\
+            import time
+
+            def measure(fn):
+                t0 = time.perf_counter()
+                fn()
+                return time.perf_counter() - t0
+        """) == []
+
+
+class TestSetIterationOrder:
+    def test_for_over_set(self):
+        assert codes("""\
+            def visit(cells):
+                for cell in set(cells):
+                    cell.run()
+        """) == ["RPC203"]
+
+    def test_comprehension_over_set_literal(self):
+        assert codes("""\
+            def labels(names):
+                return [n.upper() for n in {"b", "a"}]
+        """) == ["RPC203"]
+
+    def test_sorted_set_is_fine(self):
+        assert codes("""\
+            def visit(cells):
+                for cell in sorted(set(cells)):
+                    cell.run()
+        """) == []
+
+    def test_order_insensitive_reduction_is_fine(self):
+        assert codes("""\
+            def total(cells):
+                return sum(c.cost for c in set(cells))
+        """) == []
+
+
+class TestWallClockInHash:
+    def test_clock_inside_config_hash(self):
+        assert codes("""\
+            import time
+
+            def config_hash(cell):
+                return hash((repr(cell), time.time()))
+        """, path="src/repro/instrument/fixture.py") == ["RPC204"]
+
+    def test_clock_free_hash_is_fine(self):
+        assert codes("""\
+            def config_hash(cell):
+                return hash(repr(cell))
+        """, path="src/repro/instrument/fixture.py") == []
+
+
+class TestSuppression:
+    def test_noqa_silences_the_family(self):
+        src = ("import numpy as np\n"
+               "def noise(n):\n"
+               "    return np.random.rand(n)  # repro: noqa[RPC201]\n"
+               )
+        findings, suppressed = check_source(src, EXPERIMENT)
+        assert not findings
+        assert [f.code for f in suppressed] == ["RPC201"]

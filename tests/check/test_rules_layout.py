@@ -1,0 +1,109 @@
+"""Golden tests for the RPC1xx layout-contract family.
+
+Fixtures are inline strings so the violations are invisible to the
+repo's own ``repro check`` gate (AST rules never look inside string
+literals).
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.check import check_source
+
+KERNEL = "src/repro/kernels/fixture.py"
+
+
+def codes(src, path=KERNEL):
+    findings, _ = check_source(textwrap.dedent(src), path)
+    return [f.code for f in findings]
+
+
+class TestRawLinearIndex:
+    def test_canonical_three_term_chain(self):
+        assert codes("""\
+            def at(buf, i, j, k, nx, ny):
+                return buf[k*nx*ny + j*nx + i]
+        """) == ["RPC101"]
+
+    def test_horner_form(self):
+        assert codes("""\
+            def at(buf, i, j, k, nx, ny):
+                return buf[i + nx*(j + ny*k)]
+        """) == ["RPC101"]
+
+    def test_shape_subscript_dims(self):
+        assert codes("""\
+            def at(buf, i, j, k, shape):
+                return buf[(k*shape[1] + j)*shape[0] + i]
+        """) == ["RPC101"]
+
+    def test_chain_reported_once(self):
+        src = """\
+            def at(buf, i, j, k, nx, ny, nz):
+                return buf[k*nx*ny + j*nx + i]
+        """
+        assert codes(src).count("RPC101") == 1
+
+    def test_plain_arithmetic_is_fine(self):
+        assert codes("""\
+            def area(nx, ny):
+                return nx * ny
+
+            def shifted(i, stride):
+                return i + 1
+        """) == []
+
+    def test_core_is_exempt(self):
+        assert codes("""\
+            def index(self, i, j, k):
+                nx, ny = self.shape[0], self.shape[1]
+                return k*nx*ny + j*nx + i
+        """, path="src/repro/core/array_order.py") == []
+
+
+class TestFlatAccess:
+    def test_ravel_multi_index(self):
+        assert codes("""\
+            import numpy as np
+
+            def at(buf, idx, shape):
+                return buf[np.ravel_multi_index(idx, shape)]
+        """) == ["RPC102"]
+
+    def test_flat_attribute(self):
+        assert codes("""\
+            def first(arr):
+                return arr.flat[0]
+        """) == ["RPC102"]
+
+    def test_flatten_call_is_fine(self):
+        assert codes("""\
+            def flat_copy(arr):
+                return arr.flatten()
+        """) == []
+
+
+class TestGetIndexShim:
+    def test_any_get_index_call(self):
+        assert codes("""\
+            def at(grid, layout):
+                return grid.buffer[layout.get_index(0, 0, 0)]
+        """) == ["RPC103"]
+
+    def test_index_and_index_array_are_fine(self):
+        assert codes("""\
+            def at(grid, layout, i, j, k):
+                a = layout.index(i, j, k)
+                b = layout.index_array(i, j, k)
+                return a, b
+        """) == []
+
+
+class TestSuppression:
+    def test_noqa_silences_the_family(self):
+        src = ("def at(grid, layout):\n"
+               "    return layout.get_index(0, 0, 0)  # repro: noqa[RPC1]\n")
+        findings, suppressed = check_source(src, KERNEL)
+        assert not findings
+        assert [f.code for f in suppressed] == ["RPC103"]

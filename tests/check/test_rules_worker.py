@@ -1,0 +1,101 @@
+"""Golden tests for the RPC3xx worker-safety family (inline fixtures)."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.check import check_source
+
+EXPERIMENT = "src/repro/experiments/fixture.py"
+
+
+def codes(src, path=EXPERIMENT):
+    findings, _ = check_source(textwrap.dedent(src), path)
+    return [f.code for f in findings]
+
+
+class TestUnpicklableWorkerArg:
+    def test_lambda_argument(self):
+        assert codes("""\
+            def launch(cells):
+                return run_cells_parallel(cells, key=lambda c: c.cost)
+        """) == ["RPC301"]
+
+    def test_nested_function_argument(self):
+        assert codes("""\
+            def launch(pool_cls, cells):
+                def work(cell):
+                    return cell.run()
+                return SupervisedPool(work, 4)
+        """) == ["RPC301"]
+
+    def test_module_level_function_is_fine(self):
+        assert codes("""\
+            def work(cell):
+                return cell.run()
+
+            def launch(cells):
+                return run_cells_parallel(cells, fn=work)
+        """) == []
+
+    def test_lambda_outside_pool_calls_is_fine(self):
+        assert codes("""\
+            def ranked(cells):
+                return sorted(cells, key=lambda c: c.cost)
+        """) == []
+
+
+class TestMutableModuleGlobal:
+    def test_lowercase_dict_global(self):
+        assert codes("cache = {}\n") == ["RPC302"]
+
+    def test_list_call_global(self):
+        assert codes("pending = list()\n") == ["RPC302"]
+
+    def test_all_caps_cache_is_fine(self):
+        assert codes("_GRID_CACHE = {}\n") == []
+
+    def test_dunder_metadata_is_fine(self):
+        assert codes("__all__ = ['work']\n") == []
+
+    def test_function_locals_are_fine(self):
+        assert codes("""\
+            def fresh():
+                scratch = {}
+                return scratch
+        """) == []
+
+
+class TestImportTimeState:
+    def test_cpu_count_at_module_scope(self):
+        assert codes("""\
+            import os
+
+            WORKERS = os.cpu_count()
+        """) == ["RPC303"]
+
+    def test_clock_at_class_scope(self):
+        assert codes("""\
+            import time
+
+            class Stamped:
+                created = time.monotonic()
+        """) == ["RPC303"]
+
+    def test_lazy_read_inside_function_is_fine(self):
+        assert codes("""\
+            import os
+
+            def workers():
+                return os.cpu_count()
+        """) == []
+
+
+class TestSuppression:
+    def test_noqa_silences_the_family(self):
+        src = ("def launch(cells):\n"
+               "    return run_cells_parallel("
+               "cells, key=lambda c: c.cost)  # repro: noqa[RPC301]\n")
+        findings, suppressed = check_source(src, EXPERIMENT)
+        assert not findings
+        assert [f.code for f in suppressed] == ["RPC301"]

@@ -122,6 +122,6 @@ class TestRowMajorLayout2D:
     def test_get_index_deprecated_but_equivalent(self):
         layout = RowMajorLayout2D((4, 4))
         with pytest.warns(DeprecationWarning, match="get_index"):
-            assert layout.get_index(3, 3) == 15
+            assert layout.get_index(3, 3) == 15  # repro: noqa[RPC103]
         with pytest.warns(DeprecationWarning), pytest.raises(IndexError):
-            layout.get_index(4, 0)
+            layout.get_index(4, 0)  # repro: noqa[RPC103]

@@ -174,9 +174,9 @@ class TestMortonLayout:
     def test_get_index_deprecated_but_equivalent(self):
         layout = MortonLayout((4, 4, 4))
         with pytest.warns(DeprecationWarning, match="get_index"):
-            assert layout.get_index(3, 3, 3) == 63
+            assert layout.get_index(3, 3, 3) == 63  # repro: noqa[RPC103]
         with pytest.warns(DeprecationWarning), pytest.raises(IndexError):
-            layout.get_index(4, 0, 0)
+            layout.get_index(4, 0, 0)  # repro: noqa[RPC103]
 
     def test_iter_curve_visits_each_point_once(self):
         layout = MortonLayout((3, 4, 2))

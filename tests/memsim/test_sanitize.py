@@ -1,0 +1,171 @@
+"""The runtime access sanitizer: structural checks, per-access checks,
+modes, the Grid hook lifecycle and the trace/manifest integration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import grid as grid_mod
+from repro.core.grid import Grid
+from repro.core.registry import make_layout
+from repro.instrument import trace
+from repro.instrument.manifest import build_manifest, validate_manifest
+from repro.memsim import sanitize
+from repro.memsim.sanitize import AccessSanitizer, SanitizeViolation
+
+SHAPE = (8, 8, 8)
+
+
+@pytest.fixture(autouse=True)
+def _clean_hook():
+    """Never leak an installed sanitizer into other tests."""
+    yield
+    sanitize.disable()
+
+
+def full_coords():
+    i, j, k = np.meshgrid(*(np.arange(s) for s in SHAPE), indexing="ij")
+    return i.ravel(), j.ravel(), k.ravel()
+
+
+def healthy_grid():
+    layout = make_layout("morton", SHAPE)
+    dense = np.arange(np.prod(SHAPE), dtype=np.float32).reshape(SHAPE)
+    return Grid.from_dense(dense, layout)
+
+
+class AliasedLayout(type(make_layout("morton", SHAPE))):
+    """Morton with every offset above 100 collapsed onto 100."""
+
+    name = "aliased-fixture"
+
+    def index(self, i, j, k):
+        return min(super().index(i, j, k), 100)
+
+    def index_array(self, i, j, k):
+        return np.minimum(super().index_array(i, j, k), 100)
+
+
+class OOBLayout(type(make_layout("morton", SHAPE))):
+    """Morton shifted past the end of its own allocation."""
+
+    name = "oob-fixture"
+
+    def index(self, i, j, k):
+        return super().index(i, j, k) + 10**6
+
+    def index_array(self, i, j, k):
+        return super().index_array(i, j, k) + 10**6
+
+
+class TestCleanLayouts:
+    def test_healthy_gather_passes_and_counts(self):
+        grid = healthy_grid()
+        checker = sanitize.enable("strict")
+        values = grid.gather(*full_coords())
+        assert values.size == np.prod(SHAPE)
+        stats = checker.stats()
+        assert stats["violations"] == 0
+        assert stats["accesses"] == np.prod(SHAPE)
+        assert stats["layouts"] == 1
+
+    def test_scalar_get_set_pass(self):
+        grid = healthy_grid()
+        sanitize.enable("strict")
+        grid.set(1, 2, 3, 7.0)
+        assert grid.get(1, 2, 3) == 7.0
+
+    def test_layout_validated_once(self):
+        grid = healthy_grid()
+        checker = sanitize.enable("strict")
+        grid.gather(*full_coords())
+        grid.gather(*full_coords())
+        assert checker.stats()["layouts"] == 1
+
+
+class TestViolations:
+    def test_aliased_layout_raises_strict(self):
+        grid = Grid(AliasedLayout(SHAPE))
+        sanitize.enable("strict")
+        with pytest.raises(SanitizeViolation, match="aliased-layout"):
+            grid.gather(*full_coords())
+
+    def test_oob_layout_raises_strict(self):
+        grid = Grid(OOBLayout(SHAPE))
+        sanitize.enable("strict")
+        with pytest.raises(SanitizeViolation, match="out-of-allocation"):
+            grid.gather(*full_coords())
+
+    def test_violation_carries_evidence(self):
+        grid = Grid(AliasedLayout(SHAPE))
+        sanitize.enable("strict")
+        with pytest.raises(SanitizeViolation) as excinfo:
+            grid.gather(*full_coords())
+        exc = excinfo.value
+        assert exc.layout == "aliased-fixture"
+        assert exc.count >= 1 and exc.examples
+
+    def test_report_mode_counts_instead_of_raising(self):
+        grid = Grid(AliasedLayout(SHAPE))
+        checker = sanitize.enable("report")
+        grid.gather(*full_coords())  # must not raise
+        stats = checker.stats()
+        assert stats["violations"] >= 1
+        assert checker.records and checker.records[0]["kind"] \
+            == "aliased-layout"
+
+    def test_unmapped_padding_access_detected(self):
+        """An offset inside the allocation but never produced by the
+        layout (padding) is a contract violation too."""
+        layout = make_layout("morton", (5, 5, 5))  # pads to 8^3
+        assert layout.buffer_size > layout.n_points
+        checker = AccessSanitizer(mode="strict")
+        with pytest.raises(SanitizeViolation, match="unmapped-address"):
+            checker(layout, np.array([layout.buffer_size - 1]))
+
+
+class TestLifecycle:
+    def test_disabled_by_default(self):
+        assert grid_mod._ACCESS_CHECK is None
+        assert not sanitize.is_enabled()
+
+    def test_enable_disable_installs_and_removes(self):
+        checker = sanitize.enable("strict")
+        assert grid_mod._ACCESS_CHECK is checker
+        assert sanitize.current() is checker
+        assert sanitize.disable() is checker
+        assert grid_mod._ACCESS_CHECK is None
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            AccessSanitizer(mode="chatty")
+
+    def test_enable_from_env(self):
+        assert sanitize.enable_from_env({"REPRO_SANITIZE": ""}) is None
+        assert sanitize.enable_from_env({"REPRO_SANITIZE": "0"}) is None
+        strict = sanitize.enable_from_env({"REPRO_SANITIZE": "1"})
+        assert strict is not None and strict.mode == "strict"
+        report = sanitize.enable_from_env({"REPRO_SANITIZE": "report"})
+        assert report is not None and report.mode == "report"
+
+
+class TestTraceIntegration:
+    def test_counters_reach_the_manifest(self):
+        grid = healthy_grid()
+        tracer = trace.enable()
+        sanitize.enable("strict")
+        with trace.span("cell", cell=0):
+            grid.gather(*full_coords())
+        trace.disable()
+        manifest = build_manifest(tracer)
+        validate_manifest(manifest)
+        assert manifest["sanitize"]["accesses"] == np.prod(SHAPE)
+        assert manifest["sanitize"]["batches"] == 1
+
+    def test_no_sanitizer_no_section(self):
+        tracer = trace.enable()
+        with trace.span("cell", cell=0):
+            pass
+        trace.disable()
+        assert "sanitize" not in build_manifest(tracer)

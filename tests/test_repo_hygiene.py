@@ -32,6 +32,7 @@ class TestDocsExist:
     @pytest.mark.parametrize("name", [
         "README.md", "DESIGN.md", "EXPERIMENTS.md",
         "docs/API.md", "docs/SIMULATOR.md", "docs/TUTORIAL.md",
+        "docs/STATIC_ANALYSIS.md",
     ])
     def test_present_and_substantial(self, name):
         path = os.path.join(ROOT, name)
@@ -42,6 +43,30 @@ class TestDocsExist:
         text = _read("README.md")
         for target in re.findall(r"\]\(([^)#http][^)]*)\)", text):
             assert os.path.exists(os.path.join(ROOT, target)), target
+
+
+class TestNoStrayArtifacts:
+    """The git index must never pick up caches or build droppings."""
+
+    _FORBIDDEN = ("__pycache__", ".pyc", ".egg-info", ".pytest_cache",
+                  ".ruff_cache", ".hypothesis")
+
+    def test_no_artifacts_tracked(self):
+        result = subprocess.run(
+            ["git", "ls-files"], capture_output=True, text=True,
+            timeout=30, cwd=ROOT,
+        )
+        if result.returncode != 0:
+            pytest.skip("not a git checkout")
+        offenders = [path for path in result.stdout.splitlines()
+                     if any(marker in path for marker in self._FORBIDDEN)]
+        assert not offenders, offenders
+
+    def test_gitignore_covers_the_usual_suspects(self):
+        text = _read(".gitignore")
+        for pattern in ("__pycache__/", "*.pyc", "*.egg-info/",
+                        ".hypothesis/"):
+            assert pattern in text, pattern
 
 
 class TestExamplesExist:
