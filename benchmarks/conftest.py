@@ -14,6 +14,8 @@ import os
 import numpy as np
 import pytest
 
+from repro.resilience import artifacts as _artifacts
+
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
 
 
@@ -36,8 +38,8 @@ def save_result(results_dir):
 
     def _save(name: str, text: str) -> str:
         path = os.path.join(results_dir, name)
-        with open(path, "w") as fh:
-            fh.write(text + "\n")
+        _artifacts.write_text_artifact(path, text + "\n",
+                                       kind="figure-table")
         print(f"\n{text}\n[saved to {path}]")
         return path
 

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Guard: artifact integrity verification + preflight must cost < 5%.
+
+The durability layer (docs/RESILIENCE.md) touches a sweep's hot path in
+two places: every artifact read is verified against its sidecar
+checksum, and every governed batch runs one preflight admission check.
+This gate projects their cost against a cell run the way
+bench_trace.py does for tracing:
+
+1. per-read verify delta: verified ``read_artifact`` minus a bare
+   ``open().read()`` of the same bytes (best-of-N each) — one verified
+   input volume per cell, pessimistically;
+2. per-batch preflight: one ``Governor.preflight`` over a six-cell
+   batch, amortized per cell;
+3. both compared against the untraced wall time of one cell run.
+
+The *write* side (temp file + fsync + atomic replace + sidecar) is
+reported for visibility but not gated: that cost *is* the durability
+guarantee — an equally-durable bare write needs the same fsync — and
+artifacts are written once per run, not per cell.
+
+Exits non-zero when the projected per-cell overhead exceeds the budget,
+so CI can hold the line.
+
+Run:  python scripts/bench_artifacts.py [--shape 24] [--repeat 5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.experiments import (  # noqa: E402
+    BilateralCell,
+    clear_caches,
+    default_ivybridge,
+    run_bilateral_cell,
+)
+from repro.resilience.artifacts import (  # noqa: E402
+    read_artifact,
+    write_artifact,
+)
+from repro.resilience.governor import Governor  # noqa: E402
+
+BUDGET = 0.05  # fraction of cell wall time
+
+
+def best_of(fn, repeat: int) -> float:
+    """Best-of-N wall seconds for one call of ``fn``."""
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure_io(payload: bytes, repeat: int) -> dict:
+    """Best-of-N seconds for bare vs integrity-checked I/O."""
+    with tempfile.TemporaryDirectory() as tmp:
+        bare = os.path.join(tmp, "bare.raw")
+        checked = os.path.join(tmp, "checked.raw")
+
+        def bare_write_durable():
+            # the fair write baseline: equally durable, no integrity
+            with open(bare, "wb") as fh:  # repro: noqa[RPC401]
+                fh.write(payload)
+                fh.flush()
+                os.fsync(fh.fileno())
+
+        def bare_read():
+            with open(bare, "rb") as fh:
+                fh.read()
+
+        bare_write_durable()
+        write_artifact(checked, payload, kind="bench-volume")
+        return {
+            "bare_write": best_of(bare_write_durable, repeat),
+            "bare_read": best_of(bare_read, repeat),
+            "checked_write": best_of(
+                lambda: write_artifact(checked, payload,
+                                       kind="bench-volume"), repeat),
+            "checked_read": best_of(lambda: read_artifact(checked), repeat),
+        }
+
+
+def preflight_cost(cells, repeat: int) -> float:
+    """Seconds one preflight admission decision takes for the batch."""
+    governor = Governor()
+    return best_of(lambda: governor.preflight(cells, 4, artifact_dir="."),
+                   repeat)
+
+
+def cell_wall_time(cell, repeat: int) -> float:
+    """Best-of-N untraced wall seconds for one cell run (caches warm)."""
+    run_bilateral_cell(cell)  # warm dataset/grid caches
+    return best_of(lambda: run_bilateral_cell(cell), repeat)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--shape", type=int, default=24)
+    parser.add_argument("--repeat", type=int, default=5)
+    args = parser.parse_args()
+
+    cell = BilateralCell(
+        platform=default_ivybridge(64), layout="morton",
+        shape=(args.shape,) * 3, stencil="r1", n_threads=2,
+    )
+    cells = [cell] * 6
+    payload = np.zeros((args.shape,) * 3, dtype=np.float32).tobytes()
+
+    io_times = measure_io(payload, args.repeat)
+    verify_delta = max(0.0, io_times["checked_read"] - io_times["bare_read"])
+    write_delta = max(0.0,
+                      io_times["checked_write"] - io_times["bare_write"])
+    preflight = preflight_cost(cells, args.repeat)
+    clear_caches()
+    wall = cell_wall_time(cell, args.repeat)
+    projected = verify_delta + preflight / len(cells)
+    frac = projected / wall
+
+    print(f"artifact payload    : {len(payload) // 1024:8d} KiB")
+    print(f"verify-on-read delta: {verify_delta * 1e6:8.2f} us/read")
+    print(f"write delta (info)  : {write_delta * 1e6:8.2f} us/artifact "
+          f"vs fsync'd bare write, once per run")
+    print(f"preflight cost      : {preflight * 1e6:8.2f} us/batch "
+          f"({len(cells)} cells)")
+    print(f"untraced cell time  : {wall * 1e3:8.2f} ms")
+    print(f"projected overhead  : {projected * 1e6:8.2f} us/cell "
+          f"({frac * 100:.3f}% of cell)")
+    if frac >= BUDGET:
+        print(f"FAIL: verification + preflight overhead {frac * 100:.2f}% "
+              f">= {BUDGET * 100:.0f}% budget")
+        return 1
+    print(f"OK: under the {BUDGET * 100:.0f}% budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

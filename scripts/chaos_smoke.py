@@ -1,17 +1,32 @@
 #!/usr/bin/env python3
-"""Chaos smoke: a sweep survives injected crash + hang + corrupt faults.
+"""Chaos smoke: a sweep survives injected process *and* disk faults.
 
-The CI resilience check.  A small bilateral batch runs under a fault
-plan that kills one worker mid-cell (``crash``), wedges another past the
-per-cell timeout (``hang``), and ships one schema-invalid payload
-(``corrupt``) — all deterministic, all transient (``once``), so with
-retries enabled the batch must still complete and its results must be
-*identical* to an undisturbed serial run.  The traced run's manifest
-must record what the supervisor did (worker deaths, timeouts, quarantined
-payloads, retries), and the emitted trace + manifest pair must pass
+The CI resilience check, in two modes.
+
+**Default mode** — process chaos: a small bilateral batch runs under a
+fault plan that kills one worker mid-cell (``crash``), wedges another
+past the per-cell timeout (``hang``), and ships one schema-invalid
+payload (``corrupt``) — all deterministic, all transient (``once``), so
+with retries enabled the batch must still complete and its results must
+be *identical* to an undisturbed serial run.
+
+**``--disk-faults`` mode** — disk/memory chaos against the durability
+layer: the batch journals to a checkpoint while the fault plan starves
+one journal append of disk (``enospc``), tears another mid-line
+(``torn``), flips a bit in a third at rest (``bitflip``), and OOMs one
+cell (``oom``).  The run must degrade gracefully (results intact, write
+error counted), and a resumed run over the damaged journal must restore
+exactly the intact records — quarantining the corrupt one, never
+decoding it — and converge to rows bit-for-bit identical to the
+undisturbed run.  A corrupted raw volume artifact must likewise be
+quarantined on read, not silently decoded.
+
+Either way the traced run's manifest must record what the machinery did,
+and the emitted trace + manifest pair must pass
 ``scripts/validate_trace.py`` afterwards::
 
     python scripts/chaos_smoke.py chaos.jsonl
+    python scripts/chaos_smoke.py --disk-faults disk_chaos.jsonl
     python scripts/validate_trace.py chaos.jsonl
 
 Exits nonzero on any divergence.  See docs/RESILIENCE.md.
@@ -22,12 +37,16 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import tempfile
 import time
 from dataclasses import replace
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
                                 os.pardir, "src"))
 
+import numpy as np  # noqa: E402
+
+from repro.data.io import read_raw, write_raw  # noqa: E402
 from repro.experiments import (  # noqa: E402
     BilateralCell,
     RetryPolicy,
@@ -36,10 +55,16 @@ from repro.experiments import (  # noqa: E402
 )
 from repro.instrument import trace  # noqa: E402
 from repro.instrument.manifest import build_manifest, write_manifest  # noqa: E402
+from repro.resilience.artifacts import ArtifactIntegrityError  # noqa: E402
 from repro.resilience.faults import clear_faults, install_faults  # noqa: E402
 
 #: one worker crash, one hang (reaped by the timeout), one corrupt payload
 FAULT_PLAN = "crash@1,hang@3:seconds=600,corrupt@4"
+
+#: disk/memory chaos: cell 2 OOMs once; journal appends 1 / 3 / 5 hit
+#: ENOSPC, a torn write, and at-rest bit rot (write indexes count the
+#: serial run's six journal records 0..5)
+DISK_FAULT_PLAN = "oom@2,enospc@1,torn@3,bitflip@5"
 
 #: per-cell deadline: generous for a 48^3 cell, tiny next to the hang
 CELL_TIMEOUT = 15.0
@@ -55,12 +80,18 @@ def make_cells():
             for n in (2, 4, 8) for layout in ("array", "morton")]
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("trace", nargs="?", default="chaos.jsonl",
-                        help="trace output path (manifest lands beside it)")
-    args = parser.parse_args()
+def _finish(problems, n_cells: int, what: str, trace_path: str) -> int:
+    if problems:
+        for p in problems:
+            print(f"FAIL: {p}")
+        return 1
+    print(f"OK: {n_cells} cells identical to reference after {what}; "
+          f"trace: {trace_path}")
+    return 0
 
+
+def run_process_chaos(args) -> int:
+    """Default mode: crash + hang + corrupt, multi-worker, retried."""
     cells = make_cells()
     print(f"reference run: {len(cells)} cells, serial, no faults")
     clear_faults()
@@ -102,13 +133,122 @@ def main() -> int:
         problems.append(f"expected >= 3 retries, saw {stats.get('retries')}")
     if stats.get("failures", 0) != 0:
         problems.append(f"{stats['failures']} cells failed outright")
-    if problems:
-        for p in problems:
-            print(f"FAIL: {p}")
-        return 1
-    print(f"OK: {len(cells)} cells identical to reference after "
-          f"crash+hang+corrupt; trace: {args.trace}")
-    return 0
+    return _finish(problems, len(cells), "crash+hang+corrupt", args.trace)
+
+
+def run_disk_chaos(args) -> int:
+    """--disk-faults mode: enospc + torn + bitflip + oom, then resume."""
+    cells = make_cells()
+    print(f"reference run: {len(cells)} cells, serial, no faults")
+    clear_faults()
+    reference = run_cells_parallel(cells, workers=1)
+
+    problems = []
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = os.path.join(tmp, "chaos.journal.jsonl")
+        print(f"disk-chaos run: faults [{DISK_FAULT_PLAN}], serial, "
+              f"journaled, governed")
+        install_faults(DISK_FAULT_PLAN)
+        tracer = trace.enable()
+        start = time.monotonic()
+        try:
+            # phase A: the disk goes bad *under* the journal.  The batch
+            # must keep its in-memory results (ENOSPC degrades, never
+            # aborts) while the journal accumulates one missing, one
+            # torn and one bit-rotted record.
+            damaged = run_cells_parallel(
+                cells, workers=1, checkpoint=journal, govern=True,
+                retry=RetryPolicy(max_retries=2, backoff_base=0.05))
+
+            # a raw volume hit by the same bit rot must quarantine on
+            # read — never silently decode wrong voxels
+            volume_path = os.path.join(tmp, "volume.raw")
+            volume = np.arange(4 * 3 * 2, dtype=np.float32).reshape(4, 3, 2)
+            install_faults("bitflip@0")
+            write_raw(volume_path, volume)
+            clear_faults()
+            try:
+                read_raw(volume_path, volume.shape)
+                problems.append("bit-rotted volume was read back without "
+                                "an integrity error")
+            except ArtifactIntegrityError as exc:
+                print(f"volume quarantined as designed: {exc}")
+            if not os.path.exists(volume_path + ".corrupt"):
+                problems.append("corrupt volume was not quarantined aside")
+
+            # phase B: resume over the damaged journal, multi-worker.
+            # Only the intact records restore; the corrupt one is
+            # quarantined (never decoded) and its cell re-runs.
+            print("resume over the damaged journal: workers=2")
+            resumed = run_cells_parallel(
+                cells, workers=2, checkpoint=journal, resume=True,
+                timeout=CELL_TIMEOUT,
+                retry=RetryPolicy(max_retries=2, backoff_base=0.05))
+        finally:
+            trace.disable()
+            clear_faults()
+        elapsed = time.monotonic() - start
+
+        quarantine = journal + ".quarantine.jsonl"
+        quarantined_records = 0
+        if os.path.exists(quarantine):
+            with open(quarantine) as fh:
+                quarantined_records = sum(1 for line in fh if line.strip())
+
+        tracer.write_jsonl(args.trace)
+        manifest = build_manifest(tracer, extra={"argv": sys.argv,
+                                                 "faults": DISK_FAULT_PLAN})
+        write_manifest(args.trace + ".manifest.json", manifest)
+
+        stats = manifest.get("resilience", {})
+        print(f"survived in {elapsed:.1f}s; resilience stats: "
+              + ", ".join(f"{k}={v}" for k, v in sorted(stats.items())))
+
+        if damaged != reference:
+            problems.append("results under disk faults differ from the "
+                            "undisturbed run")
+        if resumed != reference:
+            problems.append("resumed results differ from the undisturbed run")
+        # journal writes 0..5 in serial order: 1 starved (ENOSPC),
+        # 3 torn (merging with 4's line), 5 bit-rotted — leaving
+        # exactly records 0 and 2 restorable
+        if stats.get("restored") != 2:
+            problems.append(f"expected exactly 2 restored cells, "
+                            f"saw {stats.get('restored')}")
+        if stats.get("journal_write_errors", 0) < 1:
+            problems.append("ENOSPC fault did not surface as a journal "
+                            "write error")
+        if stats.get("journal_corrupt", 0) < 1:
+            problems.append("bit-rotted journal record was not detected "
+                            "on load")
+        if quarantined_records < 1:
+            problems.append("no quarantine entry was written for the "
+                            "corrupt journal record")
+        if stats.get("retries", 0) < 1:
+            problems.append("injected OOM was not retried")
+        if stats.get("artifacts_quarantined", 0) < 1:
+            problems.append("artifact quarantine did not reach the trace "
+                            "counters")
+        if stats.get("failures", 0) != 0:
+            problems.append(f"{stats['failures']} cells failed outright")
+        if "gov_admitted_workers" not in stats:
+            problems.append("governed run recorded no admission decision")
+    return _finish(problems, len(cells), "enospc+torn+bitflip+oom",
+                   args.trace)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", nargs="?", default="chaos.jsonl",
+                        help="trace output path (manifest lands beside it)")
+    parser.add_argument("--disk-faults", action="store_true",
+                        help="run the disk/memory chaos gate (enospc + "
+                             "torn + bitflip + oom against the journal "
+                             "and artifact layer) instead of process chaos")
+    args = parser.parse_args()
+    if args.disk_faults:
+        return run_disk_chaos(args)
+    return run_process_chaos(args)
 
 
 if __name__ == "__main__":

@@ -20,6 +20,11 @@ import os
 import platform
 import sys
 
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "src"))
+
+from repro.resilience import artifacts as _artifacts  # noqa: E402
+
 # preferred ordering: paper figures first, extensions, then ablations
 _ORDER = [
     "fig1_locality", "fig2_bilateral_ivybridge", "fig3_bilateral_mic",
@@ -73,8 +78,8 @@ def main() -> int:
         lines.append(body)
         lines.append("```")
         lines.append("")
-    with open(args.out, "w") as fh:
-        fh.write("\n".join(lines) + "\n")
+    _artifacts.write_text_artifact(args.out, "\n".join(lines) + "\n",
+                                   kind="report")
     print(f"wrote {args.out} ({len(paths)} tables)")
     return 0
 

@@ -31,31 +31,41 @@ TOLERANCE = 0.10  # phase-sum vs wall_seconds
 
 
 def cross_check(trace_path: str, manifest: dict) -> list:
-    """Trace/manifest consistency problems (empty list = clean)."""
+    """Trace/manifest consistency problems (empty list = clean).
+
+    Manifest cells derive 1:1 (in file order) from the trace's ``cell``
+    spans, so the two are paired positionally — which stays correct
+    when a resumed run re-executes a cell and the merged trace carries
+    two spans with the same cell index.  Per-cell phases are attributed
+    through their parent span id, for the same reason.
+    """
     with open(trace_path) as fh:
         records = [json.loads(line) for line in fh if line.strip()]
     spans = [r for r in records if r.get("type") == "span"]
-    cell_spans = {r["attrs"].get("cell"): r for r in spans
-                  if r["name"] == "cell"}
+    cell_spans = [r for r in spans if r["name"] == "cell"]
+    phase_sums: dict = {}
+    for r in spans:
+        if r["name"].startswith("cell.") and r.get("parent") is not None:
+            phase_sums[r["parent"]] = phase_sums.get(r["parent"], 0.0) \
+                + r["dur"]
     problems = []
-    for cell in manifest["cells"]:
-        idx = cell["index"]
-        span = cell_spans.get(idx)
-        if span is None:
-            problems.append(f"manifest cell {idx} has no 'cell' span")
-            continue
-        wall = cell["wall_seconds"]
-        phase_sum = sum(r["dur"] for r in spans
-                        if r["name"].startswith("cell.")
-                        and r["attrs"].get("cell") == idx)
-        if wall > 0 and abs(phase_sum - wall) / wall > TOLERANCE:
-            problems.append(
-                f"cell {idx}: phase sum {phase_sum:.6f}s vs "
-                f"wall {wall:.6f}s exceeds {TOLERANCE:.0%}")
     if len(cell_spans) != len(manifest["cells"]):
         problems.append(
             f"{len(cell_spans)} cell spans vs "
             f"{len(manifest['cells'])} manifest cells")
+    for span, cell in zip(cell_spans, manifest["cells"]):
+        idx = cell["index"]
+        if span["attrs"].get("cell") != idx:
+            problems.append(
+                f"manifest cell {idx} pairs with a span tagged "
+                f"cell={span['attrs'].get('cell')}")
+            continue
+        wall = cell["wall_seconds"]
+        phase_sum = phase_sums.get(span["id"], 0.0)
+        if wall > 0 and abs(phase_sum - wall) / wall > TOLERANCE:
+            problems.append(
+                f"cell {idx}: phase sum {phase_sum:.6f}s vs "
+                f"wall {wall:.6f}s exceeds {TOLERANCE:.0%}")
     return problems
 
 

@@ -7,7 +7,10 @@ Machine-checks the three contracts the reproduction's numbers rest on:
 * **determinism** (RPC2xx) — measured code is seeded, monotonic-timed,
   and iteration-order stable;
 * **worker safety** (RPC3xx) — everything shipped into worker processes
-  pickles and carries no parent-process state.
+  pickles and carries no parent-process state;
+* **durability** (RPC4xx) — artifacts are written through the atomic
+  integrity-checked writer (:mod:`repro.resilience.artifacts`), never a
+  bare ``open(..., "w")`` / ``tofile`` / ``np.save``.
 
 Run it as ``repro check PATHS`` or ``python -m repro.check PATHS``.
 Suppress a single line with ``# repro: noqa[RPC103]``; acknowledge
@@ -39,7 +42,12 @@ from .findings import PARSE_ERROR_CODE, Finding
 from .registry import FAMILIES, RULES, Rule, rule, select_codes
 
 # importing the rule modules populates the registry
-from . import rules_determinism, rules_layout, rules_worker  # noqa: F401,E402
+from . import (  # noqa: F401,E402
+    rules_determinism,
+    rules_durability,
+    rules_layout,
+    rules_worker,
+)
 
 __all__ = [
     "Finding",

@@ -12,7 +12,9 @@ Rule codes are grouped in families by their hundreds digit:
 * ``RPC2xx`` — determinism (seeded RNG, harness timers, order-stable
   iteration in measured/result-assembly code);
 * ``RPC3xx`` — worker safety (everything shipped into worker processes
-  must be picklable and fork-safe).
+  must be picklable and fork-safe);
+* ``RPC4xx`` — durability (artifacts are written through the atomic
+  integrity-checked writer, never a bare ``open``/``tofile``/``np.save``).
 
 Registration is by decorator::
 
@@ -38,6 +40,7 @@ FAMILIES = {
     "RPC1": "layout-contract",
     "RPC2": "determinism",
     "RPC3": "worker-safety",
+    "RPC4": "durability",
 }
 
 

@@ -1,0 +1,111 @@
+"""RPC4xx — durability rules.
+
+Every artifact the project emits — volumes, journals, manifests,
+traces, CSV/figure tables — must go through the durable-write layer
+(:mod:`repro.resilience.artifacts`): atomic replace plus a sidecar
+integrity record.  A bare ``open(path, "w")``, ``ndarray.tofile`` or
+``np.save`` to a result path reintroduces exactly the torn-file and
+silent-bit-rot failure modes that layer exists to kill, so these rules
+flag the write at the call site.
+
+The :mod:`repro.resilience` package itself is exempt (it *implements*
+the layer: the temp-file writes and the append-only journal are the
+mechanism, not a bypass), as is :mod:`repro.check` (baselines are
+tooling state, not experiment results).  A legitimate raw write — an
+in-memory buffer, a debug dump — carries a ``# repro: noqa[RPC40x]``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .registry import Rule, dotted_name, rule
+
+__all__ = ["RawWriteOpenRule", "ToFileRule", "NumpySaveRule"]
+
+#: repository areas whose files produce durable artifacts
+_ARTIFACT_DOMAINS = frozenset({"src", "scripts", "benchmarks"})
+
+#: the durability layer itself, and tooling state
+_EXEMPT = frozenset({"check", "resilience"})
+
+
+def _mode_of(node: ast.Call, position: int = 1) -> str:
+    """The literal mode string of an ``open`` call ('' when not literal).
+
+    ``position`` is the mode's positional-argument index: 1 for the
+    builtin ``open(path, mode)``, 0 for the ``Path.open(mode)`` method.
+    """
+    mode = None
+    if len(node.args) > position:
+        mode = node.args[position]
+    for kw in node.keywords:
+        if kw.arg == "mode":
+            mode = kw.value
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return mode.value
+    return ""
+
+
+@rule
+class RawWriteOpenRule(Rule):
+    """Write-mode ``open`` bypassing the atomic artifact writer."""
+
+    code = "RPC401"
+    name = "raw-write-open"
+    summary = ("write-mode open() bypasses the atomic artifact writer; "
+               "a crash mid-write leaves a torn file and nothing detects "
+               "later bit rot — use repro.resilience.artifacts "
+               "(write_artifact / atomic_write_bytes) instead")
+    interests = (ast.Call,)
+    domains = _ARTIFACT_DOMAINS
+    exclude = _EXEMPT
+
+    def check(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name != "open" and not name.endswith(".open"):
+            return
+        mode = _mode_of(node, position=0 if name != "open" else 1)
+        if any(flag in mode for flag in "wxa+"):
+            self.ctx.report(node, self.code, self.summary)
+
+
+@rule
+class ToFileRule(Rule):
+    """``ndarray.tofile`` — a raw, non-atomic, unverifiable volume dump."""
+
+    code = "RPC402"
+    name = "ndarray-tofile"
+    summary = ("ndarray.tofile() writes non-atomically and leaves no "
+               "integrity record — route volumes through "
+               "repro.data.io.write_raw (atomic + sidecar)")
+    interests = (ast.Call,)
+    domains = _ARTIFACT_DOMAINS
+    exclude = _EXEMPT
+
+    def check(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "tofile":
+            self.ctx.report(node, self.code, self.summary)
+
+
+@rule
+class NumpySaveRule(Rule):
+    """``np.save``-family writes bypassing the artifact layer."""
+
+    code = "RPC403"
+    name = "numpy-raw-save"
+    summary = ("np.save/savez/savetxt writes directly to the destination "
+               "path — use repro.data.io.write_npy (atomic + sidecar), or "
+               "save into an in-memory buffer handed to write_artifact")
+    interests = (ast.Call,)
+    domains = _ARTIFACT_DOMAINS
+    exclude = _EXEMPT
+
+    _SAVERS = {"save", "savez", "savez_compressed", "savetxt"}
+
+    def check(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        parts = name.split(".")
+        if len(parts) == 2 and parts[0] in ("np", "numpy") \
+                and parts[1] in self._SAVERS:
+            self.ctx.report(node, self.code, self.summary)

@@ -52,6 +52,7 @@ from .instrument import (
     write_manifest,
 )
 from .memsim.platforms import PLATFORMS, get_platform
+from .resilience import artifacts as _artifacts
 
 __all__ = ["main", "build_parser"]
 
@@ -116,6 +117,11 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="SECONDS",
                      help="per-cell deadline; a hung worker is killed and "
                           "its cell requeued (needs --workers >= 2)")
+    res.add_argument("--govern", action="store_true",
+                     help="resource governance: clamp workers to free "
+                          "memory, cap worker address space, degrade "
+                          "instead of dying under memory/disk pressure "
+                          "(see docs/RESILIENCE.md)")
 
     sub.add_parser("info", help="list platforms, layouts and counters")
 
@@ -236,6 +242,8 @@ def _resilience_kwargs(args) -> dict:
         kwargs["retry"] = RetryPolicy(max_retries=args.retries)
     if args.cell_timeout is not None:
         kwargs["timeout"] = args.cell_timeout
+    if getattr(args, "govern", False):
+        kwargs["govern"] = True
     return kwargs
 
 
@@ -258,8 +266,8 @@ def _cmd_figure(args) -> int:
         if args.out:
             os.makedirs(args.out, exist_ok=True)
             path = os.path.join(args.out, fname)
-            with open(path, "w") as fh:
-                fh.write(text + "\n")
+            _artifacts.write_text_artifact(path, text + "\n",
+                                           kind="figure-table")
             print(f"[saved to {path}]", file=sys.stderr)
     return 0
 
@@ -340,9 +348,9 @@ def _cmd_render(args) -> int:
         step=0.5, sampler="trilinear",
         early_termination=0.98)).render_image(cam)
     rgb = (np.clip(img[..., :3], 0, 1) * 255).astype(np.uint8)
-    with open(args.out, "wb") as fh:
-        fh.write(f"P6\n{img.shape[1]} {img.shape[0]}\n255\n".encode())
-        fh.write(rgb.tobytes())
+    header = f"P6\n{img.shape[1]} {img.shape[0]}\n255\n".encode()
+    _artifacts.write_artifact(args.out, header + rgb.tobytes(),
+                              kind="ppm-image")
     print(f"wrote {args.out} ({args.image}x{args.image}, viewpoint "
           f"{args.viewpoint}, {args.layout} layout)")
     return 0

@@ -39,6 +39,18 @@ Cross-cutting concerns handled here so callers never see them:
   leave the journal flushed, and re-raise.  Attempt/retry/timeout
   counts land in the parent tracer's ``resilience.*`` counters and from
   there in the run manifest.  See docs/RESILIENCE.md.
+* **Resource governance.**  ``govern`` runs the batch under a
+  :class:`~repro.resilience.governor.Governor`: a preflight clamps the
+  worker count to what the machine's free memory can hold and drops
+  trace capture preemptively when the artifact disk is nearly full;
+  workers run under an ``RLIMIT_AS`` cap so runaway cells fail in-band;
+  and cells that still fail under memory pressure (``MemoryError`` /
+  ``oom-kill``) descend a **degradation ladder** — re-run with half the
+  workers, halving until serial, then without trace capture — before
+  the batch is allowed to fail.  Ladder re-runs carry an *attempt
+  offset* so a ``once`` injected fault does not re-fire on the rung
+  that is supposed to clear it.  Decisions surface as
+  ``resilience.gov_*`` counters.
 
 Worker processes rebuild dataset/grid caches on first use (the caches in
 :mod:`repro.experiments.harness` are per-process); with ``fork`` start
@@ -60,7 +72,8 @@ from ..instrument import trace as _trace
 from ..instrument.manifest import config_hash
 from ..resilience import faults as _faults
 from ..resilience.checkpoint import CheckpointStore
-from ..resilience.policy import RetryPolicy, classify_error
+from ..resilience.governor import Admission, Governor
+from ..resilience.policy import RetryPolicy, classify_error, memory_pressure
 from ..resilience.pool import JobOutcome, SupervisedPool
 from ..resilience.validate import corrupt_payload, validate_outcome
 from .config import BilateralCell, VolrendCell
@@ -128,7 +141,7 @@ def run_cell(cell: Cell) -> CellResult:
     raise TypeError(f"not an experiment cell: {type(cell).__name__}")
 
 
-def _run_cell_job(job: Tuple[int, Cell, bool],
+def _run_cell_job(job: Tuple[int, Cell, bool, int],
                   attempt: int = 1) -> Dict[str, Any]:
     """One cell, isolated: catches failures, captures its trace records.
 
@@ -137,9 +150,15 @@ def _run_cell_job(job: Tuple[int, Cell, bool],
     every worker count.  Fault injection hooks in here — before the cell
     body, under the tracer — so every recovery path (worker crash, hang,
     in-band error, corrupt payload) is reachable deterministically.
+
+    The job's fourth element is an *attempt offset*: nonzero on a
+    degradation-ladder re-run, where the pool's attempt numbering
+    restarts at 1 but the cell has already burned attempts — the offset
+    keeps ``once`` fault specs from re-firing on the re-run that is
+    supposed to clear them.
     """
-    index, cell, traced = job
-    fault = _faults.active_plan().for_cell(index, attempt)
+    index, cell, traced, attempt_offset = job
+    fault = _faults.active_plan().for_cell(index, attempt + attempt_offset)
     tracer = _trace.Tracer() if traced else None
     previous = _trace.activate(tracer) if traced else None
     try:
@@ -166,7 +185,7 @@ def resolve_workers(workers: Optional[int]) -> int:
     return workers
 
 
-def _run_jobs_serial(jobs: List[Tuple[int, Cell, bool]],
+def _run_jobs_serial(jobs: List[Tuple[int, Cell, bool, int]],
                      retry: RetryPolicy, on_outcome) -> None:
     """The in-process twin of :meth:`SupervisedPool.run` (no timeouts —
     a process cannot reap itself; use ``workers > 1`` for that)."""
@@ -203,7 +222,9 @@ def run_cells_parallel(cells: Sequence[Cell],
                        timeout: Optional[float] = None,
                        retry: Optional[RetryPolicy] = None,
                        checkpoint: Union[CheckpointStore, str, None] = None,
-                       resume: bool = False) -> List[CellResult]:
+                       resume: bool = False,
+                       govern: Union[Governor, bool, None] = None,
+                       ) -> List[CellResult]:
     """Run ``cells`` and return their results in input order.
 
     Parameters
@@ -229,6 +250,15 @@ def run_cells_parallel(cells: Sequence[Cell],
     resume : bool
         Restore already-completed cells from ``checkpoint`` instead of
         re-running them; only the missing cells execute.
+    govern : Governor or True, optional
+        Resource governance (see :mod:`repro.resilience.governor`).
+        ``True`` uses default knobs; a :class:`Governor` instance tunes
+        them.  A preflight clamps ``workers`` to the machine's free
+        memory and drops trace capture when the artifact disk is nearly
+        full; workers run under an ``RLIMIT_AS`` cap; memory-pressure
+        failures descend the degradation ladder (fewer workers, then no
+        trace capture) before the batch fails.  Default: off — the
+        historical, ungoverned behavior.
 
     Raises
     ------
@@ -245,6 +275,21 @@ def run_cells_parallel(cells: Sequence[Cell],
 
     store = CheckpointStore(checkpoint) \
         if isinstance(checkpoint, (str, os.PathLike)) else checkpoint
+
+    governor = Governor() if govern is True \
+        else (govern if isinstance(govern, Governor) else None)
+    admission: Optional[Admission] = None
+    rlimit_bytes: Optional[int] = None
+    job_traced = traced
+    if governor is not None:
+        artifact_dir = os.path.dirname(store.path) or "." \
+            if store is not None else "."
+        admission = governor.preflight(cells, n_workers,
+                                       artifact_dir=artifact_dir)
+        n_workers = admission.admitted_workers
+        rlimit_bytes = admission.rlimit_bytes
+        job_traced = traced and admission.capture_trace
+
     hashes = [config_hash(cell) for cell in cells]
     restored: Dict[int, CellResult] = {}
     if store is not None:
@@ -258,15 +303,25 @@ def run_cells_parallel(cells: Sequence[Cell],
     results: List[Optional[CellResult]] = [None] * len(cells)
     for index, result in restored.items():
         results[index] = result
-    jobs = [(i, cells[i], traced) for i in range(len(cells))
+    jobs = [(i, cells[i], job_traced, 0) for i in range(len(cells))
             if i not in restored]
     failures: List[CellFailure] = []
     stats = {"cells": len(cells), "restored": len(restored), "attempts": 0,
              "retries": 0, "timeouts": 0, "worker_deaths": 0, "corrupt": 0,
              "failures": 0}
+    if store is not None and resume:
+        # what the journal load survived: corrupt records quarantined,
+        # torn lines dropped, old-schema records migrated in memory
+        for name in ("corrupt", "dropped_lines", "migrated"):
+            stats[f"journal_{name}"] = store.load_stats.get(name, 0)
+    # on_outcome resolves seq against whichever batch is in flight
+    # (primary jobs, or a degradation-ladder re-run batch)
+    active = {"jobs": jobs}
 
     def on_outcome(outcome: JobOutcome) -> None:
-        index = jobs[outcome.seq][0]
+        job = active["jobs"][outcome.seq]
+        index, attempt_offset = job[0], job[3]
+        attempts = outcome.attempts + attempt_offset
         stats["attempts"] += outcome.attempts
         stats["retries"] += outcome.attempts - 1
         stats["timeouts"] += outcome.timeouts
@@ -284,14 +339,29 @@ def run_cells_parallel(cells: Sequence[Cell],
             if store is not None:
                 store.record(hashes[index], payload["result"],
                              kind=type(cells[index]).__name__,
-                             attempts=outcome.attempts)
+                             attempts=attempts)
         else:
             stats["failures"] += 1
             failures.append(CellFailure(
                 index=index, cell=cells[index], error=outcome.error,
                 traceback=outcome.traceback,
                 error_class=outcome.error_class or "",
-                attempts=outcome.attempts, timeouts=outcome.timeouts))
+                attempts=attempts, timeouts=outcome.timeouts))
+
+    def run_batch(batch: List[Tuple[int, Cell, bool, int]],
+                  batch_workers: int) -> None:
+        active["jobs"] = batch
+        if batch_workers <= 1 or len(batch) <= 1:
+            _run_jobs_serial(batch, retry, on_outcome)
+        else:
+            pool = SupervisedPool(_run_cell_job,
+                                  min(batch_workers, len(batch)),
+                                  rlimit_bytes=rlimit_bytes)
+            pool.run(batch, timeout=timeout, retry=retry,
+                     validate=validate_outcome, on_outcome=on_outcome)
+
+    ladder_rungs = 0
+    mem_failures = 0
 
     old_sigterm = None
     if threading.current_thread() is threading.main_thread():
@@ -303,20 +373,45 @@ def run_cells_parallel(cells: Sequence[Cell],
             old_sigterm = None
     try:
         if jobs:
-            if n_workers <= 1 or len(jobs) <= 1:
-                _run_jobs_serial(jobs, retry, on_outcome)
-            else:
-                pool = SupervisedPool(_run_cell_job,
-                                      min(n_workers, len(jobs)))
-                pool.run(jobs, timeout=timeout, retry=retry,
-                         validate=validate_outcome, on_outcome=on_outcome)
+            run_batch(jobs, n_workers)
+
+        # Degradation ladder: cells that failed under memory pressure are
+        # re-run with half the workers (halving until serial), then once
+        # more without trace capture — shedding load, never results.
+        if governor is not None:
+            ladder_workers, ladder_traced = n_workers, job_traced
+            while True:
+                pressured = [f for f in failures
+                             if memory_pressure(f.error)]
+                if not pressured:
+                    break
+                if ladder_workers > 1:
+                    ladder_workers = max(governor.min_workers,
+                                         ladder_workers // 2)
+                elif ladder_traced:
+                    ladder_traced = False
+                else:
+                    break  # ladder exhausted; the failures stand
+                ladder_rungs += 1
+                mem_failures += len(pressured)
+                stats["failures"] -= len(pressured)
+                for failure in pressured:
+                    failures.remove(failure)
+                batch = [(f.index, cells[f.index], ladder_traced,
+                          f.attempts) for f in pressured]
+                run_batch(batch, ladder_workers)
     finally:
         if old_sigterm is not None:
             signal.signal(signal.SIGTERM, old_sigterm)
         if store is not None:
+            stats["journal_write_errors"] = store.write_errors
             store.close()
-        _record_stats(parent_tracer, stats, engaged=(
+        if governor is not None:
+            stats["mem_pressure"] = mem_failures
+            stats["ladder_rungs"] = ladder_rungs
+        _record_stats(parent_tracer, stats, admission, engaged=(
             store is not None or resume or timeout is not None
+            or governor is not None
             or retry.max_retries > 0 or stats["retries"] > 0
             or stats["timeouts"] > 0 or stats["corrupt"] > 0
             or stats["failures"] > 0 or stats["restored"] > 0))
@@ -328,16 +423,21 @@ def run_cells_parallel(cells: Sequence[Cell],
 
 
 def _record_stats(tracer: Optional[_trace.Tracer], stats: Dict[str, int],
-                  engaged: bool) -> None:
+                  admission: Optional[Admission], engaged: bool) -> None:
     """Accumulate batch resilience stats as top-level tracer counters.
 
     Only when a resilience feature actually engaged — a plain traced run
     emits byte-identical traces to the pre-resilience code.  The
     counters land in the trace file's meta header and in the manifest's
     ``resilience`` section (:func:`repro.instrument.manifest.build_manifest`).
+    Governed runs additionally record the admission decision
+    (``resilience.gov_*``), set rather than accumulated — the decision
+    describes the batch, it is not a running count.
     """
     if tracer is None or not engaged:
         return
     for key, value in stats.items():
         name = f"resilience.{key}"
         tracer.counters[name] = tracer.counters.get(name, 0) + value
+    if admission is not None:
+        tracer.counters.update(admission.counters())

@@ -17,13 +17,13 @@ leaves a truncated file behind.  See docs/RESILIENCE.md.
 from __future__ import annotations
 
 import csv
+import io
 import itertools
-import os
-import tempfile
 from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..instrument.metrics import scaled_relative_difference
+from ..resilience import artifacts as _artifacts
 from ..resilience.checkpoint import CheckpointStore
 from ..resilience.policy import RetryPolicy
 from .config import BilateralCell, VolrendCell
@@ -157,10 +157,11 @@ def compare_layouts(base: Cell, axes: Dict[str, Sequence],
 def rows_to_csv(rows: List[Dict[str, object]], path: str) -> None:
     """Write sweep rows to a CSV file (columns = union of row keys).
 
-    The write is atomic: rows land in a temp file beside ``path`` which
-    is then ``os.replace``d over it, so a sweep killed mid-export leaves
-    either the previous file or the complete new one — never a
-    truncated CSV.
+    The write goes through the durability layer
+    (:func:`repro.resilience.artifacts.write_text_artifact`): atomic
+    replace — a sweep killed mid-export leaves either the previous file
+    or the complete new one, never a truncated CSV — plus a sidecar
+    integrity record so downstream tooling can verify the table.
     """
     if not rows:
         raise ValueError("no rows to write")
@@ -169,20 +170,8 @@ def rows_to_csv(rows: List[Dict[str, object]], path: str) -> None:
         for key in row:
             if key not in fields:
                 fields.append(key)
-    directory = os.path.dirname(os.path.abspath(path))
-    fd, tmp_path = tempfile.mkstemp(prefix=os.path.basename(path) + ".",
-                                    suffix=".tmp", dir=directory)
-    try:
-        with os.fdopen(fd, "w", newline="") as fh:
-            writer = csv.DictWriter(fh, fieldnames=fields)
-            writer.writeheader()
-            writer.writerows(rows)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp_path, path)
-    except BaseException:
-        try:
-            os.remove(tmp_path)
-        except OSError:
-            pass
-        raise
+    buffer = io.StringIO(newline="")
+    writer = csv.DictWriter(buffer, fieldnames=fields)
+    writer.writeheader()
+    writer.writerows(rows)
+    _artifacts.write_text_artifact(path, buffer.getvalue(), kind="csv")

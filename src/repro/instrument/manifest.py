@@ -152,11 +152,19 @@ def build_manifest(tracer: Tracer,
 
 
 def write_manifest(path: str, manifest: Dict[str, Any]) -> None:
-    """Write a (validated) manifest as indented JSON."""
+    """Write a (validated) manifest as indented JSON.
+
+    Atomic, with a sidecar integrity record (see
+    :mod:`repro.resilience.artifacts`) — a manifest is the document
+    other artifacts are trusted *through*, so it is the last place a
+    torn write or a bit flip may go unnoticed.
+    """
+    from ..resilience import artifacts as _artifacts
+
     validate_manifest(manifest)
-    with open(path, "w") as fh:
-        json.dump(manifest, fh, indent=2, sort_keys=True, default=str)
-        fh.write("\n")
+    text = json.dumps(manifest, indent=2, sort_keys=True, default=str) + "\n"
+    _artifacts.write_text_artifact(path, text, kind="manifest",
+                                   schema_version=MANIFEST_SCHEMA_VERSION)
 
 
 # -- validation -----------------------------------------------------------------

@@ -240,19 +240,26 @@ class Tracer:
 
     def write_jsonl(self, path: str) -> int:
         """Write a meta header plus one JSON object per span; returns the
-        number of span records written."""
+        number of span records written.
+
+        The write goes through the durability layer (atomic replace +
+        sidecar integrity record) so a run killed mid-write never
+        leaves a torn trace for the validators to choke on.
+        """
+        from ..resilience import artifacts as _artifacts
+
         records = self.ordered_records()
-        with open(path, "w") as fh:
-            json.dump({
-                "type": "meta",
-                "schema_version": TRACE_SCHEMA_VERSION,
-                "n_spans": len(records),
-                "counters": self.counters,
-            }, fh)
-            fh.write("\n")
-            for rec in records:
-                json.dump(rec, fh, default=_json_default)
-                fh.write("\n")
+        lines = [json.dumps({
+            "type": "meta",
+            "schema_version": TRACE_SCHEMA_VERSION,
+            "n_spans": len(records),
+            "counters": self.counters,
+        })]
+        lines.extend(json.dumps(rec, default=_json_default)
+                     for rec in records)
+        _artifacts.write_text_artifact(
+            path, "".join(line + "\n" for line in lines),
+            kind="trace", schema_version=TRACE_SCHEMA_VERSION)
         return len(records)
 
     def summary(self) -> Dict[str, Dict[str, Any]]:

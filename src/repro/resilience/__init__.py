@@ -1,30 +1,62 @@
 """Resilient experiment execution (see docs/RESILIENCE.md).
 
 Long sweeps die for boring reasons — a preempted node, an OOM-killed
-worker, a wedged process — and the paper's result matrices are exactly
-the hours-long cell batches that cannot afford to restart from zero.
-This package is the recovery layer the execution stack
+worker, a wedged process, a full disk — and the paper's result matrices
+are exactly the hours-long cell batches that cannot afford to restart
+from zero.  This package is the recovery layer the execution stack
 (:mod:`repro.experiments.parallel`, the sweeps, the figure drivers and
 the CLI) runs on:
 
+* :mod:`~repro.resilience.artifacts` — the durability layer: one atomic
+  write primitive (temp + fsync + ``os.replace``) for every artifact,
+  sidecar integrity records (SHA-256 + length + schema version),
+  verification on read, and quarantine of anything corrupt — a damaged
+  artifact becomes a loud error and a ``.corrupt`` file, never a wrong
+  row;
 * :mod:`~repro.resilience.checkpoint` — an append-only JSON-lines
   journal of completed cell results keyed by ``config_hash``, flushed
-  after every cell, so an interrupted run resumes by re-executing only
-  the missing cells;
+  after every cell, with per-record checksums (schema v2) and
+  :func:`~repro.resilience.checkpoint.migrate_journal` for older
+  journals, so an interrupted run resumes by re-executing only the
+  missing cells;
 * :mod:`~repro.resilience.policy` — retry classification (transient vs
-  permanent errors) and deterministic exponential backoff;
+  permanent vs memory-pressure errors) and deterministic exponential
+  backoff;
 * :mod:`~repro.resilience.pool` — a supervised worker pool that can
-  reap a hung worker on a per-cell timeout and requeue the cell without
-  losing the rest of the batch;
+  reap a hung worker on a per-cell timeout, requeue the cell without
+  losing the rest of the batch, and cap worker address space
+  (``RLIMIT_AS``) so runaway cells fail in-band;
+* :mod:`~repro.resilience.governor` — resource governance: preflight
+  admission control (memory / disk estimates clamp the worker count)
+  and the degradation ladder (fewer workers → no trace capture → keep
+  results) for batches under memory pressure;
 * :mod:`~repro.resilience.faults` — a deterministic fault-injection
-  harness (crash / raise / hang / corrupt at a chosen cell index) used
+  harness (crash / raise / hang / corrupt / oom at a chosen cell index;
+  enospc / eio / torn / bitflip at a chosen durable-write index) used
   by the tests and the CI chaos-smoke job to prove the above actually
   recovers;
 * :mod:`~repro.resilience.validate` — worker-payload validation so a
   corrupted result becomes a failure, never a silently wrong row.
 """
 
-from .checkpoint import CheckpointStore, decode_result, encode_result
+from .artifacts import (
+    ArtifactIntegrityError,
+    atomic_write_bytes,
+    atomic_write_text,
+    quarantine_artifact,
+    read_artifact,
+    read_sidecar,
+    sidecar_path,
+    verify_artifact,
+    write_artifact,
+    write_text_artifact,
+)
+from .checkpoint import (
+    CheckpointStore,
+    decode_result,
+    encode_result,
+    migrate_journal,
+)
 from .faults import (
     FAULTS_ENV_VAR,
     FaultPlan,
@@ -35,25 +67,39 @@ from .faults import (
     install_faults,
     parse_faults,
 )
-from .policy import RetryPolicy, classify_error
+from .governor import Admission, Governor
+from .policy import RetryPolicy, classify_error, memory_pressure
 from .pool import JobOutcome, SupervisedPool
 from .validate import validate_outcome
 
 __all__ = [
+    "Admission",
+    "ArtifactIntegrityError",
     "CheckpointStore",
     "FAULTS_ENV_VAR",
     "FaultPlan",
     "FaultSpec",
+    "Governor",
     "InjectedFault",
     "JobOutcome",
     "RetryPolicy",
     "SupervisedPool",
     "active_plan",
+    "atomic_write_bytes",
+    "atomic_write_text",
     "classify_error",
     "clear_faults",
     "decode_result",
     "encode_result",
     "install_faults",
+    "memory_pressure",
+    "migrate_journal",
     "parse_faults",
-    "validate_outcome",
+    "quarantine_artifact",
+    "read_artifact",
+    "read_sidecar",
+    "sidecar_path",
+    "verify_artifact",
+    "write_artifact",
+    "write_text_artifact",
 ]

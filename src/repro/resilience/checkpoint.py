@@ -18,21 +18,45 @@ A sibling ``<journal>.quarantine.jsonl`` receives payloads that failed
 schema validation (see :mod:`repro.resilience.validate`): corrupt
 results are never replayed into a resumed run, but they are kept for
 post-mortem instead of vanishing.
+
+Since schema version 2 every record carries a SHA-256 over its own
+content, so corruption *anywhere* in the journal — a flipped bit in a
+year-old record, not just a torn tail — is detected on load: the
+corrupt record is quarantined (described in the quarantine file, never
+decoded into a resumed run) and its cell simply re-runs.  Version-1
+journals load unchanged (the records are trusted, as they always were)
+and :func:`migrate_journal` rewrites one in place under the current
+schema with fresh checksums.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from typing import Any, Dict, Optional
 
-from ..memsim.engine import SimResult
+from . import artifacts as _artifacts
 
 __all__ = ["CheckpointStore", "encode_result", "decode_result",
-           "CHECKPOINT_SCHEMA_VERSION"]
+           "migrate_journal", "CHECKPOINT_SCHEMA_VERSION"]
 
 #: bumped whenever the journal record layout changes incompatibly
-CHECKPOINT_SCHEMA_VERSION = 1
+CHECKPOINT_SCHEMA_VERSION = 2
+
+#: schema versions load() can still consume (v1: pre-checksum records)
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
+
+
+def _record_digest(rec: Dict[str, Any]) -> str:
+    """Canonical content hash of a journal record (sans its own sha).
+
+    ``json.loads`` → ``json.dumps(sort_keys=True)`` is a stable
+    canonicalization: floats re-serialize via shortest-repr, so a
+    record read back hashes identically to the one written.
+    """
+    return hashlib.sha256(
+        json.dumps(rec, sort_keys=True, default=str).encode()).hexdigest()
 
 
 def _plain(value):
@@ -69,6 +93,7 @@ def encode_result(result) -> Dict[str, Any]:
 def decode_result(doc: Dict[str, Any]):
     """Rebuild a :class:`CellResult` from :func:`encode_result` output."""
     from ..experiments.harness import CellResult
+    from ..memsim.engine import SimResult
 
     sim_doc = doc["sim"]
     sim = SimResult(
@@ -104,31 +129,71 @@ class CheckpointStore:
         self.path = os.fspath(path)
         self.quarantine_path = self.path + ".quarantine.jsonl"
         self._fh = None
+        #: journal appends that failed (ENOSPC/EIO) — the run keeps its
+        #: in-memory results; only resume coverage shrinks
+        self.write_errors = 0
+        #: filled by :meth:`load`: records / migrated / corrupt /
+        #: dropped_lines counts of the last load
+        self.load_stats: Dict[str, int] = {}
 
     # -- reading ------------------------------------------------------------
 
-    def load(self) -> Dict[str, Any]:
-        """Completed results by config hash; tolerant of a torn tail.
+    def load(self, *, quarantine_corrupt: bool = True) -> Dict[str, Any]:
+        """Completed results by config hash; corruption-tolerant.
 
-        Unparseable lines (the possible last line of a crashed writer)
-        and records with an unknown schema version are skipped — a
-        skipped cell just re-runs, which is always safe.
+        Unparseable lines (a torn tail, or a mid-journal record torn by
+        a disk fault) are dropped; parseable records with a bad
+        checksum, unknown schema version, or undecodable payload are
+        **quarantined** (described in the quarantine file, when
+        ``quarantine_corrupt``).  Either way the affected cell simply
+        re-runs — a corrupt record is never decoded into a resumed run.
+        Version-1 records (pre-checksum) load unchanged.
         """
         completed: Dict[str, Any] = {}
+        stats = {"records": 0, "migrated": 0, "corrupt": 0,
+                 "dropped_lines": 0}
+        self.load_stats = stats
         if not os.path.exists(self.path):
             return completed
+
+        def reject(lineno: int, problem: str) -> None:
+            stats["corrupt"] += 1
+            if quarantine_corrupt:
+                self.quarantine({"journal": self.path, "line": lineno,
+                                 "problem": problem})
+
         with open(self.path) as fh:
-            for line in fh:
+            for lineno, line in enumerate(fh, start=1):
                 line = line.strip()
                 if not line:
                     continue
                 try:
                     rec = json.loads(line)
-                    if rec.get("schema_version") != CHECKPOINT_SCHEMA_VERSION:
+                except ValueError:
+                    stats["dropped_lines"] += 1
+                    continue  # torn line: drop, cell re-runs
+                if not isinstance(rec, dict):
+                    stats["dropped_lines"] += 1
+                    continue
+                version = rec.get("schema_version")
+                if version not in SUPPORTED_SCHEMA_VERSIONS:
+                    reject(lineno, f"unknown schema_version {version!r}")
+                    continue
+                if version >= 2:
+                    claimed = rec.pop("sha256", None)
+                    if claimed != _record_digest(rec):
+                        reject(lineno, "record checksum mismatch "
+                                       f"(claimed {str(claimed)[:12]}…)")
                         continue
+                else:
+                    stats["migrated"] += 1
+                try:
                     completed[rec["key"]] = decode_result(rec["result"])
-                except (ValueError, KeyError, TypeError):
-                    continue  # torn or foreign line: drop, cell re-runs
+                except (ValueError, KeyError, TypeError) as exc:
+                    reject(lineno, f"undecodable record: "
+                                   f"{type(exc).__name__}: {exc}")
+                    continue
+                stats["records"] += 1
         return completed
 
     def keys(self) -> set:
@@ -143,24 +208,45 @@ class CheckpointStore:
         return self._fh
 
     def record(self, key: str, result, kind: str = "",
-               attempts: int = 1) -> None:
+               attempts: int = 1) -> bool:
         """Append one completed cell; durable before this returns.
 
         One ``write`` call per record plus ``fsync`` keeps the journal
         consistent under a parent kill: either the full line is on disk
-        or a torn tail that :meth:`load` drops.
+        or a torn tail that :meth:`load` drops.  Each record carries a
+        SHA-256 of its own content so :meth:`load` detects mid-journal
+        corruption, not just a torn tail.
+
+        A failing disk (ENOSPC/EIO) does **not** abort the batch: the
+        error is counted in :attr:`write_errors` (graceful degradation
+        — the in-memory result survives, only resume coverage shrinks)
+        and ``False`` is returned.
         """
-        line = json.dumps({
+        rec = {
             "schema_version": CHECKPOINT_SCHEMA_VERSION,
             "key": key,
             "kind": kind,
             "attempts": attempts,
             "result": encode_result(result),
-        }, default=str)
-        fh = self._handle()
-        fh.write(line + "\n")
-        fh.flush()
-        os.fsync(fh.fileno())
+        }
+        rec["sha256"] = _record_digest(rec)
+        data = json.dumps(rec, default=str).encode()
+        spec = _artifacts.take_write_fault()
+        try:
+            _artifacts.raise_for_disk_fault(spec)
+            if spec is not None:
+                data = _artifacts.corrupt_bytes(data, spec)
+            fh = self._handle()
+            if spec is not None and spec.mode == "torn":
+                fh.write(data.decode(errors="replace"))  # crashed mid-line
+            else:
+                fh.write(data.decode(errors="replace") + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        except OSError:
+            self.write_errors += 1
+            return False
+        return True
 
     def quarantine(self, entry: Dict[str, Any]) -> None:
         """Append a corrupt/invalid payload description for post-mortem."""
@@ -190,3 +276,48 @@ class CheckpointStore:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"CheckpointStore({self.path!r})"
+
+
+def migrate_journal(path: str, out_path: Optional[str] = None) -> int:
+    """Rewrite a journal under the current schema; returns the record count.
+
+    Every loadable record — any supported version — is re-encoded as a
+    version-:data:`CHECKPOINT_SCHEMA_VERSION` record with a fresh
+    checksum; torn/corrupt lines are left behind (their cells re-run,
+    as on load).  The rewrite is atomic (temp + ``os.replace``), so a
+    migration killed half-way leaves the original journal intact.
+    Round-trip: ``load()`` of the migrated journal equals ``load()`` of
+    the original.
+    """
+    kept: Dict[str, Dict[str, Any]] = {}
+    if os.path.exists(path):
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except ValueError:
+                    continue
+                if not isinstance(rec, dict):
+                    continue
+                version = rec.get("schema_version")
+                if version not in SUPPORTED_SCHEMA_VERSIONS:
+                    continue
+                if version >= 2:
+                    claimed = rec.pop("sha256", None)
+                    if claimed != _record_digest(rec):
+                        continue
+                try:
+                    decode_result(rec["result"])  # must round-trip
+                except (ValueError, KeyError, TypeError):
+                    continue
+                rec["schema_version"] = CHECKPOINT_SCHEMA_VERSION
+                rec.pop("sha256", None)
+                rec["sha256"] = _record_digest(rec)
+                kept[rec["key"]] = rec
+    lines = [json.dumps(rec, default=str) for rec in kept.values()]
+    text = "".join(line + "\n" for line in lines)
+    _artifacts.atomic_write_bytes(out_path or path, text.encode())
+    return len(kept)

@@ -1,8 +1,8 @@
 """Deterministic fault injection for the execution stack.
 
 Recovery code that is never exercised is broken code.  This module lets
-tests and the CI chaos-smoke job make a cell *deterministically* fail in
-one of four ways, at a chosen cell index, on a chosen attempt:
+tests and the CI chaos-smoke job make a cell *deterministically* fail,
+at a chosen cell index, on a chosen attempt:
 
 ``crash``
     ``os._exit(3)`` — the process dies abruptly, no exception, no
@@ -18,6 +18,30 @@ one of four ways, at a chosen cell index, on a chosen attempt:
 ``corrupt``
     the cell "succeeds" but returns a schema-invalid payload — models
     a worker shipping garbage; result validation must quarantine it.
+``oom``
+    raise :class:`MemoryError` — models an allocation failure under
+    memory pressure; the retry policy classifies it memory-pressure so
+    the governor's degradation ladder (fewer workers, then no trace
+    capture) engages.  See :mod:`repro.resilience.governor`.
+
+A second family targets *durable writes* instead of cells.  These are
+keyed on the process-local **write index** — the running count of
+journal records and artifact files written since the plan was installed
+(:func:`next_write_index`) — and model the disk failing under the
+durability layer (:mod:`repro.resilience.artifacts`):
+
+``enospc`` / ``eio``
+    the write raises ``OSError`` (``ENOSPC`` / ``EIO``) before any byte
+    lands — models a full or failing disk;
+``torn``
+    only the first half of the payload reaches disk — models a crash
+    mid-write of a non-atomic writer (exactly the corruption the atomic
+    writer prevents and verification-on-read must catch);
+``bitflip``
+    one byte of the payload is corrupted on disk (the first ASCII
+    letter gets its case bit flipped, so JSON framing survives but the
+    content — and therefore the checksum — does not) — models silent
+    bit rot that only an integrity record can detect.
 
 Faults are described by a compact spec string so they cross process
 boundaries through the ``REPRO_FAULTS`` environment variable (worker
@@ -27,12 +51,14 @@ processes — forked or spawned — inherit the environment)::
     hang@5:always           # hang cell 5 on every attempt
     hang@5:seconds=120      # hang duration override
     crash@1,corrupt@4       # plans compose with commas
+    enospc@1,torn@3         # disk faults at write indexes 1 and 3
 
 ``@N:once`` (the default) fires on the first attempt only, so a retry
 then succeeds — the shape of a genuinely transient fault.  ``:always``
 makes the fault permanent, which is how tests force a cell into the
-failure path.  Everything is keyed on (cell index, attempt): no
-randomness, no clocks, so a chaos run is exactly reproducible.
+failure path.  Everything is keyed on (cell index, attempt) or the
+write index: no randomness, no clocks, so a chaos run is exactly
+reproducible.
 """
 
 from __future__ import annotations
@@ -51,6 +77,8 @@ __all__ = [
     "install_faults",
     "clear_faults",
     "active_plan",
+    "next_write_index",
+    "reset_write_index",
 ]
 
 #: environment variable carrying the fault spec into worker processes
@@ -59,7 +87,13 @@ FAULTS_ENV_VAR = "REPRO_FAULTS"
 #: exit status used by the ``crash`` mode (distinctive in waitpid output)
 CRASH_EXIT_CODE = 3
 
-_MODES = ("crash", "raise", "hang", "corrupt")
+#: modes keyed on (cell index, attempt)
+CELL_MODES = ("crash", "raise", "hang", "corrupt", "oom")
+
+#: modes keyed on the process-local durable-write index
+WRITE_MODES = ("enospc", "eio", "torn", "bitflip")
+
+_MODES = CELL_MODES + WRITE_MODES
 
 
 class InjectedFault(RuntimeError):
@@ -97,9 +131,20 @@ class FaultPlan:
     specs: Tuple[FaultSpec, ...] = ()
 
     def for_cell(self, index: int, attempt: int) -> Optional[FaultSpec]:
-        """The fault that fires for this (cell, attempt), if any."""
+        """The cell fault that fires for this (cell, attempt), if any."""
         for spec in self.specs:
-            if spec.fires(index, attempt):
+            if spec.mode in CELL_MODES and spec.fires(index, attempt):
+                return spec
+        return None
+
+    def for_write(self, index: int) -> Optional[FaultSpec]:
+        """The disk fault that fires for this durable-write index, if any.
+
+        Write indexes never repeat within a process, so the once/always
+        distinction is moot here — the index match alone decides.
+        """
+        for spec in self.specs:
+            if spec.mode in WRITE_MODES and spec.index == index:
                 return spec
         return None
 
@@ -153,12 +198,14 @@ def install_faults(plan) -> FaultPlan:
     if isinstance(plan, str):
         plan = parse_faults(plan)
     os.environ[FAULTS_ENV_VAR] = plan.to_spec()
+    reset_write_index()
     return plan
 
 
 def clear_faults() -> None:
     """Deactivate fault injection for this process and future workers."""
     os.environ.pop(FAULTS_ENV_VAR, None)
+    reset_write_index()
 
 
 def active_plan() -> FaultPlan:
@@ -170,8 +217,8 @@ def active_plan() -> FaultPlan:
 
 
 def fire(spec: FaultSpec) -> bool:
-    """Execute a fault.  Returns True when the caller must corrupt its
-    own payload (the ``corrupt`` mode is cooperative — only the cell
+    """Execute a cell fault.  Returns True when the caller must corrupt
+    its own payload (the ``corrupt`` mode is cooperative — only the cell
     runner knows what a payload looks like); the other modes never
     return normally or return False after sleeping."""
     if spec.mode == "crash":
@@ -179,9 +226,32 @@ def fire(spec: FaultSpec) -> bool:
     if spec.mode == "raise":
         raise InjectedFault(
             f"injected fault at cell {spec.index} ({spec.to_spec()})")
+    if spec.mode == "oom":
+        raise MemoryError(
+            f"injected allocation failure at cell {spec.index} "
+            f"({spec.to_spec()})")
     if spec.mode == "hang":
         time.sleep(spec.seconds)
         return False
     if spec.mode == "corrupt":
         return True
     raise AssertionError(f"unhandled fault mode {spec.mode!r}")
+
+
+# -- durable-write fault indexing -----------------------------------------------
+
+# the running count of durable writes (journal records + artifact
+# files) since the fault plan was installed; WRITE_MODES key on it
+_WRITE_INDEX = [0]
+
+
+def next_write_index() -> int:
+    """Claim the next durable-write index (process-local, monotonic)."""
+    index = _WRITE_INDEX[0]
+    _WRITE_INDEX[0] = index + 1
+    return index
+
+
+def reset_write_index() -> None:
+    """Restart write indexing (done by install_faults / clear_faults)."""
+    _WRITE_INDEX[0] = 0

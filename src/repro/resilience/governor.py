@@ -1,0 +1,207 @@
+"""Resource governance: admission control and graceful degradation.
+
+A large sweep dies two boring deaths the retry machinery cannot fix
+after the fact: the workers collectively out-allocate the machine and
+the kernel OOM-kills them (or the parent), or the artifact disk fills
+and every journal append fails.  This module makes the batch entry
+point (:func:`repro.experiments.parallel.run_cells_parallel`) *admit*
+work it can afford and *degrade* instead of dying:
+
+* **Preflight admission control** — before any worker spawns,
+  :meth:`Governor.preflight` estimates per-cell grid + trace memory
+  (:meth:`Governor.estimate_cell_bytes`), probes available memory and
+  free disk, and clamps the worker count so the batch fits in a
+  configurable fraction of what is actually free.
+* **Per-worker address-space caps** — workers run under ``RLIMIT_AS``
+  (estimate × headroom), so a runaway cell gets a clean, in-band,
+  retryable :class:`MemoryError` instead of an opaque OOM kill of a
+  random process.
+* **Degradation ladder** — cells that still fail under memory pressure
+  are re-run with fewer workers, then without trace capture, before
+  the batch is allowed to fail: *shrink workers → drop trace capture →
+  keep results*.
+
+Everything the governor decides is surfaced as ``resilience.gov_*``
+counters in the trace meta header and the run manifest's validated
+``resilience`` section, so a degraded run is visibly degraded.
+
+Probes return ``None`` (govern nothing) rather than raising on exotic
+platforms; all knobs live on the frozen :class:`Governor` dataclass so
+a configured governor can cross a process boundary by value.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["Governor", "Admission", "available_memory_bytes",
+           "free_disk_bytes", "apply_worker_rlimit"]
+
+
+def available_memory_bytes() -> Optional[int]:
+    """Bytes of memory the batch could claim right now (None = unknown).
+
+    Prefers ``MemAvailable`` from ``/proc/meminfo`` (what the kernel
+    says is reclaimable without swapping); falls back to the sysconf
+    free-pages estimate.
+    """
+    try:
+        with open("/proc/meminfo") as fh:
+            for line in fh:
+                if line.startswith("MemAvailable:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        return os.sysconf("SC_AVPHYS_PAGES") * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, AttributeError):
+        return None
+
+
+def free_disk_bytes(path: str) -> Optional[int]:
+    """Free bytes on the filesystem holding ``path`` (None = unknown)."""
+    try:
+        probe = path or "."
+        while probe and not os.path.exists(probe):
+            parent = os.path.dirname(probe)
+            if parent == probe:
+                break
+            probe = parent
+        return shutil.disk_usage(probe or ".").free
+    except OSError:
+        return None
+
+
+def apply_worker_rlimit(limit_bytes: int) -> bool:
+    """Cap this process's address space (called inside a worker).
+
+    Lowers the soft ``RLIMIT_AS`` only — always permitted — so an
+    allocation past the cap raises :class:`MemoryError` in-band instead
+    of inviting the kernel OOM killer.  Returns False where rlimits are
+    unsupported.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return False
+    try:
+        _, hard = resource.getrlimit(resource.RLIMIT_AS)
+        soft = limit_bytes if hard == resource.RLIM_INFINITY \
+            else min(limit_bytes, hard)
+        resource.setrlimit(resource.RLIMIT_AS, (soft, hard))
+        return True
+    except (ValueError, OSError):  # pragma: no cover - exotic rlimit state
+        return False
+
+
+@dataclass
+class Admission:
+    """What the preflight admitted, and why."""
+
+    requested_workers: int
+    admitted_workers: int
+    est_cell_bytes: int
+    available_bytes: Optional[int]
+    free_disk_bytes: Optional[int]
+    capture_trace: bool = True
+    rlimit_bytes: Optional[int] = None
+    notes: List[str] = field(default_factory=list)
+
+    def counters(self) -> Dict[str, float]:
+        """Numeric ``resilience.gov_*`` counters for trace + manifest."""
+        out: Dict[str, float] = {
+            "resilience.gov_requested_workers": self.requested_workers,
+            "resilience.gov_admitted_workers": self.admitted_workers,
+            "resilience.gov_est_cell_mb": self.est_cell_bytes // (1 << 20),
+            "resilience.gov_trace_capture": int(self.capture_trace),
+        }
+        if self.rlimit_bytes is not None:
+            out["resilience.gov_rlimit_mb"] = self.rlimit_bytes // (1 << 20)
+        if self.free_disk_bytes is not None:
+            out["resilience.gov_free_disk_mb"] = \
+                self.free_disk_bytes // (1 << 20)
+        return out
+
+
+@dataclass(frozen=True)
+class Governor:
+    """Admission-control policy (all knobs, no state).
+
+    ``memory_fraction`` of the probed available memory is the batch's
+    budget; the worker count is clamped so ``workers ×
+    estimate_cell_bytes`` fits it.  ``disk_floor_bytes`` of free space
+    must remain on the artifact filesystem or trace capture is dropped
+    preemptively (traces are the artifact whose size scales with the
+    sweep).  ``rlimit_headroom`` sizes the per-worker ``RLIMIT_AS`` cap
+    relative to the estimate; ``rlimit_floor_bytes`` keeps the cap
+    above interpreter + numpy baseline mappings.
+    """
+
+    memory_fraction: float = 0.5
+    disk_floor_bytes: int = 256 << 20
+    base_cell_bytes: int = 48 << 20
+    bytes_per_voxel: float = 64.0
+    min_workers: int = 1
+    rlimit_headroom: float = 8.0
+    rlimit_floor_bytes: int = 1 << 30
+    enforce_rlimit: bool = True
+
+    def estimate_cell_bytes(self, cell) -> int:
+        """Heuristic peak bytes one cell needs (grid + stream + replay).
+
+        A cell materializes the dense volume, the layout-ordered grid
+        copy, and an access-index stream several entries per voxel —
+        all linear in the voxel count — plus an interpreter/numpy
+        baseline.  ``bytes_per_voxel`` bundles the linear terms; it is
+        deliberately pessimistic (admission errs toward fewer workers,
+        which degrades throughput, never correctness).
+        """
+        shape = getattr(cell, "shape", None) or (64, 64, 64)
+        voxels = 1
+        for extent in shape:
+            voxels *= int(extent)
+        return self.base_cell_bytes + int(voxels * self.bytes_per_voxel)
+
+    def preflight(self, cells: Sequence[Any], workers: int, *,
+                  artifact_dir: str = ".",
+                  available_bytes: Optional[int] = None,
+                  disk_bytes: Optional[int] = None) -> Admission:
+        """Decide how many workers this batch can actually afford.
+
+        ``available_bytes`` / ``disk_bytes`` override the probes (tests
+        and callers that already know).  Never admits fewer than
+        ``min_workers``; never raises — an unknown probe governs
+        nothing.
+        """
+        requested = max(1, int(workers))
+        est = max((self.estimate_cell_bytes(cell) for cell in cells),
+                  default=self.base_cell_bytes)
+        avail = available_bytes if available_bytes is not None \
+            else available_memory_bytes()
+        disk = disk_bytes if disk_bytes is not None \
+            else free_disk_bytes(artifact_dir)
+        admission = Admission(
+            requested_workers=requested, admitted_workers=requested,
+            est_cell_bytes=est, available_bytes=avail, free_disk_bytes=disk)
+        if avail is not None:
+            budget = int(avail * self.memory_fraction)
+            fit = max(self.min_workers, budget // max(1, est))
+            if fit < requested:
+                admission.admitted_workers = fit
+                admission.notes.append(
+                    f"memory: {requested} workers × ~{est // (1 << 20)} MB "
+                    f"exceeds budget {budget // (1 << 20)} MB; "
+                    f"admitting {fit}")
+        if disk is not None and disk < self.disk_floor_bytes:
+            admission.capture_trace = False
+            admission.notes.append(
+                f"disk: {disk // (1 << 20)} MB free is under the "
+                f"{self.disk_floor_bytes // (1 << 20)} MB floor; "
+                f"dropping trace capture")
+        if self.enforce_rlimit:
+            admission.rlimit_bytes = max(
+                self.rlimit_floor_bytes, int(est * self.rlimit_headroom))
+        return admission

@@ -14,7 +14,15 @@ sentinel classes:
 ``corrupt-result``
     the payload failed schema validation — could be a one-off memory
     corruption, so retryable, but the bad payload is quarantined either
-    way (see :mod:`repro.resilience.validate`).
+    way (see :mod:`repro.resilience.validate`);
+``oom-kill``
+    the worker died by SIGKILL — on Linux almost always the kernel OOM
+    killer.  Retryable, but unlike a plain ``worker-death`` it is also
+    *memory pressure* (see :func:`memory_pressure`): retrying at the
+    same concurrency would re-create the same pressure, so the batch
+    runner responds by descending the governor's degradation ladder
+    (fewer workers, then no trace capture) rather than retrying
+    blindly.  An in-band :class:`MemoryError` classifies the same way.
 
 Deterministic exceptions (``ValueError``, ``TypeError``, …) are
 *permanent*: a mis-specified cell fails identically every time, and
@@ -32,7 +40,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
-__all__ = ["RetryPolicy", "classify_error", "PERMANENT_ERROR_CLASSES"]
+__all__ = ["RetryPolicy", "classify_error", "memory_pressure",
+           "PERMANENT_ERROR_CLASSES", "MEMORY_PRESSURE_ERROR_CLASSES"]
 
 #: exception type names that fail the same way every attempt
 PERMANENT_ERROR_CLASSES = (
@@ -44,6 +53,18 @@ PERMANENT_ERROR_CLASSES = (
     "AssertionError",
     "NotImplementedError",
 )
+
+#: error classes that mean the machine (not the cell) ran out of memory —
+#: the cue for the governor's degradation ladder, not a plain retry
+MEMORY_PRESSURE_ERROR_CLASSES = (
+    "MemoryError",
+    "oom-kill",
+)
+
+
+def memory_pressure(error: str) -> bool:
+    """True when this failure signals memory pressure (see the ladder)."""
+    return classify_error(error) in MEMORY_PRESSURE_ERROR_CLASSES
 
 
 def classify_error(error: str) -> str:
@@ -81,7 +102,7 @@ class RetryPolicy:
         cls = classify_error(error)
         if cls == "timeout":
             return self.retry_timeouts
-        if cls in ("worker-death", "corrupt-result"):
+        if cls in ("worker-death", "corrupt-result", "oom-kill"):
             return True
         return cls not in self.permanent
 

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import itertools
 import multiprocessing
+import signal
 import time
 import traceback
 from collections import deque
@@ -54,13 +55,21 @@ _POLL_SECONDS = 0.05
 _REAP_GRACE_SECONDS = 0.5
 
 
-def _worker_main(worker_id: int, worker_fn, task_q, result_q) -> None:
+def _worker_main(worker_id: int, worker_fn, task_q, result_q,
+                 rlimit_bytes=None) -> None:
     """Worker loop: pull (seq, payload) jobs until the None sentinel.
 
     ``worker_fn`` is expected to catch job-level exceptions itself and
     return an error payload; the blanket except here is a last resort so
     a bug in the wrapper degrades to an in-band error, not worker death.
+
+    ``rlimit_bytes`` caps this worker's address space (``RLIMIT_AS``) so
+    a runaway cell raises an in-band, retryable :class:`MemoryError`
+    instead of drawing the kernel OOM killer onto a random process.
     """
+    if rlimit_bytes:
+        from .governor import apply_worker_rlimit
+        apply_worker_rlimit(rlimit_bytes)
     while True:
         msg = task_q.get()
         if msg is None:
@@ -109,12 +118,13 @@ class _Attempt:
 class _Worker:
     """One supervised process plus its private task queue."""
 
-    def __init__(self, worker_id: int, ctx, worker_fn, result_q):
+    def __init__(self, worker_id: int, ctx, worker_fn, result_q,
+                 rlimit_bytes=None):
         self.worker_id = worker_id
         self.task_q = ctx.SimpleQueue()
         self.proc = ctx.Process(target=_worker_main,
                                 args=(worker_id, worker_fn, self.task_q,
-                                      result_q),
+                                      result_q, rlimit_bytes),
                                 daemon=True)
         self.proc.start()
         self.current: Optional[_Attempt] = None
@@ -163,14 +173,20 @@ class SupervisedPool:
     mp_context : multiprocessing context, optional
         Defaults to the platform default (``fork`` on Linux, preserving
         warm parent caches).
+    rlimit_bytes : int, optional
+        Per-worker ``RLIMIT_AS`` cap (see
+        :func:`repro.resilience.governor.apply_worker_rlimit`).  None
+        (the default) leaves workers uncapped.
     """
 
     def __init__(self, worker_fn: Callable[[Any], Dict[str, Any]],
-                 n_workers: int, mp_context=None):
+                 n_workers: int, mp_context=None,
+                 rlimit_bytes: Optional[int] = None):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         self.worker_fn = worker_fn
         self.n_workers = n_workers
+        self.rlimit_bytes = rlimit_bytes
         self.ctx = mp_context or multiprocessing.get_context()
 
     def run(self, payloads: Sequence[Any],
@@ -197,7 +213,7 @@ class SupervisedPool:
 
         def spawn() -> None:
             worker = _Worker(next(worker_ids), self.ctx, self.worker_fn,
-                             result_q)
+                             result_q, self.rlimit_bytes)
             workers[worker.worker_id] = worker
 
         def finish(outcome: JobOutcome) -> None:
@@ -280,15 +296,23 @@ class SupervisedPool:
                             f"(attempt {attempt.attempt})")
                         spawn()
                     elif busy and not worker.proc.is_alive():
-                        # died without a result (crash / OOM / segfault)
+                        # died without a result (crash / OOM / segfault);
+                        # SIGKILL with no supervisor reap is, on Linux,
+                        # almost always the kernel OOM killer — classify
+                        # it as memory pressure, not generic death
                         del workers[worker.worker_id]
                         attempt = worker.release()
                         attempt.deaths += 1
-                        fail_or_retry(
-                            attempt,
-                            f"worker-death: worker exited with code "
-                            f"{worker.proc.exitcode} before returning "
-                            f"(attempt {attempt.attempt})")
+                        exitcode = worker.proc.exitcode
+                        if exitcode == -signal.SIGKILL:
+                            error = (f"oom-kill: worker killed by SIGKILL "
+                                     f"before returning "
+                                     f"(attempt {attempt.attempt})")
+                        else:
+                            error = (f"worker-death: worker exited with "
+                                     f"code {exitcode} before returning "
+                                     f"(attempt {attempt.attempt})")
+                        fail_or_retry(attempt, error)
                         spawn()
 
                 now = time.monotonic()

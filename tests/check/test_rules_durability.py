@@ -1,0 +1,125 @@
+"""Golden tests for the RPC4xx durability family (inline fixtures)."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.check import check_source
+
+EXPERIMENT = "src/repro/experiments/fixture.py"
+
+
+def codes(src, path=EXPERIMENT):
+    findings, _ = check_source(textwrap.dedent(src), path)
+    return [f.code for f in findings]
+
+
+class TestRawWriteOpen:
+    def test_write_mode_positional(self):
+        assert codes("""\
+            def dump(path, text):
+                with open(path, "w") as fh:
+                    fh.write(text)
+        """) == ["RPC401"]
+
+    def test_write_mode_keyword_and_variants(self):
+        for mode in ("wb", "a", "x", "r+"):
+            assert codes(f"""\
+                def dump(path, data):
+                    with open(path, mode="{mode}") as fh:
+                        fh.write(data)
+            """) == ["RPC401"], mode
+
+    def test_pathlib_open(self):
+        assert codes("""\
+            def dump(path, text):
+                with path.open("w") as fh:
+                    fh.write(text)
+        """) == ["RPC401"]
+
+    def test_read_mode_is_fine(self):
+        assert codes("""\
+            def slurp(path):
+                with open(path) as fh:
+                    return fh.read()
+
+            def slurp_bytes(path):
+                with open(path, "rb") as fh:
+                    return fh.read()
+        """) == []
+
+    def test_non_literal_mode_is_fine(self):
+        # can't prove it writes; the runtime sanitizer covers this hole
+        assert codes("""\
+            def reopen(path, mode):
+                return open(path, mode)
+        """) == []
+
+
+class TestToFile:
+    def test_ndarray_tofile(self):
+        assert codes("""\
+            def dump(volume, path):
+                volume.tofile(path)
+        """) == ["RPC402"]
+
+
+class TestNumpySave:
+    def test_np_save(self):
+        assert codes("""\
+            import numpy as np
+
+            def dump(path, volume):
+                np.save(path, volume)
+        """) == ["RPC403"]
+
+    def test_numpy_savetxt_and_savez(self):
+        assert codes("""\
+            import numpy
+
+            def dump(path, rows, arrays):
+                numpy.savetxt(path, rows)
+                numpy.savez_compressed(path, **arrays)
+        """) == ["RPC403", "RPC403"]
+
+    def test_np_load_is_fine(self):
+        assert codes("""\
+            import numpy as np
+
+            def slurp(path):
+                return np.load(path, allow_pickle=False)
+        """) == []
+
+
+class TestDomains:
+    SRC = """\
+        def dump(path, text):
+            with open(path, "w") as fh:
+                fh.write(text)
+    """
+
+    def test_fires_in_scripts_and_benchmarks(self):
+        assert codes(self.SRC, "scripts/make_things.py") == ["RPC401"]
+        assert codes(self.SRC, "benchmarks/bench_things.py") == ["RPC401"]
+
+    def test_resilience_layer_is_exempt(self):
+        # the durability layer implements the primitive; its temp-file
+        # and journal writes are the mechanism, not a bypass
+        assert codes(self.SRC, "src/repro/resilience/artifacts.py") == []
+
+    def test_check_tooling_is_exempt(self):
+        assert codes(self.SRC, "src/repro/check/baseline.py") == []
+
+    def test_tests_tree_is_out_of_scope(self):
+        assert codes(self.SRC, "tests/data/test_io.py") == []
+
+
+class TestSuppression:
+    def test_noqa_silences_the_family(self):
+        src = ("def dump(path, data):\n"
+               "    with open(path, 'wb') as fh:"
+               "  # repro: noqa[RPC401]\n"
+               "        fh.write(data)\n")
+        findings, suppressed = check_source(src, EXPERIMENT)
+        assert not findings
+        assert [f.code for f in suppressed] == ["RPC401"]

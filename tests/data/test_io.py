@@ -1,11 +1,18 @@
-"""Tests for raw/npy volume I/O."""
+"""Tests for raw/npy volume I/O (atomic, integrity-verified)."""
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
 
 from repro.data import mri_phantom, read_npy, read_raw, write_npy, write_raw
+from repro.resilience.artifacts import (
+    ArtifactIntegrityError,
+    read_sidecar,
+    sidecar_path,
+)
 
 
 class TestRaw:
@@ -55,3 +62,59 @@ class TestNpy:
         np.save(path, np.zeros((4, 4)))
         with pytest.raises(ValueError):
             read_npy(path)
+
+
+class TestIntegrity:
+    """Volumes are artifacts: sidecar on write, verification on read."""
+
+    def test_write_raw_leaves_a_sidecar(self, tmp_path, rng):
+        vol = rng.random((4, 4, 4)).astype(np.float32)
+        path = str(tmp_path / "vol.raw")
+        write_raw(path, vol)
+        record = read_sidecar(path)
+        assert record["kind"] == "raw-volume"
+        assert record["bytes"] == vol.nbytes
+
+    def test_write_npy_leaves_a_sidecar(self, tmp_path):
+        path = str(tmp_path / "vol.npy")
+        write_npy(path, mri_phantom((4, 4, 4)))
+        assert read_sidecar(path)["kind"] == "npy-volume"
+
+    def test_bit_rotted_raw_quarantined_not_decoded(self, tmp_path, rng):
+        vol = rng.random((4, 4, 4)).astype(np.float32)
+        path = str(tmp_path / "vol.raw")
+        write_raw(path, vol)
+        with open(path, "r+b") as fh:
+            fh.seek(8)
+            fh.write(b"\xff")
+        with pytest.raises(ArtifactIntegrityError, match="sha256"):
+            read_raw(path, (4, 4, 4))
+        assert not os.path.exists(path)
+        assert os.path.exists(path + ".corrupt")
+
+    def test_truncated_npy_quarantined_not_decoded(self, tmp_path):
+        path = str(tmp_path / "vol.npy")
+        write_npy(path, mri_phantom((4, 4, 4)))
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(size // 2)
+        with pytest.raises(ArtifactIntegrityError, match="size"):
+            read_npy(path)
+        assert os.path.exists(path + ".corrupt")
+
+    def test_legacy_volume_without_sidecar_still_loads(self, tmp_path, rng):
+        vol = rng.random((3, 3, 3)).astype(np.float32)
+        path = str(tmp_path / "legacy.raw")
+        # a volume written by an older revision: raw bytes, no sidecar
+        vol.transpose(2, 1, 0).astype("<f4").tofile(path)
+        assert not os.path.exists(sidecar_path(path))
+        assert np.array_equal(read_raw(path, (3, 3, 3)), vol)
+
+    def test_rewrite_refreshes_the_sidecar(self, tmp_path, rng):
+        path = str(tmp_path / "vol.raw")
+        write_raw(path, rng.random((4, 4, 4)).astype(np.float32))
+        first = read_sidecar(path)
+        vol2 = rng.random((4, 4, 4)).astype(np.float32)
+        write_raw(path, vol2)
+        assert read_sidecar(path) != first
+        assert np.array_equal(read_raw(path, (4, 4, 4)), vol2)

@@ -155,7 +155,9 @@ class TestCsvExport:
         rows = [{"a": 1}, {"a": 2}]
         rows_to_csv(rows, str(path))
         rows_to_csv(rows, str(path))  # overwrite goes through a new temp
-        assert [p.name for p in tmp_path.iterdir()] == ["sweep.csv"]
+        # just the table and its integrity sidecar — no temp leftovers
+        assert sorted(p.name for p in tmp_path.iterdir()) \
+            == ["sweep.csv", "sweep.csv.integrity.json"]
 
     def test_failed_write_preserves_previous_csv(self, tmp_path):
         class Unwritable:
@@ -169,4 +171,5 @@ class TestCsvExport:
             rows_to_csv([{"a": Unwritable()}], str(path))
         # the old file is untouched and the temp file was cleaned up
         assert path.read_text() == before
-        assert [p.name for p in tmp_path.iterdir()] == ["sweep.csv"]
+        assert sorted(p.name for p in tmp_path.iterdir()) \
+            == ["sweep.csv", "sweep.csv.integrity.json"]

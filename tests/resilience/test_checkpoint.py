@@ -14,7 +14,27 @@ from repro.experiments import (
 )
 from repro.instrument.manifest import config_hash
 from repro.resilience import CheckpointStore, decode_result, encode_result
-from repro.resilience.checkpoint import CHECKPOINT_SCHEMA_VERSION
+from repro.resilience.checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    migrate_journal,
+)
+from repro.resilience.faults import clear_faults, install_faults
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_faults():
+    clear_faults()
+    yield
+    clear_faults()
+
+
+def write_v1_journal(path, result, keys):
+    """A pre-checksum journal as the v1 code wrote it."""
+    with open(path, "w") as fh:
+        for key in keys:
+            fh.write(json.dumps({"schema_version": 1, "key": key,
+                                 "kind": "BilateralCell", "attempts": 1,
+                                 "result": encode_result(result)}) + "\n")
 
 
 @pytest.fixture(scope="module")
@@ -131,3 +151,128 @@ class TestCheckpointStore:
         store.record("k2", result)  # reopens transparently
         assert set(store.load()) == {"k", "k2"}
         store.close()
+
+
+class TestRecordChecksums:
+    """Schema v2: every record self-verifies, mid-journal rot is caught."""
+
+    def test_records_carry_a_valid_digest(self, tmp_path, result):
+        path = tmp_path / "journal.jsonl"
+        with CheckpointStore(path) as store:
+            store.record("k", result)
+        (rec,) = [json.loads(line) for line in path.read_text().splitlines()]
+        assert rec["schema_version"] == CHECKPOINT_SCHEMA_VERSION
+        assert len(rec["sha256"]) == 64
+
+    def test_mid_journal_corruption_quarantined_not_decoded(self, tmp_path,
+                                                            result):
+        path = tmp_path / "journal.jsonl"
+        with CheckpointStore(path) as store:
+            store.record("first", result)
+            store.record("second", result)
+            store.record("third", result)
+        lines = path.read_text().splitlines()
+        # rot a *non-tail* record: valid JSON, content no longer matches
+        # its checksum
+        lines[1] = lines[1].replace('"attempts": 1', '"attempts": 9', 1)
+        path.write_text("\n".join(lines) + "\n")
+
+        store = CheckpointStore(path)
+        loaded = store.load()
+        assert set(loaded) == {"first", "third"}
+        assert store.load_stats == {"records": 2, "migrated": 0,
+                                    "corrupt": 1, "dropped_lines": 0}
+        (entry,) = [json.loads(line)
+                    for line in open(store.quarantine_path)]
+        assert entry["line"] == 2
+        assert "checksum" in entry["problem"]
+
+    def test_quarantine_can_be_suppressed(self, tmp_path, result):
+        path = tmp_path / "journal.jsonl"
+        with CheckpointStore(path) as store:
+            store.record("k", result)
+        raw = path.read_text()
+        path.write_text(raw.replace('"attempts": 1', '"attempts": 9', 1))
+        store = CheckpointStore(path)
+        assert store.load(quarantine_corrupt=False) == {}
+        assert not os.path.exists(store.quarantine_path)
+
+    def test_v1_records_still_load_and_count_migrated(self, tmp_path,
+                                                      result):
+        path = tmp_path / "journal.jsonl"
+        write_v1_journal(path, result, ["aaaa", "bbbb"])
+        store = CheckpointStore(path)
+        assert store.load() == {"aaaa": result, "bbbb": result}
+        assert store.load_stats["migrated"] == 2
+        assert store.load_stats["corrupt"] == 0
+
+    def test_enospc_on_record_degrades_not_aborts(self, tmp_path, result):
+        path = tmp_path / "journal.jsonl"
+        install_faults("enospc@0")
+        with CheckpointStore(path) as store:
+            assert store.record("starved", result) is False
+            assert store.write_errors == 1
+            assert store.record("landed", result) is True
+        clear_faults()
+        assert set(CheckpointStore(path).load()) == {"landed"}
+
+    def test_torn_record_merges_and_both_cells_rerun(self, tmp_path, result):
+        path = tmp_path / "journal.jsonl"
+        install_faults("torn@0")
+        with CheckpointStore(path) as store:
+            store.record("torn", result)
+            store.record("swallowed", result)
+            store.record("intact", result)
+        clear_faults()
+        store = CheckpointStore(path)
+        assert set(store.load()) == {"intact"}
+        assert store.load_stats["dropped_lines"] == 1
+
+
+class TestMigrateJournal:
+    def test_v1_round_trips_through_migration(self, tmp_path, result):
+        path = str(tmp_path / "journal.jsonl")
+        write_v1_journal(path, result, ["aaaa", "bbbb"])
+        before = CheckpointStore(path).load()
+        assert migrate_journal(path) == 2
+        store = CheckpointStore(path)
+        assert store.load() == before
+        assert store.load_stats["migrated"] == 0  # all records current now
+        for line in open(path):
+            assert json.loads(line)["schema_version"] \
+                == CHECKPOINT_SCHEMA_VERSION
+
+    def test_migration_drops_corrupt_records(self, tmp_path, result):
+        path = tmp_path / "journal.jsonl"
+        with CheckpointStore(path) as store:
+            store.record("good", result)
+            store.record("rotten", result)
+        raw = path.read_text()
+        head, _, tail = raw.partition("\n")
+        path.write_text(head + "\n"
+                        + tail.replace('"attempts": 1', '"attempts": 9', 1))
+        assert migrate_journal(str(path)) == 1
+        assert set(CheckpointStore(path).load()) == {"good"}
+
+    def test_out_path_leaves_the_original_untouched(self, tmp_path, result):
+        src = str(tmp_path / "old.jsonl")
+        dst = str(tmp_path / "new.jsonl")
+        write_v1_journal(src, result, ["k"])
+        original = open(src).read()
+        assert migrate_journal(src, dst) == 1
+        assert open(src).read() == original
+        assert CheckpointStore(dst).load() == CheckpointStore(src).load()
+
+    def test_migrating_a_missing_journal_writes_an_empty_one(self, tmp_path):
+        path = str(tmp_path / "never.jsonl")
+        assert migrate_journal(path) == 0
+        assert open(path).read() == ""
+
+    def test_migration_dedups_by_key(self, tmp_path, result):
+        path = tmp_path / "journal.jsonl"
+        with CheckpointStore(path) as store:
+            store.record("k", result, attempts=1)
+            store.record("k", result, attempts=3)
+        assert migrate_journal(str(path)) == 1
+        (rec,) = [json.loads(line) for line in open(path)]
+        assert rec["attempts"] == 3  # latest wins, as on load

@@ -1,0 +1,142 @@
+"""Governor: cell-size estimates, admission control, rlimits, counters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.resilience import governor as gov
+from repro.resilience.governor import Admission, Governor
+
+MB = 1 << 20
+GB = 1 << 30
+
+
+@dataclass(frozen=True)
+class FakeCell:
+    shape: tuple = (64, 64, 64)
+
+
+class TestEstimate:
+    def test_scales_with_voxel_count(self):
+        g = Governor()
+        small = g.estimate_cell_bytes(FakeCell(shape=(16, 16, 16)))
+        large = g.estimate_cell_bytes(FakeCell(shape=(64, 64, 64)))
+        assert large > small > g.base_cell_bytes
+
+    def test_shapeless_cell_uses_the_default(self):
+        g = Governor()
+        assert g.estimate_cell_bytes(object()) \
+            == g.estimate_cell_bytes(FakeCell(shape=(64, 64, 64)))
+
+    def test_batch_estimate_is_the_largest_cell(self):
+        g = Governor()
+        cells = [FakeCell(shape=(16,) * 3), FakeCell(shape=(64,) * 3)]
+        admission = g.preflight(cells, 2, available_bytes=64 * GB,
+                                disk_bytes=64 * GB)
+        assert admission.est_cell_bytes \
+            == g.estimate_cell_bytes(cells[1])
+
+
+class TestPreflight:
+    def test_plenty_of_memory_admits_all_workers(self):
+        admission = Governor().preflight([FakeCell()] * 4, 8,
+                                         available_bytes=64 * GB,
+                                         disk_bytes=64 * GB)
+        assert admission.admitted_workers == 8
+        assert admission.capture_trace is True
+        assert admission.notes == []
+
+    def test_tight_memory_clamps_workers(self):
+        g = Governor(memory_fraction=0.5)
+        est = g.estimate_cell_bytes(FakeCell())
+        # budget fits exactly two estimated cells
+        admission = g.preflight([FakeCell()] * 8, 8,
+                                available_bytes=4 * est, disk_bytes=64 * GB)
+        assert admission.admitted_workers == 2
+        assert any("memory" in note for note in admission.notes)
+
+    def test_never_admits_below_min_workers(self):
+        admission = Governor(min_workers=1).preflight(
+            [FakeCell()] * 4, 8, available_bytes=1, disk_bytes=64 * GB)
+        assert admission.admitted_workers == 1
+
+    def test_low_disk_drops_trace_capture(self):
+        admission = Governor().preflight([FakeCell()], 2,
+                                         available_bytes=64 * GB,
+                                         disk_bytes=64 * MB)
+        assert admission.capture_trace is False
+        assert any("disk" in note for note in admission.notes)
+
+    def test_unknown_probes_govern_nothing(self, monkeypatch):
+        monkeypatch.setattr(gov, "available_memory_bytes", lambda: None)
+        monkeypatch.setattr(gov, "free_disk_bytes", lambda path: None)
+        admission = Governor().preflight([FakeCell()] * 4, 8)
+        assert admission.admitted_workers == 8
+        assert admission.capture_trace is True
+
+    def test_rlimit_has_headroom_and_floor(self):
+        g = Governor(rlimit_headroom=8.0, rlimit_floor_bytes=1 * GB)
+        admission = g.preflight([FakeCell(shape=(8, 8, 8))], 1,
+                                available_bytes=64 * GB, disk_bytes=64 * GB)
+        # a tiny cell still gets the interpreter-baseline floor
+        assert admission.rlimit_bytes == 1 * GB
+        big = g.preflight([FakeCell(shape=(256,) * 3)], 1,
+                          available_bytes=64 * GB, disk_bytes=64 * GB)
+        assert big.rlimit_bytes \
+            == int(big.est_cell_bytes * g.rlimit_headroom)
+
+    def test_enforce_rlimit_off_leaves_no_cap(self):
+        admission = Governor(enforce_rlimit=False).preflight(
+            [FakeCell()], 1, available_bytes=64 * GB, disk_bytes=64 * GB)
+        assert admission.rlimit_bytes is None
+
+    def test_empty_batch_does_not_raise(self):
+        admission = Governor().preflight([], 2, available_bytes=64 * GB,
+                                         disk_bytes=64 * GB)
+        assert admission.est_cell_bytes == Governor().base_cell_bytes
+
+
+class TestAdmissionCounters:
+    def test_counters_are_numeric_and_prefixed(self):
+        admission = Governor().preflight([FakeCell()] * 2, 4,
+                                         available_bytes=64 * GB,
+                                         disk_bytes=64 * GB)
+        counters = admission.counters()
+        assert counters["resilience.gov_requested_workers"] == 4
+        assert counters["resilience.gov_admitted_workers"] == 4
+        assert counters["resilience.gov_trace_capture"] == 1
+        assert all(key.startswith("resilience.gov_") for key in counters)
+        assert all(isinstance(value, (int, float))
+                   for value in counters.values())
+
+    def test_unknown_disk_omits_its_counter(self):
+        admission = Admission(requested_workers=2, admitted_workers=2,
+                              est_cell_bytes=64 * MB, available_bytes=None,
+                              free_disk_bytes=None)
+        assert "resilience.gov_free_disk_mb" not in admission.counters()
+
+
+class TestProbesAndRlimit:
+    def test_memory_probe_returns_plausible_bytes(self):
+        avail = gov.available_memory_bytes()
+        assert avail is None or 0 < avail < (1 << 50)
+
+    def test_disk_probe_walks_to_an_existing_parent(self, tmp_path):
+        free = gov.free_disk_bytes(str(tmp_path / "not" / "yet" / "made"))
+        assert free is None or free > 0
+
+    def test_apply_worker_rlimit_lowers_soft_limit(self):
+        resource = pytest.importorskip("resource")
+        original = resource.getrlimit(resource.RLIMIT_AS)
+        try:
+            # 4 TiB: far above any real usage, so harmless to apply here
+            assert gov.apply_worker_rlimit(1 << 42) is True
+            soft, hard = resource.getrlimit(resource.RLIMIT_AS)
+            expected = (1 << 42) if original[1] == resource.RLIM_INFINITY \
+                else min(1 << 42, original[1])
+            assert soft == expected
+            assert hard == original[1]
+        finally:
+            resource.setrlimit(resource.RLIMIT_AS, original)

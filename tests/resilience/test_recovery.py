@@ -253,3 +253,95 @@ class TestHangReapedByTimeout:
         finally:
             trace.disable()
         assert "resilience" not in build_manifest(tracer)
+
+
+class TestCorruptJournalResume:
+    """Satellite (c): resume must survive a rotten *non-tail* record."""
+
+    def _corrupt_line(self, journal, lineno):
+        lines = journal.read_text().splitlines()
+        lines[lineno] = lines[lineno].replace(
+            '"attempts": 1', '"attempts": 9', 1)
+        journal.write_text("\n".join(lines) + "\n")
+
+    def test_multiworker_resume_quarantines_and_reruns(self, cells,
+                                                       clean_results,
+                                                       tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        run_cells_parallel(cells, workers=1, checkpoint=str(journal))
+        self._corrupt_line(journal, 1)  # cell 1's record, mid-journal
+
+        trace.disable()
+        tracer = trace.enable()
+        try:
+            resumed = run_cells_parallel(cells, workers=2,
+                                         checkpoint=str(journal),
+                                         resume=True)
+        finally:
+            trace.disable()
+        assert resumed == clean_results
+        # the rotten record was described, never decoded
+        (entry,) = journal_entries(str(journal) + ".quarantine.jsonl")
+        assert "checksum" in entry["problem"]
+        # exactly one cell re-ran and re-journaled
+        assert len(journal_entries(journal)) == 5
+        stats = build_manifest(tracer)["resilience"]
+        assert stats["restored"] == 3
+        assert stats["journal_corrupt"] == 1
+        assert stats["failures"] == 0
+
+    def test_cross_version_resume_through_migrate_journal(self, cells,
+                                                          clean_results,
+                                                          tmp_path):
+        from repro.instrument.manifest import config_hash
+        from repro.resilience import CheckpointStore, migrate_journal
+        from repro.resilience.checkpoint import encode_result
+
+        journal = tmp_path / "journal.jsonl"
+        # a journal as the v1 (pre-checksum) code left it, mid-batch
+        results = run_cells_parallel(cells[:3], workers=1)
+        with open(journal, "w") as fh:
+            for cell, result in zip(cells[:3], results):
+                fh.write(json.dumps({
+                    "schema_version": 1, "key": config_hash(cell),
+                    "kind": "BilateralCell", "attempts": 1,
+                    "result": encode_result(result)}) + "\n")
+
+        assert migrate_journal(str(journal)) == 3
+        store = CheckpointStore(str(journal))
+        store.load()
+        assert store.load_stats["migrated"] == 0  # fully on v2 now
+
+        resumed = run_cells_parallel(cells, workers=2,
+                                     checkpoint=str(journal), resume=True)
+        assert resumed == clean_results
+        assert len(journal_entries(journal)) == 4  # only cell 3 re-ran
+
+
+class TestGovernedRun:
+    def test_admission_counters_reach_the_manifest(self, cells,
+                                                   clean_results):
+        trace.disable()
+        tracer = trace.enable()
+        try:
+            results = run_cells_parallel(cells, workers=2, govern=True)
+        finally:
+            trace.disable()
+        assert results == clean_results
+        stats = build_manifest(tracer)["resilience"]
+        assert stats["gov_requested_workers"] == 2
+        assert 1 <= stats["gov_admitted_workers"] <= 2
+        assert stats["gov_est_cell_mb"] > 0
+
+    def test_custom_governor_clamps_and_results_hold(self, cells,
+                                                     clean_results):
+        from repro.resilience import Governor
+        # a budget that fits one estimated cell: admission must clamp
+        # the batch to serial, and the results must not change
+        governor = Governor(memory_fraction=1.0)
+        est = governor.estimate_cell_bytes(cells[0])
+        admission = governor.preflight(cells, 2, available_bytes=est,
+                                       disk_bytes=64 << 30)
+        assert admission.admitted_workers == 1
+        results = run_cells_parallel(cells, workers=2, govern=governor)
+        assert results == clean_results
