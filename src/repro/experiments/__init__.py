@@ -11,7 +11,15 @@ from .config import (
     default_ivybridge,
     default_mic,
 )
-from .harness import CellResult, clear_caches, run_bilateral_cell, run_volrend_cell
+from .harness import (
+    CellResult,
+    PreparedCell,
+    clear_caches,
+    prepare_cell,
+    run_bilateral_cell,
+    run_volrend_cell,
+    simulate_prepared,
+)
 from .parallel import (
     CellFailure,
     CellRunError,
@@ -20,7 +28,7 @@ from .parallel import (
     run_cells_parallel,
 )
 from .report import DsFigure, SeriesFigure, render_ds_figure, render_series_figure
-from .sweep import compare_layouts, rows_to_csv, sweep_cells
+from .sweep import capacity_sweep, compare_layouts, rows_to_csv, sweep_cells
 from .volrend_study import figure4, figure5, figure6, volrend_ds_figure
 
 __all__ = [
@@ -34,9 +42,11 @@ __all__ = [
     "CheckpointStore",
     "RetryPolicy",
     "DsFigure",
+    "PreparedCell",
     "SeriesFigure",
     "VolrendCell",
     "bilateral_ds_figure",
+    "capacity_sweep",
     "clear_caches",
     "compare_layouts",
     "default_ivybridge",
@@ -48,9 +58,11 @@ __all__ = [
     "figure6",
     "render_ds_figure",
     "render_series_figure",
+    "prepare_cell",
     "resolve_workers",
     "rows_to_csv",
     "run_bilateral_cell",
+    "simulate_prepared",
     "run_cell",
     "run_cells_parallel",
     "sweep_cells",

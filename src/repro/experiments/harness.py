@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -29,7 +29,9 @@ from ..kernels.transfer import grayscale_ramp, sparse_ramp, warm_ramp
 from ..kernels.volrend import RaycastRenderer, RenderSpec
 from ..memsim.address import AddressSpace
 from ..memsim.cost import CostModel
-from ..memsim.engine import SimResult, SimulationEngine
+from ..memsim.engine import SimResult, SimulationEngine, ThreadWork
+from ..memsim.hierarchy import PlatformSpec
+from ..memsim.stackdist import HistogramStore
 from ..parallel.affinity import make_affinity
 from ..parallel.pencil import PENCIL_AXES, enumerate_pencils
 from ..parallel.scheduler import dynamic_worker_pool, static_round_robin
@@ -37,7 +39,15 @@ from ..parallel.threads import build_thread_works
 from ..parallel.tiles import enumerate_tiles
 from .config import BilateralCell, VolrendCell
 
-__all__ = ["CellResult", "run_bilateral_cell", "run_volrend_cell", "clear_caches"]
+__all__ = [
+    "CellResult",
+    "PreparedCell",
+    "prepare_cell",
+    "run_bilateral_cell",
+    "run_volrend_cell",
+    "simulate_prepared",
+    "clear_caches",
+]
 
 #: transfer-function presets selectable from VolrendCell.transfer
 _TRANSFERS = {
@@ -110,6 +120,24 @@ class CellResult:
     wall_seconds: float = field(default=0.0, compare=False)
 
 
+@dataclass
+class PreparedCell:
+    """A cell's generated traces, ready to simulate (and re-simulate).
+
+    The expensive half of a cell run — dataset/grid setup and trace
+    generation — depends only on the kernel parameters, the layout, and
+    the platform's core/thread/line geometry, *not* on its cache sizes.
+    Splitting preparation from simulation lets a capacity sweep generate
+    each trace once and price every cache geometry from it (see
+    :func:`simulate_prepared` and the ``stack`` backend).
+    """
+
+    works: List[ThreadWork]
+    count_scale: float
+    work_scale: float
+    n_threads_simulated: int
+
+
 def _select_simulated_threads(n_threads: int, affinity: List[int],
                               sample_cores: Optional[int]) -> List[int]:
     """Thread ids to simulate: all, or those pinned to the first N cores.
@@ -124,193 +152,237 @@ def _select_simulated_threads(n_threads: int, affinity: List[int],
     return chosen or [0]
 
 
+def _prepare_bilateral(cell: BilateralCell) -> PreparedCell:
+    """Setup + trace generation for one Figure-2/3 bilateral cell."""
+    shape = tuple(cell.shape)
+    with _trace.span("cell.setup"):
+        radius = STENCIL_LABELS.get(cell.stencil)
+        if radius is None:
+            radius = int(cell.stencil)
+        grid = _grid_for(cell.dataset, shape, cell.seed, cell.layout)
+        spec = cell.platform
+        space = AddressSpace(spec.line_bytes)
+        filt = BilateralFilter3D(BilateralSpec(
+            radius=radius,
+            sigma_spatial=cell.sigma_spatial,
+            sigma_range=cell.sigma_range,
+            stencil_order=cell.stencil_order,
+        ))
+        axis = PENCIL_AXES[cell.pencil]
+        pencils = enumerate_pencils(shape, axis, order=cell.pencil_order)
+        if cell.n_threads > len(pencils):
+            raise ValueError(
+                f"{cell.n_threads} threads exceed {len(pencils)} pencils; "
+                f"use a larger volume"
+            )
+        assignment = static_round_robin(pencils, cell.n_threads)
+        affinity = make_affinity(cell.affinity, cell.n_threads, spec,
+                                 usable_cores=cell.usable_cores)
+        simulated = set(_select_simulated_threads(
+            cell.n_threads, affinity, cell.sample_cores))
+
+        full_items = sum(len(v) for v in assignment.values())
+        sampled_assignment = {
+            t: items[:cell.pencils_per_thread]
+            for t, items in assignment.items()
+            if t in simulated
+        }
+        sampled_items = sum(len(v) for v in sampled_assignment.values())
+        factor = full_items / sampled_items if sampled_items else 1.0
+        # per-thread work extrapolation: each thread does items/T,
+        # we ran <= S
+        thread_factor = (full_items / cell.n_threads) / max(
+            1, max((len(v) for v in sampled_assignment.values()),
+                   default=1))
+
+    with _trace.span("cell.trace_gen") as sp:
+        out_grid = None
+        if cell.trace_writes:
+            out_grid = Grid(make_layout(cell.layout, shape),
+                            dtype=np.float32)
+        works = build_thread_works(
+            sampled_assignment,
+            lambda p: filt.pencil_trace(grid, p, space, out_grid=out_grid),
+            affinity,
+        )
+        sp.add("items", sampled_items)
+        sp.add("accesses", sum(w.chunk.n_accesses for w in works))
+
+    return PreparedCell(works=works, count_scale=factor,
+                        work_scale=thread_factor,
+                        n_threads_simulated=len(sampled_assignment))
+
+
 def run_bilateral_cell(cell: BilateralCell) -> CellResult:
     """Run one Figure-2/3 cell: bilateral filter counters + runtime."""
     t0 = time.perf_counter()
-    shape = tuple(cell.shape)
     with _trace.span("cell", kind="bilateral", layout=cell.layout,
                      platform=cell.platform.name, seed=cell.seed,
-                     shape=list(shape), threads=cell.n_threads,
+                     shape=list(cell.shape), threads=cell.n_threads,
                      config=config_hash(cell)) as cell_sp:
-        with _trace.span("cell.setup"):
-            radius = STENCIL_LABELS.get(cell.stencil)
-            if radius is None:
-                radius = int(cell.stencil)
-            grid = _grid_for(cell.dataset, shape, cell.seed, cell.layout)
-            spec = cell.platform
-            space = AddressSpace(spec.line_bytes)
-            filt = BilateralFilter3D(BilateralSpec(
-                radius=radius,
-                sigma_spatial=cell.sigma_spatial,
-                sigma_range=cell.sigma_range,
-                stencil_order=cell.stencil_order,
-            ))
-            axis = PENCIL_AXES[cell.pencil]
-            pencils = enumerate_pencils(shape, axis, order=cell.pencil_order)
-            if cell.n_threads > len(pencils):
-                raise ValueError(
-                    f"{cell.n_threads} threads exceed {len(pencils)} pencils; "
-                    f"use a larger volume"
-                )
-            assignment = static_round_robin(pencils, cell.n_threads)
-            affinity = make_affinity(cell.affinity, cell.n_threads, spec,
-                                     usable_cores=cell.usable_cores)
-            simulated = set(_select_simulated_threads(
-                cell.n_threads, affinity, cell.sample_cores))
-
-            full_items = sum(len(v) for v in assignment.values())
-            sampled_assignment = {
-                t: items[:cell.pencils_per_thread]
-                for t, items in assignment.items()
-                if t in simulated
-            }
-            sampled_items = sum(len(v) for v in sampled_assignment.values())
-            factor = full_items / sampled_items if sampled_items else 1.0
-            # per-thread work extrapolation: each thread does items/T,
-            # we ran <= S
-            thread_factor = (full_items / cell.n_threads) / max(
-                1, max((len(v) for v in sampled_assignment.values()),
-                       default=1))
-
-        with _trace.span("cell.trace_gen") as sp:
-            out_grid = None
-            if cell.trace_writes:
-                out_grid = Grid(make_layout(cell.layout, shape),
-                                dtype=np.float32)
-            works = build_thread_works(
-                sampled_assignment,
-                lambda p: filt.pencil_trace(grid, p, space, out_grid=out_grid),
-                affinity,
-            )
-            sp.add("items", sampled_items)
-            sp.add("accesses", sum(w.chunk.n_accesses for w in works))
-
-        with _trace.span("cell.simulate"):
-            engine = SimulationEngine(
-                spec, CostModel(cpi_compute=cell.cpi_compute),
-                quantum=cell.quantum, seed=cell.seed, backend=cell.backend)
-            sim = engine.run(works).scaled(count_scale=factor,
-                                           work_scale=thread_factor)
-
+        prepared = _prepare_bilateral(cell)
+        result = simulate_prepared(cell, prepared)
         wall = time.perf_counter() - t0
         cell_sp.set("wall_seconds", wall)
-        cell_sp.add("sim_runtime_seconds", sim.runtime_seconds)
-        return CellResult(
-            runtime_seconds=sim.runtime_seconds,
-            counters=sim.counters,
-            sim=sim,
-            n_threads_simulated=len(sampled_assignment),
-            wall_seconds=wall,
+        cell_sp.add("sim_runtime_seconds", result.runtime_seconds)
+        result.wall_seconds = wall
+        return result
+
+
+def _prepare_volrend(cell: VolrendCell) -> PreparedCell:
+    """Setup + trace generation for one Figure-4/5/6 raycasting cell."""
+    shape = tuple(cell.shape)
+    with _trace.span("cell.setup"):
+        grid = _grid_for(cell.dataset, shape, cell.seed, cell.layout)
+        spec = cell.platform
+        space = AddressSpace(spec.line_bytes)
+        camera = orbit_camera(
+            shape, cell.viewpoint, n_viewpoints=cell.n_viewpoints,
+            width=cell.image_size, height=cell.image_size,
+            projection=cell.projection,
         )
+        try:
+            transfer = _TRANSFERS[cell.transfer]()
+        except KeyError:
+            raise ValueError(
+                f"unknown transfer {cell.transfer!r}; known: "
+                f"{sorted(_TRANSFERS)}"
+            ) from None
+        skip = None
+        if cell.skip_brick is not None:
+            key = (cell.dataset, shape, cell.seed, cell.layout,
+                   cell.skip_brick)
+            if key not in _MINMAX_CACHE:
+                _MINMAX_CACHE[key] = MinMaxBricks(grid,
+                                                  brick=cell.skip_brick)
+            skip = _MINMAX_CACHE[key]
+        renderer = RaycastRenderer(grid, transfer, RenderSpec(
+            step=cell.step, sampler=cell.sampler,
+            early_termination=cell.early_termination,
+        ), skip=skip)
+        tiles = enumerate_tiles(cell.image_size, cell.image_size,
+                                cell.tile_size)
+        if cell.n_threads > len(tiles):
+            raise ValueError(
+                f"{cell.n_threads} threads exceed {len(tiles)} tiles; "
+                f"use a larger image"
+            )
+        assignment = dynamic_worker_pool(tiles, cell.n_threads,
+                                         cost=lambda t: t.n_pixels)
+        affinity = make_affinity(cell.affinity, cell.n_threads, spec,
+                                 usable_cores=cell.usable_cores)
+        simulated = set(_select_simulated_threads(
+            cell.n_threads, affinity, cell.sample_cores))
+
+        full_pixels = sum(t.n_pixels for items in assignment.values()
+                          for t in items)
+        # sample each thread's most central tiles: edge tiles can miss
+        # the volume entirely at this FOV, which would make a 1-tile
+        # sample unrepresentative of the thread's typical work
+        half = cell.image_size / 2.0
+
+        def _centrality(tile):
+            cx = tile.x0 + tile.w / 2.0 - half
+            cy = tile.y0 + tile.h / 2.0 - half
+            return cx * cx + cy * cy
+
+        sampled_assignment = {
+            t: sorted(items, key=_centrality)[:cell.tiles_per_thread]
+            for t, items in assignment.items()
+            if t in simulated
+        }
+        sampled_pixels = sum(
+            t.n_pixels for items in sampled_assignment.values()
+            for t in items
+        ) / (cell.ray_step ** 2)
+        factor = full_pixels / sampled_pixels if sampled_pixels else 1.0
+        per_thread_full = full_pixels / cell.n_threads
+        per_thread_sampled = max(
+            (sum(t.n_pixels for t in items) / (cell.ray_step ** 2)
+             for items in sampled_assignment.values()),
+            default=1.0,
+        )
+        thread_factor = per_thread_full / per_thread_sampled
+
+    with _trace.span("cell.trace_gen") as sp:
+        works = build_thread_works(
+            sampled_assignment,
+            lambda t: renderer.render_tile(
+                camera, t, space=space,
+                want_values=cell.early_termination is not None,
+                ray_step=cell.ray_step,
+            ).trace,
+            affinity,
+        )
+        sp.add("items", sum(len(v) for v in sampled_assignment.values()))
+        sp.add("accesses", sum(w.chunk.n_accesses for w in works))
+
+    return PreparedCell(works=works, count_scale=factor,
+                        work_scale=thread_factor,
+                        n_threads_simulated=len(sampled_assignment))
 
 
 def run_volrend_cell(cell: VolrendCell) -> CellResult:
     """Run one Figure-4/5/6 cell: raycasting counters + runtime."""
     t0 = time.perf_counter()
-    shape = tuple(cell.shape)
     with _trace.span("cell", kind="volrend", layout=cell.layout,
                      platform=cell.platform.name, seed=cell.seed,
-                     shape=list(shape), threads=cell.n_threads,
+                     shape=list(cell.shape), threads=cell.n_threads,
                      config=config_hash(cell)) as cell_sp:
-        with _trace.span("cell.setup"):
-            grid = _grid_for(cell.dataset, shape, cell.seed, cell.layout)
-            spec = cell.platform
-            space = AddressSpace(spec.line_bytes)
-            camera = orbit_camera(
-                shape, cell.viewpoint, n_viewpoints=cell.n_viewpoints,
-                width=cell.image_size, height=cell.image_size,
-                projection=cell.projection,
-            )
-            try:
-                transfer = _TRANSFERS[cell.transfer]()
-            except KeyError:
-                raise ValueError(
-                    f"unknown transfer {cell.transfer!r}; known: "
-                    f"{sorted(_TRANSFERS)}"
-                ) from None
-            skip = None
-            if cell.skip_brick is not None:
-                key = (cell.dataset, shape, cell.seed, cell.layout,
-                       cell.skip_brick)
-                if key not in _MINMAX_CACHE:
-                    _MINMAX_CACHE[key] = MinMaxBricks(grid,
-                                                      brick=cell.skip_brick)
-                skip = _MINMAX_CACHE[key]
-            renderer = RaycastRenderer(grid, transfer, RenderSpec(
-                step=cell.step, sampler=cell.sampler,
-                early_termination=cell.early_termination,
-            ), skip=skip)
-            tiles = enumerate_tiles(cell.image_size, cell.image_size,
-                                    cell.tile_size)
-            if cell.n_threads > len(tiles):
-                raise ValueError(
-                    f"{cell.n_threads} threads exceed {len(tiles)} tiles; "
-                    f"use a larger image"
-                )
-            assignment = dynamic_worker_pool(tiles, cell.n_threads,
-                                             cost=lambda t: t.n_pixels)
-            affinity = make_affinity(cell.affinity, cell.n_threads, spec,
-                                     usable_cores=cell.usable_cores)
-            simulated = set(_select_simulated_threads(
-                cell.n_threads, affinity, cell.sample_cores))
-
-            full_pixels = sum(t.n_pixels for items in assignment.values()
-                              for t in items)
-            # sample each thread's most central tiles: edge tiles can miss
-            # the volume entirely at this FOV, which would make a 1-tile
-            # sample unrepresentative of the thread's typical work
-            half = cell.image_size / 2.0
-
-            def _centrality(tile):
-                cx = tile.x0 + tile.w / 2.0 - half
-                cy = tile.y0 + tile.h / 2.0 - half
-                return cx * cx + cy * cy
-
-            sampled_assignment = {
-                t: sorted(items, key=_centrality)[:cell.tiles_per_thread]
-                for t, items in assignment.items()
-                if t in simulated
-            }
-            sampled_pixels = sum(
-                t.n_pixels for items in sampled_assignment.values()
-                for t in items
-            ) / (cell.ray_step ** 2)
-            factor = full_pixels / sampled_pixels if sampled_pixels else 1.0
-            per_thread_full = full_pixels / cell.n_threads
-            per_thread_sampled = max(
-                (sum(t.n_pixels for t in items) / (cell.ray_step ** 2)
-                 for items in sampled_assignment.values()),
-                default=1.0,
-            )
-            thread_factor = per_thread_full / per_thread_sampled
-
-        with _trace.span("cell.trace_gen") as sp:
-            works = build_thread_works(
-                sampled_assignment,
-                lambda t: renderer.render_tile(
-                    camera, t, space=space,
-                    want_values=cell.early_termination is not None,
-                    ray_step=cell.ray_step,
-                ).trace,
-                affinity,
-            )
-            sp.add("items", sum(len(v) for v in sampled_assignment.values()))
-            sp.add("accesses", sum(w.chunk.n_accesses for w in works))
-
-        with _trace.span("cell.simulate"):
-            engine = SimulationEngine(
-                spec, CostModel(cpi_compute=cell.cpi_compute),
-                quantum=cell.quantum, seed=cell.seed, backend=cell.backend)
-            sim = engine.run(works).scaled(count_scale=factor,
-                                           work_scale=thread_factor)
-
+        prepared = _prepare_volrend(cell)
+        result = simulate_prepared(cell, prepared)
         wall = time.perf_counter() - t0
         cell_sp.set("wall_seconds", wall)
-        cell_sp.add("sim_runtime_seconds", sim.runtime_seconds)
-        return CellResult(
-            runtime_seconds=sim.runtime_seconds,
-            counters=sim.counters,
-            sim=sim,
-            n_threads_simulated=len(sampled_assignment),
-            wall_seconds=wall,
-        )
+        cell_sp.add("sim_runtime_seconds", result.runtime_seconds)
+        result.wall_seconds = wall
+        return result
+
+
+def prepare_cell(cell: Union[BilateralCell, VolrendCell]) -> PreparedCell:
+    """Generate a cell's traces without simulating them.
+
+    The returned :class:`PreparedCell` can be priced against any number
+    of platforms via :func:`simulate_prepared` — the capacity-sweep fast
+    path in :func:`repro.experiments.sweep.sweep_cells` does exactly
+    that, preparing once per parameter point and re-pricing per cache
+    geometry.
+    """
+    if isinstance(cell, BilateralCell):
+        return _prepare_bilateral(cell)
+    if isinstance(cell, VolrendCell):
+        return _prepare_volrend(cell)
+    raise TypeError(f"not an experiment cell: {type(cell).__name__}")
+
+
+def simulate_prepared(cell: Union[BilateralCell, VolrendCell],
+                      prepared: PreparedCell,
+                      *,
+                      platform: Optional[PlatformSpec] = None,
+                      backend: Optional[str] = None,
+                      histogram_store: Optional[HistogramStore] = None,
+                      ) -> CellResult:
+    """Simulate already-generated traces and assemble the cell result.
+
+    ``platform``/``backend`` override the cell's own (the fast path
+    re-prices one preparation against many cache geometries with
+    ``backend="stack"``); ``histogram_store`` lets those re-pricings
+    share stack-distance histograms so each trace is analyzed once.
+    """
+    t0 = time.perf_counter()
+    spec = platform if platform is not None else cell.platform
+    with _trace.span("cell.simulate"):
+        engine = SimulationEngine(
+            spec, CostModel(cpi_compute=cell.cpi_compute),
+            quantum=cell.quantum, seed=cell.seed,
+            backend=backend if backend is not None else cell.backend,
+            histogram_store=histogram_store)
+        sim = engine.run(prepared.works).scaled(
+            count_scale=prepared.count_scale,
+            work_scale=prepared.work_scale)
+    return CellResult(
+        runtime_seconds=sim.runtime_seconds,
+        counters=sim.counters,
+        sim=sim,
+        n_threads_simulated=prepared.n_threads_simulated,
+        wall_seconds=time.perf_counter() - t0,
+    )

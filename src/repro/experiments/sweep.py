@@ -19,18 +19,23 @@ from __future__ import annotations
 import csv
 import io
 import itertools
+import traceback
 from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..instrument import trace as _trace
+from ..instrument.manifest import config_hash
 from ..instrument.metrics import scaled_relative_difference
+from ..memsim.hierarchy import PlatformSpec
+from ..memsim.stackdist import HistogramStore, fully_associative_spec, stack_ineligibility
 from ..resilience import artifacts as _artifacts
 from ..resilience.checkpoint import CheckpointStore
 from ..resilience.policy import RetryPolicy
 from .config import BilateralCell, VolrendCell
-from .harness import CellResult
-from .parallel import CellRunError, run_cells_parallel
+from .harness import CellResult, prepare_cell, simulate_prepared
+from .parallel import CellFailure, CellRunError, run_cells_parallel
 
-__all__ = ["sweep_cells", "compare_layouts", "rows_to_csv"]
+__all__ = ["capacity_sweep", "sweep_cells", "compare_layouts", "rows_to_csv"]
 
 Cell = Union[BilateralCell, VolrendCell]
 
@@ -46,6 +51,97 @@ def _grid(axes: Dict[str, Sequence]) -> List[Dict[str, object]]:
     names = list(axes)
     return [dict(zip(names, combo))
             for combo in itertools.product(*(axes[n] for n in names))]
+
+
+def _capacity_only_platforms(platforms: Sequence[object]) -> bool:
+    """True when the platform axis varies only cache capacity.
+
+    Every platform must be stack-priceable (single-level fully-
+    associative LRU, no prefetcher/TLB) and they must agree on the
+    core/socket/SMT/line geometry — the parts of a spec that trace
+    preparation depends on — so that one prepared trace is valid for
+    all of them.
+    """
+    if len(platforms) < 2:
+        return False
+    if not all(isinstance(p, PlatformSpec) for p in platforms):
+        return False
+    if any(stack_ineligibility(p) is not None for p in platforms):
+        return False
+    first = platforms[0]
+    return all(
+        p.n_cores == first.n_cores
+        and p.n_sockets == first.n_sockets
+        and p.smt == first.smt
+        and p.line_bytes == first.line_bytes
+        for p in platforms[1:]
+    )
+
+
+def _use_capacity_fast_path(base: Cell, axes: Dict[str, Sequence], *,
+                            timeout, retry, checkpoint, resume) -> bool:
+    """Whether this sweep qualifies for single-pass stack pricing.
+
+    The fast path runs serially in-process, so the resilience knobs
+    (checkpoint/resume/retry/timeout) force the general path; a
+    ``backend`` axis or an explicit replay backend on the base cell
+    means the user wants the replayer.
+    """
+    if timeout is not None or retry is not None \
+            or checkpoint is not None or resume:
+        return False
+    if "platform" not in axes or "backend" in axes:
+        return False
+    if base.backend not in ("auto", "stack"):
+        return False
+    return _capacity_only_platforms(list(axes["platform"]))
+
+
+def _run_capacity_sweep(cells: List[Cell],
+                        points: List[Dict[str, object]]
+                        ) -> List[Optional[CellResult]]:
+    """Drop-in for :func:`run_cells_parallel` on capacity-only sweeps.
+
+    Groups the cells by their non-platform parameters, prepares each
+    group's traces once, and prices every platform in the group from
+    shared stack-distance histograms — the trace is generated once and
+    analyzed once per distinct stream, no matter how many capacities
+    the sweep covers.  Results are in input order; failures surface as
+    the same :class:`CellRunError` the general path raises.
+    """
+    store = HistogramStore()
+    results: List[Optional[CellResult]] = [None] * len(cells)
+    failures: List[CellFailure] = []
+    prepared: Dict[tuple, object] = {}
+    for i, (cell, point) in enumerate(zip(cells, points)):
+        group = tuple(sorted((k, repr(v)) for k, v in point.items()
+                             if k != "platform"))
+        try:
+            if group not in prepared:
+                try:
+                    prepared[group] = prepare_cell(cell)
+                except Exception as exc:
+                    prepared[group] = exc
+                    raise
+            prep = prepared[group]
+            if isinstance(prep, Exception):
+                raise prep
+            with _trace.span("cell", kind=type(cell).__name__,
+                             layout=cell.layout,
+                             platform=cell.platform.name, seed=cell.seed,
+                             config=config_hash(cell),
+                             backend="stack") as sp:
+                results[i] = simulate_prepared(cell, prep, backend="stack",
+                                               histogram_store=store)
+                sp.set("wall_seconds", results[i].wall_seconds)
+        except Exception as exc:
+            failures.append(CellFailure(
+                index=i, cell=cell,
+                error=f"{type(exc).__name__}: {exc}",
+                traceback=traceback.format_exc()))
+    if failures:
+        raise CellRunError(failures, results)
+    return results
 
 
 def sweep_cells(base: Cell, axes: Dict[str, Sequence],
@@ -72,6 +168,15 @@ def sweep_cells(base: Cell, axes: Dict[str, Sequence],
     yields its completed cells either way.  ``timeout``, ``retry``,
     ``checkpoint`` and ``resume`` forward to
     :func:`run_cells_parallel` unchanged.
+
+    When a ``platform`` axis varies only cache capacity (every platform
+    a single-level fully-associative LRU with identical core/line
+    geometry) and no resilience knob is set, the sweep switches to the
+    ``stack`` backend: each parameter point's trace is generated once
+    and all capacities are priced from one stack-distance histogram.
+    Counters are bit-for-bit those of the replayer; runtimes agree to
+    float rounding (same cost model, one summation order instead of
+    per-quantum).  See docs/SIMULATOR.md.
     """
     if on_error not in ("raise", "keep"):
         raise ValueError(f"on_error must be 'raise' or 'keep', "
@@ -80,10 +185,15 @@ def sweep_cells(base: Cell, axes: Dict[str, Sequence],
     points = _grid(axes)
     cells = [replace(base, **point) for point in points]
     errors: Dict[int, str] = {}
+    fast = _use_capacity_fast_path(base, axes, timeout=timeout, retry=retry,
+                                   checkpoint=checkpoint, resume=resume)
     try:
-        results = run_cells_parallel(cells, workers=workers, timeout=timeout,
-                                     retry=retry, checkpoint=checkpoint,
-                                     resume=resume)
+        if fast:
+            results = _run_capacity_sweep(cells, points)
+        else:
+            results = run_cells_parallel(cells, workers=workers,
+                                         timeout=timeout, retry=retry,
+                                         checkpoint=checkpoint, resume=resume)
     except CellRunError as exc:
         if on_error == "raise":
             raise
@@ -105,6 +215,45 @@ def sweep_cells(base: Cell, axes: Dict[str, Sequence],
         if errors:
             row["error"] = None
         rows.append(row)
+    return rows
+
+
+def capacity_sweep(base: Cell, capacities: Sequence[int],
+                   counters: Optional[Sequence[str]] = None,
+                   *,
+                   line_bytes: Optional[int] = None,
+                   axes: Optional[Dict[str, Sequence]] = None,
+                   on_error: str = "raise") -> List[Dict[str, object]]:
+    """Miss-ratio-curve driver: one trace, priced at every capacity.
+
+    Builds a fully-associative LRU platform per entry of ``capacities``
+    (in cache lines), matching ``base``'s core/socket/SMT/line geometry,
+    and sweeps them through :func:`sweep_cells` — which recognizes the
+    capacity-only axis and prices every geometry from a single
+    stack-distance pass over each trace.  Rows carry a ``capacity_lines``
+    column instead of the raw platform object.  Extra ``axes`` (layouts,
+    stencils, …) combine with the capacity axis as usual; each extra
+    point costs one trace generation, never one per capacity.
+    """
+    caps = [int(c) for c in capacities]
+    if not caps:
+        raise ValueError("no capacities to sweep")
+    ref = base.platform
+    lb = line_bytes if line_bytes is not None else ref.line_bytes
+    platforms = [
+        fully_associative_spec(
+            c, line_bytes=lb, n_cores=ref.n_cores, n_sockets=ref.n_sockets,
+            smt=ref.smt, freq_ghz=ref.freq_ghz,
+            mem_latency_cycles=ref.mem_latency_cycles,
+            mem_parallelism=ref.mem_parallelism)
+        for c in caps
+    ]
+    all_axes: Dict[str, Sequence] = dict(axes or {})
+    all_axes["platform"] = platforms
+    rows = sweep_cells(base, all_axes, counters=counters, on_error=on_error)
+    by_name = {p.name: c for p, c in zip(platforms, caps)}
+    for row in rows:
+        row["capacity_lines"] = by_name[row.pop("platform").name]
     return rows
 
 

@@ -14,6 +14,11 @@ Public surface:
   :data:`~repro.memsim.platforms.BABBAGE_MIC` — the paper's platforms;
 * :class:`~repro.memsim.engine.SimulationEngine` — quantum-interleaved
   multi-thread simulation returning counters + cost-model runtime;
+* :mod:`~repro.memsim.stackdist` — single-pass stack-distance
+  histograms (:func:`stack_distance_histogram`,
+  :class:`StackDistanceHistogram`, :class:`HistogramStore`,
+  :func:`fully_associative_spec`) pricing every fully-associative LRU
+  capacity at once, behind ``SimulationEngine(backend="stack")``;
 * :class:`~repro.memsim.address.AddressSpace`,
   :class:`~repro.memsim.trace.TraceChunk` — trace plumbing.
 """
@@ -36,6 +41,15 @@ from .gpu import (
 )
 from .engine import SimResult, SimulationEngine, ThreadWork
 from .hierarchy import LevelSpec, Machine, PlatformSpec, ServiceCounts
+from .stackdist import (
+    HistogramStore,
+    StackDistanceHistogram,
+    fully_associative_spec,
+    per_thread_histograms,
+    stack_distance_histogram,
+    stack_distances,
+    stack_ineligibility,
+)
 from .prefetch import PrefetchConfig, StreamPrefetcher
 from .platforms import (
     BABBAGE_MIC,
@@ -69,6 +83,13 @@ __all__ = [
     "EDISON_IVYBRIDGE",
     "EnergyModel",
     "energy_of_result",
+    "HistogramStore",
+    "StackDistanceHistogram",
+    "fully_associative_spec",
+    "per_thread_histograms",
+    "stack_distance_histogram",
+    "stack_distances",
+    "stack_ineligibility",
     "LevelSpec",
     "Machine",
     "PLATFORMS",

@@ -21,8 +21,10 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..instrument import trace as _trace
+from .cache import REPLAY_BACKENDS, CacheStats
 from .cost import CostModel
 from .hierarchy import Machine, PlatformSpec, ServiceCounts
+from .stackdist import HistogramStore, per_thread_histograms, stack_ineligibility, stream_key
 from .trace import TraceChunk
 
 __all__ = ["ThreadWork", "SimResult", "SimulationEngine"]
@@ -94,22 +96,61 @@ class SimulationEngine:
         finer-grained concurrency (more cross-thread interference);
         256 lines ≈ 16 KB of traffic per turn.
     backend : str
-        Cache replay backend (``"scalar"``, ``"vector"``, ``"auto"``),
-        forwarded to every :class:`~repro.memsim.cache.Cache`.  Both
-        backends are bit-for-bit equivalent; see :mod:`repro.memsim.cache`.
+        Cache replay backend.  ``"scalar"``, ``"vector"``, and ``"auto"``
+        are forwarded to every :class:`~repro.memsim.cache.Cache` and are
+        bit-for-bit equivalent (see :mod:`repro.memsim.cache`).
+        ``"stack"`` prices miss counts from a single stack-distance pass
+        (:mod:`repro.memsim.stackdist`) — exact for a single-level
+        fully-associative LRU platform, and automatically falling back to
+        the replayer on any other configuration
+        (:attr:`stack_fallback_reason` says why).
+    histogram_store : HistogramStore, optional
+        Where the stack backend caches per-stream histograms.  Pass a
+        shared (optionally durable) store so capacity sweeps re-price
+        geometries without recomputing; defaults to a private in-memory
+        store.
     """
 
     def __init__(self, spec: PlatformSpec, cost: Optional[CostModel] = None,
-                 quantum: int = 256, seed: int = 0, backend: str = "auto"):
+                 quantum: int = 256, seed: int = 0, backend: str = "auto",
+                 histogram_store: Optional[HistogramStore] = None):
         if quantum <= 0:
             raise ValueError(f"quantum must be positive, got {quantum}")
+        if backend != "stack" and backend not in REPLAY_BACKENDS:
+            raise ValueError(
+                f"backend must be 'stack' or one of {REPLAY_BACKENDS}, "
+                f"got {backend!r}"
+            )
         self.spec = spec
         self.cost = cost or CostModel()
         self.quantum = quantum
-        self.machine = Machine(spec, seed=seed, backend=backend)
+        self.backend = backend
+        #: why ``backend="stack"`` falls back to the replayer on this
+        #: platform (None when stack pricing is exact and active)
+        self.stack_fallback_reason: Optional[str] = (
+            stack_ineligibility(spec) if backend == "stack" else None
+        )
+        self.histogram_store = histogram_store or HistogramStore()
+        # the stack path keeps a replay-capable machine around both for
+        # counter wiring and as the fallback engine
+        machine_backend = "auto" if backend == "stack" else backend
+        self.machine = Machine(spec, seed=seed, backend=machine_backend)
+
+    @property
+    def uses_stack(self) -> bool:
+        """True when runs are priced from stack distances, not replayed."""
+        return self.backend == "stack" and self.stack_fallback_reason is None
 
     def run(self, works: List[ThreadWork], reset: bool = True) -> SimResult:
         """Simulate all thread streams to completion and account costs."""
+        if self.uses_stack:
+            if not reset:
+                raise ValueError(
+                    "backend='stack' prices each run from a cold cache and "
+                    "cannot continue warm state; use reset=True or a replay "
+                    "backend"
+                )
+            return self._run_stack(works)
         if reset:
             self.machine.reset()
         for w in works:
@@ -162,4 +203,130 @@ class SimulationEngine:
                 n_accesses=sum(w.chunk.n_accesses for w in works),
             )
             sp.add("mem_lines", level_served["MEM"])
+        return result
+
+    # -- stack-distance pricing ----------------------------------------------
+
+    def _instance_streams(self, works: List[ThreadWork]):
+        """Interleave the thread streams exactly as :meth:`run` would.
+
+        Replays the round-robin quantum schedule without touching any
+        cache, yielding per cache instance the (lines, thread_ids)
+        arrays in machine arrival order, plus the pre-collapsed-hit
+        credit per (instance, thread).  The interleave order is what
+        makes a shared instance shared, so it must match the replayer's
+        bit for bit.
+        """
+        batches: Dict[int, List[np.ndarray]] = {}
+        batch_tids: Dict[int, List[np.ndarray]] = {}
+        credits: Dict[int, Dict[int, int]] = {}
+        keys = [self.machine.instance_key(0, w.core) for w in works]
+        for key, w in zip(keys, works):
+            credits.setdefault(key, {})
+            credits[key][w.thread_id] = (credits[key].get(w.thread_id, 0)
+                                         + w.chunk.collapsed_hits)
+        positions = [0] * len(works)
+        active = [w.chunk.lines.size > 0 for w in works]
+        q = self.quantum
+        while any(active):
+            for idx, w in enumerate(works):
+                if not active[idx]:
+                    continue
+                pos = positions[idx]
+                batch = w.chunk.lines[pos:pos + q]
+                positions[idx] = pos + batch.size
+                key = keys[idx]
+                batches.setdefault(key, []).append(batch)
+                batch_tids.setdefault(key, []).append(
+                    np.full(batch.size, w.thread_id, dtype=np.int64))
+                if positions[idx] >= w.chunk.lines.size:
+                    active[idx] = False
+        streams = {}
+        for key in credits:
+            if key in batches:
+                lines = np.concatenate(batches[key])
+                tids = np.concatenate(batch_tids[key])
+            else:
+                lines = np.empty(0, dtype=np.int64)
+                tids = np.empty(0, dtype=np.int64)
+            streams[key] = (lines, tids, credits[key])
+        return streams
+
+    def _run_stack(self, works: List[ThreadWork]) -> SimResult:
+        """Price the run from per-stream stack-distance histograms.
+
+        Miss counts are bit-for-bit those of the replayer on this
+        (single-level fully-associative LRU) platform; the runtime is
+        the same linear cost model evaluated on whole-thread totals, so
+        it matches the replayer's per-quantum accumulation up to float
+        rounding.
+        """
+        self.machine.reset()
+        for w in works:
+            if not 0 <= w.core < self.spec.n_cores:
+                raise ValueError(
+                    f"thread {w.thread_id} bound to core {w.core}, but platform "
+                    f"{self.spec.name} has {self.spec.n_cores} cores"
+                )
+        level = self.spec.levels[0]
+        level_name = level.cache.name
+        capacity_lines = level.cache.capacity_bytes // level.cache.line_bytes
+        cycles: Dict[int, float] = {w.thread_id: 0.0 for w in works}
+        total_hits = 0
+        total_misses = 0
+        store_hits_before = self.histogram_store.hits
+        with _trace.span("engine.replay", platform=self.spec.name,
+                         threads=len(works), quantum=self.quantum,
+                         backend="stack") as sp:
+            streams = self._instance_streams(works)
+            instances = self.machine.level_instances(0)
+            for key, (lines, tids, credit_by_tid) in streams.items():
+                hists = self.histogram_store.get_or_compute(
+                    stream_key(lines, tids),
+                    lambda lines=lines, tids=tids:
+                        per_thread_histograms(lines, tids))
+                inst_hits = 0
+                inst_misses = 0
+                inst_cold = 0
+                for tid, credit in credit_by_tid.items():
+                    hist = hists.get(tid)
+                    if hist is not None:
+                        t_hits = hist.hits(capacity_lines)
+                        t_misses = hist.misses(capacity_lines)
+                        inst_cold += hist.cold
+                    else:  # thread contributed only collapsed hits
+                        t_hits = t_misses = 0
+                    counts = ServiceCounts(
+                        per_level={level_name: t_hits + credit},
+                        mem=t_misses)
+                    cycles[tid] += self.cost.access_cycles(counts, self.spec)
+                    inst_hits += t_hits + credit
+                    inst_misses += t_misses
+                instances[key].stats = CacheStats(
+                    accesses=inst_hits + inst_misses,
+                    hits=inst_hits,
+                    misses=inst_misses,
+                    evictions=inst_misses - min(inst_cold, capacity_lines),
+                )
+                total_hits += inst_hits
+                total_misses += inst_misses
+            sp.add("lines", sum(w.chunk.lines.size for w in works))
+            sp.add("accesses", sum(w.chunk.n_accesses for w in works))
+            sp.add("histogram_cache_hits",
+                   self.histogram_store.hits - store_hits_before)
+        with _trace.span("engine.cost") as sp:
+            for w in works:
+                cycles[w.thread_id] += self.cost.compute_cycles(w.chunk.n_ops)
+            runtime = self.cost.seconds(max(cycles.values(), default=0.0),
+                                        self.spec)
+            result = SimResult(
+                counters={k: float(v)
+                          for k, v in self.machine.all_counters().items()},
+                level_served={level_name: float(total_hits),
+                              "MEM": float(total_misses)},
+                runtime_seconds=runtime,
+                per_thread_cycles=cycles,
+                n_accesses=sum(w.chunk.n_accesses for w in works),
+            )
+            sp.add("mem_lines", float(total_misses))
         return result

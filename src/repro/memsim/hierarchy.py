@@ -219,15 +219,21 @@ class Machine:
 
     # -- routing -------------------------------------------------------------
 
-    def _instance_for(self, level_index: int, core: int) -> Cache:
+    def instance_key(self, level_index: int, core: int) -> int:
+        """Which instance of the level serves ``core`` (scope routing)."""
         level = self.spec.levels[level_index]
         if level.scope == "core":
-            key = core
-        elif level.scope == "socket":
-            key = core // self.spec.cores_per_socket
-        else:
-            key = 0
-        return self._caches[level_index][key]
+            return core
+        if level.scope == "socket":
+            return core // self.spec.cores_per_socket
+        return 0
+
+    def level_instances(self, level_index: int) -> Dict[int, Cache]:
+        """The instance map of one level (instance key → cache)."""
+        return self._caches[level_index]
+
+    def _instance_for(self, level_index: int, core: int) -> Cache:
+        return self._caches[level_index][self.instance_key(level_index, core)]
 
     def access(self, core: int, lines: np.ndarray,
                pre_collapsed_hits: int = 0) -> ServiceCounts:

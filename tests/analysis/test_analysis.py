@@ -79,6 +79,96 @@ class TestReuseDistance:
         assert np.allclose(miss_ratio_curve({}, [1, 2]), 0.0)
 
 
+def _miss_ratio_curve_reference(hist, capacities):
+    """The pre-optimization per-capacity loop, kept as the regression
+    oracle for the sorted-cumulative-count implementation."""
+    total = sum(hist.values())
+    if total == 0:
+        return np.zeros(len(capacities))
+    distances = np.array(
+        [d for d in hist if d != INFINITE_DISTANCE], dtype=np.int64)
+    counts = np.array(
+        [hist[d] for d in hist if d != INFINITE_DISTANCE], dtype=np.int64)
+    cold = hist.get(INFINITE_DISTANCE, 0)
+    out = np.empty(len(capacities), dtype=np.float64)
+    for n, c in enumerate(capacities):
+        out[n] = (counts[distances >= c].sum() + cold) / total
+    return out
+
+
+ADVERSARIAL_STREAMS = {
+    "all-distinct": np.arange(150, dtype=np.int64),
+    "all-same": np.zeros(150, dtype=np.int64),
+    "periodic": np.tile(np.arange(5, dtype=np.int64), 30),
+    "single-element": np.array([9], dtype=np.int64),
+}
+
+
+class TestMissRatioCurveRegression:
+    """The vectorized MRC must be exactly equal to the old loop."""
+
+    @given(lines_st)
+    def test_exact_equality_with_old_loop(self, lines):
+        hist = reuse_distance_histogram(lines)
+        caps = [1, 2, 3, 5, 8, 13, 21, 64, 1000]
+        new = miss_ratio_curve(hist, caps)
+        old = _miss_ratio_curve_reference(hist, caps)
+        assert new.tolist() == old.tolist()  # bit-for-bit, not approx
+
+    def test_all_cold_histogram(self):
+        hist = {INFINITE_DISTANCE: 7}
+        assert miss_ratio_curve(hist, [1, 4]).tolist() \
+            == _miss_ratio_curve_reference(hist, [1, 4]).tolist()
+
+    def test_unsorted_histogram_keys(self):
+        # dicts preserve insertion order; the curve must not depend on it
+        hist = {5: 2, INFINITE_DISTANCE: 3, 1: 4, 17: 1}
+        caps = [1, 2, 6, 18]
+        assert miss_ratio_curve(hist, caps).tolist() \
+            == _miss_ratio_curve_reference(hist, caps).tolist()
+
+
+class TestMethodAgreement:
+    """bit / stack / vectorized must agree on every stream."""
+
+    @given(lines_st)
+    def test_bit_vs_vectorized_random(self, lines):
+        assert (reuse_distance_histogram(lines, method="vectorized")
+                == reuse_distance_histogram(lines, method="bit"))
+
+    @pytest.mark.parametrize("name", sorted(ADVERSARIAL_STREAMS))
+    @pytest.mark.parametrize("method", ["bit", "vectorized"])
+    def test_adversarial_vs_stack(self, name, method):
+        arr = ADVERSARIAL_STREAMS[name]
+        assert (reuse_distance_histogram(arr, method=method)
+                == reuse_distance_histogram(arr, method="stack"))
+
+
+class TestNativeArrayInput:
+    def test_ndarray_accepted_without_tolist(self):
+        arr = np.array([1, 2, 3, 1], dtype=np.int64)
+        for method in ("bit", "stack", "vectorized"):
+            hist = reuse_distance_histogram(arr, method=method)
+            assert hist == {INFINITE_DISTANCE: 3, 2: 1}
+            # keys are Python ints, not np.int64 leftovers
+            assert all(type(k) is int for k in hist)
+
+    def test_multidimensional_array_flattened(self):
+        arr = np.array([[1, 2], [3, 1]], dtype=np.int64)
+        assert reuse_distance_histogram(arr) \
+            == reuse_distance_histogram(arr.ravel())
+
+    def test_non_contiguous_view(self):
+        base = np.arange(20, dtype=np.int64)
+        view = base[::2]  # stride-2 view, never copied by the caller
+        assert reuse_distance_histogram(view) \
+            == reuse_distance_histogram(view.tolist())
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(TypeError):
+            reuse_distance_histogram(np.array(["x", "y"]))
+
+
 class TestStrideSpectrum:
     def test_sequential_stream(self):
         spec = stride_spectrum(np.arange(100))

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import csv
+import dataclasses
 
 import numpy as np
 import pytest
@@ -10,11 +11,13 @@ import pytest
 from repro.experiments import (
     BilateralCell,
     VolrendCell,
+    capacity_sweep,
     compare_layouts,
     default_ivybridge,
     rows_to_csv,
     sweep_cells,
 )
+from repro.memsim import fully_associative_spec
 
 SHAPE = (16, 16, 16)
 
@@ -111,6 +114,104 @@ class TestSweepOnError:
             back = list(csv.DictReader(fh))
         assert len(back) == 3
         assert "error" in back[0]
+
+
+class TestCapacityFastPath:
+    """Capacity-only platform sweeps are priced from one stack pass."""
+
+    CAPS = [8, 16, 32, 64]
+
+    @pytest.fixture(scope="class")
+    def fa_base(self):
+        return BilateralCell(
+            platform=fully_associative_spec(64, n_cores=4, n_sockets=1),
+            shape=SHAPE, n_threads=2, stencil="r1", pencils_per_thread=1)
+
+    def _platforms(self):
+        return [fully_associative_spec(c, n_cores=4, n_sockets=1)
+                for c in self.CAPS]
+
+    def test_fast_path_engages(self, fa_base, monkeypatch):
+        import repro.experiments.sweep as sweep_mod
+
+        def boom(*a, **k):
+            raise AssertionError("general path used for a capacity sweep")
+
+        monkeypatch.setattr(sweep_mod, "run_cells_parallel", boom)
+        rows = sweep_cells(fa_base, {"platform": self._platforms()},
+                           counters=["L1_TCM"])
+        assert len(rows) == len(self.CAPS)
+
+    def test_rows_match_general_path(self, fa_base):
+        fast = sweep_cells(fa_base, {"platform": self._platforms()},
+                           counters=["L1_TCA", "L1_TCM"])
+        slow = sweep_cells(dataclasses.replace(fa_base, backend="vector"),
+                           {"platform": self._platforms()},
+                           counters=["L1_TCA", "L1_TCM"])
+        assert len(fast) == len(slow)
+        for f, s in zip(fast, slow):
+            # integer miss counts: bit-for-bit
+            assert f["L1_TCA"] == s["L1_TCA"]
+            assert f["L1_TCM"] == s["L1_TCM"]
+            # runtime: same cost model, different float summation order
+            assert f["runtime_seconds"] \
+                == pytest.approx(s["runtime_seconds"], rel=1e-12)
+
+    def test_misses_decrease_with_capacity(self, fa_base):
+        rows = capacity_sweep(fa_base, self.CAPS, counters=["L1_TCM"])
+        misses = [r["L1_TCM"] for r in rows]
+        assert [r["capacity_lines"] for r in rows] == self.CAPS
+        assert all(a >= b for a, b in zip(misses, misses[1:]))
+
+    def test_capacity_sweep_with_extra_axis(self, fa_base):
+        rows = capacity_sweep(fa_base, [8, 32], counters=["L1_TCM"],
+                              axes={"layout": ["array", "morton"]})
+        assert len(rows) == 4
+        combos = {(r["layout"], r["capacity_lines"]) for r in rows}
+        assert combos == {("array", 8), ("array", 32),
+                          ("morton", 8), ("morton", 32)}
+
+    def test_keep_mode_on_fast_path(self, fa_base):
+        rows = capacity_sweep(fa_base, [8, 16],
+                              axes={"layout": ["array", "zigzag"]},
+                              counters=["L1_TCM"], on_error="keep")
+        bad = [r for r in rows if r["error"] is not None]
+        good = [r for r in rows if r["error"] is None]
+        assert len(bad) == 2 and len(good) == 2
+        assert all(r["layout"] == "zigzag" for r in bad)
+        assert all("ValueError" in r["error"] for r in bad)
+        assert all(r["L1_TCM"] > 0 for r in good)
+
+    def test_resilience_knobs_force_general_path(self, fa_base, tmp_path,
+                                                 monkeypatch):
+        import repro.experiments.sweep as sweep_mod
+        calls = []
+        original = sweep_mod.run_cells_parallel
+
+        def spy(*a, **k):
+            calls.append(1)
+            return original(*a, **k)
+
+        monkeypatch.setattr(sweep_mod, "run_cells_parallel", spy)
+        sweep_cells(fa_base, {"platform": self._platforms()[:2]},
+                    counters=[], checkpoint=str(tmp_path / "ckpt.jsonl"))
+        assert calls  # checkpointing needs the journaling path
+
+    def test_mixed_geometry_platforms_use_general_path(self, fa_base,
+                                                       monkeypatch):
+        import repro.experiments.sweep as sweep_mod
+        calls = []
+        original = sweep_mod.run_cells_parallel
+
+        def spy(*a, **k):
+            calls.append(1)
+            return original(*a, **k)
+
+        monkeypatch.setattr(sweep_mod, "run_cells_parallel", spy)
+        plats = [fully_associative_spec(8, n_cores=4, n_sockets=1),
+                 default_ivybridge(64)]  # multi-level: not stack-priceable
+        sweep_cells(fa_base, {"platform": plats}, counters=[])
+        assert calls
 
 
 class TestCompareLayouts:
