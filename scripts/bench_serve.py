@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Gate: curve-ordered chunk placement must beat row-major for serving.
+
+Replays the identical seeded query workload (Zipf viewports, orbit
+sweeps, boxes, slabs, rays — :mod:`repro.serve.traffic`) against one
+store per chunk order and reports p50/p99 latency, QPS, segments
+touched per bbox-family query, chunk utilization, and cache hit rate.
+Every cache's counters are cross-checked bit-for-bit against the
+memsim stack-distance model before anything is reported.
+
+Exits non-zero when any curve order touches *more* segments per
+bbox-family query than the row-major baseline — the storage transplant
+of the paper's core claim, held as a regression gate.
+
+Run:  python scripts/bench_serve.py [--shape 64] [--queries 120]
+      python scripts/bench_serve.py --shape 128 --chunk 16   # paper scale
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "src"))
+
+from repro.serve import render, run_serve_bench  # noqa: E402
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--shape", type=int, default=64,
+                    help="volume edge length (default 64; 128 = the "
+                         "acceptance configuration)")
+    ap.add_argument("--chunk", type=int, default=8,
+                    help="brick edge length (default 8; use 16 at 128)")
+    ap.add_argument("--chunks-per-segment", type=int, default=4)
+    ap.add_argument("--orders", nargs="+",
+                    default=["array", "morton", "hilbert"])
+    ap.add_argument("--baseline", default="array")
+    ap.add_argument("--queries", type=int, default=120)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--cache", default="lru:capacity=32")
+    args = ap.parse_args(argv)
+
+    bench = run_serve_bench(
+        shape=args.shape, chunk=args.chunk,
+        chunks_per_segment=args.chunks_per_segment,
+        orders=tuple(args.orders), baseline=args.baseline,
+        n_queries=args.queries, seed=args.seed, cache=args.cache)
+    print(render(bench))
+    return 0 if bench.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,7 @@ memory through the uniform layout interface (``layout.index`` /
 *run* under a Morton grid but the measured stream no longer reflects
 the declared layout.  These rules catch the three ways that contract
 leaks: raw strided arithmetic, numpy's linear-index shortcuts, and the
-deprecated ``get_index`` shim.
+removed ``get_index`` shim (so it cannot creep back in).
 
 ``core`` is exempt throughout — it is the one place raw index math is
 the point.
@@ -132,12 +132,12 @@ class FlatAccessRule(Rule):
 
 @rule
 class GetIndexRule(Rule):
-    """Calls to the deprecated ``get_index`` shim outside ``core``."""
+    """Calls to the removed ``get_index`` shim outside ``core``."""
 
     code = "RPC103"
     name = "get-index-shim"
-    summary = ("get_index() is the deprecated external-compat shim; "
-               "internal code must call index()/index_array() "
+    summary = ("get_index() was removed after its deprecation cycle; "
+               "call index()/index_array() "
                "(check_bounds() first for untrusted coordinates)")
     interests = (ast.Call,)
     exclude = frozenset({"core"})

@@ -9,6 +9,9 @@ Usage (also via ``python -m repro``):
     repro volrend --viewpoint 2 --threads 12 --platform mic
     repro render --viewpoint 3 --out frame.ppm
     repro analyze --kernel bilateral --layout morton
+    repro serve --order hilbert --queries 100    # chunked volume service
+    repro serve-bench --shape 64                 # curve vs row-major gate
+    repro sweep --capacities 8 16 32 64          # miss-ratio curve
 
 Figure subcommands accept ``--shape`` / ``--scale`` to trade fidelity
 for speed; cell subcommands run one array-vs-Z comparison and print the
@@ -202,6 +205,76 @@ def build_parser() -> argparse.ArgumentParser:
     p_mesh.add_argument("--vertices", type=int, default=2000)
     p_mesh.add_argument("--seed", type=int, default=1)
 
+    p_srv = sub.add_parser(
+        "serve", parents=[obs],
+        help="serve a seeded query session over a chunked volume store")
+    p_srv.add_argument("--shape", type=int, default=64,
+                       help="volume edge length (default 64)")
+    p_srv.add_argument("--dataset", choices=["combustion", "mri"],
+                       default="combustion")
+    p_srv.add_argument("--order", default="morton", metavar="SPEC",
+                       help="chunk-order layout spec applied to the chunk "
+                            "grid, e.g. morton, hilbert, tiled:brick=2, "
+                            "array (see `repro info`)")
+    p_srv.add_argument("--chunk", type=int, default=16,
+                       help="brick edge length in voxels (default 16)")
+    p_srv.add_argument("--chunks-per-segment", type=int, default=4,
+                       help="chunks per segment file, the I/O and cache "
+                            "granularity (default 4)")
+    p_srv.add_argument("--cache", default="lru:capacity=32", metavar="SPEC",
+                       help="cache spec: lru:capacity=<segments> or none "
+                            "(default lru:capacity=32)")
+    p_srv.add_argument("--queries", type=int, default=50,
+                       help="synthetic queries to serve (default 50)")
+    p_srv.add_argument("--seed", type=int, default=0)
+    p_srv.add_argument("--concurrency", type=int, default=4,
+                       help="max in-flight queries (default 4)")
+    p_srv.add_argument("--arrival-profile", choices=["steady", "burst"],
+                       default="burst")
+    p_srv.add_argument("--store", default=None, metavar="DIR",
+                       help="store directory to create or reuse "
+                            "(default: temp dir, removed afterwards)")
+    p_srv.add_argument("--no-crosscheck", action="store_true",
+                       help="skip the memsim cache-counter cross-check")
+
+    p_sbench = sub.add_parser(
+        "serve-bench", parents=[obs],
+        help="serve the same traffic under several chunk orders; gate "
+             "curve orders against the row-major baseline")
+    p_sbench.add_argument("--shape", type=int, default=64)
+    p_sbench.add_argument("--chunk", type=int, default=8)
+    p_sbench.add_argument("--chunks-per-segment", type=int, default=4)
+    p_sbench.add_argument("--orders", nargs="+",
+                          default=["array", "morton", "hilbert"],
+                          metavar="SPEC")
+    p_sbench.add_argument("--baseline", default="array", metavar="SPEC")
+    p_sbench.add_argument("--queries", type=int, default=80)
+    p_sbench.add_argument("--seed", type=int, default=0)
+    p_sbench.add_argument("--cache", default="lru:capacity=32",
+                          metavar="SPEC")
+    p_sbench.add_argument("--concurrency", type=int, default=4)
+    p_sbench.add_argument("--arrival-profile", choices=["steady", "burst"],
+                          default="burst")
+
+    p_swp = sub.add_parser(
+        "sweep", parents=[obs],
+        help="miss-ratio curve: one kernel trace priced at many "
+             "cache capacities (capacity_sweep driver)")
+    p_swp.add_argument("--capacities", type=int, nargs="+", required=True,
+                       metavar="LINES",
+                       help="fully-associative LRU capacities to price, "
+                            "in cache lines")
+    p_swp.add_argument("--kernel", choices=["bilateral", "volrend"],
+                       default="bilateral")
+    p_swp.add_argument("--shape", type=int, default=16)
+    p_swp.add_argument("--threads", type=int, default=2)
+    p_swp.add_argument("--layouts", nargs="+", default=["array", "morton"],
+                       metavar="SPEC")
+    p_swp.add_argument("--counters", nargs="+",
+                       default=["L1_TCA", "L1_TCM"])
+    p_swp.add_argument("-o", "--out", default=None, metavar="CSV",
+                       help="also write the rows as a CSV artifact")
+
     from .check.cli import add_arguments as add_check_arguments
 
     add_check_arguments(sub.add_parser(
@@ -218,6 +291,9 @@ def _cmd_info() -> int:
     print("layouts (name: accepted spec kwargs, as in 'tiled:brick=8'):")
     for name, doc in layout_names(with_kwargs=True):
         print(f"  {name:10s} {doc or '(no kwargs)'}")
+    print("\nserve (same spec grammar; see docs/SERVING.md):")
+    print("  chunk order: any layout name above, applied to the chunk grid")
+    print("  cache      : lru:capacity=<segments> | none")
     print("\nplatforms:")
     for name, spec in sorted(PLATFORMS.items()):
         levels = ", ".join(
@@ -458,6 +534,126 @@ def _cmd_mesh(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import shutil
+    import tempfile
+
+    from .data.synthetic import combustion_field, mri_phantom
+    from .serve import (
+        ChunkStore,
+        VolumeServer,
+        arrival_times,
+        cache_crosscheck,
+        generate_queries,
+    )
+
+    shape = (args.shape, args.shape, args.shape)
+    if args.dataset == "combustion":
+        dense = combustion_field(shape, seed=args.seed)
+    else:
+        dense = mri_phantom(shape)
+    tmp = None
+    store_dir = args.store
+    if store_dir is None:
+        tmp = tempfile.mkdtemp(prefix="repro-serve-")
+        store_dir = os.path.join(tmp, "store")
+    try:
+        if os.path.exists(os.path.join(store_dir, "meta.json")):
+            store = ChunkStore.open(store_dir, origin=dense)
+            print(f"opened store {store_dir} ({store.order}, "
+                  f"{store.n_segments} segments)")
+        else:
+            store = ChunkStore.create(
+                store_dir, dense, order=args.order, chunk=args.chunk,
+                chunks_per_segment=args.chunks_per_segment)
+            print(f"created store {store_dir}: shape {store.shape}, "
+                  f"chunk {store.chunk_shape}, order {store.order}, "
+                  f"{store.n_chunks} chunks in {store.n_segments} segments")
+        server = VolumeServer(store, cache=args.cache)
+        queries = generate_queries(shape, args.queries, seed=args.seed)
+        arrivals = arrival_times(args.queries, profile=args.arrival_profile,
+                                 seed=args.seed)
+        results = server.serve_session(queries, concurrency=args.concurrency,
+                                       arrivals=arrivals, time_scale=0.0)
+        lat = np.array([r.latency_s for r in results]) * 1e3
+        by_kind: dict = {}
+        for r in results:
+            by_kind.setdefault(r.query.kind, []).append(r)
+        print(f"\nserved {len(results)} queries "
+              f"(p50 {np.percentile(lat, 50):.3f} ms, "
+              f"p99 {np.percentile(lat, 99):.3f} ms)")
+        for kind in sorted(by_kind):
+            rs = by_kind[kind]
+            segs = float(np.mean([r.segments_touched for r in rs]))
+            util = sum(r.bytes_returned for r in rs) \
+                / max(1, sum(r.bytes_touched for r in rs))
+            print(f"  {kind:<9} {len(rs):>4} queries, "
+                  f"{segs:6.2f} segments/query, utilization {util:.3f}")
+        c = server.cache.counters()
+        rate = c["hits"] / c["accesses"] if c["accesses"] else 0.0
+        print(f"cache: {c['hits']}/{c['accesses']} hits "
+              f"({rate:.1%}), {c['evictions']} evictions, "
+              f"capacity {c['capacity']} segments")
+        if not args.no_crosscheck:
+            check = cache_crosscheck(server.cache)
+            if not check.consistent:
+                print("CROSSCHECK FAIL: " + "; ".join(check.mismatches()))
+                return 1
+            print(f"crosscheck: counters match memsim stack-distance + "
+                  f"machine over {check.accesses} accesses (exact)")
+        if store.segments_rebuilt:
+            print(f"[{store.segments_rebuilt} corrupt segments quarantined "
+                  f"and rebuilt from origin]")
+        return 0
+    finally:
+        if tmp is not None:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+
+def _cmd_serve_bench(args) -> int:
+    from .serve import render as render_bench
+    from .serve import run_serve_bench
+
+    bench = run_serve_bench(
+        shape=args.shape, chunk=args.chunk,
+        chunks_per_segment=args.chunks_per_segment,
+        orders=tuple(args.orders), baseline=args.baseline,
+        n_queries=args.queries, seed=args.seed, cache=args.cache,
+        concurrency=args.concurrency, profile=args.arrival_profile)
+    print(render_bench(bench))
+    return 0 if bench.ok else 1
+
+
+def _cmd_sweep(args) -> int:
+    from .experiments import capacity_sweep, rows_to_csv
+    from .memsim.stackdist import fully_associative_spec
+
+    shape = (args.shape, args.shape, args.shape)
+    platform = fully_associative_spec(max(args.capacities), n_cores=4,
+                                      n_sockets=1)
+    if args.kernel == "bilateral":
+        base = BilateralCell(platform=platform, shape=shape,
+                             n_threads=args.threads, stencil="r1",
+                             pencils_per_thread=1)
+    else:
+        base = VolrendCell(platform=platform, shape=shape,
+                           n_threads=args.threads, viewpoint=2,
+                           image_size=64, ray_step=2)
+    rows = capacity_sweep(base, args.capacities, counters=args.counters,
+                          axes={"layout": args.layouts})
+    cols = ["layout", "capacity_lines", *args.counters]
+    print(f"{args.kernel} at {shape}, {args.threads} threads "
+          f"(one trace per layout, every capacity priced from its "
+          f"stack-distance histogram)\n")
+    print("  ".join(f"{c:>16}" for c in cols))
+    for row in rows:
+        print("  ".join(f"{row[c]:>16}" for c in cols))
+    if args.out:
+        rows_to_csv(rows, args.out)
+        print(f"\n[saved {len(rows)} rows to {args.out}]", file=sys.stderr)
+    return 0
+
+
 def _dispatch(args) -> int:
     if args.command == "check":
         from .check.cli import run as run_check
@@ -478,6 +674,12 @@ def _dispatch(args) -> int:
         return _cmd_tune(args)
     if args.command == "mesh":
         return _cmd_mesh(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "serve-bench":
+        return _cmd_serve_bench(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

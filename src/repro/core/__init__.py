@@ -4,7 +4,7 @@ Public surface of :mod:`repro.core`:
 
 * :class:`~repro.core.layout.Layout` — the ``index(i, j, k)`` /
   ``index_array`` abstraction of the paper's Section III-C (the paper's
-  ``get_index`` name survives as a deprecated shim);
+  ``get_index`` name went through deprecation and is removed);
 * :class:`~repro.core.array_order.ArrayOrderLayout` — row-major with the
   paper's yoffset/zoffset tables;
 * :class:`~repro.core.morton.MortonLayout` — Z-order via per-axis
@@ -58,6 +58,7 @@ from .registry import (
     layout_names,
     make_layout,
     parse_layout_spec,
+    parse_spec,
     register_layout,
 )
 from .tiled import TiledLayout
@@ -95,6 +96,7 @@ __all__ = [
     "layout_names",
     "make_layout",
     "parse_layout_spec",
+    "parse_spec",
     "morton_decode_2d",
     "morton_decode_3d",
     "morton_encode_2d",

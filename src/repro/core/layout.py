@@ -11,9 +11,9 @@ buffer sizing, which the simulator and the analysis tooling need.
 ``index`` / ``index_array`` are the canonical entry points.  ``index``
 is deliberately unchecked (it sits inside the kernels' hot loops); use
 :meth:`Layout.check_bounds` first when coordinates come from outside.
-The paper-named ``get_index`` survives as a deprecated shim that bounds
-checks and delegates — it emits :class:`DeprecationWarning` and will be
-removed.
+The paper-named ``get_index`` shim (bounds check + delegate) went
+through a deprecation cycle and has been removed; the ``repro check``
+rule RPC103 keeps any call site from creeping back in.
 
 Coordinate convention
 ---------------------
@@ -24,7 +24,6 @@ adjacent in physical memory").  ``shape`` is given as ``(nx, ny, nz)``.
 
 from __future__ import annotations
 
-import warnings
 from abc import ABC, abstractmethod
 from typing import Iterable, Sequence, Tuple
 
@@ -108,20 +107,6 @@ class Layout(ABC):
         nx, ny, nz = self.shape
         if not (0 <= i < nx and 0 <= j < ny and 0 <= k < nz):
             raise IndexError(f"({i}, {j}, {k}) out of bounds for shape {self.shape}")
-
-    def get_index(self, i: int, j: int, k: int) -> int:
-        """Deprecated alias: bounds-checked :meth:`index`.
-
-        The paper's ``getIndex(i,j,k)``.  Use ``index()`` (or
-        ``check_bounds()`` + ``index()`` for untrusted coordinates);
-        use ``index_array()`` for vectorized access.
-        """
-        warnings.warn(
-            "Layout.get_index() is deprecated; use index()/index_array() "
-            "(call check_bounds() first for untrusted coordinates)",
-            DeprecationWarning, stacklevel=2)
-        self.check_bounds(i, j, k)
-        return self.index(i, j, k)
 
     def inverse_array(self, offsets) -> tuple:
         """Vectorized :meth:`inverse`; generic scalar-loop fallback."""
@@ -210,19 +195,6 @@ class Layout2D(ABC):
         nx, ny = self.shape
         if not (0 <= i < nx and 0 <= j < ny):
             raise IndexError(f"({i}, {j}) out of bounds for shape {self.shape}")
-
-    def get_index(self, i: int, j: int) -> int:
-        """Deprecated alias: bounds-checked :meth:`index`.
-
-        Use ``index()``/``index_array()``; call ``check_bounds()`` first
-        for untrusted coordinates.
-        """
-        warnings.warn(
-            "Layout2D.get_index() is deprecated; use index()/index_array() "
-            "(call check_bounds() first for untrusted coordinates)",
-            DeprecationWarning, stacklevel=2)
-        self.check_bounds(i, j)
-        return self.index(i, j)
 
     def check_bijective(self) -> bool:
         """Exhaustively verify 1:1 mapping of grid points into the buffer."""

@@ -34,7 +34,7 @@ from .morton import MortonLayout
 from .tiled import TiledLayout
 
 __all__ = ["LAYOUTS", "make_layout", "register_layout", "layout_names",
-           "parse_layout_spec", "layout_kwargs_doc"]
+           "parse_spec", "parse_layout_spec", "layout_kwargs_doc"]
 
 LAYOUTS: Dict[str, Callable[..., Layout]] = {
     "array": ArrayOrderLayout,
@@ -116,29 +116,42 @@ def _coerce(text: str) -> Any:
     return text
 
 
-def parse_layout_spec(spec: str) -> Tuple[str, Dict[str, Any]]:
+def parse_spec(spec: str, *, what: str = "spec") -> Tuple[str, Dict[str, Any]]:
     """Split ``"name:key=val,key=val"`` into ``(name, kwargs)``.
 
+    This is the **one** spec-string grammar in the project — layouts
+    (``"tiled:brick=8"``), serve chunk orders, and serve cache configs
+    (``"lru:capacity=64"``) all parse through here, so anything
+    configured by string travels identically through CLI flags, config
+    dataclasses, and worker processes.
+
     A bare name parses to ``(name, {})``.  Values coerce to int, float,
-    bool (true/false/yes/no/on/off), or fall back to str.
+    bool (true/false/yes/no/on/off), or fall back to str.  ``what``
+    names the spec family in error messages (``"layout"``,
+    ``"cache"``, …).
     """
     name, sep, rest = spec.partition(":")
     name = name.strip()
     if not name:
-        raise ValueError(f"empty layout name in spec {spec!r}")
+        raise ValueError(f"empty name in {what} {spec!r}")
     kwargs: Dict[str, Any] = {}
     if sep and not rest.strip():
-        raise ValueError(f"layout spec {spec!r} has ':' but no kwargs")
+        raise ValueError(f"{what} {spec!r} has ':' but no kwargs")
     if rest.strip():
         for item in rest.split(","):
             key, eq, value = item.partition("=")
             key, value = key.strip(), value.strip()
             if not eq or not key or not value:
                 raise ValueError(
-                    f"bad kwarg {item!r} in layout spec {spec!r}; "
+                    f"bad kwarg {item!r} in {what} {spec!r}; "
                     "expected key=value")
             kwargs[key] = _coerce(value)
     return name, kwargs
+
+
+def parse_layout_spec(spec: str) -> Tuple[str, Dict[str, Any]]:
+    """:func:`parse_spec` with layout-flavored error messages."""
+    return parse_spec(spec, what="layout spec")
 
 
 def make_layout(spec: str, shape: Sequence[int], **kwargs) -> Layout:

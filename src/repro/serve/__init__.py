@@ -1,0 +1,60 @@
+"""Layout-aware chunked volume serving.
+
+The paper's space-filling-curve argument, carried from one address
+space to a storage-and-query service:
+
+* :class:`~repro.serve.store.ChunkStore` — a volume bricked into
+  chunks placed on disk in the file order of any registered layout
+  (order is a spec string: ``"morton"``, ``"hilbert"``,
+  ``"tiled:brick=2"``, ``"array"`` for row-major), written durably
+  through :mod:`repro.resilience.artifacts`;
+* :class:`~repro.serve.server.VolumeServer` — an asyncio service
+  answering bbox / slab / viewport / ray queries behind a hot-segment
+  LRU whose counters are cross-checked **bit-for-bit** against the
+  memsim stack-distance model (:mod:`repro.serve.validate`);
+* :mod:`~repro.serve.traffic` — seeded synthetic sessions (Zipf
+  viewpoints, orbit sweeps, burst arrivals);
+* :mod:`~repro.serve.bench` — the cross-layout comparison
+  (``repro serve-bench`` / ``scripts/bench_serve.py``) with its gate:
+  curve orders must touch no more segments per query than row-major.
+
+See ``docs/SERVING.md`` for the tour.
+"""
+
+from .bench import OrderResult, ServeBenchResult, render, run_serve_bench
+from .cache import LRUCache, NoCache, make_cache
+from .server import (
+    BBoxQuery,
+    QueryResult,
+    RayQuery,
+    SlabQuery,
+    ViewportQuery,
+    VolumeServer,
+)
+from .store import ChunkStore, chunk_placement
+from .traffic import DEFAULT_MIX, arrival_times, generate_queries
+from .validate import CacheCrossCheck, assert_cache_consistent, cache_crosscheck
+
+__all__ = [
+    "BBoxQuery",
+    "CacheCrossCheck",
+    "ChunkStore",
+    "DEFAULT_MIX",
+    "LRUCache",
+    "NoCache",
+    "OrderResult",
+    "QueryResult",
+    "RayQuery",
+    "ServeBenchResult",
+    "SlabQuery",
+    "ViewportQuery",
+    "VolumeServer",
+    "arrival_times",
+    "assert_cache_consistent",
+    "cache_crosscheck",
+    "chunk_placement",
+    "generate_queries",
+    "make_cache",
+    "render",
+    "run_serve_bench",
+]

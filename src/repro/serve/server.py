@@ -1,0 +1,347 @@
+"""Async volume server: bbox/slab/viewport/ray queries over a ChunkStore.
+
+The paper's thesis is that a space-filling-curve layout turns spatial
+locality into *address* locality.  A serving workload is where that
+pays twice: the same placement that kept stencil neighborhoods on one
+cache line keeps a viewport's chunks in one file segment, so a query
+touches fewer segments (less I/O) and the hot-segment cache sees a
+tighter reuse pattern (more hits).
+
+:class:`VolumeServer` answers four query shapes:
+
+* :class:`BBoxQuery` — a dense axis-aligned subvolume;
+* :class:`SlabQuery` — a thickness-1..k slice along one axis (the
+  degenerate bbox every viewer scrubs through);
+* :class:`ViewportQuery` — the subvolume an orbiting camera sees,
+  derived from the volrend kernel's :func:`~repro.kernels.camera.
+  orbit_camera` so "viewpoint 3 of 8" means the same geometry here and
+  in the renderer;
+* :class:`RayQuery` — point samples along a ray (picking/probing).
+
+Concurrency model: :meth:`query` is an ``asyncio`` coroutine; a
+semaphore bounds in-flight queries and each query's *processing* is
+synchronous inside one trace span (the tracer's span stack must not
+interleave, so the awaits all happen before the span opens).  Cache
+and store state are only mutated inside that synchronous section, so
+no locks are needed and results are deterministic for a given arrival
+order.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..instrument import trace as _trace
+from ..kernels.camera import orbit_camera
+from .cache import make_cache
+from .store import ChunkStore
+
+__all__ = ["BBoxQuery", "SlabQuery", "ViewportQuery", "RayQuery",
+           "QueryResult", "VolumeServer"]
+
+
+# -- query shapes -------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BBoxQuery:
+    """Dense subvolume over the half-open voxel box ``[lo, hi)``."""
+    lo: Tuple[int, int, int]
+    hi: Tuple[int, int, int]
+
+    kind = "bbox"
+
+
+@dataclass(frozen=True)
+class SlabQuery:
+    """Slices ``start..stop`` (half-open) along ``axis`` (0=x, 1=y, 2=z)."""
+    axis: int
+    start: int
+    stop: int
+
+    kind = "slab"
+
+
+@dataclass(frozen=True)
+class ViewportQuery:
+    """What viewpoint ``viewpoint`` of an ``n_viewpoints`` orbit sees.
+
+    ``zoom`` scales the viewed box (1.0 = whole volume, 2.0 = half
+    extent) and ``pan`` shifts its center in voxels; both model a user
+    zooming and dragging while the orbit geometry stays the renderer's.
+    """
+    viewpoint: int
+    n_viewpoints: int = 8
+    zoom: float = 1.0
+    pan: Tuple[float, float, float] = (0.0, 0.0, 0.0)
+
+    kind = "viewport"
+
+
+@dataclass(frozen=True)
+class RayQuery:
+    """``n_samples`` nearest-voxel samples from ``origin`` along
+    ``direction``, ``step`` voxels apart."""
+    origin: Tuple[float, float, float]
+    direction: Tuple[float, float, float]
+    n_samples: int = 64
+    step: float = 1.0
+
+    kind = "ray"
+
+
+Query = Union[BBoxQuery, SlabQuery, ViewportQuery, RayQuery]
+
+
+# -- results ------------------------------------------------------------------
+
+@dataclass
+class QueryResult:
+    """A query's payload plus the cost accounting the bench aggregates."""
+    query: Query
+    data: np.ndarray
+    #: chunks the query *needed* (placement-independent)
+    chunks_needed: int
+    #: segments the query touched (placement-DEPENDENT — the metric)
+    segments_touched: int
+    #: bytes read from segments (touched × segment size)
+    bytes_touched: int
+    #: bytes in the returned payload
+    bytes_returned: int
+    #: wall-clock processing latency, seconds (perf_counter)
+    latency_s: float
+    #: cache hits / misses attributable to this query
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def utilization(self) -> float:
+        """Returned / touched bytes — how much of the I/O was useful."""
+        return self.bytes_returned / self.bytes_touched \
+            if self.bytes_touched else 1.0
+
+
+# -- the server ---------------------------------------------------------------
+
+class VolumeServer:
+    """Serve spatial queries over a :class:`ChunkStore`.
+
+    ``cache`` is a cache spec string (``"lru:capacity=64"``,
+    ``"none"``) or an already-built cache object.  All reads go
+    through the cache; its ``access_log`` is the segment stream the
+    memsim cross-check (:mod:`repro.serve.validate`) replays.
+    """
+
+    def __init__(self, store: ChunkStore,
+                 cache: Union[str, None, object] = "lru:capacity=64"):
+        self.store = store
+        self.cache = cache if hasattr(cache, "get") else make_cache(cache)
+        self.queries_served = 0
+
+    # -- geometry helpers ----------------------------------------------------
+
+    def _slab_bbox(self, q: SlabQuery) -> Tuple[Tuple[int, ...],
+                                                Tuple[int, ...]]:
+        if not 0 <= q.axis <= 2:
+            raise ValueError(f"slab axis must be 0..2, got {q.axis}")
+        lo = [0, 0, 0]
+        hi = list(self.store.shape)
+        lo[q.axis] = q.start
+        hi[q.axis] = q.stop
+        return tuple(lo), tuple(hi)
+
+    def _viewport_bbox(self, q: ViewportQuery) -> Tuple[Tuple[int, ...],
+                                                        Tuple[int, ...]]:
+        """Axis-aligned voxel box for an orbit viewpoint.
+
+        The camera basis comes from the volrend kernel; the viewed
+        region is an oriented box centered on ``center + pan`` whose
+        half-extents shrink with ``zoom``, and its eight corners are
+        clipped to the volume to yield the AABB actually fetched.
+        """
+        if q.zoom <= 0:
+            raise ValueError(f"zoom must be positive, got {q.zoom}")
+        shape = self.store.shape
+        cam = orbit_camera(shape, q.viewpoint, n_viewpoints=q.n_viewpoints)
+        eye = np.asarray(cam.eye, dtype=np.float64)
+        center = np.asarray(cam.center, dtype=np.float64) \
+            + np.asarray(q.pan, dtype=np.float64)
+        view = center - eye
+        view /= np.linalg.norm(view)
+        up = np.asarray(cam.up, dtype=np.float64)
+        right = np.cross(view, up)
+        right /= np.linalg.norm(right)
+        true_up = np.cross(right, view)
+        # the visible region is the oriented cube inscribed in the view
+        # sphere of radius max_extent/(2*zoom): half-edge = r/sqrt(3),
+        # so zooming in shrinks the fetched box isotropically instead of
+        # inflating it by the AABB of a volume-sized oriented cube
+        r = float(np.array(shape, dtype=np.float64).max()) / (2.0 * q.zoom)
+        h = r / np.sqrt(3.0)
+        corners = []
+        for sr in (-1.0, 1.0):
+            for su in (-1.0, 1.0):
+                for sv in (-1.0, 1.0):
+                    corners.append(center + h * (sr * right + su * true_up
+                                                 + sv * view))
+        pts = np.asarray(corners)
+        lo = np.floor(pts.min(axis=0)).astype(np.int64)
+        hi = np.ceil(pts.max(axis=0)).astype(np.int64)
+        lo = np.maximum(lo, 0)
+        hi = np.minimum(hi, np.asarray(shape, dtype=np.int64))
+        # a fully off-volume pan still yields a valid 1-voxel box
+        hi = np.maximum(hi, lo + 1)
+        hi = np.minimum(hi, np.asarray(shape, dtype=np.int64))
+        lo = np.minimum(lo, hi - 1)
+        return tuple(int(v) for v in lo), tuple(int(v) for v in hi)
+
+    def _ray_points(self, q: RayQuery) -> np.ndarray:
+        d = np.asarray(q.direction, dtype=np.float64)
+        norm = np.linalg.norm(d)
+        if norm == 0:
+            raise ValueError("ray direction must be non-zero")
+        d = d / norm
+        o = np.asarray(q.origin, dtype=np.float64)
+        t = np.arange(q.n_samples, dtype=np.float64) * q.step
+        pts = o[None, :] + t[:, None] * d[None, :]
+        idx = np.rint(pts).astype(np.int64)
+        shape = np.asarray(self.store.shape, dtype=np.int64)
+        inside = np.all((idx >= 0) & (idx < shape[None, :]), axis=1)
+        return idx[inside]
+
+    # -- the synchronous core ------------------------------------------------
+
+    def _process(self, q: Query) -> QueryResult:
+        if not isinstance(q, (BBoxQuery, SlabQuery, ViewportQuery,
+                              RayQuery)):
+            raise TypeError(f"unknown query type {type(q).__name__}")
+        store = self.store
+        cache = self.cache
+        hits0, misses0 = cache.hits, cache.misses
+        t0 = time.perf_counter()
+        with _trace.span("serve.query", kind=q.kind, order=store.order) as sp:
+            if isinstance(q, BBoxQuery):
+                lo, hi = q.lo, q.hi
+            elif isinstance(q, SlabQuery):
+                lo, hi = self._slab_bbox(q)
+            elif isinstance(q, ViewportQuery):
+                lo, hi = self._viewport_bbox(q)
+            else:
+                lo = hi = None
+
+            if isinstance(q, RayQuery):
+                idx = self._ray_points(q)
+                data, needed, segs = self._sample_points(idx)
+            else:
+                ids = store.chunks_for_bbox(lo, hi)
+                needed = int(ids.size)
+                segs = np.unique(store.segment_of_slot(store.slot_of[ids]))
+                data = store.read_bbox(
+                    lo, hi, fetch=lambda s: cache.get(s, store.read_segment))
+
+            touched = int(segs.size)
+            bytes_touched = sum(
+                store.segment_chunk_count(int(s)) * store.chunk_bytes
+                for s in segs)
+            bytes_returned = int(data.nbytes)
+            sp.set("chunks_needed", needed)
+            sp.set("segments_touched", touched)
+            sp.set("bytes_returned", bytes_returned)
+        latency = time.perf_counter() - t0
+        self.queries_served += 1
+        return QueryResult(
+            query=q, data=data, chunks_needed=needed,
+            segments_touched=touched, bytes_touched=bytes_touched,
+            bytes_returned=bytes_returned, latency_s=latency,
+            cache_hits=cache.hits - hits0,
+            cache_misses=cache.misses - misses0)
+
+    def _sample_points(self, idx: np.ndarray):
+        """Nearest-voxel samples at integer points ``idx`` (N×3)."""
+        store = self.store
+        cache = self.cache
+        if idx.size == 0:
+            return (np.empty(0, dtype=store.dtype), 0,
+                    np.empty(0, dtype=np.int64))
+        cx, cy, cz = store.chunk_shape
+        cids = store.chunk_ids(idx[:, 0] // cx, idx[:, 1] // cy,
+                               idx[:, 2] // cz)
+        uniq = np.unique(cids)
+        segs = np.unique(store.segment_of_slot(store.slot_of[uniq]))
+        out = np.empty(idx.shape[0], dtype=store.dtype)
+        # visit chunks in file-slot order so the cache sees the
+        # placement-ordered stream, same as bbox assembly
+        order = np.argsort(store.slot_of[uniq], kind="stable")
+        for cid in uniq[order]:
+            slot = int(store.slot_of[cid])
+            seg, off = divmod(slot, store.chunks_per_segment)
+            block = cache.get(seg, store.read_segment)[off]
+            sel = cids == cid
+            ci, cj, ck = (int(v) for v in store.chunk_coords(int(cid)))
+            pts = idx[sel]
+            out[sel] = block[pts[:, 0] - ci * cx,
+                             pts[:, 1] - cj * cy,
+                             pts[:, 2] - ck * cz]
+        return out, int(uniq.size), segs
+
+    # -- public surface ------------------------------------------------------
+
+    def serve(self, q: Query) -> QueryResult:
+        """Synchronous single-query entry point (tests, scripts)."""
+        return self._process(q)
+
+    async def query(self, q: Query,
+                    semaphore: Optional[asyncio.Semaphore] = None
+                    ) -> QueryResult:
+        """Answer one query; processing happens atomically in this task.
+
+        The optional semaphore bounds concurrent in-flight queries.
+        All awaiting happens *before* the trace span opens — the
+        tracer's span stack requires each span to nest cleanly, so the
+        processing inside it is synchronous.
+        """
+        if semaphore is None:
+            await asyncio.sleep(0)
+            return self._process(q)
+        async with semaphore:
+            return self._process(q)
+
+    async def session(self, queries: Sequence[Query], *,
+                      concurrency: int = 4,
+                      arrivals: Optional[Sequence[float]] = None,
+                      time_scale: float = 1.0) -> List[QueryResult]:
+        """Serve a whole workload; results come back in *query order*.
+
+        ``arrivals`` (seconds, from :func:`repro.serve.traffic.
+        arrival_times`) delays each query's submission to model a
+        traffic profile; ``time_scale`` compresses those delays so
+        benches can replay an hour of arrivals in milliseconds.
+        """
+
+        async def one(i: int, q: Query) -> Tuple[int, QueryResult]:
+            if arrivals is not None:
+                delay = float(arrivals[i]) * time_scale
+                if delay > 0:
+                    await asyncio.sleep(delay)
+            return i, await self.query(q, sem)
+
+        sem = asyncio.Semaphore(concurrency)
+        pairs = await asyncio.gather(
+            *(one(i, q) for i, q in enumerate(queries)))
+        results: List[Optional[QueryResult]] = [None] * len(queries)
+        for i, r in pairs:
+            results[i] = r
+        return results  # type: ignore[return-value]
+
+    def serve_session(self, queries: Sequence[Query], *,
+                      concurrency: int = 4,
+                      arrivals: Optional[Sequence[float]] = None,
+                      time_scale: float = 1.0) -> List[QueryResult]:
+        """:meth:`session` without an event loop in hand."""
+        return asyncio.run(self.session(
+            queries, concurrency=concurrency, arrivals=arrivals,
+            time_scale=time_scale))

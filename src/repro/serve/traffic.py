@@ -1,0 +1,170 @@
+"""Synthetic serving traffic: what a viewer actually asks a volume store.
+
+Real exploration sessions are not uniform random boxes.  They are a
+few popular viewpoints revisited constantly (Zipf), orbit sweeps where
+consecutive frames overlap heavily, slab scrubbing along an axis, and
+the occasional probe ray — arriving in bursts, not a steady drip.
+The generator models exactly that, fully seeded, so two benches with
+the same seed replay the same session byte-for-byte (and so the bench
+can hand the *same* workload to every layout under test).
+
+* :func:`generate_queries` — the query mix.  Viewpoint popularity is
+  Zipf-distributed (``zipf_s`` is the exponent; heavier tail → more
+  reuse for a cache to exploit).
+* :func:`arrival_times` — cumulative arrival offsets, ``"steady"``
+  (Poisson) or ``"burst"`` (Poisson bursts of back-to-back queries).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .server import BBoxQuery, Query, RayQuery, SlabQuery, ViewportQuery
+
+__all__ = ["generate_queries", "arrival_times", "DEFAULT_MIX"]
+
+#: default query mix — mostly viewport traffic, like a viewer session
+DEFAULT_MIX: Dict[str, float] = {
+    "viewport": 0.45,
+    "orbit": 0.15,
+    "bbox": 0.2,
+    "slab": 0.15,
+    "ray": 0.05,
+}
+
+
+def _zipf_weights(n: int, s: float) -> np.ndarray:
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    w = ranks ** (-s)
+    return w / w.sum()
+
+
+def generate_queries(shape: Sequence[int], n: int, *, seed: int = 0,
+                     mix: Optional[Dict[str, float]] = None,
+                     zipf_s: float = 1.2,
+                     n_viewpoints: int = 8) -> List[Query]:
+    """``n`` seeded queries over a volume of ``shape``.
+
+    ``mix`` maps query families to weights (normalized internally;
+    defaults to :data:`DEFAULT_MIX`).  Families:
+
+    * ``viewport`` — a Zipf-popular orbit viewpoint with mild random
+      zoom/pan (the hot-viewpoint revisits a cache feeds on);
+    * ``orbit`` — a run of consecutive viewpoints (a camera sweep);
+      counts as one family pick but emits several queries;
+    * ``bbox`` — random boxes, a third of them elongated along one
+      axis (the worst case for row-major chunk placement);
+    * ``slab`` — thin slices along a random axis;
+    * ``ray`` — probe rays through the volume center region.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    shape = tuple(int(s) for s in shape)
+    mix = dict(DEFAULT_MIX if mix is None else mix)
+    unknown = set(mix) - set(DEFAULT_MIX)
+    if unknown:
+        raise ValueError(f"unknown query families {sorted(unknown)}; "
+                         f"known: {sorted(DEFAULT_MIX)}")
+    families = sorted(k for k, w in mix.items() if w > 0)
+    if not families:
+        raise ValueError("query mix has no positive weights")
+    weights = np.array([mix[k] for k in families], dtype=np.float64)
+    weights /= weights.sum()
+    rng = np.random.default_rng(seed)
+    vp_weights = _zipf_weights(n_viewpoints, zipf_s)
+    # shuffle which viewpoint is "rank 1" so popularity isn't always vp 0
+    vp_order = rng.permutation(n_viewpoints)
+
+    queries: List[Query] = []
+    while len(queries) < n:
+        fam = families[int(rng.choice(len(families), p=weights))]
+        if fam == "viewport":
+            vp = int(vp_order[int(rng.choice(n_viewpoints, p=vp_weights))])
+            zoom = float(rng.uniform(1.0, 3.0))
+            pan = tuple(float(v) for v in
+                        rng.uniform(-0.1, 0.1, size=3) * np.array(shape))
+            queries.append(ViewportQuery(vp, n_viewpoints=n_viewpoints,
+                                         zoom=zoom, pan=pan))
+        elif fam == "orbit":
+            start = int(rng.integers(n_viewpoints))
+            length = int(rng.integers(2, max(3, n_viewpoints // 2 + 1)))
+            zoom = float(rng.uniform(1.0, 2.0))
+            for step in range(length):
+                if len(queries) >= n:
+                    break
+                vp = (start + step) % n_viewpoints
+                queries.append(ViewportQuery(vp, n_viewpoints=n_viewpoints,
+                                             zoom=zoom))
+        elif fam == "bbox":
+            if rng.random() < 1 / 3:
+                # elongated: thin in two axes, long in the third
+                axis = int(rng.integers(3))
+                lo, hi = [], []
+                for a, extent in enumerate(shape):
+                    span = extent if a == axis else max(1, extent // 8)
+                    size = int(rng.integers(max(1, span // 2), span + 1))
+                    start = int(rng.integers(0, extent - size + 1))
+                    lo.append(start)
+                    hi.append(start + size)
+            else:
+                lo, hi = [], []
+                for extent in shape:
+                    size = int(rng.integers(max(1, extent // 8),
+                                            max(2, extent // 2)))
+                    start = int(rng.integers(0, extent - size + 1))
+                    lo.append(start)
+                    hi.append(start + size)
+            queries.append(BBoxQuery(tuple(lo), tuple(hi)))
+        elif fam == "slab":
+            axis = int(rng.integers(3))
+            extent = shape[axis]
+            thick = int(rng.integers(1, max(2, extent // 16)))
+            start = int(rng.integers(0, extent - thick + 1))
+            queries.append(SlabQuery(axis, start, start + thick))
+        else:  # ray
+            center = np.array(shape, dtype=np.float64) / 2.0
+            origin = tuple(float(v) for v in
+                           center + rng.uniform(-0.25, 0.25, size=3)
+                           * np.array(shape))
+            direction = tuple(float(v) for v in rng.normal(size=3))
+            n_samples = int(rng.integers(16, 129))
+            queries.append(RayQuery(origin, direction, n_samples=n_samples,
+                                    step=float(rng.uniform(0.5, 2.0))))
+    return queries[:n]
+
+
+def arrival_times(n: int, *, profile: str = "steady", rate: float = 100.0,
+                  seed: int = 0, burst_size: int = 8,
+                  burst_rate: float = 2.0) -> np.ndarray:
+    """Cumulative arrival offsets (seconds) for ``n`` queries.
+
+    ``"steady"`` draws exponential inter-arrivals at ``rate`` queries
+    per second (a Poisson process).  ``"burst"`` groups queries into
+    bursts of ~``burst_size`` arriving back-to-back, with the *bursts*
+    Poisson at ``burst_rate`` per second — the arrival shape of a user
+    dragging a viewport then pausing.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if rate <= 0 or burst_rate <= 0:
+        raise ValueError("rates must be positive")
+    rng = np.random.default_rng(seed)
+    if profile == "steady":
+        gaps = rng.exponential(1.0 / rate, size=n)
+        return np.cumsum(gaps)
+    if profile == "burst":
+        times: List[float] = []
+        t = 0.0
+        while len(times) < n:
+            t += float(rng.exponential(1.0 / burst_rate))
+            size = max(1, int(rng.poisson(burst_size)))
+            # within a burst, queries land ~1 ms apart
+            for k in range(size):
+                if len(times) >= n:
+                    break
+                times.append(t + k * 1e-3)
+        return np.asarray(times[:n])
+    raise ValueError(f"unknown arrival profile {profile!r}; "
+                     "known: ['steady', 'burst']")

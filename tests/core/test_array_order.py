@@ -119,9 +119,6 @@ class TestRowMajorLayout2D:
         layout.check_bounds(3, 3)
         assert layout.index(3, 3) == 15
 
-    def test_get_index_deprecated_but_equivalent(self):
-        layout = RowMajorLayout2D((4, 4))
-        with pytest.warns(DeprecationWarning, match="get_index"):
-            assert layout.get_index(3, 3) == 15  # repro: noqa[RPC103]
-        with pytest.warns(DeprecationWarning), pytest.raises(IndexError):
-            layout.get_index(4, 0)  # repro: noqa[RPC103]
+    def test_get_index_shim_removed(self):
+        # the paper-named shim finished its deprecation cycle
+        assert not hasattr(RowMajorLayout2D((4, 4)), "get_index")

@@ -187,5 +187,34 @@ class TestLayoutSpecs:
         from repro.core import layout_kwargs_doc
         assert "brick" in layout_kwargs_doc("tiled")
         assert layout_kwargs_doc("no-such-layout") == ""
+
+
+class TestParseSpec:
+    """The one generic grammar behind layout, chunk-order, and cache specs."""
+
+    def test_exported_from_core(self):
+        from repro.core import parse_spec
+        assert parse_spec("lru:capacity=64") == ("lru", {"capacity": 64})
+
+    def test_layout_parser_delegates(self):
+        from repro.core import parse_layout_spec, parse_spec
+        spec = "morton:engine=magic,padding=cube"
+        assert parse_layout_spec(spec) == parse_spec(spec)
+
+    def test_what_names_the_family_in_errors(self):
+        from repro.core import parse_spec
+        with pytest.raises(ValueError, match="cache spec"):
+            parse_spec("lru:", what="cache spec")
+        with pytest.raises(ValueError, match="layout spec"):
+            parse_spec(":brick=8", what="layout spec")
+
+    def test_value_coercion(self):
+        from repro.core import parse_spec
+        _, kwargs = parse_spec("x:a=3,b=2.5,c=off,d=text")
+        assert kwargs == {"a": 3, "b": 2.5, "c": False, "d": "text"}
+
+    def test_whitespace_tolerated(self):
+        from repro.core import parse_spec
+        assert parse_spec(" lru : capacity = 8 ") == ("lru", {"capacity": 8})
         pairs = dict(layout_names(with_kwargs=True))
         assert "engine" in pairs["morton"]

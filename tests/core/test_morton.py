@@ -171,12 +171,9 @@ class TestMortonLayout:
         layout.check_bounds(3, 3, 3)
         assert layout.index(3, 3, 3) == 63
 
-    def test_get_index_deprecated_but_equivalent(self):
-        layout = MortonLayout((4, 4, 4))
-        with pytest.warns(DeprecationWarning, match="get_index"):
-            assert layout.get_index(3, 3, 3) == 63  # repro: noqa[RPC103]
-        with pytest.warns(DeprecationWarning), pytest.raises(IndexError):
-            layout.get_index(4, 0, 0)  # repro: noqa[RPC103]
+    def test_get_index_shim_removed(self):
+        # the paper-named shim finished its deprecation cycle
+        assert not hasattr(MortonLayout((4, 4, 4)), "get_index")
 
     def test_iter_curve_visits_each_point_once(self):
         layout = MortonLayout((3, 4, 2))

@@ -1,0 +1,63 @@
+"""Tests for the cross-layout serve bench and its gate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import run_serve_bench
+from repro.serve.bench import render
+
+
+@pytest.fixture(scope="module")
+def bench():
+    # 32^3 with chunk 4 -> an 8^3 chunk grid, the smallest geometry
+    # where curve placement has room to beat row-major
+    return run_serve_bench(shape=32, chunk=4, chunks_per_segment=4,
+                           n_queries=40, seed=0)
+
+
+class TestBench:
+    def test_all_orders_reported(self, bench):
+        assert [r.order for r in bench.results] \
+            == ["array", "morton", "hilbert"]
+        for r in bench.results:
+            assert r.n_queries == 40
+            assert r.p50_ms > 0 and r.p99_ms >= r.p50_ms
+            assert r.qps > 0
+            assert 0 < r.utilization <= 1.0
+            assert 0 <= r.cache_hit_rate <= 1.0
+
+    def test_gate_passes_curve_vs_row_major(self, bench):
+        assert bench.ok, bench.gate()
+        base = bench.by_order("array")
+        for r in bench.results:
+            if r.order != "array":
+                assert r.mean_segments_per_bbox \
+                    <= base.mean_segments_per_bbox
+
+    def test_chunks_needed_is_placement_independent(self, bench):
+        needed = {round(r.mean_chunks_needed_per_bbox, 6)
+                  for r in bench.results}
+        assert len(needed) == 1
+
+    def test_crosscheck_ran_for_every_order(self, bench):
+        for r in bench.results:
+            assert r.crosscheck_accesses == r.cache_accesses > 0
+
+    def test_render_mentions_gate(self, bench):
+        text = render(bench)
+        assert "GATE PASS" in text
+        assert "segments_per_bbox" in text
+
+    def test_unknown_baseline_rejected(self):
+        with pytest.raises(ValueError, match="baseline"):
+            run_serve_bench(shape=16, chunk=4, orders=("array",),
+                            baseline="morton", n_queries=2)
+
+    def test_gate_failure_renders(self, bench):
+        import copy
+
+        broken = copy.deepcopy(bench)
+        broken.by_order("morton").mean_segments_per_bbox = 1e9
+        assert not broken.ok
+        assert "GATE FAIL" in render(broken)

@@ -1,0 +1,153 @@
+"""Tests for the async volume server."""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    BBoxQuery,
+    ChunkStore,
+    RayQuery,
+    SlabQuery,
+    ViewportQuery,
+    VolumeServer,
+    generate_queries,
+)
+
+SHAPE = (24, 24, 24)
+
+
+@pytest.fixture(scope="module")
+def dense():
+    rng = np.random.default_rng(3)
+    return rng.random(SHAPE).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory, dense):
+    path = os.path.join(tmp_path_factory.mktemp("server"), "store")
+    return ChunkStore.create(path, dense, order="morton", chunk=8,
+                             chunks_per_segment=2)
+
+
+@pytest.fixture()
+def server(store):
+    return VolumeServer(store, cache="lru:capacity=8")
+
+
+class TestQueries:
+    def test_bbox_matches_dense(self, server, dense):
+        res = server.serve(BBoxQuery((2, 3, 4), (20, 18, 15)))
+        assert np.array_equal(res.data, dense[2:20, 3:18, 4:15])
+        assert res.bytes_returned == res.data.nbytes
+        assert res.chunks_needed > 0
+        assert res.segments_touched > 0
+        assert 0 < res.utilization <= 1.0
+
+    def test_slab_matches_dense(self, server, dense):
+        res = server.serve(SlabQuery(axis=1, start=5, stop=7))
+        assert np.array_equal(res.data, dense[:, 5:7, :])
+
+    def test_slab_bad_axis(self, server):
+        with pytest.raises(ValueError, match="axis"):
+            server.serve(SlabQuery(axis=3, start=0, stop=1))
+
+    def test_viewport_is_subvolume(self, server, dense):
+        res = server.serve(ViewportQuery(viewpoint=2, zoom=2.0))
+        assert res.data.ndim == 3
+        assert all(0 < e <= s for e, s in zip(res.data.shape, SHAPE))
+        # zooming in fetches a strictly smaller box than zoom 1
+        wide = server.serve(ViewportQuery(viewpoint=2, zoom=1.0))
+        assert res.data.size < wide.data.size
+
+    def test_viewport_matches_dense(self, server, dense):
+        q = ViewportQuery(viewpoint=5, zoom=2.5, pan=(1.0, -2.0, 0.5))
+        lo, hi = server._viewport_bbox(q)
+        res = server.serve(q)
+        assert np.array_equal(res.data, dense[lo[0]:hi[0], lo[1]:hi[1],
+                                              lo[2]:hi[2]])
+
+    def test_viewport_bad_zoom(self, server):
+        with pytest.raises(ValueError, match="zoom"):
+            server.serve(ViewportQuery(viewpoint=0, zoom=0.0))
+
+    def test_ray_matches_dense(self, server, dense):
+        q = RayQuery(origin=(0.0, 0.0, 0.0), direction=(1.0, 0.9, 0.8),
+                     n_samples=40, step=0.7)
+        res = server.serve(q)
+        d = np.array(q.direction) / np.linalg.norm(q.direction)
+        pts = np.rint(np.arange(40)[:, None] * 0.7 * d[None, :]) \
+            .astype(np.int64)
+        inside = np.all((pts >= 0) & (pts < np.array(SHAPE)), axis=1)
+        expect = dense[pts[inside, 0], pts[inside, 1], pts[inside, 2]]
+        assert np.array_equal(res.data, expect)
+
+    def test_ray_zero_direction(self, server):
+        with pytest.raises(ValueError, match="non-zero"):
+            server.serve(RayQuery((0, 0, 0), (0, 0, 0)))
+
+    def test_ray_entirely_outside(self, server):
+        res = server.serve(RayQuery((-50.0, -50.0, -50.0), (0, 0, -1.0)))
+        assert res.data.size == 0
+        assert res.segments_touched == 0
+
+
+class TestSessions:
+    def test_async_query(self, server, dense):
+        res = asyncio.run(server.query(BBoxQuery((0, 0, 0), (8, 8, 8))))
+        assert np.array_equal(res.data, dense[:8, :8, :8])
+
+    def test_session_results_in_query_order(self, store, dense):
+        queries = generate_queries(SHAPE, 20, seed=9)
+        server = VolumeServer(store, cache="lru:capacity=8")
+        results = server.serve_session(queries, concurrency=3)
+        assert len(results) == 20
+        for q, r in zip(queries, results):
+            assert r.query is q
+
+    def test_session_deterministic_payloads(self, store):
+        queries = generate_queries(SHAPE, 15, seed=4)
+        a = VolumeServer(store, cache="lru:capacity=4") \
+            .serve_session(queries, concurrency=1)
+        b = VolumeServer(store, cache="lru:capacity=4") \
+            .serve_session(queries, concurrency=4)
+        for ra, rb in zip(a, b):
+            assert np.array_equal(ra.data, rb.data)
+
+    def test_session_with_arrivals(self, store):
+        queries = generate_queries(SHAPE, 6, seed=2)
+        server = VolumeServer(store)
+        results = server.serve_session(
+            queries, arrivals=[0.0] * 6, time_scale=0.0)
+        assert len(results) == 6
+        assert server.queries_served == 6
+
+    def test_uncached_server(self, store, dense):
+        server = VolumeServer(store, cache="none")
+        res = server.serve(BBoxQuery((0, 0, 0), (10, 10, 10)))
+        assert np.array_equal(res.data, dense[:10, :10, :10])
+        assert server.cache.hits == 0
+        assert res.cache_misses == server.cache.misses
+
+    def test_unknown_query_type(self, server):
+        with pytest.raises(TypeError, match="unknown query"):
+            server.serve(object())
+
+
+class TestAccounting:
+    def test_cache_attribution_per_query(self, store):
+        server = VolumeServer(store, cache="lru:capacity=8")
+        first = server.serve(BBoxQuery((0, 0, 0), (16, 16, 16)))
+        again = server.serve(BBoxQuery((0, 0, 0), (16, 16, 16)))
+        assert first.cache_misses > 0
+        assert again.cache_hits == first.cache_hits + first.cache_misses
+        assert again.cache_misses == 0
+
+    def test_segments_touched_counts_unique(self, server, store):
+        res = server.serve(BBoxQuery((0, 0, 0), SHAPE))
+        assert res.segments_touched == store.n_segments
+        assert res.chunks_needed == store.n_chunks

@@ -1,0 +1,161 @@
+"""Tests for the layout-aware chunk store."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.store import ChunkStore, chunk_placement
+
+SHAPE = (20, 17, 13)
+
+
+@pytest.fixture(scope="module")
+def dense():
+    return np.arange(np.prod(SHAPE), dtype=np.float32).reshape(SHAPE)
+
+
+def make_store(tmp_path, dense, order="morton", chunk=4,
+               chunks_per_segment=3, name="store"):
+    return ChunkStore.create(os.path.join(tmp_path, name), dense,
+                             order=order, chunk=chunk,
+                             chunks_per_segment=chunks_per_segment)
+
+
+class TestPlacement:
+    @pytest.mark.parametrize("order", ["array", "morton", "hilbert",
+                                       "tiled:brick=2"])
+    def test_placement_is_a_permutation(self, order):
+        slot_of = chunk_placement(order, (5, 4, 3))
+        assert sorted(slot_of) == list(range(5 * 4 * 3))
+
+    def test_array_order_is_identity(self):
+        # x-fastest chunk ids ARE row-major file order
+        slot_of = chunk_placement("array", (4, 3, 2))
+        assert slot_of.tolist() == list(range(24))
+
+    def test_morton_groups_octants(self):
+        # an aligned 2x2x2 block of chunks occupies 8 consecutive slots
+        slot_of = chunk_placement("morton", (4, 4, 4))
+        ids = [i + 4 * (j + 4 * k) for k in (0, 1) for j in (0, 1)
+               for i in (0, 1)]
+        slots = sorted(int(slot_of[c]) for c in ids)
+        assert slots == list(range(slots[0], slots[0] + 8))
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(ValueError, match="unknown layout"):
+            chunk_placement("zigzag", (4, 4, 4))
+
+
+class TestCreateOpen:
+    def test_roundtrip_full_volume(self, tmp_path, dense):
+        store = make_store(tmp_path, dense)
+        assert np.array_equal(store.read_bbox((0, 0, 0), SHAPE), dense)
+
+    @pytest.mark.parametrize("order", ["array", "hilbert", "tiled:brick=2"])
+    def test_roundtrip_other_orders(self, tmp_path, dense, order):
+        store = make_store(tmp_path, dense, order=order, name=f"s-{order}"
+                           .replace(":", "_"))
+        got = store.read_bbox((3, 2, 1), (17, 15, 9))
+        assert np.array_equal(got, dense[3:17, 2:15, 1:9])
+
+    def test_open_matches_create(self, tmp_path, dense):
+        created = make_store(tmp_path, dense)
+        opened = ChunkStore.open(created.path)
+        assert opened.order == created.order
+        assert opened.grid_shape == created.grid_shape
+        assert np.array_equal(opened.read_bbox((1, 1, 1), (9, 9, 9)),
+                              dense[1:9, 1:9, 1:9])
+
+    def test_meta_is_integrity_checked(self, tmp_path, dense):
+        from repro.resilience.artifacts import ArtifactIntegrityError
+
+        store = make_store(tmp_path, dense)
+        meta = os.path.join(store.path, "meta.json")
+        with open(meta, "r+", encoding="utf-8") as fh:  # repro: noqa[RPC401]
+            fh.write(" ")
+        with pytest.raises(ArtifactIntegrityError):
+            ChunkStore.open(store.path)
+
+    def test_rejects_non_3d(self, tmp_path):
+        with pytest.raises(ValueError, match="3-D"):
+            ChunkStore.create(os.path.join(tmp_path, "bad"),
+                              np.zeros((4, 4), dtype=np.float32))
+
+    def test_rejects_bad_chunk(self, tmp_path, dense):
+        with pytest.raises(ValueError, match="positive"):
+            make_store(tmp_path, dense, chunk=0, name="bad-chunk")
+
+    def test_rejects_bad_segment_count(self, tmp_path, dense):
+        with pytest.raises(ValueError, match="chunks_per_segment"):
+            make_store(tmp_path, dense, chunks_per_segment=0, name="bad-seg")
+
+    def test_dtype_preserved(self, tmp_path):
+        vol = np.arange(6 * 6 * 6, dtype=np.int16).reshape(6, 6, 6)
+        store = ChunkStore.create(os.path.join(tmp_path, "i16"), vol,
+                                  chunk=4)
+        got = store.read_bbox((0, 0, 0), (6, 6, 6))
+        assert got.dtype == np.int16
+        assert np.array_equal(got, vol)
+
+
+class TestGeometry:
+    def test_grid_shape_rounds_up(self, tmp_path, dense):
+        store = make_store(tmp_path, dense)
+        assert store.grid_shape == (5, 5, 4)
+        assert store.n_chunks == 100
+        assert store.n_segments == 34
+
+    def test_chunks_for_bbox_is_placement_independent(self, tmp_path, dense):
+        a = make_store(tmp_path, dense, order="array", name="a")
+        z = make_store(tmp_path, dense, order="morton", name="z")
+        lo, hi = (2, 3, 1), (14, 9, 12)
+        assert sorted(a.chunks_for_bbox(lo, hi)) \
+            == sorted(z.chunks_for_bbox(lo, hi))
+
+    def test_chunks_for_bbox_rejects_empty_and_outside(self, tmp_path,
+                                                       dense):
+        store = make_store(tmp_path, dense)
+        with pytest.raises(ValueError, match="empty"):
+            store.chunks_for_bbox((4, 4, 4), (4, 8, 8))
+        with pytest.raises(ValueError, match="outside"):
+            store.chunks_for_bbox((0, 0, 0), (21, 4, 4))
+
+    def test_segment_chunk_count_tail(self, tmp_path, dense):
+        store = make_store(tmp_path, dense)  # 100 chunks, 3 per segment
+        assert store.segment_chunk_count(0) == 3
+        assert store.segment_chunk_count(store.n_segments - 1) == 1
+        with pytest.raises(IndexError):
+            store.segment_chunk_count(store.n_segments)
+
+
+@pytest.fixture(scope="module")
+def prop_stores(tmp_path_factory, dense):
+    tmp = tmp_path_factory.mktemp("prop")
+    return [make_store(tmp, dense, order=o, name=f"p-{i}")
+            for i, o in enumerate(["array", "morton", "hilbert",
+                                   "tiled:brick=2"])]
+
+
+class TestBytesAcrossOrders:
+    """Satellite property: payload bytes never depend on placement."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_bbox_bytes_identical_across_orders(self, data, prop_stores,
+                                                dense):
+        stores = prop_stores
+        lo = [data.draw(st.integers(0, s - 1), label=f"lo{i}")
+              for i, s in enumerate(SHAPE)]
+        hi = [data.draw(st.integers(a + 1, s), label=f"hi{i}")
+              for i, (a, s) in enumerate(zip(lo, SHAPE))]
+        ref = stores[0].read_bbox(lo, hi)
+        assert np.array_equal(ref, dense[lo[0]:hi[0], lo[1]:hi[1],
+                                         lo[2]:hi[2]])
+        for other in stores[1:]:
+            assert np.array_equal(other.read_bbox(lo, hi), ref), \
+                f"order {other.order} returned different bytes"

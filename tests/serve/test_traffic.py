@@ -1,0 +1,83 @@
+"""Tests for the synthetic serving-traffic generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve import arrival_times, generate_queries
+from repro.serve.server import ViewportQuery
+
+SHAPE = (32, 32, 32)
+
+
+class TestGenerateQueries:
+    def test_count_and_determinism(self):
+        a = generate_queries(SHAPE, 50, seed=7)
+        b = generate_queries(SHAPE, 50, seed=7)
+        assert len(a) == len(b) == 50
+        assert a == b  # frozen dataclasses compare by value
+
+    def test_different_seed_differs(self):
+        assert generate_queries(SHAPE, 50, seed=1) \
+            != generate_queries(SHAPE, 50, seed=2)
+
+    def test_mix_controls_families(self):
+        only_slabs = generate_queries(SHAPE, 20, seed=0,
+                                      mix={"slab": 1.0})
+        assert {q.kind for q in only_slabs} == {"slab"}
+
+    def test_zipf_concentrates_viewpoints(self):
+        qs = generate_queries(SHAPE, 400, seed=0,
+                              mix={"viewport": 1.0}, zipf_s=1.5)
+        counts = np.bincount([q.viewpoint for q in qs], minlength=8)
+        # a Zipf-1.5 head viewpoint dominates a uniform share
+        assert counts.max() > 400 / 8 * 2
+
+    def test_queries_inside_volume(self):
+        for q in generate_queries(SHAPE, 120, seed=3):
+            if q.kind == "bbox":
+                assert all(0 <= a < b <= s
+                           for a, b, s in zip(q.lo, q.hi, SHAPE))
+            elif q.kind == "slab":
+                assert 0 <= q.start < q.stop <= SHAPE[q.axis]
+            elif q.kind == "viewport":
+                assert 0 <= q.viewpoint < q.n_viewpoints
+
+    def test_orbit_emits_consecutive_viewpoints(self):
+        qs = generate_queries(SHAPE, 30, seed=1, mix={"orbit": 1.0})
+        assert all(isinstance(q, ViewportQuery) for q in qs)
+        steps = [(b.viewpoint - a.viewpoint) % 8
+                 for a, b in zip(qs, qs[1:])]
+        assert steps.count(1) > len(steps) // 2  # mostly sweeps
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            generate_queries(SHAPE, -1)
+        with pytest.raises(ValueError, match="unknown query families"):
+            generate_queries(SHAPE, 5, mix={"teleport": 1.0})
+        with pytest.raises(ValueError, match="no positive weights"):
+            generate_queries(SHAPE, 5, mix={"bbox": 0.0})
+
+
+class TestArrivalTimes:
+    @pytest.mark.parametrize("profile", ["steady", "burst"])
+    def test_monotone_and_deterministic(self, profile):
+        a = arrival_times(100, profile=profile, seed=5)
+        b = arrival_times(100, profile=profile, seed=5)
+        assert np.array_equal(a, b)
+        assert a.shape == (100,)
+        assert np.all(np.diff(a) >= 0)
+
+    def test_burst_is_burstier_than_steady(self):
+        steady = arrival_times(400, profile="steady", rate=100.0, seed=0)
+        burst = arrival_times(400, profile="burst", burst_rate=12.5,
+                              burst_size=8, seed=0)
+        cv = lambda t: np.std(np.diff(t)) / np.mean(np.diff(t))  # noqa: E731
+        assert cv(burst) > cv(steady)
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError, match="profile"):
+            arrival_times(5, profile="tsunami")
+        with pytest.raises(ValueError, match="positive"):
+            arrival_times(5, rate=0.0)

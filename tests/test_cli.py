@@ -213,3 +213,82 @@ class TestMeshCommand:
         assert "TetraMesh" in out
         assert "hilbert" in out
         assert "PAPI_L3_TCA" in out
+
+
+class TestServeCommands:
+    def test_serve_session(self, capsys):
+        rc = main(["serve", "--shape", "16", "--chunk", "4",
+                   "--queries", "15", "--order", "hilbert",
+                   "--cache", "lru:capacity=8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "served 15 queries" in out
+        assert "crosscheck: counters match memsim" in out
+
+    def test_serve_reuses_store_dir(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        assert main(["serve", "--shape", "16", "--chunk", "4",
+                     "--queries", "5", "--store", store_dir]) == 0
+        assert main(["serve", "--shape", "16", "--chunk", "4",
+                     "--queries", "5", "--store", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "created store" in out
+        assert "opened store" in out
+
+    def test_serve_accepts_chunk_order_spec_string(self, capsys):
+        rc = main(["serve", "--shape", "16", "--chunk", "4",
+                   "--queries", "5", "--order", "tiled:brick=2"])
+        assert rc == 0
+        assert "tiled:brick=2" in capsys.readouterr().out
+
+    def test_serve_bench_gate(self, capsys):
+        rc = main(["serve-bench", "--shape", "32", "--chunk", "4",
+                   "--queries", "30"])
+        out = capsys.readouterr().out
+        assert "segments_per_bbox" in out
+        assert "GATE PASS" in out
+        assert rc == 0
+
+    def test_serve_trace_validates(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "serve.jsonl")
+        rc = main(["serve", "--shape", "16", "--chunk", "4",
+                   "--queries", "8", "--trace", trace_path])
+        assert rc == 0
+        assert validate_trace_file(trace_path) > 0
+        names = [rec["name"]
+                 for line in open(trace_path, encoding="utf-8")
+                 if (rec := json.loads(line)).get("type") == "span"]
+        assert "cli.serve" in names
+        assert names.count("serve.query") == 8
+        manifest = validate_manifest(
+            json.loads(open(trace_path + ".manifest.json").read()))
+        assert manifest["cells"] == []
+
+    def test_info_lists_serve_specs(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "chunk order" in out
+        assert "lru:capacity=<segments>" in out
+
+
+class TestSweepCommand:
+    def test_capacity_sweep_cli(self, capsys):
+        rc = main(["sweep", "--capacities", "8", "32", "--shape", "12",
+                   "--layouts", "array", "morton",
+                   "--counters", "L1_TCM"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "capacity_lines" in out
+        assert out.count("morton") >= 2
+
+    def test_capacity_sweep_csv(self, tmp_path):
+        csv_path = str(tmp_path / "mrc.csv")
+        rc = main(["sweep", "--capacities", "8", "16", "--shape", "12",
+                   "--layouts", "morton", "-o", csv_path])
+        assert rc == 0
+        header = open(csv_path).readline()
+        assert "capacity_lines" in header
+
+    def test_sweep_requires_capacities(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep"])
