@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""Chaos serve: a replicated store serves bit-identical bytes under fire.
+
+The CI gate for the serving reliability layer (docs/SERVING.md
+§ Serving reliability).  One volume is bricked into a 2-way replicated
+store across 4 simulated shards, a seeded workload is served once
+undisturbed, and then served again while a deterministic fault plan
+
+* takes a whole shard down for the entire run (``shard-down``),
+* rots one replica of a segment whose only other copy lives on the
+  dead shard — forcing an origin **rebuild** (``segread-corrupt``),
+* rots one replica whose sibling is healthy — forcing failover plus
+  **read-repair** (``segread-corrupt``),
+* and wedges one read past the hedge threshold (``segread-slow``).
+
+The faulted run must return payloads **bit-identical** to the
+undisturbed run (a wrong byte is never served), answer every query
+(zero unaccounted failures: nothing shed, nothing rejected), keep the
+cache's memsim cross-check exact through all the rollbacks, trip the
+dead shard's circuit breaker, and leave every replica on disk
+verifying against its sidecar afterwards.  The traced run's manifest
+must record all of it, and the trace + manifest pair must pass
+``scripts/validate_trace.py``::
+
+    python scripts/chaos_serve.py chaos_serve.jsonl
+    python scripts/validate_trace.py chaos_serve.jsonl
+
+Exits nonzero on any divergence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.data.synthetic import combustion_field  # noqa: E402
+from repro.instrument import trace  # noqa: E402
+from repro.instrument.manifest import build_manifest, write_manifest  # noqa: E402
+from repro.resilience.artifacts import verify_artifact  # noqa: E402
+from repro.resilience.faults import clear_faults, install_faults  # noqa: E402
+from repro.resilience.policy import RetryPolicy  # noqa: E402
+from repro.serve import (  # noqa: E402
+    ChunkStore,
+    ReliabilityConfig,
+    VolumeServer,
+    arrival_times,
+    cache_crosscheck,
+    generate_queries,
+)
+
+#: store geometry: 48^3 / 8^3 chunks / 4 per segment = 54 segments,
+#: 2 replicas ringed over 4 shards (primaries = contiguous curve ranges)
+SHAPE = (48, 48, 48)
+CHUNK = 8
+CHUNKS_PER_SEGMENT = 4
+ORDER = "hilbert"
+REPLICAS = 2
+SHARDS = 4
+
+N_QUERIES = 24
+SEED = 7
+CACHE = "lru:capacity=8"
+CONCURRENCY = 4
+
+#: shard 1 is dead for the whole run; read indexes count live replica
+#: reads in the deterministic serve order (time_scale=0), so: read 0 is
+#: seg 1's primary on shard 0 — its only sibling lives on the dead
+#: shard, so corruption forces an origin rebuild; read 24 is seg 43's
+#: primary on shard 3 — its sibling on shard 0 is healthy, so
+#: corruption forces failover + read-repair; read 10 (a failover read
+#: already) is additionally wedged past the hedge threshold
+FAULT_PLAN = ("shard-down@1,segread-corrupt@0,"
+              "segread-slow@10:seconds=0.06,segread-corrupt@24")
+
+#: generous per-query budget: the injected slowness must fail over,
+#: not blow the deadline
+RELIABILITY = ReliabilityConfig(
+    deadline_s=10.0,
+    retry=RetryPolicy(max_retries=3, backoff_base=0.01))
+
+
+def _payload_hashes(results):
+    return [hashlib.sha256(np.ascontiguousarray(r.data).tobytes())
+            .hexdigest() for r in results]
+
+
+def _finish(problems, n_queries: int, trace_path: str) -> int:
+    if problems:
+        for p in problems:
+            print(f"FAIL: {p}")
+        return 1
+    print(f"OK: {n_queries} queries bit-identical to reference under "
+          f"shard-down+corrupt+slow; trace: {trace_path}")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", nargs="?", default="chaos_serve.jsonl",
+                        help="trace output path (manifest lands beside it)")
+    args = parser.parse_args()
+
+    dense = combustion_field(SHAPE, seed=SEED)
+    queries = generate_queries(SHAPE, N_QUERIES, seed=SEED)
+    arrivals = arrival_times(N_QUERIES, profile="burst", seed=SEED)
+
+    problems = []
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-serve-") as tmp:
+        store = ChunkStore.create(
+            os.path.join(tmp, "store"), dense, order=ORDER, chunk=CHUNK,
+            chunks_per_segment=CHUNKS_PER_SEGMENT,
+            replicas=REPLICAS, shards=SHARDS)
+        print(f"store: {SHAPE} / chunk {CHUNK} / {store.n_segments} "
+              f"segments, {REPLICAS} replicas on {SHARDS} shards, "
+              f"order {ORDER}")
+
+        print(f"reference run: {N_QUERIES} queries, no faults")
+        clear_faults()
+        reference = VolumeServer(store, cache=CACHE).serve_session(
+            queries, concurrency=CONCURRENCY, arrivals=arrivals,
+            time_scale=0.0)
+        want = _payload_hashes(reference)
+
+        print(f"chaos run: faults [{FAULT_PLAN}], deadline "
+              f"{RELIABILITY.deadline_s:g}s, "
+              f"{RELIABILITY.retry.max_retries} retries")
+        install_faults(FAULT_PLAN)
+        server = VolumeServer(store, cache=CACHE, reliability=RELIABILITY)
+        tracer = trace.enable()
+        start = time.monotonic()
+        try:
+            chaotic = server.serve_session(
+                queries, concurrency=CONCURRENCY, arrivals=arrivals,
+                time_scale=0.0)
+        finally:
+            trace.disable()
+            clear_faults()
+        elapsed = time.monotonic() - start
+
+        check = cache_crosscheck(server.cache)
+        tracer.write_jsonl(args.trace)
+        manifest = build_manifest(tracer, extra={"argv": sys.argv,
+                                                 "faults": FAULT_PLAN})
+        write_manifest(args.trace + ".manifest.json", manifest)
+
+        stats = manifest.get("serve", {})
+        print(f"survived in {elapsed:.1f}s; serve stats: "
+              + ", ".join(f"{k}={v}" for k, v in sorted(stats.items())))
+
+        got = _payload_hashes([r for r in chaotic if r.ok])
+        if len(got) != N_QUERIES:
+            rejected = [r for r in chaotic if not r.ok]
+            problems.append(
+                f"{len(rejected)} queries went unanswered: "
+                + "; ".join(f"{r.reason}: {r.error}" for r in rejected[:3]))
+        elif got != want:
+            bad = [i for i, (a, b) in enumerate(zip(got, want)) if a != b]
+            problems.append(f"served bytes differ from the undisturbed "
+                            f"run at queries {bad}")
+        if stats.get("shed", 0) != 0:
+            problems.append(f"{stats['shed']} queries shed with no "
+                            f"admission bound configured")
+        if stats.get("reliability_failovers", 0) < 3:
+            problems.append("dead shard produced fewer than 3 replica "
+                            "failovers")
+        if stats.get("reliability_read_repairs", 0) < 1:
+            problems.append("corrupt replica with a healthy sibling was "
+                            "not read-repaired")
+        if stats.get("segments_rebuilt", 0) < 1:
+            problems.append("segment with no healthy replica was not "
+                            "rebuilt from the origin")
+        if stats.get("reliability_breaker_open", 0) < 1:
+            problems.append("dead shard never tripped its circuit breaker")
+        if stats.get("reliability_breaker_denied", 0) < 1:
+            problems.append("open breaker never short-circuited a read")
+        if not check.consistent:
+            problems.append("cache counters diverged from memsim under "
+                            "faults: " + "; ".join(check.mismatches()))
+
+        # the wake of the chaos must be clean: every replica of every
+        # segment back on disk and verifying against its sidecar
+        unverified = 0
+        for seg in range(store.n_segments):
+            for r in range(REPLICAS):
+                try:
+                    verify_artifact(store._replica_path(seg, r),
+                                    quarantine=False)
+                except Exception:
+                    unverified += 1
+        if unverified:
+            problems.append(f"{unverified} replica files fail sidecar "
+                            f"verification after repair/rebuild")
+    return _finish(problems, N_QUERIES, args.trace)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,7 +16,7 @@ import ast
 from .registry import Rule, dotted_name, rule
 
 __all__ = ["UnpicklableWorkerArgRule", "MutableModuleGlobalRule",
-           "ImportTimeStateRule"]
+           "ImportTimeStateRule", "ServeAwaitDeadlineRule"]
 
 #: call targets that ship their arguments into worker processes
 _POOL_TARGETS = {"run_cells_parallel", "SupervisedPool", "sweep_cells",
@@ -134,3 +134,66 @@ class ImportTimeStateRule(Rule):
         name = dotted_name(node.func)
         if name and self._is_fork_unsafe(name):
             self.ctx.report(node, self.code, self.summary)
+
+
+#: segment-I/O surfaces on the serving read path; awaiting one without
+#: a deadline/timeout context lets a slow replica stall a query forever
+_SEGMENT_IO = {"read_segment", "read_bbox", "read_replica",
+               "fetch_segment", "_fetch", "_load_segment"}
+
+#: executor shims whose awaited stall is really the wrapped callable's
+_EXECUTOR_SHIMS = {"to_thread", "run_in_executor"}
+
+
+@rule
+class ServeAwaitDeadlineRule(Rule):
+    """``await`` on segment I/O in serve/ without a deadline in scope."""
+
+    code = "RPC312"
+    name = "serve-await-without-deadline"
+    summary = ("await on segment I/O inside serve/ without an enclosing "
+               "deadline/timeout context: a slow or dead replica stalls "
+               "the query (and its semaphore slot) forever — wrap it in "
+               "asyncio.timeout/wait_for or route it through a "
+               "reliability Deadline-checked read")
+    interests = (ast.Await,)
+    domains = frozenset({"serve"})
+
+    def _is_segment_io(self, call: ast.Call) -> bool:
+        target = dotted_name(call.func).split(".")[-1]
+        if target in _SEGMENT_IO:
+            return True
+        if target in _EXECUTOR_SHIMS:
+            # the stall lives in the callable shipped to the executor
+            for arg in [*call.args, *(kw.value for kw in call.keywords)]:
+                inner = arg.func if isinstance(arg, ast.Call) else arg
+                if dotted_name(inner).split(".")[-1] in _SEGMENT_IO:
+                    return True
+        return False
+
+    @staticmethod
+    def _deadline_guarded(node: ast.AST) -> bool:
+        parent = getattr(node, "_repro_parent", None)
+        while parent is not None:
+            if isinstance(parent, (ast.With, ast.AsyncWith)):
+                for item in parent.items:
+                    expr = item.context_expr
+                    target = expr.func if isinstance(expr, ast.Call) else expr
+                    name = dotted_name(target).lower()
+                    if "timeout" in name or "deadline" in name:
+                        return True
+            if isinstance(parent, ast.Call):
+                name = dotted_name(parent.func).split(".")[-1].lower()
+                if name == "wait_for" or "timeout" in name \
+                        or "deadline" in name:
+                    return True
+            parent = getattr(parent, "_repro_parent", None)
+        return False
+
+    def check(self, node: ast.Await) -> None:
+        call = node.value
+        if not isinstance(call, ast.Call) or not self._is_segment_io(call):
+            return
+        if self._deadline_guarded(node):
+            return
+        self.ctx.report(node, self.code, self.summary)

@@ -236,6 +236,23 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: temp dir, removed afterwards)")
     p_srv.add_argument("--no-crosscheck", action="store_true",
                        help="skip the memsim cache-counter cross-check")
+    p_srv.add_argument("--replicas", type=int, default=1,
+                       help="replica copies of every segment, each on a "
+                            "distinct simulated shard (default 1)")
+    p_srv.add_argument("--shards", type=int, default=None,
+                       help="simulated shards the curve-segment ranges are "
+                            "placed across (default: one per replica)")
+    p_srv.add_argument("--deadline-ms", type=float, default=None,
+                       help="per-query deadline in milliseconds; an attempt "
+                            "over budget fails and retries with a fresh one "
+                            "(default: none)")
+    p_srv.add_argument("--max-inflight", type=int, default=None,
+                       help="admission bound on queued+executing queries; "
+                            "arrivals beyond it are shed with a typed "
+                            "rejection, never queued unboundedly "
+                            "(default: unbounded)")
+    p_srv.add_argument("--retries", type=int, default=2,
+                       help="extra attempts for a failed query (default 2)")
 
     p_sbench = sub.add_parser(
         "serve-bench", parents=[obs],
@@ -539,8 +556,10 @@ def _cmd_serve(args) -> int:
     import tempfile
 
     from .data.synthetic import combustion_field, mri_phantom
+    from .resilience.policy import RetryPolicy
     from .serve import (
         ChunkStore,
+        ReliabilityConfig,
         VolumeServer,
         arrival_times,
         cache_crosscheck,
@@ -565,21 +584,32 @@ def _cmd_serve(args) -> int:
         else:
             store = ChunkStore.create(
                 store_dir, dense, order=args.order, chunk=args.chunk,
-                chunks_per_segment=args.chunks_per_segment)
+                chunks_per_segment=args.chunks_per_segment,
+                replicas=args.replicas, shards=args.shards)
             print(f"created store {store_dir}: shape {store.shape}, "
                   f"chunk {store.chunk_shape}, order {store.order}, "
-                  f"{store.n_chunks} chunks in {store.n_segments} segments")
-        server = VolumeServer(store, cache=args.cache)
+                  f"{store.n_chunks} chunks in {store.n_segments} segments"
+                  + (f", {store.replicas} replicas on {store.shards} shards"
+                     if store.shards > 1 else ""))
+        reliability = ReliabilityConfig(
+            deadline_s=args.deadline_ms / 1e3
+            if args.deadline_ms is not None else None,
+            max_inflight=args.max_inflight,
+            retry=RetryPolicy(max_retries=args.retries, backoff_base=0.01))
+        server = VolumeServer(store, cache=args.cache,
+                              reliability=reliability)
         queries = generate_queries(shape, args.queries, seed=args.seed)
         arrivals = arrival_times(args.queries, profile=args.arrival_profile,
                                  seed=args.seed)
         results = server.serve_session(queries, concurrency=args.concurrency,
                                        arrivals=arrivals, time_scale=0.0)
-        lat = np.array([r.latency_s for r in results]) * 1e3
+        ok = [r for r in results if r.ok]
+        rejected = [r for r in results if not r.ok]
+        lat = np.array([r.latency_s for r in ok] or [0.0]) * 1e3
         by_kind: dict = {}
-        for r in results:
+        for r in ok:
             by_kind.setdefault(r.query.kind, []).append(r)
-        print(f"\nserved {len(results)} queries "
+        print(f"\nserved {len(ok)} queries "
               f"(p50 {np.percentile(lat, 50):.3f} ms, "
               f"p99 {np.percentile(lat, 99):.3f} ms)")
         for kind in sorted(by_kind):
@@ -589,6 +619,14 @@ def _cmd_serve(args) -> int:
                 / max(1, sum(r.bytes_touched for r in rs))
             print(f"  {kind:<9} {len(rs):>4} queries, "
                   f"{segs:6.2f} segments/query, utilization {util:.3f}")
+        if rejected:
+            shed = sum(1 for r in rejected if r.reason == "shed")
+            print(f"rejected {len(rejected)} queries "
+                  f"({shed} shed by admission control, "
+                  f"{len(rejected) - shed} failed/deadline)")
+        if store.failovers or store.read_repairs:
+            print(f"reliability: {store.failovers} replica failovers, "
+                  f"{store.read_repairs} read repairs")
         c = server.cache.counters()
         rate = c["hits"] / c["accesses"] if c["accesses"] else 0.0
         print(f"cache: {c['hits']}/{c['accesses']} hits "

@@ -117,6 +117,37 @@ def _sanitize_entries(tracer: Tracer) -> Dict[str, Any]:
     return entries
 
 
+def _serve_entries(tracer: Tracer) -> Dict[str, Any]:
+    """The serving-reliability tallies :mod:`repro.serve` emits as
+    ``serve.*`` counters (segments rebuilt, failovers, read repairs,
+    retries, hedges, shed queries, breaker transitions) — empty when
+    no serving ran.
+
+    The store and server count from inside whatever query span is
+    open, so the rollup sums span counters as well as the tracer's
+    top-level counters; the ``serve.session`` span's latency rollups
+    (p50/p99 ms, deadline misses) merge in as plain numeric entries.
+    """
+    prefix = "serve."
+    entries: Dict[str, Any] = {}
+    sources = [tracer.counters]
+    sources.extend(rec.get("counters", {}) for rec in tracer.records)
+    for counters in sources:
+        for name, value in counters.items():
+            if name.startswith(prefix):
+                key = name[len(prefix):]
+                entries[key] = entries.get(key, 0) + value
+    for rec in tracer.records:
+        if rec.get("name") != "serve.session":
+            continue
+        attrs = rec.get("attrs", {})
+        for key in ("p50_ms", "p99_ms", "ok", "rejected", "shed",
+                    "deadline_misses"):
+            if isinstance(attrs.get(key), (int, float)):
+                entries[key] = attrs[key]
+    return entries
+
+
 def build_manifest(tracer: Tracer,
                    extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     """Assemble the manifest for one traced run.
@@ -148,6 +179,9 @@ def build_manifest(tracer: Tracer,
     sanitize = _sanitize_entries(tracer)
     if sanitize:
         manifest["sanitize"] = sanitize
+    serve = _serve_entries(tracer)
+    if serve:
+        manifest["serve"] = serve
     return manifest
 
 
@@ -214,7 +248,7 @@ def validate_manifest(manifest: Dict[str, Any]) -> Dict[str, Any]:
         if not isinstance(entry, dict) or "count" not in entry \
                 or "total_seconds" not in entry:
             problems.append(f"phase {name!r} missing count/total_seconds")
-    for section in ("resilience", "sanitize"):
+    for section in ("resilience", "sanitize", "serve"):
         entries = manifest.get(section)
         if entries is None:
             continue

@@ -49,6 +49,7 @@ __all__ = [
     "take_write_fault",
     "raise_for_disk_fault",
     "corrupt_bytes",
+    "corrupt_at_rest",
     "atomic_write_bytes",
     "atomic_write_text",
     "write_artifact",
@@ -129,14 +130,20 @@ def raise_for_disk_fault(spec: Optional[_faults.FaultSpec]) -> None:
 
 
 def corrupt_bytes(data: bytes, spec: _faults.FaultSpec) -> bytes:
-    """The bytes a ``torn``/``bitflip`` fault leaves on disk.
+    """The bytes a ``torn``/``bitflip``/``segread-corrupt`` fault leaves
+    on disk.
 
     ``torn`` keeps the first half; ``bitflip`` flips the case bit of
     the first ASCII letter so framing (JSON quotes, newlines) survives
-    while the content — and any checksum over it — does not.
+    while the content — and any checksum over it — does not;
+    ``segread-corrupt`` flips the low bit of the last byte — segment
+    payloads are raw binary, so length-preserving rot is the realistic
+    shape and the sidecar digest is the only thing that can catch it.
     """
     if spec.mode == "torn":
         return data[:len(data) // 2]
+    if spec.mode == "segread-corrupt":
+        return data[:-1] + bytes([data[-1] ^ 0x01]) if data else data
     if spec.mode == "bitflip":
         for i, byte in enumerate(data):
             if 0x41 <= byte <= 0x5A or 0x61 <= byte <= 0x7A:
@@ -154,6 +161,16 @@ def _corrupt_in_place(path: str, spec: _faults.FaultSpec) -> None:
         fh.write(mutated)
         fh.flush()
         os.fsync(fh.fileno())
+
+
+def corrupt_at_rest(path: str, spec: _faults.FaultSpec) -> None:
+    """Rot a finished artifact on disk per ``spec`` (fault injection only).
+
+    The serving read path uses this to model ``segread-corrupt``: the
+    replica's bytes went bad *after* a clean write, which is exactly
+    the case only sidecar verification can catch.
+    """
+    _corrupt_in_place(path, spec)
 
 
 # -- atomic writes --------------------------------------------------------------

@@ -43,6 +43,26 @@ durability layer (:mod:`repro.resilience.artifacts`):
     content — and therefore the checksum — does not) — models silent
     bit rot that only an integrity record can detect.
 
+A third family targets the *serving read path*
+(:mod:`repro.serve.store`).  ``segread-corrupt`` and ``segread-slow``
+are keyed on the process-local **segment-read index** — the running
+count of replica-read attempts since the plan was installed
+(:func:`next_read_index`), mirroring the write-index scheme —
+and ``shard-down`` is keyed on the simulated shard id and fires on
+every read routed to that shard:
+
+``segread-corrupt``
+    the i-th segment read finds its bytes rotted at rest — the
+    integrity sidecar must catch it and failover must route to the
+    next replica (then read-repair rewrites the bad copy);
+``segread-slow``
+    the i-th segment read stalls for ``seconds`` before returning —
+    models a degraded disk/replica; hedging and deadlines must engage;
+``shard-down``
+    every read addressed to shard ``index`` raises
+    :class:`InjectedFault` — models a dead shard; the per-shard
+    circuit breaker must trip and failover must carry the traffic.
+
 Faults are described by a compact spec string so they cross process
 boundaries through the ``REPRO_FAULTS`` environment variable (worker
 processes — forked or spawned — inherit the environment)::
@@ -52,6 +72,7 @@ processes — forked or spawned — inherit the environment)::
     hang@5:seconds=120      # hang duration override
     crash@1,corrupt@4       # plans compose with commas
     enospc@1,torn@3         # disk faults at write indexes 1 and 3
+    shard-down@1,segread-slow@4:seconds=0.05   # serve faults
 
 ``@N:once`` (the default) fires on the first attempt only, so a retry
 then succeeds — the shape of a genuinely transient fault.  ``:always``
@@ -79,6 +100,8 @@ __all__ = [
     "active_plan",
     "next_write_index",
     "reset_write_index",
+    "next_read_index",
+    "reset_read_index",
 ]
 
 #: environment variable carrying the fault spec into worker processes
@@ -93,7 +116,11 @@ CELL_MODES = ("crash", "raise", "hang", "corrupt", "oom")
 #: modes keyed on the process-local durable-write index
 WRITE_MODES = ("enospc", "eio", "torn", "bitflip")
 
-_MODES = CELL_MODES + WRITE_MODES
+#: modes targeting the serving read path: the first two are keyed on
+#: the process-local segment-read index, ``shard-down`` on the shard id
+SERVE_MODES = ("segread-corrupt", "segread-slow", "shard-down")
+
+_MODES = CELL_MODES + WRITE_MODES + SERVE_MODES
 
 
 class InjectedFault(RuntimeError):
@@ -119,7 +146,7 @@ class FaultSpec:
         parts = [f"{self.mode}@{self.index}"]
         if self.when != "once":
             parts.append(self.when)
-        if self.mode == "hang" and self.seconds != 3600.0:
+        if self.mode in ("hang", "segread-slow") and self.seconds != 3600.0:
             parts.append(f"seconds={self.seconds:g}")
         return ":".join(parts)
 
@@ -145,6 +172,30 @@ class FaultPlan:
         """
         for spec in self.specs:
             if spec.mode in WRITE_MODES and spec.index == index:
+                return spec
+        return None
+
+    def for_segment_read(self, index: int) -> Optional[FaultSpec]:
+        """The serve fault that fires for this segment-read index, if any.
+
+        Like write indexes, read indexes never repeat within a process.
+        ``shard-down`` is keyed on the shard id, not the read index, so
+        it never matches here (see :meth:`for_shard`).
+        """
+        for spec in self.specs:
+            if spec.mode in ("segread-corrupt", "segread-slow") \
+                    and spec.index == index:
+                return spec
+        return None
+
+    def for_shard(self, shard: int) -> Optional[FaultSpec]:
+        """The ``shard-down`` fault covering simulated shard ``shard``.
+
+        A downed shard stays down: the fault fires on every read routed
+        to it regardless of the once/always flag.
+        """
+        for spec in self.specs:
+            if spec.mode == "shard-down" and spec.index == shard:
                 return spec
         return None
 
@@ -199,6 +250,7 @@ def install_faults(plan) -> FaultPlan:
         plan = parse_faults(plan)
     os.environ[FAULTS_ENV_VAR] = plan.to_spec()
     reset_write_index()
+    reset_read_index()
     return plan
 
 
@@ -206,6 +258,7 @@ def clear_faults() -> None:
     """Deactivate fault injection for this process and future workers."""
     os.environ.pop(FAULTS_ENV_VAR, None)
     reset_write_index()
+    reset_read_index()
 
 
 def active_plan() -> FaultPlan:
@@ -255,3 +308,22 @@ def next_write_index() -> int:
 def reset_write_index() -> None:
     """Restart write indexing (done by install_faults / clear_faults)."""
     _WRITE_INDEX[0] = 0
+
+
+# -- segment-read fault indexing ------------------------------------------------
+
+# the running count of replica-read attempts on the serving path since
+# the fault plan was installed; segread-* modes key on it
+_READ_INDEX = [0]
+
+
+def next_read_index() -> int:
+    """Claim the next segment-read index (process-local, monotonic)."""
+    index = _READ_INDEX[0]
+    _READ_INDEX[0] = index + 1
+    return index
+
+
+def reset_read_index() -> None:
+    """Restart read indexing (done by install_faults / clear_faults)."""
+    _READ_INDEX[0] = 0

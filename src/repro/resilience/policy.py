@@ -15,6 +15,12 @@ sentinel classes:
     the payload failed schema validation — could be a one-off memory
     corruption, so retryable, but the bad payload is quarantined either
     way (see :mod:`repro.resilience.validate`);
+``deadline``
+    a serving-path query deadline expired mid-processing (see
+    :mod:`repro.serve.reliability`) — handled exactly like
+    ``timeout``: retryable unless the policy disables timeout retries,
+    because a fresh attempt gets a fresh deadline and a transiently
+    slow replica may answer in time;
 ``oom-kill``
     the worker died by SIGKILL — on Linux almost always the kernel OOM
     killer.  Retryable, but unlike a plain ``worker-death`` it is also
@@ -100,7 +106,7 @@ class RetryPolicy:
     def retryable(self, error: str) -> bool:
         """Should a failure with this error string be re-attempted?"""
         cls = classify_error(error)
-        if cls == "timeout":
+        if cls in ("timeout", "deadline", "DeadlineExceeded"):
             return self.retry_timeouts
         if cls in ("worker-death", "corrupt-result", "oom-kill"):
             return True

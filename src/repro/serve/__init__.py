@@ -12,6 +12,12 @@ space to a storage-and-query service:
   answering bbox / slab / viewport / ray queries behind a hot-segment
   LRU whose counters are cross-checked **bit-for-bit** against the
   memsim stack-distance model (:mod:`repro.serve.validate`);
+* :mod:`~repro.serve.reliability` — the fault-tolerance layer:
+  N-way segment replication across simulated shards (placement keyed
+  by curve-segment ranges), read-path failover with read-repair,
+  per-query deadlines, retries, hedged reads, per-shard circuit
+  breakers and bounded admission with typed load-shedding
+  (``docs/SERVING.md`` § Serving reliability);
 * :mod:`~repro.serve.traffic` — seeded synthetic sessions (Zipf
   viewpoints, orbit sweeps, burst arrivals);
 * :mod:`~repro.serve.bench` — the cross-layout comparison
@@ -23,6 +29,14 @@ See ``docs/SERVING.md`` for the tour.
 
 from .bench import OrderResult, ServeBenchResult, render, run_serve_bench
 from .cache import LRUCache, NoCache, make_cache
+from .reliability import (
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    QueryRejected,
+    ReadPolicy,
+    ReliabilityConfig,
+)
 from .server import (
     BBoxQuery,
     QueryResult,
@@ -39,12 +53,18 @@ __all__ = [
     "BBoxQuery",
     "CacheCrossCheck",
     "ChunkStore",
+    "CircuitBreaker",
     "DEFAULT_MIX",
+    "Deadline",
+    "DeadlineExceeded",
     "LRUCache",
     "NoCache",
     "OrderResult",
+    "QueryRejected",
     "QueryResult",
     "RayQuery",
+    "ReadPolicy",
+    "ReliabilityConfig",
     "ServeBenchResult",
     "SlabQuery",
     "ViewportQuery",

@@ -147,6 +147,9 @@ def run_serve_bench(*, shape: int = 64, chunk: int = 8,
                 queries, concurrency=concurrency, arrivals=arrivals,
                 time_scale=0.0)
             wall = time.perf_counter() - t0
+            # a reliability-configured server may return QueryRejected
+            # entries; the bench prices answered queries only
+            results = [r for r in results if r.ok]
             check = assert_cache_consistent(server.cache)
             lat = np.array([r.latency_s for r in results]) * 1e3
             box = [r for r in results if _bbox_like(r)]

@@ -67,6 +67,23 @@ class LRUCache:
             self.evictions += 1
         return value
 
+    def forget_failed_access(self, key: int) -> None:
+        """Roll back the trailing access after its loader raised.
+
+        :meth:`get` counts the access (and the miss) *before* calling
+        ``load`` — if the load then fails (deadline, exhausted
+        failover) the log would record an access the cache never
+        completed, and the bit-for-bit memsim cross-check would price
+        a retry of the same segment as a hit the real cache never saw.
+        The server's fetch wrapper calls this from its exception path;
+        a failed load never inserts a slot, so popping the log entry
+        and the two counters restores the exact pre-access state.
+        """
+        if self.access_log and self.access_log[-1] == int(key):
+            self.access_log.pop()
+            self.accesses -= 1
+            self.misses -= 1
+
     def __len__(self) -> int:
         return len(self._slots)
 
@@ -104,6 +121,14 @@ class NoCache:
         self.misses += 1
         self.access_log.append(key)
         return load(key)
+
+    def forget_failed_access(self, key: int) -> None:
+        """Roll back the trailing access after its loader raised
+        (see :meth:`LRUCache.forget_failed_access`)."""
+        if self.access_log and self.access_log[-1] == int(key):
+            self.access_log.pop()
+            self.accesses -= 1
+            self.misses -= 1
 
     def __len__(self) -> int:
         return 0

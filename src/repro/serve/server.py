@@ -25,6 +25,15 @@ interleave, so the awaits all happen before the span opens).  Cache
 and store state are only mutated inside that synchronous section, so
 no locks are needed and results are deterministic for a given arrival
 order.
+
+Resilience: constructed with a :class:`~repro.serve.reliability.
+ReliabilityConfig`, the server adds per-query deadlines (checked
+cooperatively between segment reads), retry-policy-driven re-attempts
+(each with a fresh deadline), per-shard circuit breaking and hedged
+replica reads on the store path, and bounded admission in
+:meth:`session` — queries beyond ``max_inflight`` are *shed* with a
+typed :class:`~repro.serve.reliability.QueryRejected`, never hung.
+Without a config every failure raises, exactly as before.
 """
 
 from __future__ import annotations
@@ -39,6 +48,13 @@ import numpy as np
 from ..instrument import trace as _trace
 from ..kernels.camera import orbit_camera
 from .cache import make_cache
+from .reliability import (
+    Deadline,
+    DeadlineExceeded,
+    QueryRejected,
+    ReadPolicy,
+    ReliabilityConfig,
+)
 from .store import ChunkStore
 
 __all__ = ["BBoxQuery", "SlabQuery", "ViewportQuery", "RayQuery",
@@ -117,6 +133,10 @@ class QueryResult:
     #: cache hits / misses attributable to this query
     cache_hits: int = 0
     cache_misses: int = 0
+    #: how many attempts it took (1 = first try; >1 means retries fired)
+    attempts: int = 1
+
+    ok = True
 
     @property
     def utilization(self) -> float:
@@ -137,9 +157,14 @@ class VolumeServer:
     """
 
     def __init__(self, store: ChunkStore,
-                 cache: Union[str, None, object] = "lru:capacity=64"):
+                 cache: Union[str, None, object] = "lru:capacity=64",
+                 reliability: Optional[ReliabilityConfig] = None):
         self.store = store
         self.cache = cache if hasattr(cache, "get") else make_cache(cache)
+        self.reliability = reliability
+        self._policy = ReadPolicy(reliability) \
+            if reliability is not None else None
+        self._inflight = 0
         self.queries_served = 0
 
     # -- geometry helpers ----------------------------------------------------
@@ -215,12 +240,37 @@ class VolumeServer:
 
     # -- the synchronous core ------------------------------------------------
 
-    def _process(self, q: Query) -> QueryResult:
+    def _load_segment(self, seg: int) -> np.ndarray:
+        """The cache's miss loader: a policy-routed store read."""
+        return self.store.read_segment(seg, policy=self._policy)
+
+    def _fetch(self, seg: int) -> np.ndarray:
+        """One cached segment fetch, deadline-checked and rollback-safe.
+
+        The deadline check sits *before* the cache access — between
+        segment fetches is the only place synchronous processing can
+        honor a budget.  When the miss loader raises (deadline,
+        exhausted failover), the cache forgets the aborted access so
+        its log and counters stay bit-for-bit consistent with the
+        memsim cross-check on the retry.
+        """
+        if self._policy is not None:
+            self._policy.check_deadline()
+        try:
+            return self.cache.get(seg, self._load_segment)
+        except BaseException:
+            self.cache.forget_failed_access(seg)
+            raise
+
+    def _process(self, q: Query, attempt: int = 1) -> QueryResult:
         if not isinstance(q, (BBoxQuery, SlabQuery, ViewportQuery,
                               RayQuery)):
             raise TypeError(f"unknown query type {type(q).__name__}")
         store = self.store
         cache = self.cache
+        if self._policy is not None:
+            # a fresh budget per attempt: retrying re-arms the deadline
+            self._policy.deadline = Deadline(self.reliability.deadline_s)
         hits0, misses0 = cache.hits, cache.misses
         t0 = time.perf_counter()
         with _trace.span("serve.query", kind=q.kind, order=store.order) as sp:
@@ -240,8 +290,7 @@ class VolumeServer:
                 ids = store.chunks_for_bbox(lo, hi)
                 needed = int(ids.size)
                 segs = np.unique(store.segment_of_slot(store.slot_of[ids]))
-                data = store.read_bbox(
-                    lo, hi, fetch=lambda s: cache.get(s, store.read_segment))
+                data = store.read_bbox(lo, hi, fetch=self._fetch)
 
             touched = int(segs.size)
             bytes_touched = sum(
@@ -258,12 +307,12 @@ class VolumeServer:
             segments_touched=touched, bytes_touched=bytes_touched,
             bytes_returned=bytes_returned, latency_s=latency,
             cache_hits=cache.hits - hits0,
-            cache_misses=cache.misses - misses0)
+            cache_misses=cache.misses - misses0,
+            attempts=attempt)
 
     def _sample_points(self, idx: np.ndarray):
         """Nearest-voxel samples at integer points ``idx`` (N×3)."""
         store = self.store
-        cache = self.cache
         if idx.size == 0:
             return (np.empty(0, dtype=store.dtype), 0,
                     np.empty(0, dtype=np.int64))
@@ -279,7 +328,7 @@ class VolumeServer:
         for cid in uniq[order]:
             slot = int(store.slot_of[cid])
             seg, off = divmod(slot, store.chunks_per_segment)
-            block = cache.get(seg, store.read_segment)[off]
+            block = self._fetch(seg)[off]
             sel = cids == cid
             ci, cj, ck = (int(v) for v in store.chunk_coords(int(cid)))
             pts = idx[sel]
@@ -288,27 +337,88 @@ class VolumeServer:
                              pts[:, 2] - ck * cz]
         return out, int(uniq.size), segs
 
+    # -- attempt bookkeeping -------------------------------------------------
+
+    def _attempt(self, q: Query, attempt: int):
+        """Run one attempt; returns ``(result, None)`` or ``(None, error)``."""
+        try:
+            return self._process(q, attempt=attempt), None
+        except DeadlineExceeded as exc:
+            _trace.add("serve.reliability_deadline_miss", 1)
+            return None, f"deadline: {exc}"
+        except Exception as exc:
+            return None, f"{type(exc).__name__}: {exc}"
+
+    def _give_up(self, q: Query, error: str, attempts: int) -> QueryRejected:
+        reason = "deadline" if error.startswith("deadline:") else "error"
+        _trace.add("serve.reliability_failed", 1)
+        return QueryRejected(query=q, reason=reason, error=error,
+                             attempts=attempts)
+
+    def _should_stop(self, error: str, attempt: int) -> bool:
+        retry = self.reliability.retry
+        return attempt > retry.max_retries or not retry.retryable(error)
+
     # -- public surface ------------------------------------------------------
 
-    def serve(self, q: Query) -> QueryResult:
-        """Synchronous single-query entry point (tests, scripts)."""
-        return self._process(q)
+    def serve(self, q: Query) -> Union[QueryResult, QueryRejected]:
+        """Synchronous single-query entry point (tests, scripts).
+
+        With a :class:`~repro.serve.reliability.ReliabilityConfig`
+        attached, failures are retried per the policy and an exhausted
+        query returns a typed :class:`QueryRejected`; without one,
+        failures raise (the original contract).
+        """
+        if self.reliability is None:
+            return self._process(q)
+        attempt = 1
+        while True:
+            result, error = self._attempt(q, attempt)
+            if result is not None:
+                return result
+            if self._should_stop(error, attempt):
+                return self._give_up(q, error, attempt)
+            _trace.add("serve.reliability_retries", 1)
+            time.sleep(self.reliability.retry.backoff_seconds(attempt))
+            attempt += 1
 
     async def query(self, q: Query,
                     semaphore: Optional[asyncio.Semaphore] = None
-                    ) -> QueryResult:
+                    ) -> Union[QueryResult, QueryRejected]:
         """Answer one query; processing happens atomically in this task.
 
         The optional semaphore bounds concurrent in-flight queries.
         All awaiting happens *before* the trace span opens — the
         tracer's span stack requires each span to nest cleanly, so the
-        processing inside it is synchronous.
+        processing inside it is synchronous.  Deadlines are therefore
+        *cooperative*: the read path checks the attempt's budget
+        between segment reads, which bounds a query without tearing a
+        span open mid-stack the way task cancellation would.
+
+        With reliability configured, a failed attempt backs off
+        (yielding the loop to other queries), re-arms its deadline and
+        retries per the policy; exhaustion returns
+        :class:`QueryRejected` instead of raising.
         """
         if semaphore is None:
             await asyncio.sleep(0)
-            return self._process(q)
+            return await self._query_with_retries(q)
         async with semaphore:
+            return await self._query_with_retries(q)
+
+    async def _query_with_retries(self, q: Query):
+        if self.reliability is None:
             return self._process(q)
+        attempt = 1
+        while True:
+            result, error = self._attempt(q, attempt)
+            if result is not None:
+                return result
+            if self._should_stop(error, attempt):
+                return self._give_up(q, error, attempt)
+            _trace.add("serve.reliability_retries", 1)
+            await asyncio.sleep(self.reliability.retry.backoff_seconds(attempt))
+            attempt += 1
 
     async def session(self, queries: Sequence[Query], *,
                       concurrency: int = 4,
@@ -320,21 +430,54 @@ class VolumeServer:
         arrival_times`) delays each query's submission to model a
         traffic profile; ``time_scale`` compresses those delays so
         benches can replay an hour of arrivals in milliseconds.
+
+        With reliability configured, admission is bounded: a query
+        arriving while ``max_inflight`` others are queued or executing
+        is shed immediately with a typed :class:`QueryRejected` —
+        back-pressure by explicit refusal, never by unbounded queueing.
+        Results still line up 1:1 with ``queries``, and the wrapping
+        ``serve.session`` span rolls up p50/p99 latency and the
+        shed/rejected tallies for the manifest.
         """
+        rel = self.reliability
 
         async def one(i: int, q: Query) -> Tuple[int, QueryResult]:
             if arrivals is not None:
                 delay = float(arrivals[i]) * time_scale
                 if delay > 0:
                     await asyncio.sleep(delay)
-            return i, await self.query(q, sem)
+            if rel is not None and rel.max_inflight is not None \
+                    and self._inflight >= rel.max_inflight:
+                _trace.add("serve.reliability_shed", 1)
+                return i, QueryRejected(
+                    query=q, reason="shed",
+                    error=f"admission queue full "
+                          f"({rel.max_inflight} in flight)")
+            self._inflight += 1
+            try:
+                return i, await self.query(q, sem)
+            finally:
+                self._inflight -= 1
 
         sem = asyncio.Semaphore(concurrency)
-        pairs = await asyncio.gather(
-            *(one(i, q) for i, q in enumerate(queries)))
-        results: List[Optional[QueryResult]] = [None] * len(queries)
-        for i, r in pairs:
-            results[i] = r
+        with _trace.span("serve.session", n_queries=len(queries),
+                         concurrency=concurrency) as sp:
+            pairs = await asyncio.gather(
+                *(one(i, q) for i, q in enumerate(queries)))
+            results: List[Optional[QueryResult]] = [None] * len(queries)
+            for i, r in pairs:
+                results[i] = r
+            ok = [r for r in results if r is not None and r.ok]
+            rejected = [r for r in results if r is not None and not r.ok]
+            if ok:
+                lat_ms = np.sort([r.latency_s for r in ok]) * 1e3
+                sp.set("p50_ms", float(np.percentile(lat_ms, 50)))
+                sp.set("p99_ms", float(np.percentile(lat_ms, 99)))
+            sp.set("ok", len(ok))
+            sp.set("rejected", len(rejected))
+            sp.set("shed", sum(1 for r in rejected if r.reason == "shed"))
+            sp.set("deadline_misses",
+                   sum(1 for r in rejected if r.reason == "deadline"))
         return results  # type: ignore[return-value]
 
     def serve_session(self, queries: Sequence[Query], *,

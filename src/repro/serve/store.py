@@ -10,30 +10,50 @@ string** from the one registry grammar (``"morton"``, ``"hilbert"``,
 layout the project knows — including user-registered ones — is a valid
 chunk placement.
 
-On disk a store is a directory::
+On disk an unreplicated store is a flat directory::
 
     store/
       meta.json                 (+ .integrity.json sidecar)
       seg-00000.bin             (+ sidecar)  — `chunks_per_segment` chunks
       seg-00001.bin             ...             in curve order
 
+With ``shards > 1`` the segments move into simulated shard
+directories, and with ``replicas > 1`` every segment is written to
+``replicas`` *distinct* shards::
+
+    store/
+      meta.json
+      shard-00/seg-00000.bin    — replica 0 (primary)
+      shard-01/seg-00000.bin    — replica 1
+      ...
+
+Placement is **keyed by curve-segment ranges**: segment ``s``'s
+primary shard is ``s * shards // n_segments`` — a contiguous span of
+the curve order per shard — and replica ``r`` lands ``r`` shards
+further around the ring.  Spatially-close chunks therefore share not
+just segments but shards, so a regional traffic spike maps to
+contiguous shards (ROADMAP item 5's decomposition, served).
+
 Chunks are grouped into fixed-size **segments** — the store's unit of
-I/O and of caching, the way cache lines group words.  A query needs
-some set of chunks; which *segments* those chunks land in depends
-entirely on the curve, and that is where the locality win becomes
-bytes: spatially-close chunks share segments under Morton/Hilbert
-order and scatter across them under row-major order.
+I/O, caching and now replication, the way cache lines group words.  A
+query needs some set of chunks; which *segments* those chunks land in
+depends entirely on the curve, and that is where the locality win
+becomes bytes: spatially-close chunks share segments under
+Morton/Hilbert order and scatter across them under row-major order.
 
 Every write goes through :mod:`repro.resilience.artifacts` (atomic
-replace + SHA-256 sidecar); a segment that rots on disk is quarantined
-on read and — when the store was opened with an ``origin`` — rebuilt
-from source instead of ever serving wrong bytes.
+replace + SHA-256 sidecar); a replica that rots on disk is quarantined
+on read, served from the next replica (then **read-repaired** — the
+good bytes are durably rewritten over the bad copy), and only when
+every replica fails is the segment rebuilt from the ``origin`` volume.
+A wrong byte is never returned.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -41,6 +61,7 @@ import numpy as np
 from ..core.registry import make_layout
 from ..instrument import trace as _trace
 from ..resilience import artifacts as _artifacts
+from ..resilience import faults as _faults
 
 __all__ = ["ChunkStore", "chunk_placement", "STORE_SCHEMA_VERSION"]
 
@@ -115,7 +136,18 @@ class ChunkStore:
         self.chunk_at = np.empty(self.n_chunks, dtype=np.int64)
         self.chunk_at[self.slot_of] = np.arange(self.n_chunks, dtype=np.int64)
         self.n_segments = -(-self.n_chunks // self.chunks_per_segment)
+        self.replicas = int(meta.get("replicas", 1))
+        self.shards = int(meta.get("shards", 1))
+        if self.replicas < 1 or self.shards < 1:
+            raise ValueError(f"replicas/shards must be >= 1, got "
+                             f"{self.replicas}/{self.shards}")
+        if self.replicas > self.shards:
+            raise ValueError(
+                f"replicas ({self.replicas}) must not exceed shards "
+                f"({self.shards}): copies must land on distinct shards")
         self.segments_rebuilt = 0
+        self.read_repairs = 0
+        self.failovers = 0
 
     # -- construction ---------------------------------------------------------
 
@@ -123,7 +155,9 @@ class ChunkStore:
     def create(cls, path: str, dense: np.ndarray, *,
                order: str = "morton",
                chunk: Union[int, Sequence[int]] = 16,
-               chunks_per_segment: int = 4) -> "ChunkStore":
+               chunks_per_segment: int = 4,
+               replicas: int = 1,
+               shards: Optional[int] = None) -> "ChunkStore":
         """Brick ``dense`` and write a store directory at ``path``.
 
         ``order`` is a layout spec string applied to the chunk grid;
@@ -131,6 +165,11 @@ class ChunkStore:
         ``chunks_per_segment`` sets the I/O granularity.  Edge chunks
         are zero-padded to the full chunk shape so every chunk has one
         byte length and segment offsets stay arithmetic.
+
+        ``replicas`` copies of every segment are placed on distinct
+        simulated ``shards`` (default: one shard per replica); with
+        one replica on one shard the on-disk layout stays the flat
+        legacy form, so old stores open unchanged.
         """
         dense = np.asarray(dense)
         if dense.ndim != 3:
@@ -148,6 +187,10 @@ class ChunkStore:
         if chunks_per_segment <= 0:
             raise ValueError(f"chunks_per_segment must be positive, "
                              f"got {chunks_per_segment}")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        if shards is None:
+            shards = replicas
         # validate the order spec (and fail fast) before touching disk
         grid_shape = tuple(-(-s // c)
                            for s, c in zip(dense.shape, chunk_shape))
@@ -159,14 +202,20 @@ class ChunkStore:
             "order": order,
             "chunks_per_segment": int(chunks_per_segment),
             "dtype": np.dtype(dense.dtype).newbyteorder("<").str,
+            "replicas": int(replicas),
+            "shards": int(shards),
         }
         path = os.fspath(path)
         os.makedirs(path, exist_ok=True)
         store = cls(path, meta, origin=dense)
         for seg in range(store.n_segments):
-            _artifacts.write_artifact(
-                store._segment_path(seg), store._segment_payload(dense, seg),
-                kind=_SEGMENT_KIND, schema_version=STORE_SCHEMA_VERSION)
+            payload = store._segment_payload(dense, seg)
+            for r in range(store.replicas):
+                replica_path = store._replica_path(seg, r)
+                os.makedirs(os.path.dirname(replica_path), exist_ok=True)
+                _artifacts.write_artifact(
+                    replica_path, payload,
+                    kind=_SEGMENT_KIND, schema_version=STORE_SCHEMA_VERSION)
         _artifacts.write_text_artifact(
             os.path.join(path, _META_NAME),
             json.dumps(meta, sort_keys=True) + "\n",
@@ -254,8 +303,29 @@ class ChunkStore:
 
     # -- segment I/O ----------------------------------------------------------
 
+    def shard_of_segment(self, seg: int, replica: int = 0) -> int:
+        """Simulated shard holding replica ``replica`` of segment ``seg``.
+
+        Primaries partition the curve order into contiguous
+        curve-segment ranges (shard ``s * shards // n_segments``);
+        replica ``r`` sits ``r`` shards further around the ring, so
+        with ``replicas <= shards`` every copy lands on a distinct
+        shard and one dead shard never takes out a whole segment.
+        """
+        primary = seg * self.shards // max(1, self.n_segments)
+        return (primary + replica) % self.shards
+
+    def _replica_path(self, seg: int, replica: int) -> str:
+        """On-disk path of one replica (flat layout when unsharded)."""
+        name = f"seg-{seg:05d}.bin"
+        if self.shards == 1:
+            return os.path.join(self.path, name)
+        shard = self.shard_of_segment(seg, replica)
+        return os.path.join(self.path, f"shard-{shard:02d}", name)
+
     def _segment_path(self, seg: int) -> str:
-        return os.path.join(self.path, f"seg-{seg:05d}.bin")
+        """The primary replica's path (the whole segment, pre-replication)."""
+        return self._replica_path(seg, 0)
 
     def _segment_payload(self, dense: np.ndarray, seg: int) -> bytes:
         """Segment ``seg``'s bytes, packed from the dense source."""
@@ -283,46 +353,131 @@ class ChunkStore:
                 f"origin shape {dense.shape} != store shape {self.shape}")
         return dense
 
-    def rebuild_segment(self, seg: int) -> None:
-        """Re-pack segment ``seg`` from the origin and rewrite it durably."""
+    def rebuild_segment(self, seg: int,
+                        quarantined: Optional[str] = None) -> None:
+        """Re-pack segment ``seg`` from the origin and rewrite *every*
+        replica durably.
+
+        ``quarantined`` — where the artifact layer moved the corrupt
+        evidence, recorded on the trace span so a post-mortem can go
+        from "segment N was rebuilt" straight to the rotted bytes.
+        """
         if self._origin is None:
             raise RuntimeError(
                 f"segment {seg} of {self.path} needs rebuilding but the "
                 f"store was opened without an origin")
+        with _trace.span("serve.rebuild_segment", segment=seg,
+                         quarantined=quarantined or ""):
+            payload = self._segment_payload(self._origin_dense(), seg)
+            for r in range(self.replicas):
+                replica_path = self._replica_path(seg, r)
+                os.makedirs(os.path.dirname(replica_path), exist_ok=True)
+                _artifacts.write_artifact(
+                    replica_path, payload,
+                    kind=_SEGMENT_KIND, schema_version=STORE_SCHEMA_VERSION)
+                _trace.add("resilience.artifacts_rebuilt", 1)
+            self.segments_rebuilt += 1
+            _trace.add("serve.segments_rebuilt", 1)
+
+    def repair_replica(self, seg: int, replica: int, payload: bytes) -> None:
+        """Read-repair: durably rewrite a failed replica from known-good
+        bytes another replica just served (sidecar included)."""
+        replica_path = self._replica_path(seg, replica)
+        os.makedirs(os.path.dirname(replica_path), exist_ok=True)
         _artifacts.write_artifact(
-            self._segment_path(seg),
-            self._segment_payload(self._origin_dense(), seg),
+            replica_path, payload,
             kind=_SEGMENT_KIND, schema_version=STORE_SCHEMA_VERSION)
-        self.segments_rebuilt += 1
-        _trace.add("serve.segments_rebuilt", 1)
+        self.read_repairs += 1
+        _trace.add("serve.reliability_read_repairs", 1)
 
-    def read_segment(self, seg: int) -> np.ndarray:
-        """Segment ``seg`` as a ``(n_chunks_in_segment, cx, cy, cz)`` array.
+    def _read_replica(self, path: str, shard: int, expected: int) -> bytes:
+        """One verified replica read, with the serve fault hooks applied.
 
-        Bytes are verified against the sidecar; a corrupt segment is
-        quarantined (by the artifact layer) and rebuilt from the origin
-        when one is attached — a wrong byte is never returned.
+        ``shard-down`` faults fire before any byte moves (and consume
+        no read index); ``segread-*`` faults key on the process-local
+        read index, exactly like disk faults key on the write index.
+        Raises :class:`~repro.resilience.artifacts.ArtifactIntegrityError`
+        on corruption (after quarantining) and
+        :class:`~repro.resilience.faults.InjectedFault` on a dead shard.
         """
-        n = self.segment_chunk_count(seg)
-        path = self._segment_path(seg)
-        try:
-            data = _artifacts.read_artifact(path)
-        except _artifacts.ArtifactIntegrityError:
-            self.rebuild_segment(seg)
-            data = _artifacts.read_artifact(path)
-        dt = np.dtype(self.meta["dtype"])
-        expected = n * self.chunk_bytes
+        plan = _faults.active_plan()
+        if plan:
+            down = plan.for_shard(shard)
+            if down is not None:
+                raise _faults.InjectedFault(
+                    f"shard {shard} is down ({down.to_spec()})")
+            spec = plan.for_segment_read(_faults.next_read_index())
+            if spec is not None:
+                if spec.mode == "segread-slow":
+                    time.sleep(spec.seconds)
+                elif spec.mode == "segread-corrupt":
+                    _artifacts.corrupt_at_rest(path, spec)
+        data = _artifacts.read_artifact(path)
         if len(data) != expected:
             # size drift the sidecar did not catch (legacy sidecar-less
-            # file): treat as corruption, rebuild if possible
-            quarantined = _artifacts.quarantine_artifact(
-                path, f"size {len(data)} B != expected {expected} B")
-            if quarantined is None or self._origin is None:
-                raise ValueError(
-                    f"{path}: segment size {len(data)} B != expected "
-                    f"{expected} B and no origin to rebuild from")
-            self.rebuild_segment(seg)
-            data = _artifacts.read_artifact(path)
+            # file): treat as corruption — quarantine and fail over
+            problem = f"size {len(data)} B != expected {expected} B"
+            quarantined = _artifacts.quarantine_artifact(path, problem)
+            raise _artifacts.ArtifactIntegrityError(path, problem, quarantined)
+        return data
+
+    def read_segment(self, seg: int, policy=None) -> np.ndarray:
+        """Segment ``seg`` as a ``(n_chunks_in_segment, cx, cy, cz)`` array.
+
+        Bytes are verified against the sidecar on every attempt; the
+        read fails over replica by replica (corrupt copies are
+        quarantined by the artifact layer, dead shards are skipped by
+        the breaker), a success after failures read-repairs the bad
+        replicas, and only when every replica fails is the segment
+        rebuilt from the origin.  A wrong byte is never returned.
+
+        ``policy`` — an optional :class:`~repro.serve.reliability.
+        ReadPolicy` supplying deadline checks, breaker routing and
+        hedged replica ordering; without one, every replica is tried
+        in placement order.
+        """
+        n = self.segment_chunk_count(seg)
+        expected = n * self.chunk_bytes
+        if policy is not None:
+            policy.check_deadline()
+            order = policy.replica_order(self, seg)
+        else:
+            order = range(self.replicas)
+        data: Optional[bytes] = None
+        corrupt_replicas: List[int] = []
+        quarantined: Optional[str] = None
+        failed = 0
+        for r in order:
+            shard = self.shard_of_segment(seg, r)
+            if policy is not None and not policy.allow_shard(shard):
+                _trace.add("serve.reliability_breaker_denied", 1)
+                continue
+            started = time.perf_counter()
+            try:
+                data = self._read_replica(self._replica_path(seg, r),
+                                          shard, expected)
+            except _artifacts.ArtifactIntegrityError as exc:
+                corrupt_replicas.append(r)
+                quarantined = exc.quarantined_to or quarantined
+            except _faults.InjectedFault:
+                pass  # shard outage: the replica's bytes are fine
+            else:
+                if policy is not None:
+                    policy.on_success(shard, time.perf_counter() - started)
+                break
+            failed += 1
+            if policy is not None:
+                policy.on_failure(shard)
+            _trace.add("serve.reliability_failovers", 1)
+            self.failovers += 1
+        if data is None:
+            # every replica failed or was denied: origin is the truth
+            self.rebuild_segment(seg, quarantined=quarantined)
+            data = _artifacts.read_artifact(self._segment_path(seg))
+        elif failed or corrupt_replicas:
+            for r in corrupt_replicas:
+                self.repair_replica(seg, r, data)
+        dt = np.dtype(self.meta["dtype"])
         arr = np.frombuffer(data, dtype=dt).reshape((n,) + self.chunk_shape)
         return arr.astype(self.dtype) if dt != self.dtype else arr
 

@@ -91,6 +91,64 @@ class TestImportTimeState:
         """) == []
 
 
+SERVE = "src/repro/serve/fixture.py"
+
+
+class TestServeAwaitDeadline:
+    def test_bare_await_on_segment_read(self):
+        assert codes("""\
+            async def answer(store, seg):
+                return await store.read_segment(seg)
+        """, path=SERVE) == ["RPC312"]
+
+    def test_executor_shim_around_segment_io(self):
+        assert codes("""\
+            import asyncio
+
+            async def answer(store, seg):
+                return await asyncio.to_thread(store.read_segment, seg)
+        """, path=SERVE) == ["RPC312"]
+
+    def test_wait_for_wrapper_is_fine(self):
+        assert codes("""\
+            import asyncio
+
+            async def answer(store, seg):
+                return await asyncio.wait_for(
+                    asyncio.to_thread(store.read_segment, seg), timeout=1.0)
+        """, path=SERVE) == []
+
+    def test_timeout_context_is_fine(self):
+        assert codes("""\
+            import asyncio
+
+            async def answer(store, lo, hi):
+                async with asyncio.timeout(2.0):
+                    return await store.read_bbox(lo, hi)
+        """, path=SERVE) == []
+
+    def test_deadline_context_is_fine(self):
+        assert codes("""\
+            async def answer(store, seg, deadline_scope):
+                with deadline_scope(1.0):
+                    return await store.read_bbox((0, 0, 0), (8, 8, 8))
+        """, path=SERVE) == []
+
+    def test_await_on_other_calls_is_fine(self):
+        assert codes("""\
+            import asyncio
+
+            async def pace():
+                await asyncio.sleep(0.1)
+        """, path=SERVE) == []
+
+    def test_outside_serve_is_fine(self):
+        assert codes("""\
+            async def answer(store, seg):
+                return await store.read_segment(seg)
+        """) == []
+
+
 class TestSuppression:
     def test_noqa_silences_the_family(self):
         src = ("def launch(cells):\n"

@@ -27,6 +27,19 @@ class TestGenerateQueries:
                                       mix={"slab": 1.0})
         assert {q.kind for q in only_slabs} == {"slab"}
 
+    def test_zipf_draws_deterministic_per_seed(self):
+        # the exact viewpoint sequence, not just its histogram, must
+        # replay: chaos gates compare faulted runs to undisturbed ones
+        # query by query
+        a = generate_queries(SHAPE, 100, seed=11, mix={"viewport": 1.0},
+                             zipf_s=1.5)
+        b = generate_queries(SHAPE, 100, seed=11, mix={"viewport": 1.0},
+                             zipf_s=1.5)
+        assert [q.viewpoint for q in a] == [q.viewpoint for q in b]
+        c = generate_queries(SHAPE, 100, seed=12, mix={"viewport": 1.0},
+                             zipf_s=1.5)
+        assert [q.viewpoint for q in a] != [q.viewpoint for q in c]
+
     def test_zipf_concentrates_viewpoints(self):
         qs = generate_queries(SHAPE, 400, seed=0,
                               mix={"viewport": 1.0}, zipf_s=1.5)
@@ -68,6 +81,18 @@ class TestArrivalTimes:
         assert np.array_equal(a, b)
         assert a.shape == (100,)
         assert np.all(np.diff(a) >= 0)
+
+    @pytest.mark.parametrize("profile", ["steady", "burst"])
+    def test_schedule_byte_identical_same_seed(self, profile):
+        a = arrival_times(200, profile=profile, seed=9)
+        b = arrival_times(200, profile=profile, seed=9)
+        assert a.tobytes() == b.tobytes()  # bit-for-bit, not just close
+
+    @pytest.mark.parametrize("profile", ["steady", "burst"])
+    def test_different_seed_differs(self, profile):
+        a = arrival_times(200, profile=profile, seed=9)
+        b = arrival_times(200, profile=profile, seed=10)
+        assert a.tobytes() != b.tobytes()
 
     def test_burst_is_burstier_than_steady(self):
         steady = arrival_times(400, profile="steady", rate=100.0, seed=0)

@@ -264,6 +264,37 @@ class TestServeCommands:
             json.loads(open(trace_path + ".manifest.json").read()))
         assert manifest["cells"] == []
 
+    def test_serve_replicated_with_reliability_flags(self, capsys):
+        rc = main(["serve", "--shape", "16", "--chunk", "4",
+                   "--queries", "10", "--replicas", "2", "--shards", "4",
+                   "--deadline-ms", "5000", "--max-inflight", "64",
+                   "--retries", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 replicas on 4 shards" in out
+        assert "served 10 queries" in out
+        assert "crosscheck: counters match memsim" in out
+
+    def test_serve_crosscheck_failure_exits_nonzero(self, monkeypatch,
+                                                    capsys):
+        class Divergent:
+            consistent = False
+            accesses = 7
+            capacity = 4
+
+            def mismatches(self):
+                return ["server hits 3 != stack-distance hits 2"]
+
+        import repro.serve as serve_mod
+        monkeypatch.setattr(serve_mod, "cache_crosscheck",
+                            lambda cache: Divergent())
+        rc = main(["serve", "--shape", "16", "--chunk", "4",
+                   "--queries", "5"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "CROSSCHECK FAIL" in out
+        assert "server hits 3 != stack-distance hits 2" in out
+
     def test_info_lists_serve_specs(self, capsys):
         assert main(["info"]) == 0
         out = capsys.readouterr().out
