@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Interleaving fuzz: served bytes must not depend on the schedule.
+
+The CI gate for the server's interleaving-independence claim — the
+runtime twin of the RPC5xx static rules (docs/STATIC_ANALYSIS.md
+§ Async-concurrency).  One seeded workload is served once undisturbed
+as the reference, then re-served under N different scheduling seeds:
+each seed drives a :class:`repro.serve.fuzz.ScheduleFuzzer` that
+injects extra event-loop yields at the session's scheduling seams,
+reordering the asyncio ready queue in a different (but reproducible)
+way every run.
+
+Every perturbed run must:
+
+* answer every query (nothing shed, nothing rejected — the fuzz runs
+  without an admission bound, so any drop is a bug);
+* serve payloads **byte-identical** to the reference (sha256 per
+  query);
+* report identical per-query geometry (chunks needed, segments
+  touched, bytes touched/returned) — these are placement facts, not
+  timing facts;
+* log exactly as many cache accesses as the reference (the *order*
+  may differ with the schedule, and with it hit/miss counts — that is
+  the one legitimately interleaving-dependent output);
+* keep its own cache counters **exact** against the memsim
+  stack-distance and hierarchy models for the stream it actually saw.
+
+A final replay of the first seed must reproduce that run yield-for-
+yield and access-for-access — the property that makes any divergence
+this script ever finds debuggable::
+
+    python scripts/fuzz_interleavings.py --seeds 8
+
+Exits nonzero on any divergence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.data.synthetic import combustion_field  # noqa: E402
+from repro.serve import (  # noqa: E402
+    ChunkStore,
+    ScheduleFuzzer,
+    VolumeServer,
+    arrival_times,
+    cache_crosscheck,
+    generate_queries,
+)
+
+SHAPE = (32, 32, 32)
+CHUNK = 8
+CHUNKS_PER_SEGMENT = 4
+ORDER = "hilbert"
+
+N_QUERIES = 24
+WORKLOAD_SEED = 11
+CACHE = "lru:capacity=8"
+CONCURRENCY = 4
+
+
+def _payload_hashes(results):
+    return [hashlib.sha256(np.ascontiguousarray(r.data).tobytes())
+            .hexdigest() for r in results]
+
+
+def _geometry(results):
+    return [(r.chunks_needed, r.segments_touched, r.bytes_touched,
+             r.bytes_returned) for r in results]
+
+
+def _serve(store, queries, arrivals, fuzzer=None):
+    """One fresh-server run; returns (results, cache, fuzzer)."""
+    import asyncio
+    server = VolumeServer(store, cache=CACHE)
+    results = asyncio.run(server.session(
+        queries, concurrency=CONCURRENCY, arrivals=arrivals,
+        time_scale=0.0, perturb=fuzzer))
+    return results, server.cache, fuzzer
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, default=8,
+                        help="number of scheduling seeds (default 8)")
+    args = parser.parse_args()
+    seeds = list(range(1, args.seeds + 1))
+
+    dense = combustion_field(SHAPE, seed=WORKLOAD_SEED)
+    queries = generate_queries(SHAPE, N_QUERIES, seed=WORKLOAD_SEED)
+    arrivals = arrival_times(N_QUERIES, profile="burst", seed=WORKLOAD_SEED)
+
+    problems = []
+    t0 = time.monotonic()
+    with tempfile.TemporaryDirectory(prefix="repro-fuzz-ilv-") as tmp:
+        store = ChunkStore.create(
+            os.path.join(tmp, "store"), dense, order=ORDER, chunk=CHUNK,
+            chunks_per_segment=CHUNKS_PER_SEGMENT)
+        print(f"store: {SHAPE} / chunk {CHUNK} / {store.n_segments} "
+              f"segments, order {ORDER}; workload: {N_QUERIES} queries, "
+              f"concurrency {CONCURRENCY}")
+
+        reference, ref_cache, _ = _serve(store, queries, arrivals)
+        want_hashes = _payload_hashes(reference)
+        want_geometry = _geometry(reference)
+        want_accesses = len(ref_cache.access_log)
+        print(f"reference: {want_accesses} cache accesses, "
+              f"{ref_cache.hits} hits")
+
+        first_run = None
+        for seed in seeds:
+            results, cache, fuzzer = _serve(store, queries, arrivals,
+                                            ScheduleFuzzer(seed))
+            bad = [r for r in results if not r.ok]
+            if bad:
+                problems.append(
+                    f"seed {seed}: {len(bad)} queries unanswered: "
+                    + "; ".join(f"{r.reason}: {r.error}" for r in bad[:3]))
+                continue
+            got_hashes = _payload_hashes(results)
+            if got_hashes != want_hashes:
+                diff = [i for i, (a, b)
+                        in enumerate(zip(got_hashes, want_hashes)) if a != b]
+                problems.append(f"seed {seed}: served bytes differ from "
+                                f"the unperturbed run at queries {diff}")
+            got_geometry = _geometry(results)
+            if got_geometry != want_geometry:
+                diff = [i for i, (a, b)
+                        in enumerate(zip(got_geometry, want_geometry))
+                        if a != b]
+                problems.append(f"seed {seed}: geometry counters differ "
+                                f"at queries {diff}")
+            if len(cache.access_log) != want_accesses:
+                problems.append(
+                    f"seed {seed}: {len(cache.access_log)} cache accesses "
+                    f"!= reference {want_accesses} (an access was lost or "
+                    f"double-counted)")
+            check = cache_crosscheck(cache)
+            if not check.consistent:
+                problems.append(f"seed {seed}: cache counters diverged "
+                                f"from memsim: "
+                                + "; ".join(check.mismatches()))
+            hits = ", ".join(f"{k}x{v}"
+                             for k, v in sorted(fuzzer.hits.items()))
+            print(f"seed {seed}: {fuzzer.yields} extra yields ({hits}), "
+                  f"{cache.hits} hits, bytes identical")
+            if seed == seeds[0]:
+                first_run = (fuzzer.yields, list(cache.access_log),
+                             cache.hits)
+
+        # same-seed replay: the schedule itself must be deterministic
+        if first_run is not None:
+            _, cache, fuzzer = _serve(store, queries, arrivals,
+                                      ScheduleFuzzer(seeds[0]))
+            replay = (fuzzer.yields, list(cache.access_log), cache.hits)
+            if replay != first_run:
+                problems.append(
+                    f"seed {seeds[0]} replay diverged from its first run "
+                    f"(yields {first_run[0]}→{replay[0]}, hits "
+                    f"{first_run[2]}→{replay[2]}): the fuzzer is not "
+                    f"deterministic")
+
+    elapsed = time.monotonic() - t0
+    if problems:
+        for p in problems:
+            print(f"FAIL: {p}")
+        return 1
+    print(f"OK: {N_QUERIES} queries byte-identical and memsim-exact "
+          f"across {len(seeds)} scheduling seeds (+1 replay) "
+          f"in {elapsed:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,7 +10,16 @@ Machine-checks the three contracts the reproduction's numbers rest on:
   pickles and carries no parent-process state;
 * **durability** (RPC4xx) — artifacts are written through the atomic
   integrity-checked writer (:mod:`repro.resilience.artifacts`), never a
-  bare ``open(..., "w")`` / ``tofile`` / ``np.save``.
+  bare ``open(..., "w")`` / ``tofile`` / ``np.save``;
+* **async concurrency** (RPC5xx) — no shared state torn across
+  ``await`` points, no check-then-act races around yield points, no
+  dropped tasks, no blocking calls on the serving event loop.
+
+Since the interprocedural upgrade the engine is flow-aware: each file
+also yields a picklable symbol table (:mod:`repro.check.project`), the
+parent assembles a project-wide call graph over ``src/repro``, and
+cross-module passes report findings with call-chain context ("unseeded
+RNG reaches ``repro.kernels.bilateral`` via ``helpers.make_noise``").
 
 Run it as ``repro check PATHS`` or ``python -m repro.check PATHS``.
 Suppress a single line with ``# repro: noqa[RPC103]``; acknowledge
@@ -37,12 +46,21 @@ from .engine import (
     check_source,
     domain_tags,
     iter_python_files,
+    resolve_jobs,
 )
 from .findings import PARSE_ERROR_CODE, Finding
+from .project import (
+    CallGraph,
+    ModuleSummary,
+    function_events,
+    run_project_passes,
+    summarize_module,
+)
 from .registry import FAMILIES, RULES, Rule, rule, select_codes
 
 # importing the rule modules populates the registry
 from . import (  # noqa: F401,E402
+    rules_async,
     rules_determinism,
     rules_durability,
     rules_layout,
@@ -63,6 +81,12 @@ __all__ = [
     "check_paths",
     "iter_python_files",
     "domain_tags",
+    "resolve_jobs",
+    "CallGraph",
+    "ModuleSummary",
+    "summarize_module",
+    "function_events",
+    "run_project_passes",
     "DEFAULT_BASELINE",
     "load_baseline",
     "write_baseline",

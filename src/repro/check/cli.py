@@ -5,11 +5,15 @@ Usage::
     repro check src tests scripts examples benchmarks
     repro check src --format=json
     repro check src --select RPC1,RPC203
+    repro check --changed                     # only files touched vs HEAD
+    repro check src --format=sarif > out.sarif
+    repro check src --format=github           # ::error PR annotations
     repro check src --write-baseline          # acknowledge current findings
     repro check --list-rules
 
 Exit codes: **0** no unbaselined findings, **1** findings reported,
-**2** usage error (missing path, bad selector, corrupt baseline).
+**2** usage error (missing path, bad selector, corrupt baseline,
+``--changed`` outside a git checkout).
 
 This module deliberately imports nothing heavy — no numpy, no
 simulator — so the CI gate runs in milliseconds and the checker can be
@@ -21,7 +25,9 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import subprocess
 import sys
+import time
 from typing import List, Optional
 
 from .baseline import (
@@ -30,7 +36,8 @@ from .baseline import (
     load_baseline,
     write_baseline,
 )
-from .engine import check_paths
+from .engine import check_paths, iter_python_files, resolve_jobs
+from .findings import Finding
 from .registry import FAMILIES, RULES, select_codes
 
 __all__ = ["add_arguments", "run", "main"]
@@ -42,12 +49,24 @@ def add_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
     """Attach the ``repro check`` arguments to ``parser``."""
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files/directories to check (default: src)")
-    parser.add_argument("--format", choices=["human", "json"],
+    parser.add_argument("--format", choices=["human", "json", "sarif",
+                                             "github"],
                         default="human", dest="format_",
-                        help="output format (default human)")
+                        help="output format (default human; sarif for "
+                             "CI artifact upload, github for inline PR "
+                             "annotations)")
     parser.add_argument("--select", default=None, metavar="CODES",
                         help="comma-separated rule codes or prefixes, "
                              "e.g. RPC1,RPC203 (default: all rules)")
+    parser.add_argument("--changed", nargs="?", const="HEAD", default=None,
+                        metavar="REF",
+                        help="check only files changed vs REF (default "
+                             "HEAD) plus untracked files, intersected "
+                             "with the given paths")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for per-file analysis "
+                             "(default: auto — serial for small runs, "
+                             "up to 8 for a full tree)")
     parser.add_argument("--baseline", default=None, metavar="PATH",
                         help=f"baseline file (default: {DEFAULT_BASELINE} "
                              f"when it exists)")
@@ -62,6 +81,74 @@ def add_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
     return parser
+
+
+def _changed_files(paths: List[str], ref: str) -> List[str]:
+    """Files under ``paths`` that differ from ``ref`` (plus untracked).
+
+    Raises :class:`RuntimeError` outside a git checkout (a usage
+    error); an unknown ref surfaces the same way.
+    """
+    def _git(*args: str) -> List[str]:
+        proc = subprocess.run(["git", *args], capture_output=True,
+                              text=True, timeout=60)
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"git {' '.join(args)} failed: "
+                f"{proc.stderr.strip() or 'not a git checkout?'}")
+        return [line for line in proc.stdout.splitlines() if line]
+
+    top = _git("rev-parse", "--show-toplevel")[0]
+    changed = set(_git("diff", "--name-only", ref, "--"))
+    changed.update(_git("ls-files", "--others", "--exclude-standard"))
+    out = []
+    for path in iter_python_files(paths):
+        rel = os.path.relpath(os.path.abspath(path), top)
+        if rel.replace(os.sep, "/") in changed:
+            out.append(path)
+    return out
+
+
+#: static SARIF skeleton fields (version is the SARIF spec's, not ours)
+_SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                 "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def _render_sarif(findings: List[Finding], n_files: int) -> str:
+    """One SARIF 2.1.0 run: the rule catalog plus every finding."""
+    rules = [{
+        "id": code,
+        "name": RULES[code].name,
+        "shortDescription": {"text": RULES[code].summary},
+        "helpUri": "docs/STATIC_ANALYSIS.md",
+    } for code in sorted(RULES)]
+    results = [{
+        "ruleId": f.code,
+        "level": "error",
+        "message": {"text": f.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": f.path},
+                "region": {"startLine": f.line,
+                           "startColumn": f.col + 1},
+            },
+        }],
+    } for f in findings]
+    doc = {
+        "version": "2.1.0",
+        "$schema": _SARIF_SCHEMA,
+        "runs": [{
+            "tool": {"driver": {"name": "repro-check", "rules": rules}},
+            "results": results,
+        }],
+    }
+    return json.dumps(doc, indent=2)
+
+
+def _render_github(findings: List[Finding]) -> List[str]:
+    """GitHub Actions workflow commands — one inline annotation each."""
+    return [f"::error file={f.path},line={f.line},col={f.col + 1},"
+            f"title={f.code}::{f.message}" for f in findings]
 
 
 def _render_catalog() -> str:
@@ -91,11 +178,26 @@ def run(args: argparse.Namespace) -> int:
         print(f"repro check: {exc}", file=sys.stderr)
         return USAGE_ERROR
 
+    paths = args.paths
+    if args.changed is not None:
+        try:
+            paths = _changed_files(paths, args.changed)
+        except (RuntimeError, FileNotFoundError,
+                subprocess.SubprocessError) as exc:
+            print(f"repro check: --changed: {exc}", file=sys.stderr)
+            return USAGE_ERROR
+        if not paths:
+            print(f"OK: 0 files changed vs {args.changed}, 0 findings")
+            return 0
+
+    t0 = time.perf_counter()
     try:
-        findings, suppressed, n_files = check_paths(args.paths, codes=codes)
+        findings, suppressed, n_files = check_paths(paths, codes=codes,
+                                                    jobs=args.jobs)
     except FileNotFoundError as exc:
         print(f"repro check: no such path: {exc}", file=sys.stderr)
         return USAGE_ERROR
+    elapsed = time.perf_counter() - t0
 
     baseline_path = args.baseline or DEFAULT_BASELINE
     if args.write_baseline:
@@ -125,7 +227,20 @@ def run(args: argparse.Namespace) -> int:
             "baselined": len(baselined),
             "suppressed": len(suppressed),
             "stale_baseline_entries": stale,
+            "elapsed_s": round(elapsed, 3),
+            "jobs": resolve_jobs(n_files, args.jobs),
         }, indent=2))
+        return 1 if findings else 0
+
+    if args.format_ == "sarif":
+        print(_render_sarif(findings, n_files))
+        return 1 if findings else 0
+
+    if args.format_ == "github":
+        for line in _render_github(findings):
+            print(line)
+        print(("FAIL: " if findings else "OK: ")
+              + f"{n_files} files checked, {len(findings)} findings")
         return 1 if findings else 0
 
     for f in findings:

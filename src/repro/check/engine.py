@@ -6,6 +6,17 @@ the tree once, dispatching each node to the rules whose ``interests``
 include its type.  Rules report through :class:`FileContext`, which
 applies ``# repro: noqa[...]`` suppressions before a finding is kept.
 
+:func:`check_paths` runs in two phases.  The per-file phase above is
+embarrassingly parallel and runs in worker processes for big trees
+(``jobs`` controls the pool; ``None`` auto-sizes); alongside its
+findings each file yields a picklable
+:class:`~repro.check.project.ModuleSummary`.  The interprocedural
+phase then assembles those summaries into a project-wide call graph in
+the parent and runs the cross-module passes
+(:func:`~repro.check.project.run_project_passes`), so flow-aware rules
+see the whole ``src/repro`` package while ASTs never cross a process
+boundary.
+
 Domain model
 ------------
 Rules police *areas* of the repository, not individual paths.  A file
@@ -41,6 +52,7 @@ __all__ = [
     "check_paths",
     "iter_python_files",
     "domain_tags",
+    "resolve_jobs",
     "NOQA_RE",
 ]
 
@@ -203,6 +215,29 @@ def _annotate_parents(tree: ast.AST) -> None:
             child._repro_parent = parent  # type: ignore[attr-defined]
 
 
+def _check_parsed(ctx: FileContext, source: str, path: str,
+                  codes: Optional[Sequence[str]]) -> Optional[ast.Module]:
+    """Parse and run the per-file rules; returns the tree (None on
+    parse error, recorded as RPC000 in ``ctx``)."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        ctx.findings.append(Finding(
+            path=ctx.path, line=exc.lineno or 1, col=exc.offset or 0,
+            code=PARSE_ERROR_CODE,
+            message=f"file does not parse: {exc.msg}",
+            context=ctx.line_text(exc.lineno or 1)))
+        return None
+    active = []
+    for code in (codes if codes is not None else sorted(RULES)):
+        inst = RULES[code](ctx)
+        if inst.applies_to(ctx.tags):
+            active.append(inst)
+    ProjectChecker(ctx, active).run(tree)
+    ctx.findings.sort()
+    return tree
+
+
 def check_source(source: str, path: str,
                  codes: Optional[Sequence[str]] = None,
                  tags: Optional[FrozenSet[str]] = None,
@@ -213,23 +248,28 @@ def check_source(source: str, path: str,
     tests); ``codes`` restricts the active rules (default: all).
     """
     ctx = FileContext(path, source, tags=tags)
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        ctx.findings.append(Finding(
-            path=ctx.path, line=exc.lineno or 1, col=exc.offset or 0,
-            code=PARSE_ERROR_CODE,
-            message=f"file does not parse: {exc.msg}",
-            context=ctx.line_text(exc.lineno or 1)))
-        return ctx.findings, ctx.suppressed
-    active = []
-    for code in (codes if codes is not None else sorted(RULES)):
-        inst = RULES[code](ctx)
-        if inst.applies_to(ctx.tags):
-            active.append(inst)
-    ProjectChecker(ctx, active).run(tree)
-    ctx.findings.sort()
+    _check_parsed(ctx, source, path, codes)
     return ctx.findings, ctx.suppressed
+
+
+def _check_one_file(path: str, codes: Optional[Sequence[str]],
+                    want_summary: bool):
+    """Worker body: check one file and (optionally) summarize it.
+
+    Module-level so :class:`~concurrent.futures.ProcessPoolExecutor`
+    can ship it to workers; everything returned is picklable.
+    """
+    from .project import summarize_module
+    with open(path, encoding="utf-8") as fh:
+        source = fh.read()
+    ctx = FileContext(path, source)
+    tree = _check_parsed(ctx, source, path, codes)
+    summary = None
+    if want_summary:
+        # parent links were annotated by the rule walk above
+        summary = summarize_module(ctx.path, tree, source, ctx.tags,
+                                   ctx.noqa)
+    return ctx.findings, ctx.suppressed, summary
 
 
 def iter_python_files(paths: Sequence[str]) -> List[str]:
@@ -255,21 +295,63 @@ def iter_python_files(paths: Sequence[str]) -> List[str]:
     return sorted(dict.fromkeys(out))
 
 
+#: below this file count, worker-pool startup costs more than it saves
+_PARALLEL_THRESHOLD = 32
+
+
+def resolve_jobs(n_files: int, jobs: Optional[int]) -> int:
+    """Concrete worker count for a run over ``n_files``.
+
+    ``jobs=None`` is auto: serial under :data:`_PARALLEL_THRESHOLD`
+    files, otherwise up to 8 workers (the analysis is CPU-bound and
+    per-file, so returns diminish quickly past that).
+    """
+    if jobs is not None:
+        return max(1, int(jobs))
+    if n_files < _PARALLEL_THRESHOLD:
+        return 1
+    return min(8, os.cpu_count() or 1, n_files)
+
+
 def check_paths(paths: Sequence[str],
                 codes: Optional[Sequence[str]] = None,
+                jobs: Optional[int] = None,
                 ) -> Tuple[List[Finding], List[Finding], int]:
     """Check every ``.py`` file under ``paths``.
 
+    Two phases: the per-file rules run first (in ``jobs`` worker
+    processes when the tree is big enough — ``None`` auto-sizes), each
+    file also yielding a picklable
+    :class:`~repro.check.project.ModuleSummary`; the interprocedural
+    passes then run in this process over the assembled summaries.
     Returns ``(findings, suppressed, n_files)``; findings are sorted by
     (path, line, col, code).
     """
+    from .project import PROJECT_CODES, run_project_passes
+
     findings: List[Finding] = []
     suppressed: List[Finding] = []
     files = iter_python_files(paths)
-    for path in files:
-        with open(path, encoding="utf-8") as fh:
-            source = fh.read()
-        got, hidden = check_source(source, path, codes=codes)
+    want_project = codes is None or bool(PROJECT_CODES & set(codes))
+    n_jobs = resolve_jobs(len(files), jobs)
+    if n_jobs > 1:
+        from concurrent.futures import ProcessPoolExecutor
+        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+            results = list(pool.map(
+                _check_one_file, files,
+                [codes] * len(files), [want_project] * len(files),
+                chunksize=max(1, len(files) // (n_jobs * 4))))
+    else:
+        results = [_check_one_file(path, codes, want_project)
+                   for path in files]
+    summaries = []
+    for got, hidden, summary in results:
+        findings.extend(got)
+        suppressed.extend(hidden)
+        if summary is not None:
+            summaries.append(summary)
+    if want_project:
+        got, hidden = run_project_passes(summaries, codes)
         findings.extend(got)
         suppressed.extend(hidden)
     findings.sort()

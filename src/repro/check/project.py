@@ -1,0 +1,610 @@
+"""Interprocedural analysis core: symbol tables, call graph, await-CFG.
+
+The per-file rules (:mod:`repro.check.engine`) see one AST at a time,
+which is enough for lexical contracts but blind to anything that
+crosses a function boundary: unseeded RNG laundered through a helper
+module, a coroutine called without ``await`` from another file, a
+check-then-act race that only exists because of where the ``await``
+points sit.  This module adds the three structures those checks need,
+all stdlib-only and built from data small enough to pickle (so the
+parallel engine can summarize files in worker processes and assemble
+the project view in the parent):
+
+* :class:`ModuleSummary` — one module's symbol table: its dotted name,
+  import aliases, and a :class:`FunctionSummary` per function/method
+  (direct unseeded-RNG sites, call sites, asyncness);
+* :class:`CallGraph` — the project-wide graph over ``src/repro``,
+  resolving call sites through import aliases, ``self.`` method
+  dispatch and ``functools.partial`` wrapping; parse-error (RPC000)
+  modules are skipped, never fatal;
+* :func:`function_events` — the lightweight per-function CFG: every
+  shared-state read/write and lock scope in source order with the
+  number of ``await`` points crossed before it.  Source order is a
+  deliberate linearization (branches are visited in order, loops
+  once); it over-approximates straight-line flow, which is the right
+  trade for race-shaped rules that must never crash on real code.
+
+Findings produced here carry **call-chain context** in their message
+("unseeded RNG reaches `repro.kernels.bilateral` via
+`helpers.make_noise`") so a cross-module report names the path, not
+just the sink.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .findings import Finding
+from .rules_determinism import is_unseeded_rng_call
+from .registry import dotted_name
+
+__all__ = [
+    "CallSite",
+    "FunctionSummary",
+    "ModuleSummary",
+    "CallGraph",
+    "Event",
+    "function_events",
+    "module_name_of",
+    "summarize_module",
+    "run_project_passes",
+    "PROJECT_CODES",
+]
+
+#: codes the project passes can emit — the engine skips the whole
+#: project phase when the ``--select`` filter excludes all of them
+PROJECT_CODES = frozenset({"RPC201", "RPC505"})
+
+#: calls that legitimately consume a coroutine object without an
+#: immediate ``await`` (schedulers, aggregators, the loop entry point)
+_CORO_CONSUMERS = {"create_task", "ensure_future", "gather", "wait",
+                   "wait_for", "run", "run_until_complete", "shield",
+                   "as_completed", "timeout_at", "Task"}
+
+#: measured domains whose call sites the RPC201 chain pass starts from
+_MEASURED_TAGS = frozenset({"kernels", "experiments", "memsim"})
+
+
+def module_name_of(path: str) -> Optional[str]:
+    """Dotted module name for a file under the ``repro`` package.
+
+    ``src/repro/serve/server.py`` → ``repro.serve.server``; returns
+    ``None`` for files outside the package (tests, scripts) — they are
+    checked per-file but do not join the call graph.
+    """
+    parts = path.replace("\\", "/").split("/")
+    if "repro" not in parts:
+        return None
+    rest = parts[parts.index("repro"):]
+    if not rest[-1].endswith(".py"):
+        return None
+    rest[-1] = rest[-1][:-3]
+    if rest[-1] == "__init__":
+        rest = rest[:-1]
+    return ".".join(rest)
+
+
+# -- summaries ----------------------------------------------------------------
+
+@dataclass
+class CallSite:
+    """One call expression inside a function, as the summary records it."""
+    callee: str           #: dotted text as written ("helpers.make_noise")
+    line: int
+    col: int
+    context: str          #: stripped source line (baseline/suppression key)
+    discarded: bool       #: a bare Expr statement — result dropped
+    awaited: bool         #: directly under an ``await``
+    consumed: bool        #: fed to a scheduler/aggregator (gather, run, ...)
+    in_class: str = ""    #: enclosing class name ("" at module level)
+
+
+@dataclass
+class FunctionSummary:
+    """Symbol-table row for one function or method."""
+    qualname: str         #: module-relative ("VolumeServer.session")
+    line: int
+    is_async: bool
+    calls: List[CallSite] = field(default_factory=list)
+    #: direct unseeded-RNG call sites: (line, col, context)
+    unseeded_rng: List[Tuple[int, int, str]] = field(default_factory=list)
+
+
+@dataclass
+class ModuleSummary:
+    """Everything the project passes need to know about one file."""
+    path: str
+    modname: Optional[str]
+    tags: FrozenSet[str]
+    parse_error: bool = False
+    #: local alias -> dotted target ("helpers" -> "repro.util.helpers")
+    imports: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, FunctionSummary] = field(default_factory=dict)
+    #: per-line noqa map (None = all codes), copied from the FileContext
+    noqa: Dict[int, Optional[Set[str]]] = field(default_factory=dict)
+
+    def suppresses(self, code: str, line: int) -> bool:
+        if line not in self.noqa:
+            return False
+        prefixes = self.noqa[line]
+        if prefixes is None:
+            return True
+        return any(code.startswith(p) for p in prefixes)
+
+
+def _resolve_relative(modname: str, node: ast.ImportFrom) -> str:
+    """Absolute dotted prefix of a (possibly relative) ``from`` import."""
+    if not node.level:
+        return node.module or ""
+    base = modname.split(".")
+    # level 1 = current package: drop the module's own leaf name
+    base = base[:len(base) - node.level] if len(base) >= node.level else []
+    if node.module:
+        base.append(node.module)
+    return ".".join(base)
+
+
+def _collect_imports(tree: ast.Module, modname: str) -> Dict[str, str]:
+    imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    imports[alias.asname] = alias.name
+                else:
+                    top = alias.name.split(".")[0]
+                    imports[top] = top
+        elif isinstance(node, ast.ImportFrom):
+            prefix = _resolve_relative(modname, node) if modname \
+                else (node.module or "")
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                imports[local] = f"{prefix}.{alias.name}" if prefix \
+                    else alias.name
+    return imports
+
+
+class _Summarizer(ast.NodeVisitor):
+    """One pass collecting the function table of a module."""
+
+    def __init__(self, summary: ModuleSummary, lines: Sequence[str]):
+        self.summary = summary
+        self.lines = lines
+        self._stack: List[str] = []     # enclosing def names
+        self._classes: List[str] = []   # enclosing class names
+
+    def _line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def _visit_function(self, node, is_async: bool) -> None:
+        qual = ".".join([*self._classes, node.name]) if self._classes \
+            else node.name
+        if self._stack:
+            # nested defs fold into the enclosing function's summary
+            self.generic_visit(node)
+            return
+        fn = FunctionSummary(qualname=qual, line=node.lineno,
+                             is_async=is_async)
+        self.summary.functions[qual] = fn
+        self._stack.append(qual)
+        self.generic_visit(node)
+        self._stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node, is_async=False)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node, is_async=True)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._classes.append(node.name)
+        self.generic_visit(node)
+        self._classes.pop()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._stack:
+            fn = self.summary.functions[self._stack[0]]
+            name = dotted_name(node.func)
+            if name:
+                parent = getattr(node, "_repro_parent", None)
+                consumed = False
+                hop = parent
+                while hop is not None and not isinstance(hop, ast.stmt):
+                    if isinstance(hop, ast.Call) and hop is not node:
+                        if dotted_name(hop.func).split(".")[-1] \
+                                in _CORO_CONSUMERS:
+                            consumed = True
+                    hop = getattr(hop, "_repro_parent", None)
+                fn.calls.append(CallSite(
+                    callee=name, line=node.lineno, col=node.col_offset,
+                    context=self._line(node.lineno),
+                    discarded=isinstance(parent, ast.Expr),
+                    awaited=isinstance(parent, ast.Await),
+                    consumed=consumed,
+                    in_class=self._classes[-1] if self._classes else ""))
+            if is_unseeded_rng_call(node):
+                fn.unseeded_rng.append(
+                    (node.lineno, node.col_offset, self._line(node.lineno)))
+        self.generic_visit(node)
+
+
+def summarize_module(path: str, tree: Optional[ast.Module],
+                     source: str, tags: FrozenSet[str],
+                     noqa: Dict[int, Optional[Set[str]]]) -> ModuleSummary:
+    """Build the picklable symbol table for one parsed module.
+
+    ``tree=None`` marks a parse-error (RPC000) file: the summary is
+    recorded but carries no symbols, and the call-graph builder skips
+    it without crashing.
+    """
+    modname = module_name_of(path)
+    summary = ModuleSummary(path=path, modname=modname, tags=tags,
+                            parse_error=tree is None, noqa=dict(noqa))
+    if tree is None:
+        return summary
+    if not hasattr(tree, "_repro_parent"):
+        # direct callers hand us a fresh parse; the engine's rule walk
+        # annotates before we run, so this is a no-op there
+        from .engine import _annotate_parents
+        _annotate_parents(tree)
+    summary.imports = _collect_imports(tree, modname or "")
+    _Summarizer(summary, source.splitlines()).visit(tree)
+    return summary
+
+
+# -- the call graph -----------------------------------------------------------
+
+class CallGraph:
+    """Project-wide call graph over the summarized ``repro`` modules.
+
+    Nodes are fully-qualified function names
+    (``repro.serve.server.VolumeServer.session``); edges carry the
+    :class:`CallSite` they came from.  Resolution is best-effort and
+    deliberately conservative: a name that cannot be traced to a
+    project function simply produces no edge (numpy, stdlib, dynamic
+    dispatch).  What the graph can and cannot see is documented in
+    docs/STATIC_ANALYSIS.md.
+    """
+
+    def __init__(self, summaries: Sequence[ModuleSummary]):
+        self.modules: Dict[str, ModuleSummary] = {
+            s.modname: s for s in summaries
+            if s.modname and not s.parse_error}
+        #: fqname -> (owning module summary, function summary)
+        self.functions: Dict[str, Tuple[ModuleSummary, FunctionSummary]] = {}
+        for mod in self.modules.values():
+            for fn in mod.functions.values():
+                self.functions[f"{mod.modname}.{fn.qualname}"] = (mod, fn)
+        #: fqname -> [(CallSite, callee fqname)]
+        self.edges: Dict[str, List[Tuple[CallSite, str]]] = {}
+        for fq, (mod, fn) in self.functions.items():
+            out = []
+            for site in fn.calls:
+                target = self.resolve(mod, site)
+                if target is not None and target in self.functions:
+                    out.append((site, target))
+            self.edges[fq] = out
+
+    def resolve(self, mod: ModuleSummary, site: CallSite) -> Optional[str]:
+        """Map one call site to a fully-qualified project function."""
+        parts = site.callee.split(".")
+        head, rest = parts[0], parts[1:]
+        # self.method() / cls.method(): dispatch within the enclosing class
+        if head in ("self", "cls") and site.in_class and len(rest) == 1:
+            return f"{mod.modname}.{site.in_class}.{rest[0]}"
+        # bare name: same-module function, or a from-import
+        if not rest:
+            if head in mod.functions:
+                return f"{mod.modname}.{head}"
+            target = mod.imports.get(head)
+            return target
+        # dotted through an import alias: helpers.make_noise(...)
+        target = mod.imports.get(head)
+        if target is not None:
+            return ".".join([target, *rest])
+        return None
+
+    def is_async(self, fqname: str) -> bool:
+        entry = self.functions.get(fqname)
+        return bool(entry and entry[1].is_async)
+
+    def chain_to(self, start: str,
+                 goal: Set[str]) -> Optional[List[Tuple[CallSite, str]]]:
+        """Shortest call path from ``start`` into ``goal`` (BFS).
+
+        Returns the edge list walked, or ``None`` when no goal function
+        is reachable.  Deterministic: neighbors expand in summary order.
+        """
+        seen = {start}
+        queue: List[Tuple[str, List[Tuple[CallSite, str]]]] = [(start, [])]
+        while queue:
+            node, path = queue.pop(0)
+            for site, target in self.edges.get(node, ()):
+                if target in goal:
+                    return path + [(site, target)]
+                if target not in seen:
+                    seen.add(target)
+                    queue.append((target, path + [(site, target)]))
+        return None
+
+
+# -- per-function CFG (await-marked event stream) ----------------------------
+
+@dataclass
+class Event:
+    """One shared-state operation in a function's linearized flow."""
+    kind: str          #: "attr-write" | "sub-read" | "sub-write" | "await"
+    key: str           #: dotted base ("self._inflight", "self._hot")
+    node: ast.AST
+    awaits_before: int  #: await points crossed before this event
+    lock_depth: int     #: enclosing lock/semaphore ``with`` scopes
+    in_finally: bool
+    is_aug: bool = False
+
+
+_LOCK_HINTS = ("lock", "mutex", "sem", "guard")
+
+#: dict-method calls treated as container reads / writes for RPC502
+_SUB_READ_METHODS = {"get", "__contains__", "keys", "items", "values"}
+_SUB_WRITE_METHODS = {"setdefault", "pop", "update", "clear", "popitem",
+                      "add", "discard", "append"}
+
+
+def _is_lock_ctx(item: ast.withitem) -> bool:
+    expr = item.context_expr
+    target = expr.func if isinstance(expr, ast.Call) else expr
+    name = dotted_name(target).lower()
+    return any(hint in name for hint in _LOCK_HINTS)
+
+
+class _EventWalker:
+    """Linearize one function body into an await-marked event stream.
+
+    Nested function definitions are *not* descended into — they have
+    their own schedule and get their own walk.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+        self.awaits = 0
+        self.lock_depth = 0
+        self.finally_depth = 0
+        self.globals: Set[str] = set()
+
+    def _emit(self, kind: str, key: str, node: ast.AST,
+              is_aug: bool = False) -> None:
+        self.events.append(Event(
+            kind=kind, key=key, node=node, awaits_before=self.awaits,
+            lock_depth=self.lock_depth, in_finally=self.finally_depth > 0,
+            is_aug=is_aug))
+
+    def _mark_await(self, node: ast.AST) -> None:
+        self._emit("await", "", node)
+        self.awaits += 1
+
+    # -- expressions ---------------------------------------------------------
+
+    def expr(self, node: Optional[ast.AST]) -> None:
+        if node is None or isinstance(node, (ast.FunctionDef,
+                                             ast.AsyncFunctionDef,
+                                             ast.Lambda)):
+            return
+        if isinstance(node, ast.Await):
+            self.expr(node.value)   # operand evaluates before the yield
+            self._mark_await(node)
+            return
+        if isinstance(node, ast.Subscript) \
+                and isinstance(node.ctx, ast.Load):
+            base = dotted_name(node.value)
+            if base:
+                self._emit("sub-read", base, node)
+        if isinstance(node, ast.Compare) and any(
+                isinstance(op, (ast.In, ast.NotIn)) for op in node.ops):
+            base = dotted_name(node.comparators[0]) if node.comparators \
+                else ""
+            if base:
+                self._emit("sub-read", base, node)
+        if isinstance(node, ast.Call) and isinstance(node.func,
+                                                     ast.Attribute):
+            base = dotted_name(node.func.value)
+            if base:
+                if node.func.attr in _SUB_READ_METHODS:
+                    self._emit("sub-read", base, node)
+                elif node.func.attr in _SUB_WRITE_METHODS:
+                    self._emit("sub-write", base, node)
+        for child in ast.iter_child_nodes(node):
+            self.expr(child)
+
+    # -- statements ----------------------------------------------------------
+
+    def _write_target(self, target: ast.AST, node: ast.AST,
+                      is_aug: bool) -> None:
+        if isinstance(target, ast.Attribute):
+            base = dotted_name(target)
+            if base:
+                self._emit("attr-write", base, node, is_aug=is_aug)
+        elif isinstance(target, ast.Subscript):
+            base = dotted_name(target.value)
+            if base:
+                self._emit("sub-write", base, node, is_aug=is_aug)
+        elif isinstance(target, ast.Name) and target.id in self.globals:
+            self._emit("attr-write", target.id, node, is_aug=is_aug)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._write_target(elt, node, is_aug)
+
+    def stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return
+        if isinstance(node, ast.Global):
+            self.globals.update(node.names)
+            return
+        if isinstance(node, ast.Assign):
+            self.expr(node.value)
+            for target in node.targets:
+                self._write_target(target, node, is_aug=False)
+            return
+        if isinstance(node, ast.AugAssign):
+            self.expr(node.value)
+            self._write_target(node.target, node, is_aug=True)
+            return
+        if isinstance(node, ast.AnnAssign):
+            self.expr(node.value)
+            self._write_target(node.target, node, is_aug=False)
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                self.expr(item.context_expr)
+            if isinstance(node, ast.AsyncWith):
+                self._mark_await(node)  # __aenter__ is a yield point
+            locked = any(_is_lock_ctx(item) for item in node.items)
+            if locked:
+                self.lock_depth += 1
+            self.body(node.body)
+            if locked:
+                self.lock_depth -= 1
+            if isinstance(node, ast.AsyncWith):
+                self._mark_await(node)  # __aexit__ too
+            return
+        if isinstance(node, ast.Try):
+            self.body(node.body)
+            for handler in node.handlers:
+                self.body(handler.body)
+            self.body(node.orelse)
+            self.finally_depth += 1
+            self.body(node.finalbody)
+            self.finally_depth -= 1
+            return
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            self.expr(node.iter)
+            if isinstance(node, ast.AsyncFor):
+                self._mark_await(node)  # __anext__ yields every step
+            self._write_target(node.target, node, is_aug=False)
+            self.body(node.body)
+            self.body(node.orelse)
+            return
+        if isinstance(node, ast.While):
+            self.expr(node.test)
+            self.body(node.body)
+            self.body(node.orelse)
+            return
+        if isinstance(node, ast.If):
+            self.expr(node.test)
+            self.body(node.body)
+            self.body(node.orelse)
+            return
+        # leaf statements: walk embedded expressions in order
+        for child in ast.iter_child_nodes(node):
+            self.expr(child)
+
+    def body(self, stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            self.stmt(stmt)
+
+
+def function_events(fn: ast.AST) -> List[Event]:
+    """The await-marked event stream of one function body.
+
+    This is the "lightweight CFG": shared-state reads/writes and lock
+    scopes in source order, each stamped with how many ``await`` points
+    precede it.  Two events with different ``awaits_before`` are
+    separated by at least one scheduling opportunity.
+    """
+    walker = _EventWalker()
+    walker.body(getattr(fn, "body", []))
+    return walker.events
+
+
+# -- project passes -----------------------------------------------------------
+
+def _finding(mod: ModuleSummary, code: str, line: int, col: int,
+             context: str, message: str) -> Finding:
+    return Finding(path=mod.path, line=line, col=col, code=code,
+                   message=message, context=context)
+
+
+def _rpc201_chains(graph: CallGraph,
+                   findings: List[Finding],
+                   suppressed: List[Finding]) -> None:
+    """Unseeded RNG reaching measured code through helper calls.
+
+    The per-file RPC201 rule already covers direct draws inside the
+    measured domains; this pass reports a measured function whose call
+    chain reaches an unseeded draw sitting in a *non-measured* module,
+    at the measured call site, naming the chain.
+    """
+    dirty = {fq for fq, (mod, fn) in graph.functions.items()
+             if fn.unseeded_rng and not (mod.tags & _MEASURED_TAGS)}
+    if not dirty:
+        return
+    for fq, (mod, fn) in sorted(graph.functions.items()):
+        if not (mod.tags & _MEASURED_TAGS):
+            continue
+        chain = graph.chain_to(fq, dirty)
+        if chain is None:
+            continue
+        first_site = chain[0][0]
+        via = " via ".join(target for _, target in chain)
+        message = (f"unseeded RNG reaches {fq} via {via}; helpers called "
+                   f"from measured code must take an explicit seeded "
+                   f"generator (np.random.default_rng(seed))")
+        f = _finding(mod, "RPC201", first_site.line, first_site.col,
+                     first_site.context, message)
+        (suppressed if mod.suppresses("RPC201", first_site.line)
+         else findings).append(f)
+
+
+def _rpc505_cross_module(graph: CallGraph,
+                         findings: List[Finding],
+                         suppressed: List[Finding]) -> None:
+    """Coroutine called-and-dropped where the ``async def`` lives in
+    another module (the per-file RPC505 rule handles the same-module
+    case lexically)."""
+    for fq, (mod, fn) in sorted(graph.functions.items()):
+        for site, target in graph.edges.get(fq, ()):
+            if not graph.is_async(target):
+                continue
+            tmod, _ = graph.functions[target]
+            if tmod.modname == mod.modname:
+                continue  # per-file rule territory
+            if site.awaited or site.consumed or not site.discarded:
+                continue
+            message = (f"coroutine {target} is called but never awaited "
+                       f"(reached from {fq}); the call builds a coroutine "
+                       f"object and drops it — await it or hand it to "
+                       f"asyncio.create_task/gather")
+            f = _finding(mod, "RPC505", site.line, site.col, site.context,
+                         message)
+            (suppressed if mod.suppresses("RPC505", site.line)
+             else findings).append(f)
+
+
+def run_project_passes(summaries: Sequence[ModuleSummary],
+                       codes: Optional[Sequence[str]] = None,
+                       ) -> Tuple[List[Finding], List[Finding]]:
+    """Run every interprocedural pass selected by ``codes``.
+
+    Returns ``(findings, suppressed)``.  RPC000 (parse-error) modules
+    are carried in ``summaries`` but contribute no symbols, so a broken
+    file degrades coverage instead of crashing the builder.
+    """
+    active = PROJECT_CODES if codes is None \
+        else PROJECT_CODES & set(codes)
+    if not active:
+        return [], []
+    graph = CallGraph(summaries)
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    if "RPC201" in active:
+        _rpc201_chains(graph, findings, suppressed)
+    if "RPC505" in active:
+        _rpc505_cross_module(graph, findings, suppressed)
+    findings.sort()
+    return findings, suppressed

@@ -14,7 +14,9 @@ Rule codes are grouped in families by their hundreds digit:
 * ``RPC3xx`` — worker safety (everything shipped into worker processes
   must be picklable and fork-safe);
 * ``RPC4xx`` — durability (artifacts are written through the atomic
-  integrity-checked writer, never a bare ``open``/``tofile``/``np.save``).
+  integrity-checked writer, never a bare ``open``/``tofile``/``np.save``);
+* ``RPC5xx`` — async concurrency (no state torn across ``await``
+  points, no dropped tasks, no blocking calls on the event loop).
 
 Registration is by decorator::
 
@@ -41,6 +43,7 @@ FAMILIES = {
     "RPC2": "determinism",
     "RPC3": "worker-safety",
     "RPC4": "durability",
+    "RPC5": "async-concurrency",
 }
 
 

@@ -39,6 +39,24 @@ def _first_arg_is_seed(node: ast.Call) -> bool:
     return False
 
 
+def is_unseeded_rng_call(node: ast.Call) -> bool:
+    """Is this call an unseeded / global-state RNG draw?
+
+    Shared between the per-file RPC201 rule and the interprocedural
+    pass (:mod:`repro.check.project`), which chases the same pattern
+    through helper functions outside the measured domains.
+    """
+    name = dotted_name(node.func)
+    if not name:
+        return False
+    parts = name.split(".")
+    if "random" in parts[:-1] and parts[0] in ("np", "numpy"):
+        return parts[-1] not in _SEEDABLE or not _first_arg_is_seed(node)
+    if parts[0] == "random" and len(parts) == 2:
+        return parts[-1] not in _SEEDABLE or not _first_arg_is_seed(node)
+    return False
+
+
 @rule
 class UnseededRandomRule(Rule):
     """Unseeded / global-state RNG in measured code."""

@@ -12,6 +12,7 @@ deep inside a worker.
 from __future__ import annotations
 
 import ast
+from typing import Dict, Optional
 
 from .registry import Rule, dotted_name, rule
 
@@ -23,9 +24,25 @@ _POOL_TARGETS = {"run_cells_parallel", "SupervisedPool", "sweep_cells",
                  "Pool", "ProcessPoolExecutor"}
 
 
+def _enclosing_function(node: ast.AST) -> Optional[ast.AST]:
+    parent = getattr(node, "_repro_parent", None)
+    while parent is not None:
+        if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return parent
+        parent = getattr(parent, "_repro_parent", None)
+    return None
+
+
 @rule
 class UnpicklableWorkerArgRule(Rule):
-    """Lambdas / nested functions passed into the worker pool."""
+    """Lambdas / nested functions passed into the worker pool.
+
+    Catches the payload both spelled inline and laundered through one
+    local hop: a ``functools.partial`` wrapping a lambda/nested
+    function, or a local variable previously assigned either shape —
+    the partial object pickles, but the callable inside it still does
+    not, so the failure is identical at the worker.
+    """
 
     code = "RPC301"
     name = "unpicklable-worker-arg"
@@ -35,21 +52,72 @@ class UnpicklableWorkerArgRule(Rule):
     interests = (ast.Call,)
     exclude = frozenset({"check"})
 
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        #: per enclosing-function cache: local name -> unpicklable reason
+        self._local_aliases: Dict[int, Dict[str, str]] = {}
+
+    def _is_unpicklable_value(self, value: ast.AST) -> str:
+        """Why ``value`` cannot cross the pickle boundary ('' if it can)."""
+        checker = self.ctx.checker
+        if isinstance(value, ast.Lambda):
+            return "a lambda"
+        if isinstance(value, ast.Name) and checker is not None \
+                and checker.is_local_function(value.id):
+            return f"nested function {value.id!r}"
+        if isinstance(value, ast.Call) \
+                and dotted_name(value.func).split(".")[-1] == "partial":
+            for sub in [*value.args, *(kw.value for kw in value.keywords)]:
+                why = self._is_unpicklable_value(sub)
+                if why:
+                    return f"functools.partial over {why}"
+        return ""
+
+    def _aliases_of(self, fn: Optional[ast.AST]) -> Dict[str, str]:
+        """Local ``name = <unpicklable>`` assignments in ``fn``'s body."""
+        if fn is None:
+            return {}
+        cached = self._local_aliases.get(id(fn))
+        if cached is not None:
+            return cached
+        aliases: Dict[str, str] = {}
+        for sub in ast.walk(fn):
+            if isinstance(sub, ast.Assign) and len(sub.targets) == 1 \
+                    and isinstance(sub.targets[0], ast.Name):
+                why = self._is_unpicklable_value(sub.value)
+                if why:
+                    aliases[sub.targets[0].id] = why
+        self._local_aliases[id(fn)] = aliases
+        return aliases
+
     def check(self, node: ast.Call) -> None:
         target = dotted_name(node.func).split(".")[-1]
         if target not in _POOL_TARGETS:
             return
         checker = self.ctx.checker
+        aliases = None
         for arg in [*node.args, *(kw.value for kw in node.keywords)]:
             for sub in ast.walk(arg):
                 if isinstance(sub, ast.Lambda):
                     self.ctx.report(sub, self.code, self.summary)
-                elif (isinstance(sub, ast.Name) and checker is not None
-                        and checker.is_local_function(sub.id)):
-                    self.ctx.report(
-                        sub, self.code,
-                        f"nested function {sub.id!r} passed into a worker "
-                        f"pool; move it to module level so it pickles")
+                elif isinstance(sub, ast.Name):
+                    if checker is not None \
+                            and checker.is_local_function(sub.id):
+                        self.ctx.report(
+                            sub, self.code,
+                            f"nested function {sub.id!r} passed into a "
+                            f"worker pool; move it to module level so it "
+                            f"pickles")
+                        continue
+                    if aliases is None:
+                        aliases = self._aliases_of(_enclosing_function(node))
+                    if sub.id in aliases:
+                        self.ctx.report(
+                            sub, self.code,
+                            f"{sub.id!r} is {aliases[sub.id]} and is passed "
+                            f"into a worker pool; workers unpickle their "
+                            f"payload, so the callable must be a "
+                            f"module-level function")
 
 
 @rule
@@ -159,15 +227,55 @@ class ServeAwaitDeadlineRule(Rule):
     interests = (ast.Await,)
     domains = frozenset({"serve"})
 
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        #: per enclosing-function cache of segment-I/O local aliases
+        self._alias_cache: Dict[int, set] = {}
+
+    def _segment_aliases(self, node: ast.AST) -> set:
+        """Local names bound to a segment-I/O callable before the await.
+
+        Closes the ``fn = store.read_segment; await to_thread(fn, seg)``
+        blind spot: the alias carries the stall, so it counts as
+        segment I/O wherever the bare name is awaited or shipped to an
+        executor shim.
+        """
+        fn = _enclosing_function(node)
+        if fn is None:
+            return set()
+        cached = self._alias_cache.get(id(fn))
+        if cached is not None:
+            return cached
+        aliases = set()
+        for sub in ast.walk(fn):
+            if isinstance(sub, ast.Assign) \
+                    and isinstance(sub.value, ast.Attribute) \
+                    and sub.value.attr in _SEGMENT_IO:
+                for target in sub.targets:
+                    if isinstance(target, ast.Name):
+                        aliases.add(target.id)
+        self._alias_cache[id(fn)] = aliases
+        return aliases
+
     def _is_segment_io(self, call: ast.Call) -> bool:
         target = dotted_name(call.func).split(".")[-1]
         if target in _SEGMENT_IO:
             return True
+        aliases = None
+        if isinstance(call.func, ast.Name):
+            aliases = self._segment_aliases(call)
+            if call.func.id in aliases:
+                return True
         if target in _EXECUTOR_SHIMS:
             # the stall lives in the callable shipped to the executor
+            if aliases is None:
+                aliases = self._segment_aliases(call)
             for arg in [*call.args, *(kw.value for kw in call.keywords)]:
                 inner = arg.func if isinstance(arg, ast.Call) else arg
-                if dotted_name(inner).split(".")[-1] in _SEGMENT_IO:
+                name = dotted_name(inner)
+                if name.split(".")[-1] in _SEGMENT_IO:
+                    return True
+                if isinstance(inner, ast.Name) and inner.id in aliases:
                     return True
         return False
 

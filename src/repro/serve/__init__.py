@@ -20,6 +20,10 @@ space to a storage-and-query service:
   (``docs/SERVING.md`` § Serving reliability);
 * :mod:`~repro.serve.traffic` — seeded synthetic sessions (Zipf
   viewpoints, orbit sweeps, burst arrivals);
+* :mod:`~repro.serve.fuzz` — seeded scheduling perturbation
+  (:class:`~repro.serve.fuzz.ScheduleFuzzer`): the runtime twin of the
+  RPC5xx static rules, driven by ``scripts/fuzz_interleavings.py`` to
+  prove served bytes are interleaving-independent;
 * :mod:`~repro.serve.bench` — the cross-layout comparison
   (``repro serve-bench`` / ``scripts/bench_serve.py``) with its gate:
   curve orders must touch no more segments per query than row-major.
@@ -29,6 +33,7 @@ See ``docs/SERVING.md`` for the tour.
 
 from .bench import OrderResult, ServeBenchResult, render, run_serve_bench
 from .cache import LRUCache, NoCache, make_cache
+from .fuzz import ScheduleFuzzer
 from .reliability import (
     CircuitBreaker,
     Deadline,
@@ -65,6 +70,7 @@ __all__ = [
     "RayQuery",
     "ReadPolicy",
     "ReliabilityConfig",
+    "ScheduleFuzzer",
     "ServeBenchResult",
     "SlabQuery",
     "ViewportQuery",

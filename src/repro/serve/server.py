@@ -41,7 +41,10 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from .fuzz import ScheduleFuzzer
 
 import numpy as np
 
@@ -423,7 +426,9 @@ class VolumeServer:
     async def session(self, queries: Sequence[Query], *,
                       concurrency: int = 4,
                       arrivals: Optional[Sequence[float]] = None,
-                      time_scale: float = 1.0) -> List[QueryResult]:
+                      time_scale: float = 1.0,
+                      perturb: Optional["ScheduleFuzzer"] = None,
+                      ) -> List[QueryResult]:
         """Serve a whole workload; results come back in *query order*.
 
         ``arrivals`` (seconds, from :func:`repro.serve.traffic.
@@ -438,6 +443,14 @@ class VolumeServer:
         Results still line up 1:1 with ``queries``, and the wrapping
         ``serve.session`` span rolls up p50/p99 latency and the
         shed/rejected tallies for the manifest.
+
+        ``perturb`` (a :class:`~repro.serve.fuzz.ScheduleFuzzer`)
+        injects extra event-loop yields at the scheduling seams —
+        query arrival and post-admission — so the interleaving fuzzer
+        can explore alternative schedules.  The seams sit strictly
+        outside the admission-check/increment pair, which must stay
+        atomic between yield points (a hook there would *create* the
+        TOCTOU the design forbids).
         """
         rel = self.reliability
 
@@ -446,6 +459,8 @@ class VolumeServer:
                 delay = float(arrivals[i]) * time_scale
                 if delay > 0:
                     await asyncio.sleep(delay)
+            if perturb is not None:
+                await perturb.point("arrival")
             if rel is not None and rel.max_inflight is not None \
                     and self._inflight >= rel.max_inflight:
                 _trace.add("serve.reliability_shed", 1)
@@ -455,6 +470,8 @@ class VolumeServer:
                           f"({rel.max_inflight} in flight)")
             self._inflight += 1
             try:
+                if perturb is not None:
+                    await perturb.point("admitted")
                 return i, await self.query(q, sem)
             finally:
                 self._inflight -= 1

@@ -132,3 +132,136 @@ class TestSelfCheck:
         root = os.path.abspath(
             os.path.join(os.path.dirname(__file__), "..", ".."))
         assert main([os.path.join(root, "src"), "--no-baseline"]) == 0
+
+
+class TestSarifFormat:
+    def test_sarif_document_shape(self, in_tmp, capsys):
+        target = write(in_tmp, "dirty.py", DIRTY)
+        assert main([target, "--format", "sarif"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        (run,) = doc["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-check"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"RPC103", "RPC501"} <= rule_ids
+        (result,) = run["results"]
+        assert result["ruleId"] == "RPC103"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 2
+
+    def test_sarif_clean_exits_0(self, in_tmp, capsys):
+        target = write(in_tmp, "clean.py", CLEAN)
+        assert main([target, "--format", "sarif"]) == 0
+        (run,) = json.loads(capsys.readouterr().out)["runs"]
+        assert run["results"] == []
+
+    def test_sarif_respects_baseline(self, in_tmp, capsys):
+        target = write(in_tmp, "dirty.py", DIRTY)
+        baseline = str(in_tmp / "baseline.json")
+        main([target, "--write-baseline", "--baseline", baseline])
+        capsys.readouterr()
+        assert main([target, "--format", "sarif",
+                     "--baseline", baseline]) == 0
+
+
+class TestGithubFormat:
+    def test_annotation_lines(self, in_tmp, capsys):
+        target = write(in_tmp, "dirty.py", DIRTY)
+        assert main([target, "--format", "github"]) == 1
+        out = capsys.readouterr().out
+        assert "::error file=" in out
+        assert "line=2" in out and "title=RPC103" in out
+        assert out.strip().endswith("1 findings")
+
+    def test_clean_tree_no_annotations(self, in_tmp, capsys):
+        target = write(in_tmp, "clean.py", CLEAN)
+        assert main([target, "--format", "github"]) == 0
+        assert "::error" not in capsys.readouterr().out
+
+
+class TestTiming:
+    def test_json_reports_wall_time_and_jobs(self, in_tmp, capsys):
+        target = write(in_tmp, "clean.py", CLEAN)
+        assert main([target, "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["elapsed_s"] >= 0
+        assert doc["jobs"] == 1
+
+    def test_explicit_jobs_matches_serial(self, in_tmp, capsys):
+        for i in range(4):
+            write(in_tmp, f"dirty{i}.py", DIRTY)
+        assert main([str(in_tmp), "--format", "json", "--jobs", "1",
+                     "--no-baseline"]) == 1
+        serial = json.loads(capsys.readouterr().out)
+        assert main([str(in_tmp), "--format", "json", "--jobs", "2",
+                     "--no-baseline"]) == 1
+        parallel = json.loads(capsys.readouterr().out)
+        assert parallel["findings"] == serial["findings"]
+        assert parallel["jobs"] == 2
+
+
+class TestChangedFiles:
+    def _git(self, *args, cwd):
+        import subprocess
+        subprocess.run(["git", *args], cwd=cwd, check=True,
+                       capture_output=True,
+                       env={**os.environ,
+                            "GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+                            "GIT_COMMITTER_NAME": "t",
+                            "GIT_COMMITTER_EMAIL": "t@t"})
+
+    def test_only_changed_files_checked(self, in_tmp, capsys):
+        self._git("init", "-q", cwd=in_tmp)
+        clean = write(in_tmp, "clean.py", CLEAN)
+        write(in_tmp, "committed_dirty.py", DIRTY)
+        self._git("add", ".", cwd=in_tmp)
+        self._git("commit", "-q", "-m", "seed", cwd=in_tmp)
+        # modify one file, add one untracked; the committed-dirty file
+        # is unchanged so --changed must not surface its finding
+        write(in_tmp, "clean.py", CLEAN + "OTHER = 2\n")
+        write(in_tmp, "new_dirty.py", DIRTY)
+        assert main([str(in_tmp), "--changed", "HEAD",
+                     "--format", "json", "--no-baseline"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["files_checked"] == 2
+        assert {f["path"] for f in doc["findings"]} \
+            == {str(in_tmp / "new_dirty.py").replace(os.sep, "/")}
+        assert clean  # silences unused warning
+
+    def test_no_changes_is_green(self, in_tmp, capsys):
+        self._git("init", "-q", cwd=in_tmp)
+        write(in_tmp, "committed_dirty.py", DIRTY)
+        self._git("add", ".", cwd=in_tmp)
+        self._git("commit", "-q", "-m", "seed", cwd=in_tmp)
+        assert main([str(in_tmp), "--changed"]) == 0
+        assert "0 files changed" in capsys.readouterr().out
+
+    def test_outside_git_checkout_exits_2(self, tmp_path, monkeypatch,
+                                          capsys):
+        deep = tmp_path / "nogit"
+        deep.mkdir()
+        monkeypatch.chdir(deep)
+        monkeypatch.setenv("GIT_CEILING_DIRECTORIES", str(tmp_path))
+        (deep / "clean.py").write_text(CLEAN)
+        assert main([str(deep), "--changed"]) == 2
+        assert "--changed" in capsys.readouterr().err
+
+
+class TestStdlibOnlyImport:
+    def test_checker_imports_without_numpy(self):
+        """The CI gate must not pay for the scientific stack: importing
+        repro.check (and running a file check) must not pull numpy."""
+        import subprocess
+        import sys
+        code = (
+            "import sys\n"
+            "import repro.check\n"
+            "repro.check.check_source('X = 1\\n', 'x.py')\n"
+            "assert 'numpy' not in sys.modules, 'numpy leaked in'\n"
+        )
+        src = os.path.abspath(os.path.join(
+            os.path.dirname(__file__), "..", "..", "src"))
+        proc = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True,
+            env={**os.environ, "PYTHONPATH": src})
+        assert proc.returncode == 0, proc.stderr

@@ -120,3 +120,27 @@ class TestFileDiscovery:
         assert n_files == 2
         assert codes(findings) == ["RPC103"]
         assert not suppressed
+
+
+class TestParallelAnalysis:
+    def test_resolve_jobs_explicit_wins(self):
+        from repro.check.engine import resolve_jobs
+        assert resolve_jobs(500, 3) == 3
+        assert resolve_jobs(500, 0) == 1
+
+    def test_resolve_jobs_auto_serial_for_small_trees(self):
+        from repro.check.engine import _PARALLEL_THRESHOLD, resolve_jobs
+        assert resolve_jobs(_PARALLEL_THRESHOLD - 1, None) == 1
+        auto = resolve_jobs(_PARALLEL_THRESHOLD, None)
+        assert 1 <= auto <= 8
+
+    def test_parallel_results_match_serial(self, tmp_path):
+        bad = textwrap.dedent("""\
+            def f(layout):
+                return layout.get_index(0, 0, 0)
+        """)
+        for i in range(6):
+            (tmp_path / f"m{i}.py").write_text(bad)
+        serial = check_paths([str(tmp_path)], jobs=1)
+        parallel = check_paths([str(tmp_path)], jobs=2)
+        assert parallel == serial

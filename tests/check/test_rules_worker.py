@@ -44,6 +44,43 @@ class TestUnpicklableWorkerArg:
                 return sorted(cells, key=lambda c: c.cost)
         """) == []
 
+    def test_partial_over_lambda(self):
+        assert codes("""\
+            from functools import partial
+
+            def launch(cells):
+                fn = partial(lambda c, k: c.run(k), k=2)
+                return run_cells_parallel(cells, fn=fn)
+        """) == ["RPC301"]
+
+    def test_partial_over_nested_function(self):
+        assert codes("""\
+            from functools import partial
+
+            def launch(cells):
+                def work(cell, k):
+                    return cell.run(k)
+                return run_cells_parallel(cells, fn=partial(work, k=2))
+        """) == ["RPC301"]
+
+    def test_local_alias_of_lambda(self):
+        assert codes("""\
+            def launch(cells):
+                score = lambda c: c.cost
+                return run_cells_parallel(cells, key=score)
+        """) == ["RPC301"]
+
+    def test_partial_over_module_function_is_fine(self):
+        assert codes("""\
+            from functools import partial
+
+            def work(cell, k):
+                return cell.run(k)
+
+            def launch(cells):
+                return run_cells_parallel(cells, fn=partial(work, k=2))
+        """) == []
+
 
 class TestMutableModuleGlobal:
     def test_lowercase_dict_global(self):
@@ -147,6 +184,42 @@ class TestServeAwaitDeadline:
             async def answer(store, seg):
                 return await store.read_segment(seg)
         """) == []
+
+    def test_aliased_segment_io_awaited(self):
+        # regression: the blind spot where a local alias hid the read
+        assert codes("""\
+            async def answer(store, seg):
+                fn = store.read_segment
+                return await fn(seg)
+        """, path=SERVE) == ["RPC312"]
+
+    def test_aliased_segment_io_through_executor_shim(self):
+        assert codes("""\
+            import asyncio
+
+            async def answer(store, seg):
+                fn = store.read_segment
+                return await asyncio.to_thread(fn, seg)
+        """, path=SERVE) == ["RPC312"]
+
+    def test_aliased_shim_with_timeout_is_fine(self):
+        assert codes("""\
+            import asyncio
+
+            async def answer(store, seg):
+                fn = store.read_segment
+                return await asyncio.wait_for(
+                    asyncio.to_thread(fn, seg), timeout=1.0)
+        """, path=SERVE) == []
+
+    def test_unrelated_alias_is_fine(self):
+        assert codes("""\
+            import asyncio
+
+            async def answer(store, seg):
+                fn = store.describe
+                return await asyncio.to_thread(fn, seg)
+        """, path=SERVE) == []
 
 
 class TestSuppression:
