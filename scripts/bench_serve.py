@@ -42,13 +42,20 @@ def main(argv=None) -> int:
     ap.add_argument("--queries", type=int, default=120)
     ap.add_argument("--seed", type=int, default=0)
     ap.add_argument("--cache", default="lru:capacity=32")
+    ap.add_argument("--on-degenerate", choices=["error", "adjust"],
+                    default="adjust",
+                    help="reject or auto-adjust (with a warning) configs "
+                         "where the chunk grid's x-extent equals "
+                         "--chunks-per-segment and the gate would "
+                         "silently favor row-major")
     args = ap.parse_args(argv)
 
     bench = run_serve_bench(
         shape=args.shape, chunk=args.chunk,
         chunks_per_segment=args.chunks_per_segment,
         orders=tuple(args.orders), baseline=args.baseline,
-        n_queries=args.queries, seed=args.seed, cache=args.cache)
+        n_queries=args.queries, seed=args.seed, cache=args.cache,
+        on_degenerate=args.on_degenerate)
     print(render(bench))
     return 0 if bench.ok else 1
 

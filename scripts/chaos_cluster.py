@@ -1,0 +1,288 @@
+#!/usr/bin/env python3
+"""Chaos cluster: elastic sharding serves bit-identical bytes through
+rolling shard failures and a rejoin.
+
+The CI gate for the elastic serving tier (docs/SERVING.md § Elastic
+sharding).  One volume is bricked into a 2-way replicated store over 6
+simulated shards, a seeded workload is served once undisturbed, and
+then served again by a :class:`~repro.serve.cluster.ShardCluster`
+while a deterministic membership fault plan
+
+* kills shard 2 at cluster event 8 (``shard-kill``),
+* kills shard 4 at event 20 — a *rolling* second failure that lands
+  while the first rebalance's map is already live,
+* and rejoins shard 2 at event 32 (``shard-join``), mid-session.
+
+The cluster must detect each change with its clock-free event-count
+detector, re-replicate the dead shards' contiguous curve-segment
+ranges from healthy siblings while the old map keeps serving, and cut
+over — all without a single wrong byte: every query answered,
+payloads **bit-identical** to the undisturbed run, the cache's memsim
+cross-check exact, the under-replicated-segment count monotone back
+to zero, zero origin rebuilds (rolling failures always leave a
+healthy sibling), and the SFC map moving no more segment copies than
+the block-Cartesian strawman for every membership change.  A scrub
+pass afterwards must catch and repair an injected at-rest corruption
+and a silently divergent replica.  The trace + manifest pair must
+pass ``scripts/validate_trace.py``::
+
+    python scripts/chaos_cluster.py chaos_cluster.jsonl
+    python scripts/validate_trace.py chaos_cluster.jsonl
+
+Exits nonzero on any divergence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.data.synthetic import combustion_field  # noqa: E402
+from repro.instrument import trace  # noqa: E402
+from repro.instrument.manifest import build_manifest, write_manifest  # noqa: E402
+from repro.resilience.artifacts import verify_artifact  # noqa: E402
+from repro.resilience.faults import clear_faults, install_faults  # noqa: E402
+from repro.resilience.policy import RetryPolicy  # noqa: E402
+from repro.serve import (  # noqa: E402
+    ChunkStore,
+    ReliabilityConfig,
+    ShardCluster,
+    VolumeServer,
+    cache_crosscheck,
+    generate_queries,
+)
+
+#: store geometry: 48^3 / 8^3 chunks / 4 per segment = 54 segments,
+#: 2 replicas ringed over 6 shards (primaries = contiguous curve ranges)
+SHAPE = (48, 48, 48)
+CHUNK = 8
+CHUNKS_PER_SEGMENT = 4
+ORDER = "hilbert"
+REPLICAS = 2
+SHARDS = 6
+
+N_QUERIES = 36
+SEED = 7
+CACHE = "lru:capacity=8"
+
+#: the membership storyline, keyed on the cluster event counter (one
+#: event per query): rolling kills of 2 of the 6 shards, then shard 2
+#: rejoins mid-session — all through REPRO_FAULTS, so the same spec
+#: grammar that drives cell/disk/serve chaos drives membership chaos
+FAULT_PLAN = "shard-kill@2:at=8,shard-kill@4:at=20,shard-join@2:at=32"
+
+#: detector pacing: suspect after 3 missed events, dead after 6,
+#: 2 clean heartbeats to complete a join; 4 copy moves per tick
+SUSPECT_AFTER = 3
+DEAD_AFTER = 6
+JOIN_AFTER = 2
+REBALANCE_BUDGET = 4
+SCRUB_BUDGET = 2
+
+RELIABILITY = ReliabilityConfig(
+    retry=RetryPolicy(max_retries=3, backoff_base=0.01))
+
+
+def _payload_hashes(results):
+    return [hashlib.sha256(np.ascontiguousarray(r.data).tobytes())
+            .hexdigest() for r in results]
+
+
+def _finish(problems, n_queries: int, trace_path: str) -> int:
+    if problems:
+        for p in problems:
+            print(f"FAIL: {p}")
+        return 1
+    print(f"OK: {n_queries} queries bit-identical through 2 rolling "
+          f"shard kills + 1 rejoin; trace: {trace_path}")
+    return 0
+
+
+def _check_session(problems, cluster, chaotic, want, stats):
+    got = _payload_hashes([r for r in chaotic if r.ok])
+    if len(got) != N_QUERIES:
+        rejected = [r for r in chaotic if not r.ok]
+        problems.append(
+            f"{len(rejected)} queries went unanswered: "
+            + "; ".join(f"{r.reason}: {r.error}" for r in rejected[:3]))
+    elif got != want:
+        bad = [i for i, (a, b) in enumerate(zip(got, want)) if a != b]
+        problems.append(f"served bytes differ from the undisturbed "
+                        f"run at queries {bad}")
+    if cluster.deaths != 2:
+        problems.append(f"expected 2 shard deaths, saw {cluster.deaths}")
+    if cluster.joins != 1:
+        problems.append(f"expected 1 shard join, saw {cluster.joins}")
+    if cluster.cutovers < 3:
+        problems.append(f"expected >= 3 map cutovers, "
+                        f"saw {cluster.cutovers}")
+    if cluster.target is not None:
+        problems.append("cluster never finished its last migration")
+    if stats.get("segments_rebuilt", 0) != 0:
+        problems.append(
+            f"{stats['segments_rebuilt']} origin rebuilds: rolling "
+            f"failures must always leave a healthy sibling")
+    # under-replication must rise on each detected death and come
+    # monotonically back to zero — the re-replication promise
+    hist = cluster.under_replicated_history
+    peak = max(c for _, c in hist)
+    if peak < 1:
+        problems.append("shard deaths never produced under-replication "
+                        "(detector asleep?)")
+    last_rise = max((i for i in range(1, len(hist))
+                     if hist[i][1] > hist[i - 1][1]), default=0)
+    tail = [c for _, c in hist[last_rise:]]
+    if any(a < b for a, b in zip(tail, tail[1:])):
+        problems.append("under-replicated count not monotone after its "
+                        f"last rise: {tail}")
+    if hist[-1][1] != 0 or cluster.under_replicated() != 0:
+        problems.append(f"under-replicated count ended at "
+                        f"{hist[-1][1]}, not 0")
+    # the SFC claim, per membership change: contiguous curve ranges
+    # move no more copies than recutting a Cartesian box grid
+    for c in cluster.comparisons:
+        if c.sfc_moved > c.cartesian_moved:
+            problems.append(
+                f"SFC map moved {c.sfc_moved} segment copies for "
+                f"{c.old_live} -> {c.new_live}, more than the "
+                f"block-Cartesian strawman's {c.cartesian_moved:.1f}")
+
+
+def _exercise_scrubber(problems, cluster):
+    """Inject at-rest rot + a silently divergent replica; scrub must
+    catch and repair both (the read path would never see the second
+    one until routed there — that is the scrubber's whole job)."""
+    store = cluster.store
+    alive = {s for s, st in cluster.detector.state.items()
+             if st == "alive"}
+    victims = []
+    for seg in range(store.n_segments):
+        placed = cluster.map.replicas_of(seg)
+        if len(placed) >= 2 and set(placed) <= alive:
+            victims.append((seg, placed))
+            if len(victims) == 2:
+                break
+    if len(victims) < 2:
+        problems.append("no fully-alive replicated segments to scrub")
+        return
+    (seg_rot, placed_rot), (seg_div, placed_div) = victims
+    # 1: flip one byte at rest (sidecar mismatch — verification catches)
+    rot_path = store.path_on_shard(seg_rot, placed_rot[1])
+    with open(rot_path, "r+b") as fh:  # repro: noqa[RPC401] (injecting rot)
+        byte = fh.read(1)
+        fh.seek(0)
+        fh.write(bytes([byte[0] ^ 0xFF]))
+    # 2: a self-consistent but divergent non-primary copy (valid
+    # sidecar over the wrong bytes — only digest comparison catches)
+    good = store.read_replica_bytes(seg_div, [placed_div[0]])
+    store.write_replica_on(seg_div, placed_div[1], good[::-1])
+
+    before_rep = cluster.scrubber.repaired
+    before_div = cluster.scrubber.divergent
+    work = 2 * len([p for p in cluster.map.placements() if p[1] in alive])
+    cluster.scrubber.run(work)  # two full laps
+    if cluster.scrubber.repaired - before_rep < 2:
+        problems.append(
+            f"scrubber repaired "
+            f"{cluster.scrubber.repaired - before_rep} of 2 injected "
+            f"bad replicas")
+    if cluster.scrubber.divergent - before_div < 1:
+        problems.append("scrubber missed the silently divergent replica")
+    for seg, placed in victims:
+        ref = store.read_replica_bytes(seg, [placed[0]])
+        for shard in placed[1:]:
+            if store.read_replica_bytes(seg, [shard]) != ref:
+                problems.append(f"segment {seg} replicas still diverge "
+                                f"after scrubbing")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", nargs="?", default="chaos_cluster.jsonl",
+                        help="trace output path (manifest lands beside it)")
+    args = parser.parse_args()
+
+    dense = combustion_field(SHAPE, seed=SEED)
+    queries = generate_queries(SHAPE, N_QUERIES, seed=SEED)
+
+    problems = []
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-cluster-") as tmp:
+        kwargs = dict(order=ORDER, chunk=CHUNK,
+                      chunks_per_segment=CHUNKS_PER_SEGMENT,
+                      replicas=REPLICAS, shards=SHARDS)
+        store = ChunkStore.create(os.path.join(tmp, "store"), dense,
+                                  **kwargs)
+        ref_store = ChunkStore.create(os.path.join(tmp, "ref"), dense,
+                                      **kwargs)
+        print(f"store: {SHAPE} / chunk {CHUNK} / {store.n_segments} "
+              f"segments, {REPLICAS} replicas on {SHARDS} shards, "
+              f"order {ORDER}")
+
+        print(f"reference run: {N_QUERIES} queries, stable membership")
+        clear_faults()
+        reference = VolumeServer(ref_store, cache=CACHE)
+        want = _payload_hashes([reference.serve(q) for q in queries])
+
+        print(f"chaos run: membership faults [{FAULT_PLAN}]")
+        install_faults(FAULT_PLAN)
+        cluster = ShardCluster(
+            store, cache=CACHE, reliability=RELIABILITY,
+            suspect_after=SUSPECT_AFTER, dead_after=DEAD_AFTER,
+            join_after=JOIN_AFTER, rebalance_budget=REBALANCE_BUDGET,
+            scrub_budget=SCRUB_BUDGET)
+        tracer = trace.enable()
+        start = time.monotonic()
+        try:
+            chaotic = cluster.serve_session(queries)
+            # anti-entropy, inside the trace so scrub_* reach the manifest
+            _exercise_scrubber(problems, cluster)
+        finally:
+            trace.disable()
+            clear_faults()
+        elapsed = time.monotonic() - start
+
+        check = cache_crosscheck(cluster.server.cache)
+        tracer.write_jsonl(args.trace)
+        manifest = build_manifest(tracer, extra={"argv": sys.argv,
+                                                 "faults": FAULT_PLAN})
+        write_manifest(args.trace + ".manifest.json", manifest)
+
+        stats = manifest.get("serve", {})
+        print(f"survived in {elapsed:.1f}s; map v{cluster.map.version}, "
+              f"{cluster.segments_moved} copies moved; serve stats: "
+              + ", ".join(f"{k}={v}" for k, v in sorted(stats.items())))
+
+        _check_session(problems, cluster, chaotic, want, stats)
+        if stats.get("scrub_checked", 0) < 1:
+            problems.append("scrub counters never reached the manifest")
+        if not check.consistent:
+            problems.append("cache counters diverged from memsim under "
+                            "membership chaos: "
+                            + "; ".join(check.mismatches()))
+
+        # the wake of the chaos must be clean: every copy the final map
+        # calls for on disk and verifying against its sidecar
+        unverified = 0
+        for seg, shard in sorted(cluster.map.placements()):
+            try:
+                verify_artifact(store.path_on_shard(seg, shard),
+                                quarantine=False)
+            except Exception:
+                unverified += 1
+        if unverified:
+            problems.append(f"{unverified} mapped copies fail sidecar "
+                            f"verification after the rebalances")
+    return _finish(problems, N_QUERIES, args.trace)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

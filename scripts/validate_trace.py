@@ -4,9 +4,12 @@
 Checks the JSON-lines trace against the span schema (meta header, id
 uniqueness, parent resolution, dur arithmetic), the manifest against
 the manifest schema, and the two against each other: every manifest
-cell must correspond to a ``cell`` span, and each cell's summed phase
+cell must correspond to a ``cell`` span, each cell's summed phase
 durations must reconcile with its recorded ``wall_seconds`` within the
-acceptance tolerance.
+acceptance tolerance, and the manifest's ``serve`` section (including
+the ``cluster_*`` / ``scrub_*`` tallies a chaos-cluster run stamps)
+must equal the section re-derived from the trace's own counters and
+span attributes.
 
 Run:  python scripts/validate_trace.py TRACE.jsonl [MANIFEST.json]
       (manifest defaults to TRACE.jsonl.manifest.json)
@@ -23,6 +26,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
                                 os.pardir, "src"))
 
 from repro.instrument.manifest import (  # noqa: E402
+    serve_entries_from_records,
     validate_manifest,
     validate_trace_file,
 )
@@ -66,6 +70,17 @@ def cross_check(trace_path: str, manifest: dict) -> list:
             problems.append(
                 f"cell {idx}: phase sum {phase_sum:.6f}s vs "
                 f"wall {wall:.6f}s exceeds {TOLERANCE:.0%}")
+    # the serve section (reliability/cluster/scrub tallies) must equal
+    # what the trace itself adds up to — same derivation, two sources
+    meta = next((r for r in records if r.get("type") == "meta"), {})
+    derived = serve_entries_from_records(spans, meta.get("counters"))
+    recorded = manifest.get("serve") or {}
+    for key in sorted(set(derived) | set(recorded)):
+        if derived.get(key) != recorded.get(key):
+            problems.append(
+                f"serve entry {key!r}: trace derives "
+                f"{derived.get(key)!r}, manifest records "
+                f"{recorded.get(key)!r}")
     return problems
 
 

@@ -16,7 +16,8 @@ import ast
 from .registry import Rule, dotted_name, rule
 
 __all__ = ["UnseededRandomRule", "WallClockTimerRule",
-           "SetIterationRule", "WallClockInHashRule"]
+           "SetIterationRule", "WallClockInHashRule",
+           "ClockFreeServeControlRule"]
 
 #: np.random constructors that are deterministic when given a seed
 _SEEDABLE = {"default_rng", "RandomState", "Generator", "SeedSequence",
@@ -180,3 +181,43 @@ class WallClockInHashRule(Rule):
                     or "config" in lowered:
                 self.ctx.report(node, self.code, self.summary)
                 return
+
+
+@rule
+class ClockFreeServeControlRule(Rule):
+    """Wall-clock reads in the clock-free serving control plane."""
+
+    code = "RPC205"
+    name = "clock-free-serve-control"
+    summary = ("wall-clock read inside the serving control plane "
+               "(serve/reliability.py, serve/cluster.py); failure "
+               "detection, breakers and rebalancing must key on event "
+               "counts so chaos runs replay exactly — a deadline that "
+               "bounds *real* latency is the one exemption and carries "
+               "an explicit noqa (trace spans time themselves, outside "
+               "these files)")
+    interests = (ast.Attribute,)
+    domains = frozenset({"serve"})
+
+    #: only the control-plane modules; the rest of repro.serve may
+    #: time things (the bench measures wall latency on purpose)
+    _FILES = ("serve/reliability.py", "serve/cluster.py")
+
+    _CLOCKS = ("time.time", "time.time_ns", "time.monotonic",
+               "time.monotonic_ns", "time.perf_counter",
+               "time.perf_counter_ns", "time.process_time",
+               "time.process_time_ns")
+
+    def check(self, node: ast.Attribute) -> None:
+        # matching the Attribute (not the Call) catches both direct
+        # calls and clock references passed around as callables, e.g.
+        # field(default_factory=time.perf_counter), without reporting
+        # a called clock twice
+        if not self.ctx.path.endswith(self._FILES):
+            return
+        if dotted_name(node) not in self._CLOCKS:
+            return
+        parent = getattr(node, "_repro_parent", None)
+        if isinstance(parent, ast.Attribute):
+            return  # inner prefix of a longer dotted chain
+        self.ctx.report(node, self.code, self.summary)

@@ -11,6 +11,7 @@ Usage (also via ``python -m repro``):
     repro analyze --kernel bilateral --layout morton
     repro serve --order hilbert --queries 100    # chunked volume service
     repro serve-bench --shape 64                 # curve vs row-major gate
+    repro cluster --faults shard-flap@2:at=8:down=6   # elastic sharding
     repro sweep --capacities 8 16 32 64          # miss-ratio curve
 
 Figure subcommands accept ``--shape`` / ``--scale`` to trade fidelity
@@ -272,6 +273,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_sbench.add_argument("--concurrency", type=int, default=4)
     p_sbench.add_argument("--arrival-profile", choices=["steady", "burst"],
                           default="burst")
+    p_sbench.add_argument("--on-degenerate", choices=["error", "adjust"],
+                          default="adjust",
+                          help="what to do when grid x-extent == "
+                               "chunks-per-segment, a configuration "
+                               "whose gate silently favors row-major "
+                               "(default: adjust with a warning)")
+
+    p_clu = sub.add_parser(
+        "cluster", parents=[obs],
+        help="serve a seeded session through an elastic shard cluster "
+             "under deterministic membership chaos")
+    p_clu.add_argument("--shape", type=int, default=32,
+                       help="volume edge length (default 32)")
+    p_clu.add_argument("--dataset", choices=["combustion", "mri"],
+                       default="combustion")
+    p_clu.add_argument("--order", default="morton", metavar="SPEC",
+                       help="chunk-order layout spec (default morton)")
+    p_clu.add_argument("--chunk", type=int, default=8)
+    p_clu.add_argument("--chunks-per-segment", type=int, default=4)
+    p_clu.add_argument("--cache", default="lru:capacity=8", metavar="SPEC")
+    p_clu.add_argument("--queries", type=int, default=36)
+    p_clu.add_argument("--seed", type=int, default=0)
+    p_clu.add_argument("--replicas", type=int, default=2,
+                       help="replica copies per segment (default 2)")
+    p_clu.add_argument("--shards", type=int, default=4,
+                       help="simulated shards (default 4)")
+    p_clu.add_argument("--faults", default=None, metavar="SPEC",
+                       help="membership fault plan, e.g. "
+                            "shard-kill@2:at=8,shard-join@2:at=20 or "
+                            "shard-flap@1:at=10:down=6 (default: none; "
+                            "composes with any active REPRO_FAULTS)")
+    p_clu.add_argument("--rebalance-budget", type=int, default=4,
+                       help="segment-copy moves per tick (default 4)")
+    p_clu.add_argument("--scrub-budget", type=int, default=2,
+                       help="anti-entropy checks per tick (default 2)")
+    p_clu.add_argument("--no-crosscheck", action="store_true",
+                       help="skip the bit-identical comparison against "
+                            "an undisturbed serving run")
 
     p_swp = sub.add_parser(
         "sweep", parents=[obs],
@@ -657,9 +696,103 @@ def _cmd_serve_bench(args) -> int:
         chunks_per_segment=args.chunks_per_segment,
         orders=tuple(args.orders), baseline=args.baseline,
         n_queries=args.queries, seed=args.seed, cache=args.cache,
-        concurrency=args.concurrency, profile=args.arrival_profile)
+        concurrency=args.concurrency, profile=args.arrival_profile,
+        on_degenerate=args.on_degenerate)
     print(render_bench(bench))
     return 0 if bench.ok else 1
+
+
+def _cmd_cluster(args) -> int:
+    import hashlib
+    import shutil
+    import tempfile
+
+    from .data.synthetic import combustion_field, mri_phantom
+    from .resilience.faults import active_plan, clear_faults, install_faults
+    from .serve import (
+        ChunkStore,
+        ShardCluster,
+        VolumeServer,
+        cache_crosscheck,
+        generate_queries,
+    )
+
+    shape = (args.shape, args.shape, args.shape)
+    if args.dataset == "combustion":
+        dense = combustion_field(shape, seed=args.seed)
+    else:
+        dense = mri_phantom(shape)
+    queries = generate_queries(shape, args.queries, seed=args.seed)
+
+    def hashes(results):
+        return [hashlib.sha256(np.ascontiguousarray(r.data).tobytes())
+                .hexdigest() for r in results if r.ok]
+
+    tmp = tempfile.mkdtemp(prefix="repro-cluster-")
+    prior = active_plan().to_spec()
+    try:
+        store = ChunkStore.create(
+            os.path.join(tmp, "store"), dense, order=args.order,
+            chunk=args.chunk,
+            chunks_per_segment=args.chunks_per_segment,
+            replicas=args.replicas, shards=args.shards)
+        print(f"store: shape {store.shape}, chunk {store.chunk_shape}, "
+              f"order {store.order}, {store.n_segments} segments, "
+              f"{store.replicas} replicas on {store.shards} shards")
+        want = None
+        if not args.no_crosscheck:
+            calm = ChunkStore.create(
+                os.path.join(tmp, "calm"), dense, order=args.order,
+                chunk=args.chunk,
+                chunks_per_segment=args.chunks_per_segment,
+                replicas=args.replicas, shards=args.shards)
+            server = VolumeServer(calm, cache=args.cache)
+            want = hashes([server.serve(q) for q in queries])
+        if args.faults:
+            spec = f"{prior},{args.faults}" if prior else args.faults
+            install_faults(spec)
+            print(f"faults: {spec}")
+        cluster = ShardCluster(store, cache=args.cache,
+                               rebalance_budget=args.rebalance_budget,
+                               scrub_budget=args.scrub_budget)
+        results = cluster.serve_session(queries)
+        ok = sum(1 for r in results if r.ok)
+        st = cluster.status()
+        print(f"\nserved {ok}/{len(results)} queries over "
+              f"{st['events']} events")
+        print(f"membership: {st['deaths']} deaths, {st['joins']} joins, "
+              f"{st['rebalances']} rebalances -> map v{st['map_version']} "
+              f"(live {st['live']})")
+        print(f"rebalancing: {st['segments_moved']} segment copies moved "
+              f"({st['cutovers']} cutovers), "
+              f"{st['under_replicated']} under-replicated")
+        print(f"scrub: {st['scrub_checked']} checked, "
+              f"{st['scrub_repaired']} repaired, "
+              f"{st['scrub_divergent']} divergent")
+        for v, c in enumerate(cluster.comparisons, start=1):
+            print(f"  map v{v} (live {list(c.new_live)}): SFC moved "
+                  f"{c.sfc_moved} vs block-Cartesian {c.cartesian_moved}")
+        if ok != len(results):
+            bad = [r for r in results if not r.ok]
+            print("FAIL: " + "; ".join(
+                f"{r.reason}: {r.error}" for r in bad[:3]))
+            return 1
+        if want is not None:
+            if hashes(results) != want:
+                print("FAIL: served bytes differ from the undisturbed run")
+                return 1
+            check = cache_crosscheck(cluster.server.cache)
+            if not check.consistent:
+                print("CROSSCHECK FAIL: " + "; ".join(check.mismatches()))
+                return 1
+            print(f"crosscheck: bit-identical to the undisturbed run; "
+                  f"cache counters match memsim over "
+                  f"{check.accesses} accesses (exact)")
+        return 0
+    finally:
+        if args.faults:
+            install_faults(prior) if prior else clear_faults()
+        shutil.rmtree(tmp, ignore_errors=True)
 
 
 def _cmd_sweep(args) -> int:
@@ -716,6 +849,8 @@ def _dispatch(args) -> int:
         return _cmd_serve(args)
     if args.command == "serve-bench":
         return _cmd_serve_bench(args)
+    if args.command == "cluster":
+        return _cmd_cluster(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -16,7 +16,13 @@ from .compositing import (
     direct_send_schedule,
     over,
 )
-from .decomposition import PARTITION_ORDERS, Block, BlockDecomposition
+from .decomposition import (
+    PARTITION_ORDERS,
+    Block,
+    BlockDecomposition,
+    CartesianGridPartition,
+    process_grid,
+)
 from .netmodel import CommModel, Message, round_time, schedule_time
 from .renderer import DistributedRenderer, DistributedRenderResult, RankPartial
 from .stencil import StencilSweepCost, scaling_study, simulate_stencil_sweeps
@@ -24,6 +30,7 @@ from .stencil import StencilSweepCost, scaling_study, simulate_stencil_sweeps
 __all__ = [
     "Block",
     "BlockDecomposition",
+    "CartesianGridPartition",
     "CommModel",
     "DistributedRenderResult",
     "DistributedRenderer",
@@ -37,6 +44,7 @@ __all__ = [
     "composite_ordered",
     "direct_send_schedule",
     "over",
+    "process_grid",
     "round_time",
     "scaling_study",
     "schedule_time",

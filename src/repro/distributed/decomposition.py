@@ -21,9 +21,100 @@ from ..core.bits import ilog2, is_power_of_two
 from ..core.hilbert import hilbert_encode
 from ..core.morton import morton_encode_3d
 
-__all__ = ["Block", "BlockDecomposition", "PARTITION_ORDERS"]
+__all__ = ["Block", "BlockDecomposition", "CartesianGridPartition",
+           "PARTITION_ORDERS", "process_grid"]
 
 PARTITION_ORDERS = ("scan", "morton", "hilbert")
+
+
+def process_grid(n_ranks: int,
+                 shape: Sequence[int]) -> Tuple[int, int, int]:
+    """Factor ``n_ranks`` into a (px, py, pz) process grid over ``shape``.
+
+    The classic Cartesian-communicator shape (``MPI_Dims_create``
+    discipline): among all factorizations whose per-axis counts fit
+    the extents, pick the one minimizing the surface area of the
+    resulting box — the same halo-minimization objective the rest of
+    this module scores.  Deterministic tie-break by the factorization
+    tuple itself.
+    """
+    if n_ranks < 1:
+        raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+    nx, ny, nz = (int(s) for s in shape)
+    best = None
+    for px in range(1, n_ranks + 1):
+        if n_ranks % px:
+            continue
+        rest = n_ranks // px
+        for py in range(1, rest + 1):
+            if rest % py:
+                continue
+            pz = rest // py
+            if px > nx or py > ny or pz > nz:
+                continue
+            bx, by, bz = nx / px, ny / py, nz / pz
+            surface = 2.0 * (bx * by + by * bz + bz * bx)
+            key = (surface, (px, py, pz))
+            if best is None or key < best:
+                best = key
+    if best is None:
+        raise ValueError(
+            f"{n_ranks} ranks do not factor into grid {shape}")
+    return best[1]
+
+
+class CartesianGridPartition:
+    """A rigid box-grid decomposition: ``n_ranks`` boxes, one per rank.
+
+    The **block-Cartesian strawman** the elastic serving tier measures
+    itself against (:mod:`repro.serve.cluster`): the grid is cut into
+    a :func:`process_grid` of near-cubic boxes with balanced per-axis
+    boundaries, rank = box position in the process grid.  Good halo
+    behavior — but the box *topology* is a function of the rank
+    count, so adding or removing one rank recuts every boundary and
+    most cells change owner.  Contiguous SFC ranges, by contrast,
+    move only the ranges that crossed the changed rank; that gap is
+    exactly what the chaos gate pins.
+    """
+
+    def __init__(self, shape: Sequence[int], n_ranks: int):
+        self.shape = tuple(int(s) for s in shape)
+        self.n_ranks = int(n_ranks)
+        self.dims = process_grid(self.n_ranks, self.shape)
+        # balanced split points per axis: axis i of extent n cut into
+        # p runs of floor/ceil(n/p) cells
+        self._bounds = [
+            [round(i * n / p) for i in range(p + 1)]
+            for n, p in zip(self.shape, self.dims)]
+
+    def _axis_rank(self, axis: int, coord: int) -> int:
+        bounds = self._bounds[axis]
+        for i in range(len(bounds) - 1):
+            if bounds[i] <= coord < bounds[i + 1]:
+                return i
+        raise IndexError(
+            f"coordinate {coord} outside axis {axis} of {self.shape}")
+
+    def rank_of(self, i: int, j: int, k: int) -> int:
+        """Owning rank of grid cell ``(i, j, k)``."""
+        px, py, _ = self.dims
+        bi = self._axis_rank(0, i)
+        bj = self._axis_rank(1, j)
+        bk = self._axis_rank(2, k)
+        return bi + px * (bj + py * bk)
+
+    def rank_map(self) -> np.ndarray:
+        """Dense (nx, ny, nz) array of owning ranks."""
+        out = np.empty(self.shape, dtype=np.int64)
+        for i in range(self.shape[0]):
+            for j in range(self.shape[1]):
+                for k in range(self.shape[2]):
+                    out[i, j, k] = self.rank_of(i, j, k)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"CartesianGridPartition(shape={self.shape}, "
+                f"ranks={self.n_ranks}, dims={self.dims})")
 
 
 @dataclass(frozen=True)

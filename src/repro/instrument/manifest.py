@@ -32,6 +32,7 @@ __all__ = [
     "git_sha",
     "build_manifest",
     "write_manifest",
+    "serve_entries_from_records",
     "validate_manifest",
     "validate_trace_file",
 ]
@@ -126,25 +127,49 @@ def _serve_entries(tracer: Tracer) -> Dict[str, Any]:
     The store and server count from inside whatever query span is
     open, so the rollup sums span counters as well as the tracer's
     top-level counters; the ``serve.session`` span's latency rollups
-    (p50/p99 ms, deadline misses) merge in as plain numeric entries.
+    (p50/p99 ms, deadline misses) merge in as plain numeric entries,
+    and a ``serve.cluster`` span's membership rollups (final map
+    version, ok/rejected, residual under-replication) merge in under
+    a ``cluster_`` prefix next to the ``cluster_*`` counters.
+    """
+    return serve_entries_from_records(tracer.records, tracer.counters)
+
+
+def serve_entries_from_records(
+        records: Iterable[Dict[str, Any]],
+        top_counters: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Derive the manifest ``serve`` section from span records.
+
+    ``records`` are span dicts (a tracer's in-memory records or the
+    span lines of a written trace file) and ``top_counters`` the
+    counters accumulated outside any span (a live tracer's
+    ``counters``, or the meta header's ``counters`` when re-deriving
+    from a file).  ``scripts/validate_trace.py`` recomputes the
+    section through this same function and holds the manifest to it,
+    so a ``serve.cluster_*`` / ``serve.scrub_*`` tally can never
+    silently drift from the trace that produced it.
     """
     prefix = "serve."
     entries: Dict[str, Any] = {}
-    sources = [tracer.counters]
-    sources.extend(rec.get("counters", {}) for rec in tracer.records)
+    sources = [top_counters or {}]
+    sources.extend(rec.get("counters") or {} for rec in records)
     for counters in sources:
         for name, value in counters.items():
             if name.startswith(prefix):
                 key = name[len(prefix):]
                 entries[key] = entries.get(key, 0) + value
-    for rec in tracer.records:
-        if rec.get("name") != "serve.session":
-            continue
-        attrs = rec.get("attrs", {})
-        for key in ("p50_ms", "p99_ms", "ok", "rejected", "shed",
-                    "deadline_misses"):
-            if isinstance(attrs.get(key), (int, float)):
-                entries[key] = attrs[key]
+    for rec in records:
+        attrs = rec.get("attrs") or {}
+        if rec.get("name") == "serve.session":
+            for key in ("p50_ms", "p99_ms", "ok", "rejected", "shed",
+                        "deadline_misses"):
+                if isinstance(attrs.get(key), (int, float)):
+                    entries[key] = attrs[key]
+        elif rec.get("name") == "serve.cluster":
+            for key in ("ok", "rejected", "map_version",
+                        "under_replicated"):
+                if isinstance(attrs.get(key), (int, float)):
+                    entries[f"cluster_{key}"] = attrs[key]
     return entries
 
 

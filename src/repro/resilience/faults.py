@@ -63,6 +63,24 @@ every read routed to that shard:
     :class:`InjectedFault` — models a dead shard; the per-shard
     circuit breaker must trip and failover must carry the traffic.
 
+A fourth family targets *cluster membership*
+(:mod:`repro.serve.cluster`).  These are keyed on the cluster's
+**event counter** — the deterministic tick index the failure detector
+runs on — via the ``at=`` option, with the shard id before the colon:
+
+``shard-kill``
+    shard ``index`` goes down at cluster event ``at`` — the failure
+    detector must mark it suspect then dead and the rebalancer must
+    re-replicate its segments from healthy siblings;
+``shard-join``
+    shard ``index`` comes (back) up at cluster event ``at`` — the
+    detector must walk it through the joining grace period and the
+    map must re-admit it;
+``shard-flap``
+    shorthand for a kill at ``at`` followed by a join at
+    ``at + down`` — the bounded outage that must *not* cause a wrong
+    byte or a permanent membership change.
+
 Faults are described by a compact spec string so they cross process
 boundaries through the ``REPRO_FAULTS`` environment variable (worker
 processes — forked or spawned — inherit the environment)::
@@ -73,6 +91,8 @@ processes — forked or spawned — inherit the environment)::
     crash@1,corrupt@4       # plans compose with commas
     enospc@1,torn@3         # disk faults at write indexes 1 and 3
     shard-down@1,segread-slow@4:seconds=0.05   # serve faults
+    shard-kill@2:at=8,shard-join@2:at=32       # cluster membership
+    shard-flap@4:at=10:down=6                  # kill at 10, rejoin at 16
 
 ``@N:once`` (the default) fires on the first attempt only, so a retry
 then succeeds — the shape of a genuinely transient fault.  ``:always``
@@ -120,7 +140,11 @@ WRITE_MODES = ("enospc", "eio", "torn", "bitflip")
 #: the process-local segment-read index, ``shard-down`` on the shard id
 SERVE_MODES = ("segread-corrupt", "segread-slow", "shard-down")
 
-_MODES = CELL_MODES + WRITE_MODES + SERVE_MODES
+#: modes targeting cluster membership: keyed on (shard id, cluster
+#: event counter via the ``at=`` option); see repro.serve.cluster
+CLUSTER_MODES = ("shard-kill", "shard-join", "shard-flap")
+
+_MODES = CELL_MODES + WRITE_MODES + SERVE_MODES + CLUSTER_MODES
 
 
 class InjectedFault(RuntimeError):
@@ -129,12 +153,19 @@ class InjectedFault(RuntimeError):
 
 @dataclass(frozen=True)
 class FaultSpec:
-    """One fault: what happens, at which cell index, on which attempts."""
+    """One fault: what happens, at which cell index, on which attempts.
+
+    Cluster modes reuse ``index`` for the shard id and carry the
+    cluster event they fire at in ``at`` (``down`` is the flap's
+    outage length in events).
+    """
 
     mode: str
     index: int
     when: str = "once"      # "once" (attempt 1 only) or "always"
     seconds: float = 3600.0  # hang duration
+    at: int = -1            # cluster event the membership change fires at
+    down: int = 0           # shard-flap outage length, in cluster events
 
     def fires(self, index: int, attempt: int) -> bool:
         """True when this fault triggers for (cell ``index``, ``attempt``)."""
@@ -148,6 +179,10 @@ class FaultSpec:
             parts.append(self.when)
         if self.mode in ("hang", "segread-slow") and self.seconds != 3600.0:
             parts.append(f"seconds={self.seconds:g}")
+        if self.at >= 0:
+            parts.append(f"at={self.at}")
+        if self.down:
+            parts.append(f"down={self.down}")
         return ":".join(parts)
 
 
@@ -188,6 +223,30 @@ class FaultPlan:
                 return spec
         return None
 
+    def cluster_actions(self, event: int) -> "list[Tuple[str, int]]":
+        """Membership changes scheduled for cluster ``event``.
+
+        Returns ``("kill", shard)`` / ``("join", shard)`` pairs in spec
+        order.  A ``shard-flap`` expands to a kill at ``at`` and a join
+        at ``at + down``, so one spec exercises the whole outage
+        window.  Keyed on the deterministic event counter — the same
+        plan replays the same membership history every run.
+        """
+        actions = []
+        for spec in self.specs:
+            if spec.mode not in CLUSTER_MODES or spec.at < 0:
+                continue
+            if spec.mode == "shard-kill" and event == spec.at:
+                actions.append(("kill", spec.index))
+            elif spec.mode == "shard-join" and event == spec.at:
+                actions.append(("join", spec.index))
+            elif spec.mode == "shard-flap":
+                if event == spec.at:
+                    actions.append(("kill", spec.index))
+                if event == spec.at + max(1, spec.down):
+                    actions.append(("join", spec.index))
+        return actions
+
     def for_shard(self, shard: int) -> Optional[FaultSpec]:
         """The ``shard-down`` fault covering simulated shard ``shard``.
 
@@ -227,15 +286,23 @@ def parse_faults(spec: str) -> FaultPlan:
                              f"is not an integer") from None
         when = "once"
         seconds = 3600.0
+        at = -1
+        down = 0
         for opt in opts:
             if opt in ("once", "always"):
                 when = opt
             elif opt.startswith("seconds="):
                 seconds = float(opt[len("seconds="):])
+            elif opt.startswith("at="):
+                at = int(opt[len("at="):])
+            elif opt.startswith("down="):
+                down = int(opt[len("down="):])
             else:
                 raise ValueError(f"fault {chunk!r}: unknown option {opt!r}")
+        if mode in CLUSTER_MODES and at < 0:
+            raise ValueError(f"fault {chunk!r}: cluster modes need at=EVENT")
         specs.append(FaultSpec(mode=mode, index=index, when=when,
-                               seconds=seconds))
+                               seconds=seconds, at=at, down=down))
     return FaultPlan(tuple(specs))
 
 

@@ -18,6 +18,12 @@ space to a storage-and-query service:
   per-query deadlines, retries, hedged reads, per-shard circuit
   breakers and bounded admission with typed load-shedding
   (``docs/SERVING.md`` § Serving reliability);
+* :mod:`~repro.serve.cluster` — the elastic tier on top: versioned
+  curve-range shard maps (:class:`~repro.serve.cluster.ShardMap`),
+  deterministic event-count failure detection, budgeted rebalancing
+  that re-replicates through the read-repair path while the old map
+  keeps serving, and an anti-entropy scrubber
+  (``docs/SERVING.md`` § Elastic sharding);
 * :mod:`~repro.serve.traffic` — seeded synthetic sessions (Zipf
   viewpoints, orbit sweeps, burst arrivals);
 * :mod:`~repro.serve.fuzz` — seeded scheduling perturbation
@@ -33,6 +39,14 @@ See ``docs/SERVING.md`` for the tour.
 
 from .bench import OrderResult, ServeBenchResult, render, run_serve_bench
 from .cache import LRUCache, NoCache, make_cache
+from .cluster import (
+    FailureDetector,
+    RebalanceComparison,
+    Scrubber,
+    ShardCluster,
+    ShardMap,
+    compare_rebalance,
+)
 from .fuzz import ScheduleFuzzer
 from .reliability import (
     CircuitBreaker,
@@ -62,6 +76,7 @@ __all__ = [
     "DEFAULT_MIX",
     "Deadline",
     "DeadlineExceeded",
+    "FailureDetector",
     "LRUCache",
     "NoCache",
     "OrderResult",
@@ -69,9 +84,13 @@ __all__ = [
     "QueryResult",
     "RayQuery",
     "ReadPolicy",
+    "RebalanceComparison",
     "ReliabilityConfig",
     "ScheduleFuzzer",
+    "Scrubber",
     "ServeBenchResult",
+    "ShardCluster",
+    "ShardMap",
     "SlabQuery",
     "ViewportQuery",
     "VolumeServer",
@@ -79,6 +98,7 @@ __all__ = [
     "assert_cache_consistent",
     "cache_crosscheck",
     "chunk_placement",
+    "compare_rebalance",
     "generate_queries",
     "make_cache",
     "render",

@@ -23,6 +23,7 @@ import os
 import shutil
 import tempfile
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -114,15 +115,41 @@ def run_serve_bench(*, shape: int = 64, chunk: int = 8,
                     cache: str = "lru:capacity=32",
                     concurrency: int = 4,
                     profile: str = "burst",
+                    on_degenerate: str = "error",
                     workdir: Optional[str] = None) -> ServeBenchResult:
     """Run the cross-layout serve comparison.  See module docstring.
 
     ``workdir`` hosts the store directories (a temp dir by default,
     removed afterwards).  ``baseline`` must be one of ``orders``.
+
+    A chunk grid whose x-extent equals ``chunks_per_segment`` is a
+    *degenerate* gate configuration: row-major segments align exactly
+    with grid rows, the baseline is locally optimal, and the gate
+    silently favors row-major (docs/SERVING.md).  ``on_degenerate``
+    decides what happens then: ``"error"`` (default) rejects the
+    configuration, ``"adjust"`` doubles ``chunks_per_segment`` and
+    warns.
     """
     if baseline not in orders:
         raise ValueError(f"baseline {baseline!r} must be in orders "
                          f"{list(orders)}")
+    if on_degenerate not in ("error", "adjust"):
+        raise ValueError(f"on_degenerate must be 'error' or 'adjust', "
+                         f"got {on_degenerate!r}")
+    grid_x = -(-shape // chunk)
+    if grid_x == chunks_per_segment:
+        msg = (f"degenerate gate configuration: chunk-grid x-extent "
+               f"({grid_x}) == chunks_per_segment ({chunks_per_segment}); "
+               f"row-major segments align exactly with grid rows, so the "
+               f"gate silently favors the row-major baseline")
+        if on_degenerate == "error":
+            raise ValueError(
+                msg + " — change the geometry or pass "
+                "on_degenerate='adjust'")
+        chunks_per_segment *= 2
+        warnings.warn(
+            msg + f"; adjusted chunks_per_segment to "
+            f"{chunks_per_segment}", RuntimeWarning, stacklevel=2)
     vol_shape = (shape, shape, shape)
     dense = combustion_field(vol_shape, seed=seed)
     queries = generate_queries(vol_shape, n_queries, seed=seed)

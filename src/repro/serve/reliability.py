@@ -63,14 +63,18 @@ class Deadline:
     the only place synchronous processing can yield to a budget.
     """
 
+    # deadlines are wall-clock *by design* — they bound real latency,
+    # not control flow; membership/breaker decisions stay clock-free
     seconds: Optional[float]
-    started: float = field(default_factory=time.perf_counter)
+    started: float = field(
+        default_factory=time.perf_counter)  # repro: noqa[RPC205]
 
     def remaining(self) -> float:
         """Seconds left (``inf`` for a boundless deadline)."""
         if self.seconds is None:
             return float("inf")
-        return self.seconds - (time.perf_counter() - self.started)
+        elapsed = time.perf_counter() - self.started  # repro: noqa[RPC205]
+        return self.seconds - elapsed
 
     def expired(self) -> bool:
         return self.remaining() <= 0.0
@@ -232,6 +236,20 @@ class ReadPolicy:
         spent (no-op when no deadline is set)."""
         if self.deadline is not None:
             self.deadline.check()
+
+    def order_shards(self, shards: List[int]) -> List[int]:
+        """Shard-keyed twin of :meth:`replica_order` for map-routed
+        reads (:meth:`~repro.serve.store.ChunkStore.read_segment` with
+        ``locations``): when hedging is on and the primary shard was
+        recently observed slow, one slow-mark is consumed and the list
+        rotates so the next copy goes first.
+        """
+        if self.config.hedge and len(shards) > 1 \
+                and self.slow_shards.get(shards[0], 0) > 0:
+            self.slow_shards[shards[0]] -= 1
+            _trace.add("serve.reliability_hedges", 1)
+            return shards[1:] + shards[:1]
+        return list(shards)
 
     def replica_order(self, store, seg: int) -> List[int]:
         """Replica indexes to try for ``seg``, hedged when warranted.

@@ -161,12 +161,17 @@ class VolumeServer:
 
     def __init__(self, store: ChunkStore,
                  cache: Union[str, None, object] = "lru:capacity=64",
-                 reliability: Optional[ReliabilityConfig] = None):
+                 reliability: Optional[ReliabilityConfig] = None,
+                 reader=None):
         self.store = store
         self.cache = cache if hasattr(cache, "get") else make_cache(cache)
         self.reliability = reliability
         self._policy = ReadPolicy(reliability) \
             if reliability is not None else None
+        # ``reader(seg, policy) -> segment array`` replaces the static
+        # store read on cache misses — a cluster injects its versioned
+        # shard-map routing here without the server knowing about maps
+        self._reader = reader
         self._inflight = 0
         self.queries_served = 0
 
@@ -245,6 +250,8 @@ class VolumeServer:
 
     def _load_segment(self, seg: int) -> np.ndarray:
         """The cache's miss loader: a policy-routed store read."""
+        if self._reader is not None:
+            return self._reader(seg, self._policy)
         return self.store.read_segment(seg, policy=self._policy)
 
     def _fetch(self, seg: int) -> np.ndarray:

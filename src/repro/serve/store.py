@@ -148,6 +148,10 @@ class ChunkStore:
         self.segments_rebuilt = 0
         self.read_repairs = 0
         self.failovers = 0
+        # shards currently in simulated outage (shared with a cluster's
+        # membership layer): reads routed to them raise InjectedFault
+        # before any byte moves, exactly like a shard-down fault
+        self.down_shards: set = set()
 
     # -- construction ---------------------------------------------------------
 
@@ -315,13 +319,21 @@ class ChunkStore:
         primary = seg * self.shards // max(1, self.n_segments)
         return (primary + replica) % self.shards
 
-    def _replica_path(self, seg: int, replica: int) -> str:
-        """On-disk path of one replica (flat layout when unsharded)."""
+    def path_on_shard(self, seg: int, shard: int) -> str:
+        """Where a copy of segment ``seg`` lives on shard ``shard``.
+
+        The copy need not exist: a cluster's rebalancer uses this to
+        place new copies as the shard map moves.  Unsharded stores keep
+        the flat legacy path.
+        """
         name = f"seg-{seg:05d}.bin"
         if self.shards == 1:
             return os.path.join(self.path, name)
-        shard = self.shard_of_segment(seg, replica)
         return os.path.join(self.path, f"shard-{shard:02d}", name)
+
+    def _replica_path(self, seg: int, replica: int) -> str:
+        """On-disk path of one replica (flat layout when unsharded)."""
+        return self.path_on_shard(seg, self.shard_of_segment(seg, replica))
 
     def _segment_path(self, seg: int) -> str:
         """The primary replica's path (the whole segment, pre-replication)."""
@@ -354,13 +366,16 @@ class ChunkStore:
         return dense
 
     def rebuild_segment(self, seg: int,
-                        quarantined: Optional[str] = None) -> None:
+                        quarantined: Optional[str] = None,
+                        shards: Optional[Sequence[int]] = None) -> None:
         """Re-pack segment ``seg`` from the origin and rewrite *every*
         replica durably.
 
         ``quarantined`` — where the artifact layer moved the corrupt
         evidence, recorded on the trace span so a post-mortem can go
         from "segment N was rebuilt" straight to the rotted bytes.
+        ``shards`` — rebuild onto these shards instead of the static
+        replica placement (a cluster's versioned map).
         """
         if self._origin is None:
             raise RuntimeError(
@@ -369,8 +384,12 @@ class ChunkStore:
         with _trace.span("serve.rebuild_segment", segment=seg,
                          quarantined=quarantined or ""):
             payload = self._segment_payload(self._origin_dense(), seg)
-            for r in range(self.replicas):
-                replica_path = self._replica_path(seg, r)
+            if shards is not None:
+                paths = [self.path_on_shard(seg, s) for s in shards]
+            else:
+                paths = [self._replica_path(seg, r)
+                         for r in range(self.replicas)]
+            for replica_path in paths:
                 os.makedirs(os.path.dirname(replica_path), exist_ok=True)
                 _artifacts.write_artifact(
                     replica_path, payload,
@@ -379,16 +398,54 @@ class ChunkStore:
             self.segments_rebuilt += 1
             _trace.add("serve.segments_rebuilt", 1)
 
+    def _write_segment_copy(self, path: str, payload: bytes) -> None:
+        """One durable segment write (atomic replace + sidecar)."""
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        _artifacts.write_artifact(
+            path, payload,
+            kind=_SEGMENT_KIND, schema_version=STORE_SCHEMA_VERSION)
+
+    def write_replica_on(self, seg: int, shard: int, payload: bytes) -> None:
+        """Durably place a copy of segment ``seg`` on shard ``shard``.
+
+        The rebalancer's move primitive: the payload must already be
+        verified (it came off :meth:`read_replica_bytes`), and the
+        write carries a fresh sidecar so the new copy verifies too.
+        """
+        self._write_segment_copy(self.path_on_shard(seg, shard), payload)
+
+    def _repair_copy(self, path: str, payload: bytes) -> None:
+        """Read-repair one corrupt copy in place from known-good bytes."""
+        self._write_segment_copy(path, payload)
+        self.read_repairs += 1
+        _trace.add("serve.reliability_read_repairs", 1)
+
     def repair_replica(self, seg: int, replica: int, payload: bytes) -> None:
         """Read-repair: durably rewrite a failed replica from known-good
         bytes another replica just served (sidecar included)."""
-        replica_path = self._replica_path(seg, replica)
-        os.makedirs(os.path.dirname(replica_path), exist_ok=True)
-        _artifacts.write_artifact(
-            replica_path, payload,
-            kind=_SEGMENT_KIND, schema_version=STORE_SCHEMA_VERSION)
-        self.read_repairs += 1
-        _trace.add("serve.reliability_read_repairs", 1)
+        self._repair_copy(self._replica_path(seg, replica), payload)
+
+    def read_replica_bytes(self, seg: int,
+                           shards: Sequence[int]) -> bytes:
+        """First verified copy of segment ``seg`` among ``shards``.
+
+        The rebalancer's and scrubber's source read: tries each shard
+        in order, skipping outages and quarantining corruption exactly
+        like the query path, but performs no repair itself — the caller
+        decides where the bytes go.  Raises the last failure when no
+        shard can serve the segment.
+        """
+        expected = self.segment_chunk_count(seg) * self.chunk_bytes
+        last: Optional[Exception] = None
+        for shard in shards:
+            try:
+                return self._read_replica(self.path_on_shard(seg, shard),
+                                          shard, expected)
+            except (_artifacts.ArtifactIntegrityError,
+                    _faults.InjectedFault, OSError) as exc:
+                last = exc
+        raise last if last is not None else _faults.InjectedFault(
+            f"segment {seg}: no source shards given")
 
     def _read_replica(self, path: str, shard: int, expected: int) -> bytes:
         """One verified replica read, with the serve fault hooks applied.
@@ -400,6 +457,9 @@ class ChunkStore:
         on corruption (after quarantining) and
         :class:`~repro.resilience.faults.InjectedFault` on a dead shard.
         """
+        if shard in self.down_shards:
+            raise _faults.InjectedFault(
+                f"shard {shard} is down (cluster outage)")
         plan = _faults.active_plan()
         if plan:
             down = plan.for_shard(shard)
@@ -421,7 +481,8 @@ class ChunkStore:
             raise _artifacts.ArtifactIntegrityError(path, problem, quarantined)
         return data
 
-    def read_segment(self, seg: int, policy=None) -> np.ndarray:
+    def read_segment(self, seg: int, policy=None,
+                     locations: Optional[Sequence[int]] = None) -> np.ndarray:
         """Segment ``seg`` as a ``(n_chunks_in_segment, cx, cy, cz)`` array.
 
         Bytes are verified against the sidecar on every attempt; the
@@ -435,29 +496,40 @@ class ChunkStore:
         ReadPolicy` supplying deadline checks, breaker routing and
         hedged replica ordering; without one, every replica is tried
         in placement order.
+
+        ``locations`` — an explicit shard list to read from (a
+        cluster's versioned shard map), overriding the static replica
+        placement.  Corrupt copies among them are read-repaired in
+        place, and a total failure rebuilds onto exactly the reachable
+        subset of those shards.
         """
         n = self.segment_chunk_count(seg)
         expected = n * self.chunk_bytes
         if policy is not None:
             policy.check_deadline()
-            order = policy.replica_order(self, seg)
+        if locations is not None:
+            shards = list(locations)
+            if policy is not None:
+                shards = policy.order_shards(shards)
+            attempts = [(s, self.path_on_shard(seg, s)) for s in shards]
         else:
-            order = range(self.replicas)
+            order = policy.replica_order(self, seg) if policy is not None \
+                else range(self.replicas)
+            attempts = [(self.shard_of_segment(seg, r),
+                         self._replica_path(seg, r)) for r in order]
         data: Optional[bytes] = None
-        corrupt_replicas: List[int] = []
+        corrupt_paths: List[str] = []
         quarantined: Optional[str] = None
         failed = 0
-        for r in order:
-            shard = self.shard_of_segment(seg, r)
+        for shard, path in attempts:
             if policy is not None and not policy.allow_shard(shard):
                 _trace.add("serve.reliability_breaker_denied", 1)
                 continue
             started = time.perf_counter()
             try:
-                data = self._read_replica(self._replica_path(seg, r),
-                                          shard, expected)
+                data = self._read_replica(path, shard, expected)
             except _artifacts.ArtifactIntegrityError as exc:
-                corrupt_replicas.append(r)
+                corrupt_paths.append(path)
                 quarantined = exc.quarantined_to or quarantined
             except _faults.InjectedFault:
                 pass  # shard outage: the replica's bytes are fine
@@ -472,11 +544,20 @@ class ChunkStore:
             self.failovers += 1
         if data is None:
             # every replica failed or was denied: origin is the truth
-            self.rebuild_segment(seg, quarantined=quarantined)
-            data = _artifacts.read_artifact(self._segment_path(seg))
-        elif failed or corrupt_replicas:
-            for r in corrupt_replicas:
-                self.repair_replica(seg, r, data)
+            if locations is not None:
+                reachable = [s for s, _ in attempts
+                             if s not in self.down_shards]
+                targets = reachable or [s for s, _ in attempts]
+                self.rebuild_segment(seg, quarantined=quarantined,
+                                     shards=targets)
+                data = _artifacts.read_artifact(
+                    self.path_on_shard(seg, targets[0]))
+            else:
+                self.rebuild_segment(seg, quarantined=quarantined)
+                data = _artifacts.read_artifact(self._segment_path(seg))
+        elif failed or corrupt_paths:
+            for path in corrupt_paths:
+                self._repair_copy(path, data)
         dt = np.dtype(self.meta["dtype"])
         arr = np.frombuffer(data, dtype=dt).reshape((n,) + self.chunk_shape)
         return arr.astype(self.dtype) if dt != self.dtype else arr

@@ -124,6 +124,74 @@ class TestWallClockInHash:
         """, path="src/repro/instrument/fixture.py") == []
 
 
+class TestClockFreeServeControl:
+    CLUSTER = "src/repro/serve/cluster.py"
+    RELIABILITY = "src/repro/serve/reliability.py"
+
+    def test_monotonic_in_cluster_control(self):
+        assert codes("""\
+            import time
+
+            def observe(self, heartbeats):
+                now = time.monotonic()
+                return now - self.last_seen > self.timeout
+        """, path=self.CLUSTER) == ["RPC205"]
+
+    def test_perf_counter_in_reliability(self):
+        assert codes("""\
+            import time
+
+            def should_trip(self):
+                return time.perf_counter() > self.opened_at + 30
+        """, path=self.RELIABILITY) == ["RPC205"]
+
+    def test_clock_reference_as_callable(self):
+        # a clock passed around uncalled still smuggles wall time in
+        assert codes("""\
+            import time
+            from dataclasses import dataclass, field
+
+            @dataclass
+            class Deadline:
+                started: float = field(default_factory=time.perf_counter)
+        """, path=self.RELIABILITY) == ["RPC205"]
+
+    def test_called_clock_reported_once(self):
+        assert codes("""\
+            import time
+
+            def tick(self):
+                return time.time()
+        """, path=self.CLUSTER) == ["RPC205"]
+
+    def test_other_serve_modules_may_time(self):
+        # the bench measures wall latency on purpose
+        assert codes("""\
+            import time
+
+            def measure(fn):
+                t0 = time.perf_counter()
+                fn()
+                return time.perf_counter() - t0
+        """, path="src/repro/serve/bench.py") == []
+
+    def test_event_counters_are_fine(self):
+        assert codes("""\
+            def observe(self, heartbeats):
+                self.events += 1
+                return self.events - self.last_seen > self.timeout
+        """, path=self.CLUSTER) == []
+
+    def test_noqa_exemption_for_real_deadlines(self):
+        src = ("import time\n"
+               "def remaining(self):\n"
+               "    return time.perf_counter() - self.started"
+               "  # repro: noqa[RPC205]\n")
+        findings, suppressed = check_source(src, self.RELIABILITY)
+        assert not findings
+        assert [f.code for f in suppressed] == ["RPC205"]
+
+
 class TestSuppression:
     def test_noqa_silences_the_family(self):
         src = ("import numpy as np\n"

@@ -1,6 +1,8 @@
 """Tests for run manifests (repro.instrument.manifest)."""
 
+import importlib.util
 import json
+import pathlib
 
 import pytest
 
@@ -11,6 +13,7 @@ from repro.instrument.manifest import (
     build_manifest,
     config_hash,
     git_sha,
+    serve_entries_from_records,
     validate_manifest,
     validate_trace_file,
     write_manifest,
@@ -94,6 +97,86 @@ class TestManifest:
         m["cells"][0]["counters"]["bad"] = "not-a-number"
         with pytest.raises(ValueError, match="not numeric"):
             validate_manifest(m)
+
+
+def _cluster_traced_run():
+    """A serve.cluster span the way ShardCluster.serve_session emits
+    one: membership counters inside the span, scrub tallies both in
+    and out of it, rollup attrs set at close."""
+    t = trace.enable()
+    with trace.span("serve.cluster", shards=4, replicas=2,
+                    n_queries=9) as sp:
+        trace.add("serve.cluster_ticks", 9)
+        trace.add("serve.cluster_deaths", 1)
+        trace.add("serve.cluster_segments_moved", 5)
+        trace.add("serve.scrub_checked", 12)
+        trace.add("serve.scrub_repaired", 1)
+        sp.set("ok", 9)
+        sp.set("rejected", 0)
+        sp.set("map_version", 2)
+        sp.set("under_replicated", 0)
+    trace.add("serve.scrub_passes", 2)  # post-session scrub laps
+    trace.disable()
+    return t
+
+
+def _load_validate_trace_script():
+    path = pathlib.Path(__file__).resolve().parents[2] \
+        / "scripts" / "validate_trace.py"
+    spec = importlib.util.spec_from_file_location("_validate_trace", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+class TestClusterServeSection:
+    """The manifest serve section grown by the elastic tier:
+    serve.cluster_* / serve.scrub_* land validated and cross-checked."""
+
+    def test_cluster_and_scrub_counters_land(self):
+        m = build_manifest(_cluster_traced_run())
+        validate_manifest(m)
+        serve = m["serve"]
+        assert serve["cluster_ticks"] == 9
+        assert serve["cluster_deaths"] == 1
+        assert serve["cluster_segments_moved"] == 5
+        assert serve["scrub_checked"] == 12
+        assert serve["scrub_repaired"] == 1
+        assert serve["scrub_passes"] == 2
+        # span rollup attrs merge in under the cluster_ prefix
+        assert serve["cluster_ok"] == 9
+        assert serve["cluster_rejected"] == 0
+        assert serve["cluster_map_version"] == 2
+        assert serve["cluster_under_replicated"] == 0
+
+    def test_validation_rejects_non_numeric_serve_entry(self):
+        m = build_manifest(_cluster_traced_run())
+        m["serve"]["cluster_deaths"] = "one"
+        with pytest.raises(ValueError, match="not numeric"):
+            validate_manifest(m)
+
+    def test_section_rederives_from_written_trace(self, tmp_path):
+        t = _cluster_traced_run()
+        m = build_manifest(t)
+        path = tmp_path / "cluster.jsonl"
+        t.write_jsonl(path)
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        meta = next(r for r in records if r["type"] == "meta")
+        spans = [r for r in records if r["type"] == "span"]
+        assert serve_entries_from_records(spans, meta.get("counters")) \
+            == m["serve"]
+
+    def test_validate_trace_script_cross_checks_serve(self, tmp_path):
+        t = _cluster_traced_run()
+        m = build_manifest(t)
+        path = tmp_path / "cluster.jsonl"
+        t.write_jsonl(path)
+        script = _load_validate_trace_script()
+        assert script.cross_check(str(path), m) == []
+        m["serve"]["cluster_deaths"] += 1  # a drifted tally
+        problems = script.cross_check(str(path), m)
+        assert any("cluster_deaths" in p for p in problems)
 
 
 class TestTraceFileValidation:

@@ -102,6 +102,42 @@ class TestInstallation:
         assert active_plan() == FaultPlan()
 
 
+class TestClusterModes:
+    def test_parse_and_round_trip(self):
+        spec = ("shard-kill@2:at=8,shard-join@2:at=32,"
+                "shard-flap@4:at=10:down=6")
+        plan = parse_faults(spec)
+        assert [s.mode for s in plan.specs] \
+            == ["shard-kill", "shard-join", "shard-flap"]
+        assert plan.specs[0].at == 8
+        assert plan.specs[2].down == 6
+        assert plan.to_spec() == spec
+
+    def test_cluster_modes_require_an_event(self):
+        with pytest.raises(ValueError, match="at=EVENT"):
+            parse_faults("shard-kill@2")
+
+    def test_cluster_actions_fire_at_their_events(self):
+        plan = parse_faults("shard-kill@2:at=8,shard-join@2:at=32,"
+                            "shard-flap@4:at=10:down=6")
+        assert plan.cluster_actions(8) == [("kill", 2)]
+        assert plan.cluster_actions(10) == [("kill", 4)]
+        assert plan.cluster_actions(16) == [("join", 4)]
+        assert plan.cluster_actions(32) == [("join", 2)]
+        for quiet in (0, 7, 9, 11, 15, 17, 31, 33):
+            assert plan.cluster_actions(quiet) == []
+
+    def test_flap_with_zero_down_rejoins_next_event(self):
+        plan = parse_faults("shard-flap@1:at=4")
+        assert plan.cluster_actions(4) == [("kill", 1)]
+        assert plan.cluster_actions(5) == [("join", 1)]
+
+    def test_cluster_specs_do_not_leak_into_read_faults(self):
+        plan = parse_faults("shard-flap@1:at=4")
+        assert plan.for_shard(1) is None
+        assert plan.for_cell(1, 0) is None
+
+
 class TestFire:
     def test_raise_mode_raises_injected_fault(self):
         with pytest.raises(InjectedFault, match="cell 3"):

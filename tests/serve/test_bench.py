@@ -61,3 +61,31 @@ class TestBench:
         broken.by_order("morton").mean_segments_per_bbox = 1e9
         assert not broken.ok
         assert "GATE FAIL" in render(broken)
+
+
+class TestDegenerateConfig:
+    """grid-x == chunks_per_segment silently favors row-major; the
+    bench must refuse it (or adjust with a warning), never run it."""
+
+    def test_rejected_by_default(self):
+        # 16^3 / chunk 4 -> 4^3 chunk grid; x-extent == 4 == cps
+        with pytest.raises(ValueError, match="degenerate"):
+            run_serve_bench(shape=16, chunk=4, chunks_per_segment=4,
+                            n_queries=2)
+
+    def test_adjust_doubles_segment_size_with_warning(self):
+        with pytest.warns(RuntimeWarning, match="degenerate"):
+            bench = run_serve_bench(shape=16, chunk=4,
+                                    chunks_per_segment=4, n_queries=4,
+                                    on_degenerate="adjust")
+        assert bench.chunks_per_segment == 8
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="on_degenerate"):
+            run_serve_bench(shape=16, chunk=4, n_queries=2,
+                            on_degenerate="ignore")
+
+    def test_non_degenerate_unaffected(self):
+        bench = run_serve_bench(shape=16, chunk=4, chunks_per_segment=2,
+                                n_queries=4)
+        assert bench.chunks_per_segment == 2

@@ -275,6 +275,26 @@ class TestServeCommands:
         assert "served 10 queries" in out
         assert "crosscheck: counters match memsim" in out
 
+    def test_cluster_flap_serves_identical_bytes(self, capsys):
+        rc = main(["cluster", "--shape", "16", "--chunk", "4",
+                   "--queries", "18", "--shards", "4",
+                   "--faults", "shard-flap@2:at=6:down=6"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "served 18/18 queries" in out
+        assert "1 deaths, 1 joins" in out
+        assert "bit-identical to the undisturbed run" in out
+        # the CLI restores the ambient fault plan afterwards
+        from repro.resilience.faults import active_plan
+        assert not active_plan()
+
+    def test_cluster_quiet_run_never_rebalances(self, capsys):
+        rc = main(["cluster", "--shape", "16", "--chunk", "4",
+                   "--queries", "8"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 deaths, 0 joins, 0 rebalances" in out
+
     def test_serve_crosscheck_failure_exits_nonzero(self, monkeypatch,
                                                     capsys):
         class Divergent:
